@@ -1,0 +1,586 @@
+(* XSACT benchmark harness.
+
+   Reproduces every figure of the paper that carries data, plus the
+   extension experiments E1-E9 indexed in DESIGN.md. Run everything with
+
+     dune exec bench/main.exe
+
+   or name specific targets:
+
+     dune exec bench/main.exe -- fig4a_dod ext_sweep_l
+
+   `micro` runs the Bechamel micro-benchmarks (one Test.make per figure's
+   kernel). Absolute numbers will not match 2009 hardware; EXPERIMENTS.md
+   records the shape comparison against the paper. *)
+
+open Xsact_util
+module Workload = Xsact_workload.Workload
+
+let section title =
+  Printf.printf "\n=== %s ===\n\n" title
+
+let hr () = print_newline ()
+
+(* ---- Shared workloads (built lazily, reused across targets) ------------- *)
+
+let imdb = lazy (Workload.imdb_qm ~top:5 ())
+
+let qm_instances () = (Lazy.force imdb).Workload.queries
+
+let swap_algorithms =
+  [ Algorithm.Single_swap; Algorithm.Multi_swap ]
+
+let report_algorithms =
+  [ Algorithm.Topk; Algorithm.Greedy; Algorithm.Single_swap; Algorithm.Multi_swap ]
+
+let dod_of alg context ~limit = Dod.total context (Algorithm.generate alg context ~limit)
+
+(* ---- Figure 1: result statistics ----------------------------------------- *)
+
+let fig1_stats () =
+  section
+    "Figure 1 -- result fragments & statistics for query {TomTom, GPS}";
+  Array.iter
+    (fun profile ->
+      print_string (Render_text.result_stats ~top:8 profile);
+      hr ())
+    (Workload.paper_gps_profiles ())
+
+(* ---- Figure 2: comparison table ------------------------------------------- *)
+
+let fig2_table () =
+  section "Figure 2 -- XSACT comparison table for the Figure 1 results (L = 6)";
+  let profiles = Workload.paper_gps_profiles () in
+  let context = Dod.make_context profiles in
+  let limit = 6 in
+  let dfss = Multi_swap.generate context ~limit in
+  let table = Table.build ~size_bound:limit context dfss in
+  print_string (Render_text.table table);
+  Printf.printf "\n%4s | %9s %12s %10s   (paper, at its L: 2 -> 5)\n" "L"
+    "topk DoD" "eXtract DoD" "XSACT DoD";
+  List.iter
+    (fun limit ->
+      let extract_dfss =
+        Array.map
+          (Snippet.query_biased_dfs ~keywords:"tomtom gps" ~limit)
+          profiles
+      in
+      Printf.printf "%4d | %9d %12d %10d\n" limit
+        (Dod.total context (Topk.generate context ~limit))
+        (Dod.total context extract_dfss)
+        (Dod.total context (Multi_swap.generate context ~limit)))
+    [ 4; 6; 8; 10 ]
+
+(* ---- Figure 4(a): DoD over QM1..QM8 ---------------------------------------- *)
+
+let fig4a_dod () =
+  section "Figure 4(a) -- quality of DFSs: DoD per query (IMDB, top 5, L = 8)";
+  Printf.printf "%-6s %-22s %8s | %6s %7s %12s %11s\n" "query" "keywords"
+    "results" "topk" "greedy" "single-swap" "multi-swap";
+  let totals = Array.make (List.length report_algorithms) 0 in
+  List.iter
+    (fun (inst : Workload.instance) ->
+      let context = Dod.make_context inst.Workload.profiles in
+      let dods = List.map (fun a -> dod_of a context ~limit:8) report_algorithms in
+      List.iteri (fun i d -> totals.(i) <- totals.(i) + d) dods;
+      match dods with
+      | [ topk; greedy; single; multi ] ->
+        Printf.printf "%-6s %-22s %8d | %6d %7d %12d %11d\n" inst.Workload.label
+          inst.Workload.keywords inst.Workload.result_count topk greedy single
+          multi
+      | _ -> assert false)
+    (qm_instances ());
+  (match Array.to_list totals with
+  | [ topk; greedy; single; multi ] ->
+    Printf.printf "%-6s %-22s %8s | %6d %7d %12d %11d\n" "total" "" "" topk
+      greedy single multi
+  | _ -> assert false);
+  print_endline
+    "\nshape check (paper): multi-swap >= single-swap >> snippet-style baselines"
+
+(* ---- Figure 4(b): processing time over QM1..QM8 ------------------------------ *)
+
+let fig4b_time () =
+  section
+    "Figure 4(b) -- processing time (s) per query (IMDB, top 5, L = 8; median \
+     of 7 runs)";
+  Printf.printf "%-6s %-22s | %14s %14s\n" "query" "keywords" "single-swap"
+    "multi-swap";
+  List.iter
+    (fun (inst : Workload.instance) ->
+      let context = Dod.make_context inst.Workload.profiles in
+      let time alg =
+        let _, stats =
+          Timing.time ~warmup:2 ~runs:7 (fun () ->
+              Algorithm.generate alg context ~limit:8)
+        in
+        stats.Timing.median_s
+      in
+      let times = List.map time swap_algorithms in
+      match times with
+      | [ single; multi ] ->
+        Printf.printf "%-6s %-22s | %14.6f %14.6f\n" inst.Workload.label
+          inst.Workload.keywords single multi
+      | _ -> assert false)
+    (qm_instances ());
+  print_endline
+    "\nshape check (paper): both well under interactive latency; single-swap \
+     usually faster, multi-swap occasionally ahead"
+
+(* ---- Demo Section 3: Outdoor Retailer brand comparison ------------------------ *)
+
+let demo_outdoor () =
+  section "Demo Section 3 -- Outdoor Retailer: brand focuses for 'men jackets'";
+  let dataset = Xsact_dataset.Dataset.outdoor_retailer () in
+  let prepared = Workload.prepare ~top:3 ~lift_to:"brand" dataset in
+  match
+    List.find_opt
+      (fun (i : Workload.instance) -> i.Workload.label = "QO1")
+      prepared.Workload.queries
+  with
+  | None -> print_endline "QO1 unavailable"
+  | Some inst ->
+    let context = Dod.make_context inst.Workload.profiles in
+    let dfss = Multi_swap.generate context ~limit:9 in
+    print_string (Render_text.table (Table.build ~size_bound:9 context dfss));
+    Printf.printf "\nDoD = %d across %d brands\n" (Dod.total context dfss)
+      (Array.length inst.Workload.profiles)
+
+(* ---- E1: sweep the size bound L ------------------------------------------------ *)
+
+let ext_sweep_l () =
+  section "E1 -- DoD and time vs size bound L (IMDB QM4, top 5)";
+  match
+    List.find_opt
+      (fun (i : Workload.instance) -> i.Workload.label = "QM4")
+      (qm_instances ())
+  with
+  | None -> print_endline "QM4 unavailable"
+  | Some inst ->
+    let context = Dod.make_context inst.Workload.profiles in
+    Printf.printf "%4s | %6s %12s %11s | %12s %11s\n" "L" "topk" "single-dod"
+      "multi-dod" "single-time" "multi-time";
+    List.iter
+      (fun limit ->
+        let time_and_dod alg =
+          let dfss, stats =
+            Timing.time ~warmup:1 ~runs:5 (fun () ->
+                Algorithm.generate alg context ~limit)
+          in
+          (Dod.total context dfss, stats.Timing.median_s)
+        in
+        let topk = dod_of Algorithm.Topk context ~limit in
+        let sd, st = time_and_dod Algorithm.Single_swap in
+        let md, mt = time_and_dod Algorithm.Multi_swap in
+        Printf.printf "%4d | %6d %12d %11d | %11.6fs %10.6fs\n" limit topk sd
+          md st mt)
+      [ 2; 4; 6; 8; 12; 16; 20; 24 ]
+
+(* ---- E2: sweep the number of compared results n --------------------------------- *)
+
+let ext_sweep_n () =
+  section "E2 -- DoD and time vs number of compared results (IMDB 'action', L = 8)";
+  let prepared = Lazy.force imdb in
+  let engine = prepared.Workload.engine in
+  Printf.printf "%4s | %6s %12s %11s | %12s %11s\n" "n" "topk" "single-dod"
+    "multi-dod" "single-time" "multi-time";
+  List.iter
+    (fun n ->
+      match Workload.instances ~top:n engine [ ("Q", "action") ] with
+      | [ inst ] when Array.length inst.Workload.profiles = n ->
+        let context = Dod.make_context inst.Workload.profiles in
+        let time_and_dod alg =
+          let dfss, stats =
+            Timing.time ~warmup:1 ~runs:5 (fun () ->
+                Algorithm.generate alg context ~limit:8)
+          in
+          (Dod.total context dfss, stats.Timing.median_s)
+        in
+        let topk = dod_of Algorithm.Topk context ~limit:8 in
+        let sd, st = time_and_dod Algorithm.Single_swap in
+        let md, mt = time_and_dod Algorithm.Multi_swap in
+        Printf.printf "%4d | %6d %12d %11d | %11.6fs %10.6fs\n" n topk sd md st
+          mt
+      | _ -> Printf.printf "%4d | (not enough results)\n" n)
+    [ 2; 3; 4; 6; 8; 10 ]
+
+(* ---- E3: approximation quality vs the exhaustive optimum ------------------------- *)
+
+let ext_optimality () =
+  section
+    "E3 -- quality vs exhaustive optimum (60 random small instances, L = 4)";
+  let instances = ref 0 in
+  let sums = Array.make (List.length report_algorithms) 0.0 in
+  let hits = Array.make (List.length report_algorithms) 0 in
+  for seed = 0 to 59 do
+    let profiles =
+      Workload.synthetic_profiles ~seed ~results:2 ~entities:1
+        ~types_per_entity:3 ~values_per_type:2 ~max_count:3
+    in
+    let context = Dod.make_context profiles in
+    match Exhaustive.optimum ~max_states:500_000 context ~limit:4 with
+    | exception Exhaustive.Too_large _ -> ()
+    | 0 -> () (* nothing differentiates; ratios undefined *)
+    | opt ->
+      incr instances;
+      List.iteri
+        (fun i alg ->
+          let d = dod_of alg context ~limit:4 in
+          sums.(i) <- sums.(i) +. (float_of_int d /. float_of_int opt);
+          if d = opt then hits.(i) <- hits.(i) + 1)
+        report_algorithms
+  done;
+  Printf.printf "instances with a positive optimum: %d\n\n" !instances;
+  Printf.printf "%-12s | %10s %10s\n" "method" "avg ratio" "% optimal";
+  List.iteri
+    (fun i alg ->
+      Printf.printf "%-12s | %10.3f %9.0f%%\n" (Algorithm.to_string alg)
+        (sums.(i) /. float_of_int !instances)
+        (100.0 *. float_of_int hits.(i) /. float_of_int !instances))
+    report_algorithms
+
+(* ---- E4: differentiation threshold sensitivity ------------------------------------ *)
+
+let ext_threshold () =
+  section
+    "E4 -- DoD vs differentiation threshold x% (product reviews 'gps', top 4, \
+     L = 8)";
+  (* The movie corpus has unit counts, so x only matters on data with real
+     occurrence statistics: the review corpus (counts like 8/11 vs 38/68). *)
+  let dataset = Xsact_dataset.Dataset.product_reviews () in
+  let prepared = Workload.prepare ~top:4 dataset in
+  match
+    List.find_opt
+      (fun (i : Workload.instance) -> i.Workload.label = "QP3")
+      prepared.Workload.queries
+  with
+  | None -> print_endline "QP3 unavailable"
+  | Some inst ->
+    Printf.printf "%6s | %6s %12s %11s\n" "x%" "topk" "single-swap" "multi-swap";
+    List.iter
+      (fun threshold_pct ->
+        let params = { Dod.threshold_pct; measure = Dod.Raw } in
+        let context = Dod.make_context ~params inst.Workload.profiles in
+        Printf.printf "%6.0f | %6d %12d %11d\n" threshold_pct
+          (dod_of Algorithm.Topk context ~limit:8)
+          (dod_of Algorithm.Single_swap context ~limit:8)
+          (dod_of Algorithm.Multi_swap context ~limit:8))
+      [ 0.0; 5.0; 10.0; 25.0; 50.0; 100.0; 200.0; 400.0 ]
+
+(* ---- E4b: raw vs rate occurrence measure ------------------------------------------- *)
+
+let ext_measure () =
+  section
+    "E4b -- raw counts vs population-normalized rates (product reviews, \
+     'gps', top 4, L = 8)";
+  let dataset = Xsact_dataset.Dataset.product_reviews () in
+  let prepared = Workload.prepare ~top:4 dataset in
+  Printf.printf "%-6s %-14s | %12s %12s\n" "query" "keywords" "raw DoD"
+    "rate DoD";
+  List.iter
+    (fun (inst : Workload.instance) ->
+      let dod measure =
+        let params = { Dod.threshold_pct = 10.0; measure } in
+        let context = Dod.make_context ~params inst.Workload.profiles in
+        dod_of Algorithm.Multi_swap context ~limit:8
+      in
+      Printf.printf "%-6s %-14s | %12d %12d\n" inst.Workload.label
+        inst.Workload.keywords (dod Dod.Raw) (dod Dod.Rate))
+    prepared.Workload.queries
+
+(* ---- E5: scalability with corpus size ------------------------------------------------ *)
+
+let ext_scale () =
+  section
+    "E5 -- end-to-end scalability with corpus size (IMDB, query 'action', \
+     top 5, L = 8)";
+  Printf.printf "%8s %9s | %11s %11s %13s\n" "movies" "elements" "index-build"
+    "query" "extract+DFS";
+  List.iter
+    (fun movies ->
+      let doc =
+        Xsact_dataset.Imdb.generate
+          { Xsact_dataset.Imdb.default_params with movies }
+      in
+      let elements = (Xml_stats.of_document doc).Xml_stats.elements in
+      let engine, build_stats =
+        Timing.time ~warmup:0 ~runs:3 (fun () -> Search.create doc)
+      in
+      let results, query_stats =
+        Timing.time ~warmup:1 ~runs:5 (fun () ->
+            Search.query ~limit:5 engine "action")
+      in
+      let _, compare_stats =
+        Timing.time ~warmup:1 ~runs:5 (fun () ->
+            let profiles =
+              Array.of_list
+                (List.map (Extractor.of_search_result engine) results)
+            in
+            let context = Dod.make_context profiles in
+            Multi_swap.generate context ~limit:8)
+      in
+      Printf.printf "%8d %9d | %10.4fs %10.4fs %12.4fs\n" movies elements
+        build_stats.Timing.median_s query_stats.Timing.median_s
+        compare_stats.Timing.median_s)
+    [ 250; 500; 1000; 2000; 4000 ]
+
+(* ---- E6: stochastic optimizers vs the swap algorithms ----------------------------------- *)
+
+let ext_stochastic () =
+  section
+    "E6 -- stochastic optimizers vs local optima (tie-rich synthetic \
+     instances, 5 results, L = 5)";
+  Printf.printf "%6s | %6s %12s %11s %10s %9s\n" "seed" "topk" "single-swap"
+    "multi-swap" "annealing" "restarts";
+  let sums = Array.make 5 0 in
+  List.iter
+    (fun seed ->
+      let profiles =
+        Workload.synthetic_profiles ~seed ~results:5 ~entities:1
+          ~types_per_entity:8 ~values_per_type:5 ~max_count:2
+      in
+      let context = Dod.make_context profiles in
+      let values =
+        List.map
+          (fun alg -> dod_of alg context ~limit:5)
+          [
+            Algorithm.Topk; Algorithm.Single_swap; Algorithm.Multi_swap;
+            Algorithm.Annealing; Algorithm.Restarts;
+          ]
+      in
+      List.iteri (fun i v -> sums.(i) <- sums.(i) + v) values;
+      match values with
+      | [ a; b; c; d; e ] ->
+        Printf.printf "%6d | %6d %12d %11d %10d %9d\n" seed a b c d e
+      | _ -> assert false)
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+  (match Array.to_list sums with
+  | [ a; b; c; d; e ] ->
+    Printf.printf "%6s | %6d %12d %11d %10d %9d\n" "total" a b c d e
+  | _ -> assert false);
+  print_endline
+    "\nshape check: the DP's multi-feature reshapes and the stochastic \
+     probes recover DoD that single moves leave behind"
+
+(* ---- E7: incremental sessions vs recomputation -------------------------------------------- *)
+
+let ext_incremental () =
+  section
+    "E7 -- interactive sessions: warm-started updates vs from-scratch \
+     (IMDB 'action', L = 8)";
+  let prepared = Lazy.force imdb in
+  let engine = prepared.Workload.engine in
+  match Workload.instances ~top:10 engine [ ("Q", "action") ] with
+  | [ inst ] ->
+    let profiles = Array.to_list inst.Workload.profiles in
+    let first_three = List.filteri (fun i _ -> i < 3) profiles in
+    Printf.printf "%-28s | %10s %8s\n" "operation" "time" "DoD";
+    let time_op label f =
+      let result, stats = Timing.time ~warmup:1 ~runs:5 f in
+      Printf.printf "%-28s | %9.5fs %8d\n" label stats.Timing.median_s
+        (match result with Ok s -> Session.dod s | Error _ -> -1);
+      result
+    in
+    let session =
+      time_op "create (3 results)" (fun () ->
+          Session.create ~size_bound:8 first_three)
+    in
+    (match session with
+    | Error e -> print_endline e
+    | Ok session ->
+      let fourth = List.nth profiles 3 in
+      let _ =
+        time_op "add 4th (warm)" (fun () -> Ok (Session.add session fourth))
+      in
+      let _ =
+        time_op "cold re-create (4 results)" (fun () ->
+            Session.create ~size_bound:8 (first_three @ [ fourth ]))
+      in
+      let s4 = Session.add session fourth in
+      let _ =
+        time_op "set L 8 -> 12 (warm)" (fun () -> Session.set_size_bound s4 12)
+      in
+      ())
+  | _ -> print_endline "query unavailable"
+
+(* ---- E8: interestingness weighting ablation ------------------------------------------------ *)
+
+let ext_weighting () =
+  section
+    "E8 -- interestingness weighting (paper example, L = 6)";
+  let profiles = Workload.paper_gps_profiles () in
+  let run label weight =
+    let context = Dod.make_context ?weight profiles in
+    let dfss = Multi_swap.generate context ~limit:6 in
+    let table = Table.build context dfss in
+    let has pat =
+      List.exists
+        (fun (row : Table.row) ->
+          Xsact_util.Textutil.contains_substring
+            row.Table.ftype.Feature.attribute pat
+          && row.Table.differentiating)
+        table.Table.rows
+    in
+    Printf.printf
+      "%-30s | weighted DoD %4d | rating differentiates: %-5b | compact: %b\n"
+      label (Dod.total context dfss) (has "rating") (has "compact")
+  in
+  run "uniform" None;
+  run "compact x4" (Some (Weighting.by_attribute [ ("compact", 4) ]));
+  run "rating x10" (Some (Weighting.by_attribute [ ("rating", 10) ]));
+  run "evidence" (Some (Weighting.evidence profiles));
+  print_endline
+    "\nshape check: weighting a differentiating type multiplies its DoD \
+     contribution; a heavy weight pulls an otherwise-skipped type (rating) \
+     into both DFSs"
+
+(* ---- E9: ablation of the type-spreading tie-break -------------------------------------- *)
+
+let ext_spread () =
+  section
+    "E9 -- ablation: type-spreading tie-break on vs off (IMDB QM queries, \
+     top 5, L = 8)";
+  Printf.printf "%-6s | %12s %13s | %12s %13s\n" "query" "single+spread"
+    "single-pure" "multi+spread" "multi-pure";
+  let totals = Array.make 4 0 in
+  List.iter
+    (fun (inst : Workload.instance) ->
+      let context = Dod.make_context inst.Workload.profiles in
+      let values =
+        [
+          Dod.total context (Single_swap.generate ~spread:true context ~limit:8);
+          Dod.total context (Single_swap.generate ~spread:false context ~limit:8);
+          Dod.total context (Multi_swap.generate ~spread:true context ~limit:8);
+          Dod.total context (Multi_swap.generate ~spread:false context ~limit:8);
+        ]
+      in
+      List.iteri (fun i v -> totals.(i) <- totals.(i) + v) values;
+      match values with
+      | [ ss; sp; ms; mp ] ->
+        Printf.printf "%-6s | %12d %13d | %12d %13d\n" inst.Workload.label ss
+          sp ms mp
+      | _ -> assert false)
+    (qm_instances ());
+  (match Array.to_list totals with
+  | [ ss; sp; ms; mp ] ->
+    Printf.printf "%-6s | %12d %13d | %12d %13d\n" "total" ss sp ms mp
+  | _ -> assert false);
+  print_endline
+    "\nshape check: without the spreading tie-break, both methods stall in \
+     the poor equilibria of the all-tied movie corpus (DESIGN.md, \
+     tie-breaking note)"
+
+(* ---- Bechamel micro-benchmarks --------------------------------------------------------- *)
+
+let micro () =
+  section "Bechamel micro-benchmarks (ns/run, OLS on monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  (* One Test.make per reproduced table/figure kernel. *)
+  let qm4 =
+    List.find
+      (fun (i : Workload.instance) -> i.Workload.label = "QM4")
+      (qm_instances ())
+  in
+  let qm4_context = Dod.make_context qm4.Workload.profiles in
+  let paper_context = Dod.make_context (Workload.paper_gps_profiles ()) in
+  let small_doc =
+    Xsact_dataset.Imdb.generate
+      { Xsact_dataset.Imdb.default_params with movies = 100 }
+  in
+  let small_src = Xml_print.to_string small_doc in
+  let small_tree = Doctree.of_document small_doc in
+  let small_engine = Search.create small_doc in
+  let tests =
+    Test.make_grouped ~name:"xsact"
+      [
+        Test.make ~name:"fig2/multi_swap_paper_example"
+          (Staged.stage (fun () ->
+               ignore (Multi_swap.generate paper_context ~limit:6)));
+        Test.make ~name:"fig4a/single_swap_qm4"
+          (Staged.stage (fun () ->
+               ignore (Single_swap.generate qm4_context ~limit:8)));
+        Test.make ~name:"fig4a/multi_swap_qm4"
+          (Staged.stage (fun () ->
+               ignore (Multi_swap.generate qm4_context ~limit:8)));
+        Test.make ~name:"fig4b/topk_qm4"
+          (Staged.stage (fun () -> ignore (Topk.generate qm4_context ~limit:8)));
+        Test.make ~name:"e5/xml_parse_100_movies"
+          (Staged.stage (fun () -> ignore (Xml_parse.parse_string small_src)));
+        Test.make ~name:"e5/index_build_100_movies"
+          (Staged.stage (fun () -> ignore (Index.build small_tree)));
+        Test.make ~name:"e5/slca_query"
+          (Staged.stage (fun () ->
+               ignore (Search.query ~limit:5 small_engine "action")));
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ x ] -> x
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  Printf.printf "%-40s | %16s\n" "kernel" "time per run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-40s | %16s\n" name pretty)
+    (List.sort compare !rows)
+
+(* ---- Registry ------------------------------------------------------------------------------ *)
+
+let targets =
+  [
+    ("fig1_stats", fig1_stats);
+    ("fig2_table", fig2_table);
+    ("fig4a_dod", fig4a_dod);
+    ("fig4b_time", fig4b_time);
+    ("demo_outdoor", demo_outdoor);
+    ("ext_sweep_l", ext_sweep_l);
+    ("ext_sweep_n", ext_sweep_n);
+    ("ext_optimality", ext_optimality);
+    ("ext_threshold", ext_threshold);
+    ("ext_measure", ext_measure);
+    ("ext_scale", ext_scale);
+    ("ext_stochastic", ext_stochastic);
+    ("ext_incremental", ext_incremental);
+    ("ext_weighting", ext_weighting);
+    ("ext_spread", ext_spread);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst targets
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some run -> run ()
+      | None ->
+        Printf.eprintf "unknown bench target %S; available: %s\n" name
+          (String.concat ", " (List.map fst targets));
+        exit 1)
+    requested;
+  Printf.printf "\n(total bench wall time: %.1fs)\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+bin/xsact_site.ml: Arg Array Cmd Cmdliner Dod Extractor Filename Fun List Multi_swap Printf Render_html Search String Sys Table Term Unix Xml Xml_stats Xsact_dataset Xsact_util Xsact_workload

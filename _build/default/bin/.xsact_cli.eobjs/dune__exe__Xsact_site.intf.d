@@ -1,0 +1,1 @@
+bin/xsact_site.mli:

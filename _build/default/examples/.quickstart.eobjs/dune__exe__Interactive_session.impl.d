@@ -1,0 +1,1 @@
+examples/interactive_session.ml: Array List Pipeline Printf Render_text Session Weighting Xsact_dataset

@@ -1,0 +1,1 @@
+examples/movie_explorer.ml: Algorithm Dod List Multi_swap Printf Render_text Table Xsact_workload

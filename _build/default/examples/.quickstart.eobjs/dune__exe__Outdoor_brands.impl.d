@@ -1,0 +1,1 @@
+examples/outdoor_brands.ml: Algorithm Array Feature List Pipeline Printf Render_text Result_builder Result_profile Search Xsact_dataset

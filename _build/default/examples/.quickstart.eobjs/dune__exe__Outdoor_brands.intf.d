@@ -1,0 +1,1 @@
+examples/outdoor_brands.mli:

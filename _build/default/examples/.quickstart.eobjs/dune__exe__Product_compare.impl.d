@@ -1,0 +1,1 @@
+examples/product_compare.ml: Algorithm Filename List Pipeline Printf Render_html Render_text Search String Xsact_dataset

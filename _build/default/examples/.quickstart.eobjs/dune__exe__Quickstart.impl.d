@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithm Dod List Pipeline Printf Render_text Search Snippet Xml_parse

@@ -1,0 +1,43 @@
+(* Movie exploration on the IMDB-style corpus — the data behind the paper's
+   Figure 4 evaluation. Runs the QM benchmark queries, compares the three
+   practical algorithms per query (DoD and wall-clock), and prints one full
+   comparison table.
+
+   Run with:  dune exec examples/movie_explorer.exe *)
+
+let () =
+  let prepared = Xsact_workload.Workload.imdb_qm ~top:5 () in
+  let instances = prepared.Xsact_workload.Workload.queries in
+  Printf.printf "IMDB corpus: %d QM queries usable\n\n" (List.length instances);
+
+  Printf.printf "%-5s %-22s %8s | %6s %12s %11s\n" "query" "keywords" "results"
+    "topk" "single-swap" "multi-swap";
+  List.iter
+    (fun (inst : Xsact_workload.Workload.instance) ->
+      let context = Dod.make_context inst.Xsact_workload.Workload.profiles in
+      let dod alg = Dod.total context (Algorithm.generate alg context ~limit:8) in
+      Printf.printf "%-5s %-22s %8d | %6d %12d %11d\n"
+        inst.Xsact_workload.Workload.label
+        inst.Xsact_workload.Workload.keywords
+        inst.Xsact_workload.Workload.result_count
+        (dod Algorithm.Topk)
+        (dod Algorithm.Single_swap)
+        (dod Algorithm.Multi_swap))
+    instances;
+  print_newline ();
+
+  (* One full table: what does "compare these five thrillers" look like? *)
+  match
+    List.find_opt
+      (fun (i : Xsact_workload.Workload.instance) ->
+        i.Xsact_workload.Workload.label = "QM4")
+      instances
+  with
+  | None -> print_endline "QM4 unavailable on this corpus"
+  | Some inst ->
+    Printf.printf "Comparison table for %s (%S), L = 8:\n\n"
+      inst.Xsact_workload.Workload.label inst.Xsact_workload.Workload.keywords;
+    let context = Dod.make_context inst.Xsact_workload.Workload.profiles in
+    let dfss = Multi_swap.generate context ~limit:8 in
+    let table = Table.build ~size_bound:8 context dfss in
+    print_string (Render_text.table table)

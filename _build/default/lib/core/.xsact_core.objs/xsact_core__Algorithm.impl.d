@@ -1,0 +1,1 @@
+lib/core/algorithm.ml: Exhaustive Greedy Multi_swap Single_swap Stochastic Topk

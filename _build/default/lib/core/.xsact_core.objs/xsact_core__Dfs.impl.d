@@ -1,0 +1,1 @@
+lib/core/dfs.ml: Array Feature Format List Result_profile

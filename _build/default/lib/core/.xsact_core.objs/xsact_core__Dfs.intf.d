@@ -1,0 +1,1 @@
+lib/core/dfs.mli: Feature Format Result_profile

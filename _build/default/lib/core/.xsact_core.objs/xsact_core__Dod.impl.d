@@ -1,0 +1,1 @@
+lib/core/dod.ml: Array Dfs Feature Float List Result_profile Seq

@@ -1,0 +1,1 @@
+lib/core/dod.mli: Dfs Feature Result_profile

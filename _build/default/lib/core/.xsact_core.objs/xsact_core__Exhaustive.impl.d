@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Dfs Dod Float Result_profile

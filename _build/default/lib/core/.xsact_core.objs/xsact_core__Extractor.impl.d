@@ -1,0 +1,1 @@
+lib/core/extractor.ml: Feature Hashtbl List Node_category Result_profile Search String Xml

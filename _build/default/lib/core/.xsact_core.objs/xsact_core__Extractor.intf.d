@@ -1,0 +1,1 @@
+lib/core/extractor.mli: Node_category Result_profile Search Xml

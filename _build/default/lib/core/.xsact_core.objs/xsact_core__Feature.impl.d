@@ -1,0 +1,1 @@
+lib/core/feature.ml: Format Map String

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Dfs Dod Result_profile Topk

@@ -1,0 +1,1 @@
+lib/core/multi_swap.ml: Array Dfs Dod Int List Printf Result_profile Topk

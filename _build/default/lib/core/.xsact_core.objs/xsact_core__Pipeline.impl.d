@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Algorithm Array Dfs Dod Extractor List Logs Printf Result_builder Result_profile Search Table Token Unix

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Algorithm Dfs Dod Feature Result_builder Result_profile Search Table Xml

@@ -1,0 +1,1 @@
+lib/core/render_html.ml: Array Buffer Feature Fun List Printf String Table

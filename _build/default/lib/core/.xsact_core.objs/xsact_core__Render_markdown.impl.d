@@ -1,0 +1,1 @@
+lib/core/render_markdown.ml: Array Buffer Feature List Printf String Table

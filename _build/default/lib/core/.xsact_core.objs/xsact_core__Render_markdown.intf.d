@@ -1,0 +1,1 @@
+lib/core/render_markdown.mli: Table

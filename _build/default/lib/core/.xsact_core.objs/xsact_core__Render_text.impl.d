@@ -1,0 +1,1 @@
+lib/core/render_text.ml: Array Buffer Dod Feature Float Grid Int List Printf Result_profile String Table

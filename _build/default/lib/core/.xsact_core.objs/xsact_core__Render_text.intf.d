@@ -1,0 +1,1 @@
+lib/core/render_text.mli: Dfs Dod Result_profile Table

@@ -1,0 +1,1 @@
+lib/core/result_profile.ml: Array Feature Hashtbl Int List Printf Seq String

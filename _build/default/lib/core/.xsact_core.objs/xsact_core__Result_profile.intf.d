@@ -1,0 +1,1 @@
+lib/core/result_profile.mli: Feature Seq

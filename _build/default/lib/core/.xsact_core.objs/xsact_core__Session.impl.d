@@ -1,0 +1,1 @@
+lib/core/session.ml: Algorithm Array Dfs Dod Feature List Multi_swap Result_profile Single_swap Table Topk

@@ -1,0 +1,1 @@
+lib/core/session.mli: Algorithm Dfs Dod Feature Result_profile Table

@@ -1,0 +1,1 @@
+lib/core/single_swap.mli: Dfs Dod

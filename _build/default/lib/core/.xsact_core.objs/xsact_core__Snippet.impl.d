@@ -1,0 +1,1 @@
+lib/core/snippet.ml: Array Buffer Dfs Feature Hashtbl Int List Printf Result_profile Token Topk Xsact_util

@@ -1,0 +1,1 @@
+lib/core/snippet.mli: Dfs Feature Result_profile

@@ -1,0 +1,1 @@
+lib/core/stochastic.ml: Array Dfs Dod Float Prng Result_profile Sampling Single_swap Topk Xsact_util

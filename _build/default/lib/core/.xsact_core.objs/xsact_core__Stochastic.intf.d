@@ -1,0 +1,1 @@
+lib/core/stochastic.mli: Dfs Dod Result_profile Xsact_util

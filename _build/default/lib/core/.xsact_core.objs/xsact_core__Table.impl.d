@@ -1,0 +1,1 @@
+lib/core/table.ml: Array Dfs Dod Feature Hashtbl Int List Result_profile String

@@ -1,0 +1,1 @@
+lib/core/topk.ml: Array Dfs Dod Result_profile

@@ -1,0 +1,1 @@
+lib/core/topk.mli: Dfs Dod Result_profile

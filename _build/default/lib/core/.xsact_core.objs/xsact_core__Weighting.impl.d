@@ -1,0 +1,1 @@
+lib/core/weighting.ml: Array Feature Hashtbl Option Result_profile Seq Xsact_util

@@ -1,0 +1,1 @@
+lib/core/weighting.mli: Feature Result_profile

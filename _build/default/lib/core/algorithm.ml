@@ -1,0 +1,43 @@
+type t =
+  | Topk
+  | Greedy
+  | Single_swap
+  | Multi_swap
+  | Annealing
+  | Restarts
+  | Exhaustive
+
+let all =
+  [ Topk; Greedy; Single_swap; Multi_swap; Annealing; Restarts; Exhaustive ]
+
+let practical = [ Topk; Greedy; Single_swap; Multi_swap; Annealing; Restarts ]
+let paper = [ Single_swap; Multi_swap ]
+
+let to_string = function
+  | Topk -> "topk"
+  | Greedy -> "greedy"
+  | Single_swap -> "single-swap"
+  | Multi_swap -> "multi-swap"
+  | Annealing -> "annealing"
+  | Restarts -> "restarts"
+  | Exhaustive -> "exhaustive"
+
+let of_string = function
+  | "topk" -> Some Topk
+  | "greedy" -> Some Greedy
+  | "single-swap" -> Some Single_swap
+  | "multi-swap" -> Some Multi_swap
+  | "annealing" -> Some Annealing
+  | "restarts" -> Some Restarts
+  | "exhaustive" -> Some Exhaustive
+  | _ -> None
+
+let generate t context ~limit =
+  match t with
+  | Topk -> Topk.generate context ~limit
+  | Greedy -> Greedy.generate context ~limit
+  | Single_swap -> Single_swap.generate context ~limit
+  | Multi_swap -> Multi_swap.generate context ~limit
+  | Annealing -> Stochastic.anneal context ~limit
+  | Restarts -> Stochastic.restarts context ~limit
+  | Exhaustive -> Exhaustive.generate context ~limit

@@ -1,0 +1,28 @@
+(** Uniform dispatch over the DFS generation methods. *)
+
+type t =
+  | Topk  (** snippet-style greedy by count, no cross-result awareness *)
+  | Greedy  (** global marginal-gain greedy *)
+  | Single_swap  (** hill climbing over single-feature moves *)
+  | Multi_swap  (** iterated exact best responses (dynamic programming) *)
+  | Annealing  (** simulated annealing + polish (fixed seed) *)
+  | Restarts  (** random-restart hill climbing (fixed seed) *)
+  | Exhaustive  (** brute-force optimum; tiny instances only *)
+
+val all : t list
+(** In the order above. *)
+
+val practical : t list
+(** Everything except [Exhaustive]. *)
+
+val paper : t list
+(** The two methods of the paper: [Single_swap; Multi_swap]. *)
+
+val to_string : t -> string
+(** Registry key: ["topk"], ["greedy"], ["single-swap"], ["multi-swap"],
+    ["annealing"], ["restarts"], ["exhaustive"]. *)
+
+val of_string : string -> t option
+
+val generate : t -> Dod.context -> limit:int -> Dfs.t array
+(** Run the method. [Exhaustive] may raise {!Exhaustive.Too_large}. *)

@@ -1,0 +1,253 @@
+type measure = Raw | Rate
+type params = { threshold_pct : float; measure : measure }
+
+let default_params = { threshold_pct = 10.0; measure = Raw }
+
+let infinity_gap = max_int
+
+type link = {
+  other : int;
+  gi_other : int;
+  gap_self : int;
+  gap_other : int;
+}
+
+type context = {
+  params : params;
+  results : Result_profile.t array;
+  (* links_table.(i).(gi) = all pair links of type gi of result i *)
+  links_table : link list array array;
+  (* weights.(i).(gi) = interestingness weight of that type *)
+  weights : int array array;
+  (* per-result feature -> count, kept for witness explanations *)
+  counts : int Feature.Map.t array;
+}
+
+let params c = c.params
+let results c = c.results
+let num_results c = Array.length c.results
+
+(* Occurrence measure of a feature count within a result. *)
+let measure_of params (profile : Result_profile.t) (f : Feature.t) count =
+  match params.measure with
+  | Raw -> float_of_int count
+  | Rate ->
+    let pop = Result_profile.population profile f.Feature.ftype.Feature.entity in
+    float_of_int count /. float_of_int pop
+
+let gap_exceeds params a b =
+  let diff = Float.abs (a -. b) in
+  let smaller = Float.min a b in
+  diff > params.threshold_pct /. 100.0 *. smaller
+  && diff > 0.0
+
+(* First 1-based prefix index of [self_type]'s features witnessing a gap
+   against [other]'s counts. *)
+let first_gap params (self_profile : Result_profile.t)
+    (self_type : Result_profile.type_info) (other_profile : Result_profile.t)
+    other_counts =
+  let n = Array.length self_type.features in
+  let rec scan k =
+    if k >= n then infinity_gap
+    else
+      let fi = self_type.features.(k) in
+      let f = fi.Result_profile.feature in
+      let self_measure = measure_of params self_profile f fi.Result_profile.count in
+      let other_count =
+        match Feature.Map.find_opt f other_counts with
+        | Some c -> c
+        | None -> 0
+      in
+      let other_measure = measure_of params other_profile f other_count in
+      if gap_exceeds params self_measure other_measure then k + 1
+      else scan (k + 1)
+  in
+  scan 0
+
+let counts_map (profile : Result_profile.t) =
+  Array.fold_left
+    (fun acc (e : Result_profile.entity_info) ->
+      Array.fold_left
+        (fun acc (ti : Result_profile.type_info) ->
+          Array.fold_left
+            (fun acc (fi : Result_profile.feat_info) ->
+              Feature.Map.add fi.feature fi.count acc)
+            acc ti.features)
+        acc e.types)
+    Feature.Map.empty profile.entities
+
+let ftype_map (profile : Result_profile.t) =
+  Seq.fold_left
+    (fun acc (gi, (ti : Result_profile.type_info)) ->
+      Feature.Ftype_map.add ti.ftype gi acc)
+    Feature.Ftype_map.empty
+    (Result_profile.types_seq profile)
+
+let make_context ?(params = default_params) ?(weight = fun _ -> 1) results =
+  if Array.length results < 2 then
+    invalid_arg "Dod.make_context: need at least two results";
+  let weights =
+    Array.map
+      (fun profile ->
+        Array.init (Result_profile.num_types profile) (fun gi ->
+            let w = weight (Result_profile.type_info profile gi).ftype in
+            if w < 0 then invalid_arg "Dod.make_context: negative weight";
+            w))
+      results
+  in
+  let n = Array.length results in
+  let counts = Array.map counts_map results in
+  let fmaps = Array.map ftype_map results in
+  let links_table =
+    Array.map
+      (fun profile ->
+        Array.make (Result_profile.num_types profile) ([] : link list))
+      results
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      (* Shared types of the pair. *)
+      Feature.Ftype_map.iter
+        (fun ftype gi_i ->
+          match Feature.Ftype_map.find_opt ftype fmaps.(j) with
+          | None -> ()
+          | Some gi_j ->
+            let ti = Result_profile.type_info results.(i) gi_i in
+            let tj = Result_profile.type_info results.(j) gi_j in
+            let gap_i = first_gap params results.(i) ti results.(j) counts.(j) in
+            let gap_j = first_gap params results.(j) tj results.(i) counts.(i) in
+            links_table.(i).(gi_i) <-
+              { other = j; gi_other = gi_j; gap_self = gap_i; gap_other = gap_j }
+              :: links_table.(i).(gi_i);
+            links_table.(j).(gi_j) <-
+              { other = i; gi_other = gi_i; gap_self = gap_j; gap_other = gap_i }
+              :: links_table.(j).(gi_j))
+        fmaps.(i)
+    done
+  done;
+  { params; results; links_table; weights; counts }
+
+let links c ~i ~gi = c.links_table.(i).(gi)
+
+let weight_of c ~i ~gi = c.weights.(i).(gi)
+
+let differentiable link ~q_self ~q_other =
+  q_self >= 1 && q_other >= 1
+  && (link.gap_self <= q_self || link.gap_other <= q_other)
+
+let threshold_q link ~q_other =
+  if q_other < 1 then infinity_gap
+  else if link.gap_other <= q_other then 1
+  else link.gap_self
+
+let dod_pair c ~i ~j di dj =
+  let count = ref 0 in
+  Array.iteri
+    (fun gi link_list ->
+      let q_self = Dfs.q di gi in
+      if q_self > 0 then
+        List.iter
+          (fun link ->
+            if link.other = j then
+              let q_other = Dfs.q dj link.gi_other in
+              if differentiable link ~q_self ~q_other then
+                count := !count + c.weights.(i).(gi))
+          link_list)
+    c.links_table.(i);
+  !count
+
+let total c dfss =
+  if Array.length dfss <> Array.length c.results then
+    invalid_arg "Dod.total: arity mismatch";
+  let sum = ref 0 in
+  let n = Array.length c.results in
+  for i = 0 to n - 1 do
+    Array.iteri
+      (fun gi link_list ->
+        let q_self = Dfs.q dfss.(i) gi in
+        if q_self > 0 then
+          List.iter
+            (fun link ->
+              (* Count each unordered pair once, from the lower index. *)
+              if link.other > i then
+                let q_other = Dfs.q dfss.(link.other) link.gi_other in
+                if differentiable link ~q_self ~q_other then
+                  sum := !sum + c.weights.(i).(gi))
+            link_list)
+      c.links_table.(i)
+  done;
+  !sum
+
+let delta_for_type c ~dfss ~i ~gi ~old_q ~new_q =
+  let delta = ref 0 in
+  let w = c.weights.(i).(gi) in
+  List.iter
+    (fun link ->
+      let q_other = Dfs.q dfss.(link.other) link.gi_other in
+      let before = differentiable link ~q_self:old_q ~q_other in
+      let after = differentiable link ~q_self:new_q ~q_other in
+      if before && not after then delta := !delta - w
+      else if (not before) && after then delta := !delta + w)
+    c.links_table.(i).(gi);
+  !delta
+
+type witness = {
+  feature : Feature.t;
+  measure_i : float;
+  measure_j : float;
+}
+
+let measures_of c ~i ~j f =
+  let count_in r =
+    match Feature.Map.find_opt f c.counts.(r) with Some n -> n | None -> 0
+  in
+  ( measure_of c.params c.results.(i) f (count_in i),
+    measure_of c.params c.results.(j) f (count_in j) )
+
+let witness c ~i ~j di dj ~gi =
+  let link_opt =
+    List.find_opt (fun l -> l.other = j) (links c ~i ~gi)
+  in
+  match link_opt with
+  | None -> None
+  | Some link ->
+    let q_self = Dfs.q di gi and q_other = Dfs.q dj link.gi_other in
+    if not (differentiable link ~q_self ~q_other) then None
+    else
+      let f =
+        if link.gap_self <= q_self then
+          (Result_profile.type_info c.results.(i) gi).features.(link.gap_self - 1)
+            .Result_profile.feature
+        else
+          (Result_profile.type_info c.results.(j) link.gi_other).features.(link
+                                                                             .gap_other
+                                                                           - 1)
+            .Result_profile.feature
+      in
+      let measure_i, measure_j = measures_of c ~i ~j f in
+      Some { feature = f; measure_i; measure_j }
+
+let explain_pair c ~i ~j di dj =
+  let acc = ref [] in
+  Array.iteri
+    (fun gi _ ->
+      match witness c ~i ~j di dj ~gi with
+      | Some w ->
+        acc := ((Result_profile.type_info c.results.(i) gi).ftype, w) :: !acc
+      | None -> ())
+    c.links_table.(i);
+  List.rev !acc
+
+let upper_bound_pair c ~i ~j =
+  let count = ref 0 in
+  Array.iter
+    (fun link_list ->
+      List.iter
+        (fun link ->
+          if
+            link.other = j
+            && (link.gap_self < infinity_gap || link.gap_other < infinity_gap)
+          then incr count)
+        link_list)
+    c.links_table.(i);
+  !count

@@ -1,0 +1,115 @@
+(** The Degree of Differentiation objective (Desideratum 3).
+
+    DFSs [D_i] and [D_j] are {b differentiable in a feature type} [t] iff
+    both select at least one feature of [t] and some feature of [t] visible
+    in [D_i] or [D_j] has occurrence measures in the two results differing
+    by more than [threshold_pct]% of the smaller (an absent feature measures
+    0, making any non-zero gap qualify). [DoD(D_i, D_j)] counts such types,
+    and the total objective is the sum over all result pairs.
+
+    The occurrence measure is either the raw count (the paper's wording) or
+    the count normalized by the entity population in its result — "8 of 11
+    reviews" vs "38 of 68" — exposed as an ablation.
+
+    A {!context} precomputes, for every result pair and every shared feature
+    type, the {e first-gap index}: the smallest prefix length whose features
+    witness a gap. Differentiability then becomes two integer comparisons,
+    which is what makes the swap algorithms cheap:
+    [diff(t, q_i, q_j) = q_i >= 1 && q_j >= 1 &&
+     (first_gap_i <= q_i || first_gap_j <= q_j)]. *)
+
+type measure = Raw | Rate
+
+type params = { threshold_pct : float; measure : measure }
+
+val default_params : params
+(** [{ threshold_pct = 10.0; measure = Raw }] — the paper's setting. *)
+
+type context
+
+val make_context :
+  ?params:params ->
+  ?weight:(Feature.ftype -> int) ->
+  Result_profile.t array ->
+  context
+(** Precompute pair tables for a set of results (O(pairs × shared types ×
+    features)). @raise Invalid_argument on fewer than 2 results.
+
+    [weight] (default [fun _ -> 1]) realizes the paper's "interestingness"
+    future-work direction: each feature type contributes its weight, rather
+    than 1, to the degree of differentiation, so users can prioritize
+    attributes they care about ("considering more factors (e.g.,
+    interestingness) when selecting features for DFS"). Weights must be
+    non-negative; a zero weight makes a type worthless to the objective
+    while it can still be selected as filler. All algorithms optimize the
+    weighted objective transparently. @raise Invalid_argument on a negative
+    weight. *)
+
+val weight_of : context -> i:int -> gi:int -> int
+(** The weight of a type of result [i] under the context's weighting. *)
+
+val params : context -> params
+val results : context -> Result_profile.t array
+val num_results : context -> int
+
+val infinity_gap : int
+(** Sentinel first-gap value meaning "no prefix of this side witnesses a
+    gap". *)
+
+type link = {
+  other : int;  (** index of the other result *)
+  gi_other : int;  (** the type's global index in the other result *)
+  gap_self : int;  (** first-gap index on this side (1-based), or
+                       {!infinity_gap} *)
+  gap_other : int;  (** first-gap index on the other side *)
+}
+
+val links : context -> i:int -> gi:int -> link list
+(** All results sharing type [gi] of result [i], with gap data oriented from
+    [i]'s point of view. *)
+
+val differentiable : link -> q_self:int -> q_other:int -> bool
+
+val dod_pair : context -> i:int -> j:int -> Dfs.t -> Dfs.t -> int
+(** [DoD(D_i, D_j)] — the weighted sum over differentiable shared types
+    (the plain type count under the default uniform weighting). The DFSs
+    must belong to results [i] and [j] of the context. *)
+
+val total : context -> Dfs.t array -> int
+(** Σ_{i<j} DoD(D_i, D_j). @raise Invalid_argument if the array length does
+    not match the context. *)
+
+val threshold_q : link -> q_other:int -> int
+(** Minimal [q_self] making the pair differentiable on this type, given the
+    other side's current selection ({!infinity_gap} when impossible). *)
+
+val delta_for_type :
+  context -> dfss:Dfs.t array -> i:int -> gi:int -> old_q:int -> new_q:int -> int
+(** Change in total DoD from setting type [gi] of result [i] from [old_q] to
+    [new_q] selected features, all other selections fixed. *)
+
+val upper_bound_pair : context -> i:int -> j:int -> int
+(** Number of shared types of the pair that can possibly be differentiable
+    (both sides fully selected) — a cheap upper bound used by tests. *)
+
+(** {1 Explanations} *)
+
+type witness = {
+  feature : Feature.t;  (** the gap-witnessing feature *)
+  measure_i : float;  (** its measure in result [i] (0 when absent) *)
+  measure_j : float;  (** its measure in result [j] *)
+}
+(** Why a feature type differentiates a result pair: the first selected
+    feature whose measures differ by more than the threshold. *)
+
+val witness :
+  context -> i:int -> j:int -> Dfs.t -> Dfs.t -> gi:int -> witness option
+(** [witness c ~i ~j di dj ~gi] explains why type [gi] (of result [i])
+    differentiates the pair under the given DFSs — [None] when it does not.
+    The witness is the first gapped feature of [i]'s selected prefix, or
+    failing that of [j]'s. *)
+
+val explain_pair :
+  context -> i:int -> j:int -> Dfs.t -> Dfs.t -> (Feature.ftype * witness) list
+(** All differentiating types of the pair with their witnesses, in result
+    [i]'s type order. *)

@@ -1,0 +1,79 @@
+exception Too_large of int
+
+(* Enumerate all valid q-vectors of one result within the size bound.
+   Per entity, valid selections are: classes taken in significance order, a
+   full prefix of classes (every type >= 1 feature), then one optional
+   partial class (any non-empty proper subset pattern), nothing below.
+   Rather than encode that shape directly, we enumerate per-type prefix
+   lengths recursively and prune with the closure predicate at the end of
+   each entity — instances this oracle runs on are tiny. *)
+let enumerate_valid ~limit profile =
+  let nt = Result_profile.num_types profile in
+  let acc = ref [] in
+  let q = Array.make nt 0 in
+  let rec go gi used =
+    if gi = nt then begin
+      let d = Dfs.of_q_array profile q in
+      if Dfs.is_valid ~limit d then acc := d :: !acc
+    end
+    else begin
+      let info = Result_profile.type_info profile gi in
+      let qmax = min (Array.length info.features) (limit - used) in
+      for v = 0 to qmax do
+        q.(gi) <- v;
+        go (gi + 1) (used + v)
+      done;
+      q.(gi) <- 0
+    end
+  in
+  go 0 0;
+  !acc
+
+let count_states ~limit profile =
+  let nt = Result_profile.num_types profile in
+  let states = ref 1.0 in
+  for gi = 0 to nt - 1 do
+    let info = Result_profile.type_info profile gi in
+    let qmax = min (Array.length info.features) limit in
+    states := !states *. float_of_int (qmax + 1)
+  done;
+  !states
+
+let generate ?(max_states = 2_000_000) context ~limit =
+  let results = Dod.results context in
+  let raw_estimate =
+    Array.fold_left
+      (fun acc profile -> acc *. count_states ~limit profile)
+      1.0 results
+  in
+  if raw_estimate > float_of_int max_states then
+    raise (Too_large (int_of_float (Float.min raw_estimate 1e18)));
+  let options = Array.map (fun p -> Array.of_list (enumerate_valid ~limit p)) results in
+  let combos =
+    Array.fold_left (fun acc opts -> acc * Array.length opts) 1 options
+  in
+  if combos > max_states then raise (Too_large combos);
+  let n = Array.length results in
+  let current = Array.map (fun opts -> opts.(0)) options in
+  let best = ref (Array.copy current) in
+  let best_value = ref (Dod.total context current) in
+  let rec walk i =
+    if i = n then begin
+      let v = Dod.total context current in
+      if v > !best_value then begin
+        best_value := v;
+        best := Array.copy current
+      end
+    end
+    else
+      Array.iter
+        (fun d ->
+          current.(i) <- d;
+          walk (i + 1))
+        options.(i)
+  in
+  walk 0;
+  !best
+
+let optimum ?max_states context ~limit =
+  Dod.total context (generate ?max_states context ~limit)

@@ -1,0 +1,21 @@
+(** Exhaustive optimum for small instances.
+
+    The DFS construction problem is NP-hard (Theorem 2.1), so this is a
+    testing and calibration oracle only: it enumerates every valid DFS
+    combination and returns one maximizing the total DoD. Guarded by a state
+    budget so it can never be invoked on an instance that would not finish. *)
+
+exception Too_large of int
+(** Raised with the estimated state count when the search space exceeds
+    [max_states]. *)
+
+val enumerate_valid : limit:int -> Result_profile.t -> Dfs.t list
+(** All valid DFSs of one result (size <= limit, downward-closed, feature
+    prefixes). Exposed for property tests. *)
+
+val generate : ?max_states:int -> Dod.context -> limit:int -> Dfs.t array
+(** Optimal DFSs. [max_states] (default [2_000_000]) bounds the product of
+    the per-result option counts. @raise Too_large when exceeded. *)
+
+val optimum : ?max_states:int -> Dod.context -> limit:int -> int
+(** The optimal total DoD value. *)

@@ -1,0 +1,83 @@
+(* Flatten an attribute element into (attribute-path, value).
+
+   Chain rule: while the current element has no immediate text and exactly
+   one element child, append the child's tag to the path and descend. The
+   final element's immediate text is the value; a valueless presence flag
+   becomes "yes"; an element with several children and no text contributes
+   its whole text content. *)
+let flatten (e : Xml.element) =
+  let rec go path (cur : Xml.element) =
+    let text = Xml.immediate_text cur in
+    if text <> "" then (List.rev path, text)
+    else
+      match Xml.children_elements cur with
+      | [ only ] -> go (only.Xml.tag :: path) only
+      | [] -> (List.rev path, "yes")
+      | _ :: _ :: _ ->
+        let content = Xml.text_content cur in
+        (List.rev path, if content = "" then "yes" else content)
+  in
+  let path, value = go [ e.Xml.tag ] e in
+  (String.concat ":" path, value)
+
+let extract ~categories ~label (root : Xml.element) =
+  let feature_counts : (Feature.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let populations : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump_population tag =
+    let c = try Hashtbl.find populations tag with Not_found -> 0 in
+    Hashtbl.replace populations tag (c + 1)
+  in
+  let add_feature ~entity ~attribute ~value =
+    let f = Feature.make ~entity ~attribute ~value in
+    let c = try Hashtbl.find feature_counts f with Not_found -> 0 in
+    Hashtbl.replace feature_counts f (c + 1)
+  in
+  let add_xml_attrs ~entity (e : Xml.element) =
+    List.iter
+      (fun (name, value) ->
+        add_feature ~entity ~attribute:(e.Xml.tag ^ "@" ^ name) ~value)
+      e.Xml.attrs
+  in
+  let rec walk ~entity (e : Xml.element) =
+    List.iter
+      (fun node ->
+        match node with
+        | Xml.Element c -> begin
+          match Node_category.category categories c.Xml.tag with
+          | Node_category.Entity ->
+            bump_population c.Xml.tag;
+            add_xml_attrs ~entity:c.Xml.tag c;
+            walk ~entity:c.Xml.tag c
+          | Node_category.Connection ->
+            add_xml_attrs ~entity c;
+            walk ~entity c
+          | Node_category.Attribute ->
+            let attribute, value = flatten c in
+            add_feature ~entity ~attribute ~value;
+            add_xml_attrs ~entity c
+        end
+        | Xml.Text _ | Xml.Cdata _ | Xml.Comment _ | Xml.Pi _ -> ())
+      e.Xml.children
+  in
+  let root_entity = root.Xml.tag in
+  bump_population root_entity;
+  add_xml_attrs ~entity:root_entity root;
+  walk ~entity:root_entity root;
+  if Hashtbl.length feature_counts = 0 then begin
+    let content = Xml.text_content root in
+    let value = if content = "" then "yes" else content in
+    add_feature ~entity:root_entity ~attribute:"text" ~value
+  end;
+  let features =
+    Hashtbl.fold (fun f count acc -> (f, count) :: acc) feature_counts []
+  in
+  let pops =
+    Hashtbl.fold (fun tag count acc -> (tag, count) :: acc) populations []
+  in
+  Result_profile.make ~label ~populations:pops features
+
+let of_search_result engine (r : Search.result) =
+  extract
+    ~categories:(Search.categories engine)
+    ~label:(Search.result_title engine r)
+    r.Search.element

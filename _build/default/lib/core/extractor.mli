@@ -1,0 +1,33 @@
+(** Result processor: entity identifier + feature extractor (Figure 3).
+
+    Turns one search-result subtree into a {!Result_profile.t}:
+
+    - every element whose tag the corpus-wide {!Xsact_search.Node_category}
+      inference classifies as an {e entity} starts a new entity scope and
+      bumps that entity's population;
+    - {e connection} elements are transparent;
+    - every top-most {e attribute} element yields one feature attached to
+      the nearest enclosing entity. Wrapper chains are flattened: an
+      attribute element without text but with a single element child extends
+      the attribute path with the child's tag ([pro]/[compact]/"yes" →
+      attribute ["pro:compact"], value ["yes"]). Valueless presence flags
+      get value ["yes"]; XML attributes yield features named ["tag@attr"].
+
+    Occurrences of the same (entity, attribute, value) accumulate into the
+    feature's count — e.g. 8 of 11 reviews saying yes to [pro:compact]
+    produce count 8 against the review entity's population 11, matching the
+    Figure 1 statistics. *)
+
+val extract :
+  categories:Node_category.t -> label:string -> Xml.element -> Result_profile.t
+(** [extract ~categories ~label root] processes the subtree under [root].
+    [root] itself is always treated as an entity (it is the unit of
+    comparison), whatever its inferred category. A result without any
+    extractable feature falls back to the single feature
+    [(root-tag, "text", text content)]. *)
+
+val of_search_result :
+  Search.engine -> Search.result -> Result_profile.t
+(** Convenience: extract from a {!Xsact_search.Search.result} using the
+    engine's category table and {!Xsact_search.Search.result_title} as the
+    label. *)

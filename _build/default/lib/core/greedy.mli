@@ -1,0 +1,10 @@
+(** Greedy marginal-gain baseline (ablation).
+
+    Starts from empty DFSs and repeatedly applies the single legal grow move
+    — over all results — with the largest strictly positive DoD increase;
+    once no positive move remains, fills the leftover budget per result by
+    occurrence count ({!Topk.fill}) so its summaries stay comparable to the
+    other methods. A useful midpoint between top-k (no cross-result
+    awareness) and the swap algorithms (which can also undo choices). *)
+
+val generate : Dod.context -> limit:int -> Dfs.t array

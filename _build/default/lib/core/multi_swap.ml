@@ -1,0 +1,314 @@
+type stats = { iterations : int; rounds : int }
+
+let neg_inf = min_int / 4
+
+(* Values in the DP are packed as [dod_gain * type_tie_base + spread bonus],
+   where a selected type's bonus is 1 plus the number of other results
+   sharing the type: at equal DoD gain, best responses prefer touching more
+   distinct feature types, and among those, types the other results can
+   align on. Pure best responses stall in poor equilibria on corpora with
+   all-tied significances: if every current DFS shows only actors, no
+   unilateral reshaping gains DoD by selecting titles nobody else shows, yet
+   the all-titles configuration dominates. Spreading at zero cost seeds the
+   shared types that later responses can cash in on, and termination is
+   preserved — each adopted response strictly increases the global potential
+   Φ = type_tie_base · Σ_{i<j} DoD(D_i,D_j) + Σ_i Σ_{t∈D_i} bonus_i(t)
+   (bonuses are static per (result, type)), which is bounded. *)
+let type_tie_base = 4096
+
+(* ---- Per-type gain curves -------------------------------------------- *)
+
+(* Sorted array of minimal prefix lengths at which each pair (i, j) becomes
+   differentiable on this type, infinite thresholds dropped. The gain of
+   selecting a q-prefix is the number of thresholds <= q. *)
+let thresholds_for context dfss i gi =
+  Dod.links context ~i ~gi
+  |> List.filter_map (fun link ->
+         let q_other = Dfs.q dfss.(link.Dod.other) link.Dod.gi_other in
+         let a = Dod.threshold_q link ~q_other in
+         if a = Dod.infinity_gap then None else Some a)
+  |> List.sort Int.compare
+  |> Array.of_list
+
+let gain_at thresholds q =
+  (* thresholds is sorted ascending; count entries <= q. *)
+  let n = Array.length thresholds in
+  let rec count k = if k < n && thresholds.(k) <= q then count (k + 1) else k in
+  count 0
+
+(* ---- Knapsack over the types of one significance class ---------------- *)
+
+(* Items are within-class type positions. Item [t] takes q in
+   [qmin .. qmax.(t)] features for gain [gain t q]. Layers are kept for
+   reconstruction; budget has at-most semantics (layer 0 is all-zero). *)
+let class_knapsack ~qmin ~qmax ~gain ~budget =
+  let k = Array.length qmax in
+  let layers = Array.make_matrix (k + 1) (budget + 1) neg_inf in
+  Array.fill layers.(0) 0 (budget + 1) 0;
+  for t = 1 to k do
+    for b = 0 to budget do
+      let best = ref neg_inf in
+      let q_hi = min qmax.(t - 1) b in
+      for q = qmin to q_hi do
+        let prev = layers.(t - 1).(b - q) in
+        if prev > neg_inf then begin
+          let v = prev + gain (t - 1) q in
+          if v > !best then best := v
+        end
+      done;
+      (* qmin = 0 case is included in the loop when q_hi >= 0; when qmin = 1
+         and the item cannot fit, the slot stays infeasible. *)
+      layers.(t).(b) <- !best
+    done
+  done;
+  layers
+
+(* Reconstruct per-item q choices achieving layers.(k).(budget). *)
+let class_choices ~qmin ~qmax ~gain layers budget =
+  let k = Array.length qmax in
+  let qs = Array.make k 0 in
+  let b = ref budget in
+  for t = k downto 1 do
+    let target = layers.(t).(!b) in
+    let q_hi = min qmax.(t - 1) !b in
+    let found = ref false in
+    let q = ref qmin in
+    while (not !found) && !q <= q_hi do
+      let prev = layers.(t - 1).(!b - !q) in
+      if prev > neg_inf && prev + gain (t - 1) !q = target then begin
+        qs.(t - 1) <- !q;
+        b := !b - !q;
+        found := true
+      end
+      else incr q
+    done;
+    if not !found then assert false
+  done;
+  qs
+
+(* ---- One entity: prefix-of-classes recursion -------------------------- *)
+
+type entity_plan = {
+  f : int array array;  (** f.(ci).(b): best gain from classes ci.. *)
+  any_layers : int array array array;  (** per class: variant-A layers *)
+  full_layers : int array array array;  (** per class: variant-B layers *)
+  class_ranges : (int * int) array;  (** (start, len) within the entity *)
+  qmaxes : int array array;  (** per class, per item *)
+}
+
+let plan_entity ~limit ~gain_for (entity : Result_profile.entity_info) =
+  let nc = Array.length entity.classes in
+  let qmaxes =
+    Array.map
+      (fun (start, len) ->
+        Array.init len (fun t ->
+            Array.length entity.types.(start + t).features))
+      entity.classes
+  in
+  let gains =
+    Array.map
+      (fun (start, len) -> Array.init len (fun t -> gain_for (start + t)))
+      entity.classes
+  in
+  let any_layers =
+    Array.init nc (fun ci ->
+        class_knapsack ~qmin:0 ~qmax:qmaxes.(ci)
+          ~gain:(fun t q -> gains.(ci).(t) q)
+          ~budget:limit)
+  in
+  let full_layers =
+    Array.init nc (fun ci ->
+        class_knapsack ~qmin:1 ~qmax:qmaxes.(ci)
+          ~gain:(fun t q -> gains.(ci).(t) q)
+          ~budget:limit)
+  in
+  let f = Array.make_matrix (nc + 1) (limit + 1) 0 in
+  for ci = nc - 1 downto 0 do
+    let k = Array.length qmaxes.(ci) in
+    for b = 0 to limit do
+      let best = ref any_layers.(ci).(k).(b) in
+      for m = 0 to b do
+        let full = full_layers.(ci).(k).(m) in
+        if full > neg_inf then begin
+          let v = full + f.(ci + 1).(b - m) in
+          if v > !best then best := v
+        end
+      done;
+      f.(ci).(b) <- !best
+    done
+  done;
+  { f; any_layers; full_layers; class_ranges = entity.classes; qmaxes }
+
+(* Reconstruct the per-type q choices of one entity given its allocated
+   budget. Returns q indexed by within-entity type position. *)
+let reconstruct_entity ~gain_for plan budget =
+  let nc = Array.length plan.class_ranges in
+  let total_types =
+    Array.fold_left (fun acc (_, len) -> acc + len) 0 plan.class_ranges
+  in
+  let qs = Array.make total_types 0 in
+  let rec walk ci b =
+    if ci < nc then begin
+      let start, len = plan.class_ranges.(ci) in
+      let k = len in
+      let gain t q = gain_for (start + t) q in
+      if plan.f.(ci).(b) = plan.any_layers.(ci).(k).(b) then begin
+        (* Variant A: this class is the last one used. *)
+        let choice =
+          class_choices ~qmin:0 ~qmax:plan.qmaxes.(ci) ~gain
+            plan.any_layers.(ci) b
+        in
+        Array.iteri (fun t q -> qs.(start + t) <- q) choice
+      end
+      else begin
+        (* Variant B: find the split budget m. *)
+        let m = ref 0 in
+        let found = ref false in
+        while (not !found) && !m <= b do
+          let full = plan.full_layers.(ci).(k).(!m) in
+          if full > neg_inf && full + plan.f.(ci + 1).(b - !m) = plan.f.(ci).(b)
+          then found := true
+          else incr m
+        done;
+        if not !found then assert false;
+        let choice =
+          class_choices ~qmin:1 ~qmax:plan.qmaxes.(ci) ~gain
+            plan.full_layers.(ci) !m
+        in
+        Array.iteri (fun t q -> qs.(start + t) <- q) choice;
+        walk (ci + 1) (b - !m)
+      end
+    end
+  in
+  walk 0 budget;
+  qs
+
+(* ---- Best response ----------------------------------------------------- *)
+
+(* Spread bonus of a selected type: 1 plus the number of other results that
+   share the type, so zero-gain spreading prefers types the others can align
+   on. Static per (result, type), which keeps the potential argument above
+   valid. *)
+let spread_bonus context ~i ~gi =
+  1 + List.length (Dod.links context ~i ~gi)
+
+let best_response ?(spread = true) context ~limit dfss i =
+  let profile = (Dod.results context).(i) in
+  let nt = Result_profile.num_types profile in
+  let thresholds = Array.init nt (fun gi -> thresholds_for context dfss i gi) in
+  let gain_global gi q =
+    if q = 0 then 0
+    else
+      (gain_at thresholds.(gi) q * Dod.weight_of context ~i ~gi * type_tie_base)
+      + (if spread then spread_bonus context ~i ~gi else 0)
+  in
+  let entities = profile.Result_profile.entities in
+  let ne = Array.length entities in
+  let plans =
+    Array.mapi
+      (fun ei entity ->
+        let base = Result_profile.global_index profile ~entity_index:ei ~type_index:0 in
+        plan_entity ~limit ~gain_for:(fun ti q -> gain_global (base + ti) q) entity)
+      entities
+  in
+  (* Outer knapsack across entities: entity ei with allocated budget b gains
+     plans.(ei).f.(0).(b). *)
+  let outer = Array.make_matrix (ne + 1) (limit + 1) 0 in
+  for e = 1 to ne do
+    for b = 0 to limit do
+      let best = ref neg_inf in
+      for m = 0 to b do
+        let v = outer.(e - 1).(b - m) + plans.(e - 1).f.(0).(m) in
+        if v > !best then best := v
+      done;
+      outer.(e).(b) <- !best
+    done
+  done;
+  (* Choose the smallest total budget achieving the optimum (ties toward
+     fewer features). *)
+  let best_value = outer.(ne).(limit) in
+  let q = Array.make nt 0 in
+  let b = ref limit in
+  while !b > 0 && outer.(ne).(!b - 1) = best_value do
+    decr b
+  done;
+  let budget = ref !b in
+  for e = ne downto 1 do
+    (* Find the allocation m for entity e-1. *)
+    let m = ref 0 in
+    let found = ref false in
+    while (not !found) && !m <= !budget do
+      if outer.(e - 1).(!budget - !m) + plans.(e - 1).f.(0).(!m) = outer.(e).(!budget)
+      then found := true
+      else incr m
+    done;
+    if not !found then assert false;
+    let base = Result_profile.global_index profile ~entity_index:(e - 1) ~type_index:0 in
+    let entity_qs =
+      reconstruct_entity
+        ~gain_for:(fun ti qq -> gain_global (base + ti) qq)
+        plans.(e - 1) !m
+    in
+    Array.iteri (fun ti qq -> q.(base + ti) <- qq) entity_qs;
+    budget := !budget - !m
+  done;
+  Dfs.of_q_array profile q
+
+(* Packed gain of a DFS for result i given the others — the same objective
+   the DP maximizes, so adoption decisions compare like with like. *)
+let packed_gain ?(spread = true) context dfss i dfs =
+  let profile = (Dod.results context).(i) in
+  let nt = Result_profile.num_types profile in
+  let sum = ref 0 in
+  for gi = 0 to nt - 1 do
+    let q = Dfs.q dfs gi in
+    if q > 0 then
+      sum :=
+        !sum
+        + gain_at (thresholds_for context dfss i gi) q
+          * Dod.weight_of context ~i ~gi * type_tie_base
+        + (if spread then spread_bonus context ~i ~gi else 0)
+  done;
+  !sum
+
+let prepare ?init context ~limit =
+  match init with
+  | Some dfss ->
+    Array.iteri
+      (fun i d ->
+        if not (Dfs.is_valid ~limit d) then
+          invalid_arg
+            (Printf.sprintf "Multi_swap.generate: invalid initial DFS %d" i))
+      dfss;
+    Array.copy dfss
+  | None -> Topk.generate context ~limit
+
+let generate_with_stats ?init ?spread context ~limit =
+  let dfss = prepare ?init context ~limit in
+  let n = Array.length dfss in
+  let iterations = ref 0 in
+  let rounds = ref 0 in
+  let improved_in_round = ref true in
+  while !improved_in_round do
+    improved_in_round := false;
+    incr rounds;
+    for i = 0 to n - 1 do
+      (* Pad the response to the full budget: extra features never reduce the
+         packed objective (gains and the type bonus are monotone) and keep
+         the summaries budget-filling like every other method. *)
+      let candidate =
+        Topk.fill ~limit (best_response ?spread context ~limit dfss i)
+      in
+      let cur = packed_gain ?spread context dfss i dfss.(i) in
+      let cand_gain = packed_gain ?spread context dfss i candidate in
+      if cand_gain > cur then begin
+        dfss.(i) <- candidate;
+        incr iterations;
+        improved_in_round := true
+      end
+    done
+  done;
+  (dfss, { iterations = !iterations; rounds = !rounds })
+
+let generate ?init ?spread context ~limit =
+  fst (generate_with_stats ?init ?spread context ~limit)

@@ -1,0 +1,53 @@
+(** Multi-swap-optimal DFS generation via dynamic programming.
+
+    The paper: "A set of DFSs is multi-swap optimal if, by making changes to
+    any number of features in a DFS, while keeping its validity and size
+    limit bound, the degree of differentiation cannot increase. [...] We
+    proposed a dynamic programming algorithm to achieve it efficiently."
+
+    Realized here as iterated exact best responses. With all other DFSs
+    fixed, the contribution of result [i]'s DFS to the total DoD decomposes
+    additively over feature types, and each type's gain is a monotone step
+    function of its selected-prefix length (see {!Dod.threshold_q}). The
+    optimal valid DFS for [i] then falls to a three-level DP:
+
+    + within a significance class: a knapsack over the class's types,
+      choosing a feature-prefix length per type (variant A: any subset of
+      types; variant B: every type selected, for classes that must be fully
+      included before a lower class opens);
+    + across the classes of one entity: a full-prefix-of-classes recursion —
+      either the current class is the last one touched (variant A), or it is
+      fully included (variant B) and the recursion continues below;
+    + across entities: a knapsack allocating the size budget [L].
+
+    Applying best responses round-robin strictly increases the total DoD
+    until a fixpoint, which is by construction multi-swap optimal (no
+    reshaping of any single DFS can improve it). *)
+
+type stats = {
+  iterations : int;  (** adopted best responses *)
+  rounds : int;  (** full passes over the results *)
+}
+
+val best_response :
+  ?spread:bool -> Dod.context -> limit:int -> Dfs.t array -> int -> Dfs.t
+(** [best_response context ~limit dfss i] is an optimal valid DFS for result
+    [i] holding the other DFSs fixed. DoD ties are resolved toward more
+    distinct selected types, preferring types more of the other results
+    share (then toward fewer features): at zero cost, a response "spreads"
+    over types the others can align on, which is what lets iterated
+    responses escape the poor equilibria of pure best-response dynamics on
+    corpora whose significances are all tied (see the implementation comment
+    on the packed potential Φ; termination is still guaranteed). Exposed for
+    tests, which compare its packed gain against exhaustive enumeration. *)
+
+val generate :
+  ?init:Dfs.t array -> ?spread:bool -> Dod.context -> limit:int -> Dfs.t array
+(** Iterate best responses from {!Topk.generate} (or [init]) to a multi-swap
+    optimum. [spread] (default [true]) enables the type-spreading
+    tie-break; disabling it is the coordination ablation DESIGN.md calls
+    out. *)
+
+val generate_with_stats :
+  ?init:Dfs.t array -> ?spread:bool -> Dod.context -> limit:int ->
+  Dfs.t array * stats

@@ -1,0 +1,99 @@
+let log_src = Logs.Src.create "xsact.pipeline" ~doc:"XSACT comparison pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = { engine : Search.engine }
+
+let create doc = { engine = Search.create doc }
+let of_element root = { engine = Search.of_element root }
+let engine t = t.engine
+
+let search ?limit ?lift_to t keywords =
+  Search.query ?limit ?lift_to t.engine keywords
+
+let profile_of ?(prune = Result_builder.Full) ?(keywords = "") t
+    (r : Search.result) =
+  match prune with
+  | Result_builder.Full -> Extractor.of_search_result t.engine r
+  | mode ->
+    let categories = Search.categories t.engine in
+    let normalized = Token.normalize_query keywords in
+    let pruned =
+      Result_builder.prune ~categories ~keywords:normalized mode
+        r.Search.element
+    in
+    Extractor.extract ~categories
+      ~label:(Search.result_title t.engine r)
+      pruned
+
+type comparison = {
+  keywords : string;
+  profiles : Result_profile.t array;
+  dfss : Dfs.t array;
+  dod : int;
+  table : Table.t;
+  algorithm : Algorithm.t;
+  size_bound : int;
+  elapsed_s : float;
+}
+
+let compare_profiles ?(params = Dod.default_params) ?weight
+    ?(algorithm = Algorithm.Multi_swap) ~keywords ~size_bound profiles =
+  if Array.length profiles < 2 then
+    Error "need at least two results to compare"
+  else if size_bound < 1 then Error "size bound must be at least 1"
+  else begin
+    let context = Dod.make_context ~params ?weight profiles in
+    let (dfss, elapsed_s) =
+      let t0 = Unix.gettimeofday () in
+      let dfss = Algorithm.generate algorithm context ~limit:size_bound in
+      (dfss, Unix.gettimeofday () -. t0)
+    in
+    let table = Table.build ~size_bound context dfss in
+    Log.info (fun m ->
+        m "compared %d results for %S with %s (L=%d): DoD=%d in %.4fs"
+          (Array.length profiles) keywords
+          (Algorithm.to_string algorithm)
+          size_bound (Dod.total context dfss) elapsed_s);
+    Ok
+      {
+        keywords;
+        profiles;
+        dfss;
+        dod = Dod.total context dfss;
+        table;
+        algorithm;
+        size_bound;
+        elapsed_s;
+      }
+  end
+
+let compare ?params ?weight ?algorithm ?lift_to ?prune ?select ?top t ~keywords
+    ~size_bound =
+  let results = search ?lift_to t keywords in
+  match results with
+  | [] -> Error (Printf.sprintf "no results for %S" keywords)
+  | _ ->
+    let chosen =
+      match select with
+      | Some ranks ->
+        let n = List.length results in
+        let bad = List.filter (fun r -> r < 1 || r > n) ranks in
+        if bad <> [] then
+          Error
+            (Printf.sprintf "selection out of range (have %d results)" n)
+        else
+          Ok
+            (List.map (fun rank -> List.nth results (rank - 1)) ranks)
+      | None ->
+        let top = match top with Some t -> t | None -> 4 in
+        Ok (List.filteri (fun i _ -> i < top) results)
+    in
+    (match chosen with
+    | Error e -> Error e
+    | Ok chosen ->
+      let profiles =
+        Array.of_list (List.map (profile_of ?prune ~keywords t) chosen)
+      in
+      compare_profiles ?params ?weight ?algorithm ~keywords ~size_bound
+        profiles)

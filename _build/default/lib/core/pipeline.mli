@@ -1,0 +1,64 @@
+(** End-to-end XSACT pipeline (Figure 3): keyword search → result selection
+    → entity/feature extraction → DFS generation → comparison table. *)
+
+type t
+(** An indexed corpus ready for search-and-compare. *)
+
+val create : Xml.document -> t
+val of_element : Xml.element -> t
+
+val engine : t -> Search.engine
+
+val search : ?limit:int -> ?lift_to:string -> t -> string -> Search.result list
+(** Plain keyword search (see {!Xsact_search.Search.query}). *)
+
+val profile_of :
+  ?prune:Result_builder.mode -> ?keywords:string -> t -> Search.result ->
+  Result_profile.t
+(** Extract one result's feature profile. [prune] (default [Full]) applies
+    the XSeek-style return policy first; [Matched_entities] requires the
+    query [keywords]. *)
+
+type comparison = {
+  keywords : string;
+  profiles : Result_profile.t array;  (** the compared results, in order *)
+  dfss : Dfs.t array;
+  dod : int;  (** total DoD of the generated DFSs *)
+  table : Table.t;
+  algorithm : Algorithm.t;
+  size_bound : int;
+  elapsed_s : float;  (** DFS generation time (excludes search) *)
+}
+
+val compare :
+  ?params:Dod.params ->
+  ?weight:(Feature.ftype -> int) ->
+  ?algorithm:Algorithm.t ->
+  ?lift_to:string ->
+  ?prune:Result_builder.mode ->
+  ?select:int list ->
+  ?top:int ->
+  t ->
+  keywords:string ->
+  size_bound:int ->
+  (comparison, string) result
+(** Search, pick results, and build the comparison.
+
+    - [select]: 1-based ranks of the results to compare (the demo's
+      checkboxes); default: the [top] first results ([top] defaults to 4).
+    - [algorithm] defaults to [Multi_swap]; [params] to
+      {!Dod.default_params}; [weight] to uniform (see
+      {!Dod.make_context}).
+    - Errors (as [Error message]): no results, fewer than two selected,
+      out-of-range ranks. *)
+
+val compare_profiles :
+  ?params:Dod.params ->
+  ?weight:(Feature.ftype -> int) ->
+  ?algorithm:Algorithm.t ->
+  keywords:string ->
+  size_bound:int ->
+  Result_profile.t array ->
+  (comparison, string) result
+(** Same, starting from already-extracted profiles (used by benches and by
+    callers that assemble results by hand). *)

@@ -1,0 +1,81 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {css|
+body { font-family: Georgia, serif; margin: 2em; color: #222; }
+h1 { font-size: 1.3em; }
+table { border-collapse: collapse; }
+th, td { border: 1px solid #999; padding: 0.4em 0.8em; text-align: left;
+         vertical-align: top; }
+th { background: #28426e; color: white; }
+tr.diff td.ftype { font-weight: bold; }
+tr.diff { background: #eef3fb; }
+td.unknown { color: #999; text-align: center; }
+p.meta { color: #555; font-size: 0.9em; }
+|css}
+
+let cell_html = function
+  | Table.Unknown -> "<td class=\"unknown\">&mdash;</td>"
+  | Table.Entries entries ->
+    let items =
+      List.map
+        (fun (e : Table.entry) ->
+          let f = e.feature in
+          let qualifier =
+            if e.population > 1 then
+              Printf.sprintf " <small>(%d/%d, %.0f%%)</small>" e.count
+                e.population
+                (100.0 *. float_of_int e.count /. float_of_int e.population)
+            else if e.count > 1 then Printf.sprintf " <small>(%d)</small>" e.count
+            else ""
+          in
+          escape f.Feature.value ^ qualifier)
+        entries
+    in
+    "<td>" ^ String.concat "<br/>" items ^ "</td>"
+
+let table ?(title = "XSACT comparison table") (t : Table.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>";
+  Buffer.add_string buf ("<title>" ^ escape title ^ "</title>");
+  Buffer.add_string buf ("<style>" ^ style ^ "</style></head><body>\n");
+  Buffer.add_string buf ("<h1>" ^ escape title ^ "</h1>\n<table>\n<tr><th>Feature type</th>");
+  Array.iter
+    (fun label -> Buffer.add_string buf ("<th>" ^ escape label ^ "</th>"))
+    t.labels;
+  Buffer.add_string buf "</tr>\n";
+  List.iter
+    (fun (row : Table.row) ->
+      Buffer.add_string buf
+        (if row.differentiating then "<tr class=\"diff\">" else "<tr>");
+      Buffer.add_string buf
+        ("<td class=\"ftype\">" ^ escape (Feature.ftype_to_string row.ftype) ^ "</td>");
+      Array.iter (fun cell -> Buffer.add_string buf (cell_html cell)) row.cells;
+      Buffer.add_string buf "</tr>\n")
+    t.rows;
+  Buffer.add_string buf "</table>\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p class=\"meta\">Degree of differentiation: %d &middot; size bound \
+        L = %d &middot; highlighted rows differentiate at least one result \
+        pair.</p>\n"
+       t.dod t.size_bound);
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let to_file path ?title t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (table ?title t))

@@ -1,0 +1,12 @@
+(** HTML rendering of the comparison table — the artifact the demo's web UI
+    (Figure 5) opens in a new browser window. Self-contained page with
+    inline CSS; differentiating rows are highlighted. *)
+
+val escape : string -> string
+(** HTML-escape ['&'], ['<'], ['>'], ['"']. *)
+
+val table : ?title:string -> Table.t -> string
+(** A complete HTML document. *)
+
+val to_file : string -> ?title:string -> Table.t -> unit
+(** Write the page to [path]. @raise Sys_error on I/O failure. *)

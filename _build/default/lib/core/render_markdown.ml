@@ -1,0 +1,50 @@
+let escape_cell s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '|' -> Buffer.add_string buf "\\|"
+      | '*' -> Buffer.add_string buf "\\*"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_char buf ' '
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cell_text = function
+  | Table.Unknown -> "&mdash;"
+  | Table.Entries entries ->
+    String.concat "; "
+      (List.map
+         (fun (e : Table.entry) ->
+           let f = e.Table.feature in
+           let base = escape_cell f.Feature.value in
+           if e.Table.population > 1 then
+             Printf.sprintf "%s (%d/%d)" base e.Table.count e.Table.population
+           else if e.Table.count > 1 then
+             Printf.sprintf "%s (%d)" base e.Table.count
+           else base)
+         entries)
+
+let table (t : Table.t) =
+  let buf = Buffer.create 1024 in
+  let add_row cells =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (String.concat " | " cells);
+    Buffer.add_string buf " |\n"
+  in
+  add_row
+    ("feature type"
+    :: List.map escape_cell (Array.to_list t.Table.labels));
+  add_row
+    (List.init (Array.length t.Table.labels + 1) (fun _ -> "---"));
+  List.iter
+    (fun (row : Table.row) ->
+      let name = escape_cell (Feature.ftype_to_string row.Table.ftype) in
+      let name = if row.Table.differentiating then "**" ^ name ^ "**" else name in
+      add_row (name :: List.map cell_text (Array.to_list row.Table.cells)))
+    t.Table.rows;
+  Buffer.add_string buf
+    (Printf.sprintf "\n*DoD = %d (size bound L = %d; bold = differentiating type)*\n"
+       t.Table.dod t.Table.size_bound);
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** GitHub-flavored-Markdown rendering of comparison tables.
+
+    For embedding comparison results in READMEs, issues or chat — the third
+    output surface next to {!Render_text} and {!Render_html}. Pipe
+    characters and asterisks inside cells are escaped; differentiating rows
+    are bolded. *)
+
+val escape_cell : string -> string
+(** Escape ['|'], ['*'], backslash and newlines for table-cell position. *)
+
+val table : Table.t -> string
+(** A markdown table: header of result labels, one row per feature type
+    (differentiating types bold), followed by an italic DoD footer line. *)

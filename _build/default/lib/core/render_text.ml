@@ -1,0 +1,92 @@
+let entry_to_string (e : Table.entry) =
+  let f = e.feature in
+  let base = Printf.sprintf "%s: %s" f.Feature.ftype.Feature.attribute f.Feature.value in
+  if e.population > 1 then
+    Printf.sprintf "%s (%d/%d, %.0f%%)" base e.count e.population
+      (100.0 *. float_of_int e.count /. float_of_int e.population)
+  else if e.count > 1 then Printf.sprintf "%s (%d)" base e.count
+  else base
+
+let cell_to_string = function
+  | Table.Unknown -> "-"
+  | Table.Entries entries ->
+    String.concat "; "
+      (List.map
+         (fun (e : Table.entry) ->
+           let f = e.feature in
+           if e.population > 1 then
+             Printf.sprintf "%s (%d/%d)" f.Feature.value e.count e.population
+           else if e.count > 1 then
+             Printf.sprintf "%s (%d)" f.Feature.value e.count
+           else f.Feature.value)
+         entries)
+
+let table (t : Table.t) =
+  let grid = Grid.create ~max_col_width:44 () in
+  Grid.add_row grid ("feature type" :: Array.to_list t.labels);
+  Grid.add_separator grid;
+  List.iter
+    (fun (row : Table.row) ->
+      let name =
+        Feature.ftype_to_string row.ftype ^ if row.differentiating then " *" else ""
+      in
+      Grid.add_row grid (name :: Array.to_list (Array.map cell_to_string row.cells)))
+    t.rows;
+  Grid.add_separator grid;
+  Grid.render grid
+  ^ Printf.sprintf "DoD = %d   (size bound L = %d; * = differentiating type)\n"
+      t.dod t.size_bound
+
+let explanations context dfss =
+  let results = Dod.results context in
+  let n = Array.length results in
+  let buf = Buffer.create 512 in
+  let pretty v =
+    if Float.is_integer v then string_of_int (int_of_float v)
+    else Printf.sprintf "%.2f" v
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      List.iter
+        (fun ((ftype : Feature.ftype), (w : Dod.witness)) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s vs %s on %s: %s measures %s vs %s\n"
+               results.(i).Result_profile.label results.(j).Result_profile.label
+               (Feature.ftype_to_string ftype)
+               w.Dod.feature.Feature.value (pretty w.Dod.measure_i)
+               (pretty w.Dod.measure_j)))
+        (Dod.explain_pair context ~i ~j dfss.(i) dfss.(j))
+    done
+  done;
+  Buffer.contents buf
+
+let result_stats ?(top = 12) (profile : Result_profile.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "Result: %s\n" profile.label);
+  Array.iter
+    (fun (e : Result_profile.entity_info) ->
+      if e.population > 1 then
+        Buffer.add_string buf
+          (Printf.sprintf "# of %s: %d\n" e.entity e.population))
+    profile.entities;
+  Buffer.add_string buf "ATTR:VALUE:# of occ\n";
+  let lines =
+    Array.to_list profile.entities
+    |> List.concat_map (fun (e : Result_profile.entity_info) ->
+           Array.to_list e.types
+           |> List.concat_map (fun (ti : Result_profile.type_info) ->
+                  Array.to_list ti.features
+                  |> List.map (fun (fi : Result_profile.feat_info) ->
+                         ( fi.count,
+                           Printf.sprintf "%s: %s: %d"
+                             ti.ftype.Feature.attribute
+                             fi.feature.Feature.value fi.count ))))
+    |> List.sort (fun (ca, la) (cb, lb) ->
+           let c = Int.compare cb ca in
+           if c <> 0 then c else String.compare la lb)
+  in
+  List.iteri
+    (fun i (_, line) ->
+      if i < top then Buffer.add_string buf (line ^ "\n"))
+    lines;
+  Buffer.contents buf

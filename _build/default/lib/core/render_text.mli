@@ -1,0 +1,21 @@
+(** Plain-text rendering of comparison tables and snippets. *)
+
+val entry_to_string : Table.entry -> string
+(** ["compact: yes (8/11, 73%)"] for population > 1, ["name: TomTom Go 630"]
+    for population 1 and count 1. *)
+
+val table : Table.t -> string
+(** Monospace grid: header row of result labels, one row per feature type
+    (attribute shown as [entity.attribute], differentiating rows marked with
+    [*]), plus a footer with total DoD and the size bound. *)
+
+val explanations : Dod.context -> Dfs.t array -> string
+(** One line per differentiating (pair, type): which witness feature
+    separates the two results and by how much, e.g.
+    ["GPS1 vs GPS3 on review.pro:compact: yes measures 8 vs 38"]. Empty
+    string when nothing differentiates. *)
+
+val result_stats : ?top:int -> Result_profile.t -> string
+(** The Figure 1-style per-result statistics block: entity populations and
+    the [attr: value: count] lines, most significant first ([top] limits the
+    line count, default 12). *)

@@ -1,0 +1,96 @@
+type t = {
+  params : Dod.params;
+  weight : Feature.ftype -> int;
+  algorithm : Algorithm.t;
+  size_bound : int;
+  profiles : Result_profile.t array;
+  context : Dod.context;
+  dfss : Dfs.t array;
+  runs : int ref;  (* shared along the session history *)
+}
+
+let generate ?init session context =
+  incr session.runs;
+  match (session.algorithm, init) with
+  | Algorithm.Single_swap, Some init ->
+    Single_swap.generate ~init context ~limit:session.size_bound
+  | Algorithm.Multi_swap, Some init ->
+    Multi_swap.generate ~init context ~limit:session.size_bound
+  | alg, _ -> Algorithm.generate alg context ~limit:session.size_bound
+
+let rebuild ?init session profiles =
+  let context =
+    Dod.make_context ~params:session.params ~weight:session.weight profiles
+  in
+  let session = { session with profiles; context } in
+  let dfss = generate ?init session context in
+  { session with dfss }
+
+let create ?(params = Dod.default_params) ?(weight = fun _ -> 1)
+    ?(algorithm = Algorithm.Multi_swap) ~size_bound profiles =
+  if algorithm = Algorithm.Exhaustive then
+    Error "sessions do not support the exhaustive oracle"
+  else if List.length profiles < 2 then
+    Error "need at least two results to compare"
+  else if size_bound < 1 then Error "size bound must be at least 1"
+  else
+    let profiles = Array.of_list profiles in
+    let context = Dod.make_context ~params ~weight profiles in
+    let skeleton =
+      {
+        params;
+        weight;
+        algorithm;
+        size_bound;
+        profiles;
+        context;
+        dfss = [||];
+        runs = ref 0;
+      }
+    in
+    let dfss = generate skeleton context in
+    Ok { skeleton with dfss }
+
+let profiles s = s.profiles
+let dfss s = s.dfss
+let dod s = Dod.total s.context s.dfss
+let size_bound s = s.size_bound
+let table s = Table.build ~size_bound:s.size_bound s.context s.dfss
+let stats s = !(s.runs)
+
+let add s profile =
+  let profiles = Array.append s.profiles [| profile |] in
+  (* Warm start: every existing DFS (its profile is unchanged) plus a top-k
+     seed for the newcomer. *)
+  let init =
+    Array.append s.dfss [| Topk.generate_one ~limit:s.size_bound profile |]
+  in
+  rebuild ~init s profiles
+
+let remove s index =
+  let n = Array.length s.profiles in
+  if index < 0 || index >= n then Error "index out of range"
+  else if n <= 2 then Error "cannot drop below two results"
+  else begin
+    let keep i = i <> index in
+    let profiles =
+      Array.of_list
+        (List.filteri (fun i _ -> keep i) (Array.to_list s.profiles))
+    in
+    let init =
+      Array.of_list (List.filteri (fun i _ -> keep i) (Array.to_list s.dfss))
+    in
+    Ok (rebuild ~init s profiles)
+  end
+
+let set_size_bound s size_bound =
+  if size_bound < 1 then Error "size bound must be at least 1"
+  else if size_bound = s.size_bound then Ok s
+  else
+    let s' = { s with size_bound } in
+    if size_bound > s.size_bound then
+      (* Growing keeps every current DFS valid: warm start. *)
+      Ok (rebuild ~init:s.dfss s' s.profiles)
+    else
+      (* Shrinking may invalidate selections: restart from scratch. *)
+      Ok (rebuild s' s.profiles)

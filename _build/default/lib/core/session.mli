@@ -1,0 +1,51 @@
+(** Interactive comparison sessions.
+
+    The demo's UI lets a user tick and untick result checkboxes and adjust
+    the table size; recomputing each table from scratch wastes the work
+    already done. A session keeps the current DFSs and warm-starts the
+    generation algorithm from them after every change — previous selections
+    remain valid for the unchanged results, so the climb (or best-response
+    loop) resumes near its fixpoint instead of from top-k. (Warm starting
+    applies to the two swap algorithms; the other methods recompute - they
+    are cheap or stochastic by nature.)
+
+    Sessions are immutable: every operation returns a new session, so the
+    UI's undo is free. *)
+
+type t
+
+val create :
+  ?params:Dod.params ->
+  ?weight:(Feature.ftype -> int) ->
+  ?algorithm:Algorithm.t ->
+  size_bound:int ->
+  Result_profile.t list ->
+  (t, string) result
+(** Start a session over at least two results. [algorithm] defaults to
+    [Multi_swap]; [Exhaustive] is rejected. *)
+
+(** {1 State} *)
+
+val profiles : t -> Result_profile.t array
+val dfss : t -> Dfs.t array
+val dod : t -> int
+val size_bound : t -> int
+val table : t -> Table.t
+(** Built on demand from the current state. *)
+
+(** {1 Operations} *)
+
+val add : t -> Result_profile.t -> t
+(** Add one result to the comparison (appended last). *)
+
+val remove : t -> int -> (t, string) result
+(** Remove the result at 0-based index; fails when out of range or when
+    only two results remain. *)
+
+val set_size_bound : t -> int -> (t, string) result
+(** Change L. Shrinking restarts from scratch (old selections may violate
+    the bound); growing warm-starts. *)
+
+val stats : t -> int
+(** Number of algorithm invocations performed by this session so far
+    (diagnostic; shared along the history chain). *)

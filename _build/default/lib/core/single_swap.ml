@@ -1,0 +1,171 @@
+type stats = { iterations : int; rounds : int }
+
+type move =
+  | Grow of int  (* type index *)
+  | Swap of int * int  (* shrink first, grow second *)
+
+(* Legality of swaps, checked analytically so move enumeration allocates
+   nothing. See dfs.mli for the closure rules. *)
+let swap_legal dfs gm gp =
+  gm <> gp
+  && Dfs.q dfs gm >= 1
+  && Dfs.q dfs gp < Dfs.max_q dfs gp
+  &&
+  let profile = Dfs.profile dfs in
+  if Dfs.q dfs gm >= 2 then Dfs.q dfs gp > 0 || Dfs.can_open dfs gp
+  else
+    (* Shrinking gm closes it: the closure must survive both the close and
+       the (possible) open of gp. *)
+    Dfs.can_close dfs gm
+    && (Dfs.q dfs gp > 0
+       || Dfs.can_open dfs gp
+          && (Result_profile.entity_index_of_type profile gm
+              <> Result_profile.entity_index_of_type profile gp
+             || (Result_profile.type_info profile gm).significance
+                <= (Result_profile.type_info profile gp).significance))
+
+(* Move values are packed as [dod_delta * type_tie_base + bonus_delta],
+   where a type's spread bonus is 1 plus the number of other results sharing
+   it: at equal DoD, moves that open distinct — and preferably alignable —
+   types win, and zero-DoD moves that open such a type still count as
+   improvements. This mirrors the multi-swap tie-breaking (see
+   multi_swap.ml) and is what lets hill climbing escape the all-actors
+   equilibria of all-tied corpora; each accepted move strictly increases the
+   bounded potential Φ = type_tie_base · DoD + Σ bonuses (bonuses are static
+   per type), so the climb still terminates. *)
+let type_tie_base = 4096
+
+let apply_move dfss i = function
+  | Grow gi -> dfss.(i) <- Dfs.set_q dfss.(i) gi (Dfs.q dfss.(i) gi + 1)
+  | Swap (gm, gp) ->
+    let shrunk = Dfs.set_q dfss.(i) gm (Dfs.q dfss.(i) gm - 1) in
+    dfss.(i) <- Dfs.set_q shrunk gp (Dfs.q shrunk gp + 1)
+
+(* Best strictly-improving move for result i, if any.
+
+   The DoD contribution of a type depends only on its own q (and the fixed
+   other DFSs), so a swap's value decomposes exactly as
+   shrink_delta(gm) + grow_delta(gp). Instead of scanning all O(T^2) pairs,
+   rank the legal shrinks and grows independently and combine: for each
+   shrink (best first), the first legality-compatible grow in rank order is
+   its best partner, and the search stops as soon as the remaining shrinks
+   cannot beat the incumbent even with the best grow overall. *)
+let best_move ?(spread = true) context ~limit dfss i =
+  let dfs = dfss.(i) in
+  let n = Result_profile.num_types (Dfs.profile dfs) in
+  let size = Dfs.size dfs in
+  let best = ref None in
+  let better delta =
+    match !best with Some (b, _) -> delta > b | None -> delta > 0
+  in
+  (* Packed deltas of elementary half-moves (packing described above). The
+     spread bonus of a type is 1 plus the number of other results sharing
+     it, so zero-DoD moves align on comparable types (mirrors
+     Multi_swap.spread_bonus). *)
+  let type_bonus gi =
+    if spread then 1 + List.length (Dod.links context ~i ~gi) else 0
+  in
+  let grow_delta gi =
+    let old_q = Dfs.q dfs gi in
+    (Dod.delta_for_type context ~dfss ~i ~gi ~old_q ~new_q:(old_q + 1)
+    * type_tie_base)
+    + if old_q = 0 then type_bonus gi else 0
+  in
+  let shrink_delta gm =
+    let old_q = Dfs.q dfs gm in
+    (Dod.delta_for_type context ~dfss ~i ~gi:gm ~old_q ~new_q:(old_q - 1)
+    * type_tie_base)
+    - if old_q = 1 then type_bonus gm else 0
+  in
+  (* Pure grows (when the budget allows). *)
+  let grows = ref [] in
+  for gi = n - 1 downto 0 do
+    if
+      Dfs.q dfs gi < Dfs.max_q dfs gi
+      && (Dfs.q dfs gi > 0 || Dfs.can_open dfs gi)
+    then begin
+      let delta = grow_delta gi in
+      grows := (delta, gi) :: !grows;
+      if size < limit && better delta then best := Some (delta, Grow gi)
+    end
+  done;
+  (* Swaps: combine ranked shrinks with ranked grows. *)
+  let grows = List.sort (fun (a, _) (b, _) -> Int.compare b a) !grows in
+  let shrinks = ref [] in
+  for gm = n - 1 downto 0 do
+    if Dfs.q dfs gm >= 1 && (Dfs.q dfs gm >= 2 || Dfs.can_close dfs gm) then
+      shrinks := (shrink_delta gm, gm) :: !shrinks
+  done;
+  let shrinks = List.sort (fun (a, _) (b, _) -> Int.compare b a) !shrinks in
+  let best_grow = match grows with (d, _) :: _ -> d | [] -> min_int in
+  List.iter
+    (fun (sd, gm) ->
+      (* The remaining shrinks are no better than sd; prune when even the
+         best grow cannot improve on the incumbent. *)
+      if best_grow <> min_int && better (sd + best_grow) then begin
+        let rec scan = function
+          | [] -> ()
+          | (gd, gp) :: rest ->
+            if not (better (sd + gd)) then () (* grows only get worse *)
+            else if swap_legal dfs gm gp then
+              best := Some (sd + gd, Swap (gm, gp))
+            else scan rest
+        in
+        scan grows
+      end)
+    shrinks;
+  !best
+
+let climb ?spread context ~limit dfss =
+  let n = Array.length dfss in
+  let iterations = ref 0 in
+  let rounds = ref 0 in
+  let improved_in_round = ref true in
+  while !improved_in_round do
+    improved_in_round := false;
+    incr rounds;
+    for i = 0 to n - 1 do
+      (* Exhaust improvements on result i before moving on. *)
+      let continue = ref true in
+      while !continue do
+        match best_move ?spread context ~limit dfss i with
+        | None -> continue := false
+        | Some (_, move) ->
+          apply_move dfss i move;
+          incr iterations;
+          improved_in_round := true
+      done
+    done
+  done;
+  { iterations = !iterations; rounds = !rounds }
+
+let prepare ?init context ~limit =
+  match init with
+  | Some dfss ->
+    Array.iteri
+      (fun i d ->
+        if not (Dfs.is_valid ~limit d) then
+          invalid_arg
+            (Printf.sprintf "Single_swap.generate: invalid initial DFS %d" i))
+      dfss;
+    Array.copy dfss
+  | None -> Topk.generate context ~limit
+
+let generate_with_stats ?init ?spread context ~limit =
+  let dfss = prepare ?init context ~limit in
+  let stats = climb ?spread context ~limit dfss in
+  (dfss, stats)
+
+let generate ?init ?spread context ~limit =
+  fst (generate_with_stats ?init ?spread context ~limit)
+
+let improving_move_exists context ~limit dfss =
+  let n = Array.length dfss in
+  let rec scan i =
+    if i >= n then false
+    else
+      match best_move context ~limit dfss i with
+      | Some _ -> true
+      | None -> scan (i + 1)
+  in
+  scan 0

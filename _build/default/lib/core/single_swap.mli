@@ -1,0 +1,42 @@
+(** Single-swap-optimal DFS generation (Section 2, "Local Optimality").
+
+    Hill climbing over single-feature moves: starting from the top-k
+    solution, repeatedly apply the best strictly-improving move on some
+    result's DFS — growing one type's selection by one feature, or swapping
+    (shrink one type by one feature, grow another by one) — until no move on
+    any DFS increases the total DoD. Pure removals are never improving
+    (DoD is monotone in the selection), so they only occur inside swaps.
+
+    The output is {b single-swap optimal}: changing or adding one feature in
+    any DFS, keeping validity and the size bound, cannot increase the DoD.
+
+    Moves are ranked by [(DoD delta, spread-bonus delta)] lexicographically
+    and accepted when that pair is positive — a selected type's bonus is 1
+    plus the number of other results sharing it, so a zero-DoD move that
+    opens a new, alignable feature type is still taken. This matches the
+    multi-swap tie-breaking: on corpora where all significances tie (the
+    movie data), it lets the climbers coordinate on shared types instead of
+    stalling in an equilibrium where every DFS shows only its first
+    multi-valued attribute. Termination is unaffected (a bounded potential
+    strictly increases with every accepted move). *)
+
+type stats = {
+  iterations : int;  (** accepted moves *)
+  rounds : int;  (** full passes over the results *)
+}
+
+val generate :
+  ?init:Dfs.t array -> ?spread:bool -> Dod.context -> limit:int -> Dfs.t array
+(** [generate context ~limit] starts from {!Topk.generate} (or [init],
+    which must be valid for [limit]) and climbs to a single-swap optimum.
+    [spread] (default [true]) enables the type-spreading tie-break; disable
+    it to reproduce pure DoD hill climbing — the ablation DESIGN.md calls
+    out (it stalls in poor equilibria on all-tied corpora). *)
+
+val generate_with_stats :
+  ?init:Dfs.t array -> ?spread:bool -> Dod.context -> limit:int ->
+  Dfs.t array * stats
+
+val improving_move_exists : Dod.context -> limit:int -> Dfs.t array -> bool
+(** Post-condition oracle used by tests: does any single grow/swap on any
+    result strictly increase the total DoD? *)

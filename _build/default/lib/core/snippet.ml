@@ -1,0 +1,83 @@
+let as_dfs ~limit profile = Topk.generate_one ~limit profile
+
+let generate ~limit profile = Dfs.features (as_dfs ~limit profile)
+
+(* A type is query-biased when its attribute path or any of its feature
+   values shares a token with the query. *)
+let biased_types profile keywords =
+  let keyword_set = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace keyword_set k ()) keywords;
+  let hit s =
+    List.exists (Hashtbl.mem keyword_set)
+      (Xsact_util.Textutil.lowercase_ascii_words s)
+  in
+  let nt = Result_profile.num_types profile in
+  Array.init nt (fun gi ->
+      let info = Result_profile.type_info profile gi in
+      hit info.Result_profile.ftype.Feature.attribute
+      || Array.exists
+           (fun (fi : Result_profile.feat_info) ->
+             hit fi.Result_profile.feature.Feature.value)
+           info.Result_profile.features)
+
+let query_biased_dfs ~keywords ~limit profile =
+  let normalized = Token.normalize_query keywords in
+  let biased = biased_types profile normalized in
+  let nt = Result_profile.num_types profile in
+  (* Pass 1: hoist biased types (most significant first), paying for the
+     validity prerequisites — every strictly more significant unselected
+     type of the same entity — when they fit in the budget. *)
+  let dfs = ref (Dfs.empty profile) in
+  let candidates =
+    List.init nt (fun gi -> gi)
+    |> List.filter (fun gi -> biased.(gi))
+    |> List.sort (fun a b ->
+           Int.compare
+             (Result_profile.type_info profile b).significance
+             (Result_profile.type_info profile a).significance)
+  in
+  List.iter
+    (fun gi ->
+      if Dfs.q !dfs gi = 0 then begin
+        let entity_index = Result_profile.entity_index_of_type profile gi in
+        let my_sig = (Result_profile.type_info profile gi).significance in
+        let prerequisites =
+          List.init nt (fun g -> g)
+          |> List.filter (fun g ->
+                 Result_profile.entity_index_of_type profile g = entity_index
+                 && (Result_profile.type_info profile g).significance > my_sig
+                 && Dfs.q !dfs g = 0)
+        in
+        let cost = 1 + List.length prerequisites in
+        if Dfs.size !dfs + cost <= limit then begin
+          List.iter (fun g -> dfs := Dfs.set_q !dfs g 1) prerequisites;
+          dfs := Dfs.set_q !dfs gi 1
+        end
+      end)
+    candidates;
+  (* Pass 2: plain frequency fill for whatever budget remains. *)
+  Topk.fill ~limit !dfs
+
+let query_biased ~keywords ~limit profile =
+  Dfs.features (query_biased_dfs ~keywords ~limit profile)
+
+let to_string ?(label = true) ~limit profile =
+  let buf = Buffer.create 256 in
+  if label then
+    Buffer.add_string buf (profile.Result_profile.label ^ "\n");
+  List.iter
+    (fun (f, count) ->
+      let pop =
+        Result_profile.population profile f.Feature.ftype.Feature.entity
+      in
+      let line =
+        if pop > 1 then
+          Printf.sprintf "  %s: %s (%d/%d)" f.Feature.ftype.Feature.attribute
+            f.Feature.value count pop
+        else
+          Printf.sprintf "  %s: %s" f.Feature.ftype.Feature.attribute
+            f.Feature.value
+      in
+      Buffer.add_string buf (line ^ "\n"))
+    (generate ~limit profile);
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Per-result snippets in the style of eXtract [2].
+
+    A snippet summarizes one result in isolation by its most frequently
+    occurring information — here, the top-k DFS of the single result. The
+    paper's Figure 1 discussion uses these as the strawman: snippets are
+    faithful summaries but, computed independently, they rarely share
+    feature types and so compare poorly. {!Pipeline} and the benches measure
+    exactly that gap. *)
+
+val generate : limit:int -> Result_profile.t -> (Feature.t * int) list
+(** The snippet's features with occurrence counts, selection order. *)
+
+val query_biased :
+  keywords:string -> limit:int -> Result_profile.t -> (Feature.t * int) list
+(** eXtract is {e query-biased}: features whose attribute or value contains
+    a query keyword come first (most frequent of those leading), then the
+    remaining budget falls back to plain frequency. Validity is preserved —
+    a biased feature is only hoisted when its type's significance
+    prerequisites fit inside the budget too. *)
+
+val query_biased_dfs : keywords:string -> limit:int -> Result_profile.t -> Dfs.t
+(** Same selection as a {!Dfs.t} for DoD scoring. *)
+
+val as_dfs : limit:int -> Result_profile.t -> Dfs.t
+(** The same selection as a {!Dfs.t}, so snippet sets can be scored with
+    {!Dod.total} against real DFSs. *)
+
+val to_string : ?label:bool -> limit:int -> Result_profile.t -> string
+(** Rendered block, one feature per line; [label] (default true) prepends
+    the result label. *)

@@ -1,0 +1,131 @@
+open Xsact_util
+
+type anneal_params = {
+  seed : int;
+  steps : int;
+  initial_temperature : float;
+  cooling : float;
+}
+
+let default_anneal =
+  { seed = 0xA11EA; steps = 20_000; initial_temperature = 2.0; cooling = 0.9995 }
+
+let random_valid_dfs g ~limit profile =
+  let nt = Result_profile.num_types profile in
+  let dfs = ref (Dfs.empty profile) in
+  let target = min limit profile.Result_profile.total_features in
+  let size = ref 0 in
+  while !size < target do
+    (* Uniform choice among currently growable types (an openable type, or
+       an open one with features left). Topk's no-deadlock argument applies:
+       while size < total there is always at least one. *)
+    let growable = ref [] in
+    for gi = 0 to nt - 1 do
+      if
+        Dfs.q !dfs gi < Dfs.max_q !dfs gi
+        && (Dfs.q !dfs gi > 0 || Dfs.can_open !dfs gi)
+      then growable := gi :: !growable
+    done;
+    let gi = Sampling.pick_list g !growable in
+    dfs := Dfs.set_q !dfs gi (Dfs.q !dfs gi + 1);
+    incr size
+  done;
+  !dfs
+
+(* One random legal elementary move on dfss.(i); None if the sampled shape
+   is illegal (callers just resample). *)
+let sample_move g context ~limit dfss =
+  let n = Array.length dfss in
+  let i = Prng.int g n in
+  let dfs = dfss.(i) in
+  let nt = Result_profile.num_types (Dfs.profile dfs) in
+  if nt = 0 then None
+  else if Prng.bool g && Dfs.size dfs < limit then begin
+    (* grow *)
+    let gi = Prng.int g nt in
+    if
+      Dfs.q dfs gi < Dfs.max_q dfs gi
+      && (Dfs.q dfs gi > 0 || Dfs.can_open dfs gi)
+    then
+      let delta =
+        Dod.delta_for_type context ~dfss ~i ~gi ~old_q:(Dfs.q dfs gi)
+          ~new_q:(Dfs.q dfs gi + 1)
+      in
+      Some (i, `Grow gi, delta)
+    else None
+  end
+  else begin
+    (* swap: shrink gm, grow gp *)
+    let gm = Prng.int g nt and gp = Prng.int g nt in
+    if gm = gp || Dfs.q dfs gm < 1 || Dfs.q dfs gp >= Dfs.max_q dfs gp then None
+    else
+      let shrunk_ok =
+        Dfs.q dfs gm >= 2 || Dfs.can_close dfs gm
+      in
+      if not shrunk_ok then None
+      else
+        let candidate =
+          let d = Dfs.set_q dfs gm (Dfs.q dfs gm - 1) in
+          Dfs.set_q d gp (Dfs.q d gp + 1)
+        in
+        if not (Dfs.is_valid ~limit candidate) then None
+        else
+          let delta =
+            Dod.delta_for_type context ~dfss ~i ~gi:gm ~old_q:(Dfs.q dfs gm)
+              ~new_q:(Dfs.q dfs gm - 1)
+            + Dod.delta_for_type context ~dfss ~i ~gi:gp ~old_q:(Dfs.q dfs gp)
+                ~new_q:(Dfs.q dfs gp + 1)
+          in
+          Some (i, `Swap (gm, gp), delta)
+  end
+
+let apply dfss i = function
+  | `Grow gi -> dfss.(i) <- Dfs.set_q dfss.(i) gi (Dfs.q dfss.(i) gi + 1)
+  | `Swap (gm, gp) ->
+    let d = Dfs.set_q dfss.(i) gm (Dfs.q dfss.(i) gm - 1) in
+    dfss.(i) <- Dfs.set_q d gp (Dfs.q d gp + 1)
+
+let anneal ?(params = default_anneal) context ~limit =
+  let g = Prng.of_int params.seed in
+  let dfss = Topk.generate context ~limit in
+  let current = ref (Dod.total context dfss) in
+  let best = ref (Array.copy dfss) in
+  let best_value = ref !current in
+  let temperature = ref params.initial_temperature in
+  for _ = 1 to params.steps do
+    (match sample_move g context ~limit dfss with
+    | None -> ()
+    | Some (i, move, delta) ->
+      let accept =
+        delta >= 0
+        || Prng.float g 1.0 < exp (float_of_int delta /. !temperature)
+      in
+      if accept then begin
+        apply dfss i move;
+        current := !current + delta;
+        if !current > !best_value then begin
+          best_value := !current;
+          best := Array.copy dfss
+        end
+      end);
+    temperature := Float.max 1e-6 (!temperature *. params.cooling)
+  done;
+  (* Polish the best configuration to a single-swap optimum so the result is
+     never worse than plain hill climbing from that point. *)
+  Single_swap.generate ~init:!best context ~limit
+
+let restarts ?(seed = 0x5EED) ?(rounds = 8) context ~limit =
+  let g = Prng.of_int seed in
+  let results = Dod.results context in
+  let best = ref (Single_swap.generate context ~limit) in
+  let best_value = ref (Dod.total context !best) in
+  for _ = 1 to rounds do
+    let init = Array.map (fun p -> random_valid_dfs g ~limit p) results in
+    let climbed = Single_swap.generate ~init context ~limit in
+    let value = Dod.total context climbed in
+    if value > !best_value then begin
+      best_value := value;
+      best := climbed
+    end
+  done;
+  !best

@@ -1,0 +1,35 @@
+(** Stochastic DFS optimizers: simulated annealing and random-restart hill
+    climbing.
+
+    The paper closes asking for "better algorithms" for the NP-hard DFS
+    construction problem; these two classics probe how much headroom the
+    single-/multi-swap local optima leave. Both are deterministic given the
+    seed, so benches and tests are reproducible. *)
+
+type anneal_params = {
+  seed : int;
+  steps : int;  (** proposed moves *)
+  initial_temperature : float;
+  cooling : float;  (** geometric factor per step, in (0, 1) *)
+}
+
+val default_anneal : anneal_params
+(** [{ seed = 0xA11EA; steps = 20_000; initial_temperature = 2.0;
+      cooling = 0.9995 }]. *)
+
+val anneal :
+  ?params:anneal_params -> Dod.context -> limit:int -> Dfs.t array
+(** Simulated annealing over the single-swap move space (grow / swap on a
+    random result), Metropolis acceptance on the DoD delta, starting from
+    the top-k solution. Returns the best configuration seen, polished to a
+    single-swap optimum. Output is valid for [limit]. *)
+
+val restarts :
+  ?seed:int -> ?rounds:int -> Dod.context -> limit:int -> Dfs.t array
+(** [rounds] (default 8) independent single-swap climbs from random valid
+    budget-filling initial DFSs (plus one from top-k); returns the best
+    final configuration. *)
+
+val random_valid_dfs : Xsact_util.Prng.t -> limit:int -> Result_profile.t -> Dfs.t
+(** A uniform-ish random valid DFS of size [min limit total]: repeatedly
+    grows a uniformly chosen legal type. Exposed for tests. *)

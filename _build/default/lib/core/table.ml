@@ -1,0 +1,103 @@
+type entry = { feature : Feature.t; count : int; population : int }
+
+type cell = Unknown | Entries of entry list
+
+type row = {
+  ftype : Feature.ftype;
+  differentiating : bool;
+  cells : cell array;
+}
+
+type t = {
+  labels : string array;
+  rows : row list;
+  dod : int;
+  size_bound : int;
+}
+
+let build ?size_bound context dfss =
+  let results = Dod.results context in
+  let n = Array.length results in
+  if Array.length dfss <> n then invalid_arg "Table.build: arity mismatch";
+  (* Collect the union of selected feature types with bookkeeping. *)
+  let info : (Feature.ftype, int (* max significance *)) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  Array.iteri
+    (fun i dfs ->
+      List.iter
+        (fun gi ->
+          let ti = Result_profile.type_info results.(i) gi in
+          let prev =
+            match Hashtbl.find_opt info ti.ftype with Some s -> s | None -> 0
+          in
+          Hashtbl.replace info ti.ftype (max prev ti.significance))
+        (Dfs.selected_types dfs))
+    dfss;
+  let ftypes =
+    Hashtbl.fold (fun ftype max_sig acc -> (ftype, max_sig) :: acc) info []
+    |> List.sort (fun ((ta : Feature.ftype), sa) (tb, sb) ->
+           let c = String.compare ta.Feature.entity tb.Feature.entity in
+           if c <> 0 then c
+           else
+             let c = Int.compare sb sa in
+             if c <> 0 then c
+             else String.compare ta.Feature.attribute tb.Feature.attribute)
+    |> List.map fst
+  in
+  let cell_for i ftype =
+    match Result_profile.find_type results.(i) ftype with
+    | None -> Unknown
+    | Some gi ->
+      let q = Dfs.q dfss.(i) gi in
+      if q = 0 then Unknown
+      else
+        let ti = Result_profile.type_info results.(i) gi in
+        let population =
+          Result_profile.population results.(i) ftype.Feature.entity
+        in
+        Entries
+          (List.init q (fun k ->
+               let fi = ti.features.(k) in
+               {
+                 feature = fi.Result_profile.feature;
+                 count = fi.Result_profile.count;
+                 population;
+               }))
+  in
+  let differentiating_for ftype =
+    (* A type differentiates if some pair is differentiable on it. *)
+    let found = ref false in
+    for i = 0 to n - 1 do
+      match Result_profile.find_type results.(i) ftype with
+      | None -> ()
+      | Some gi ->
+        let q_self = Dfs.q dfss.(i) gi in
+        if q_self > 0 then
+          List.iter
+            (fun (link : Dod.link) ->
+              if link.Dod.other > i then
+                let q_other = Dfs.q dfss.(link.Dod.other) link.Dod.gi_other in
+                if Dod.differentiable link ~q_self ~q_other then found := true)
+            (Dod.links context ~i ~gi)
+    done;
+    !found
+  in
+  let rows =
+    List.map
+      (fun ftype ->
+        {
+          ftype;
+          differentiating = differentiating_for ftype;
+          cells = Array.init n (fun i -> cell_for i ftype);
+        })
+      ftypes
+  in
+  let labels = Array.map (fun (p : Result_profile.t) -> p.label) results in
+  let dod = Dod.total context dfss in
+  let size_bound =
+    match size_bound with
+    | Some l -> l
+    | None -> Array.fold_left (fun acc d -> max acc (Dfs.size d)) 0 dfss
+  in
+  { labels; rows; dod; size_bound }

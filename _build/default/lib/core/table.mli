@@ -1,0 +1,37 @@
+(** The comparison table (Figure 2): DFSs arranged side by side.
+
+    One column per result, one row per feature type selected in at least one
+    DFS. A cell holds that result's selected features of the row's type with
+    their counts and entity populations (so renderers can print "8 of 11" or
+    "73%"); an empty cell means the type is {e not known} for that result —
+    the paper's "null" semantics, not a negative statement. *)
+
+type entry = {
+  feature : Feature.t;
+  count : int;
+  population : int;  (** of the feature's entity in that result *)
+}
+
+type cell =
+  | Unknown  (** type absent from the DFS (and possibly from the result) *)
+  | Entries of entry list  (** canonical order, non-empty *)
+
+type row = {
+  ftype : Feature.ftype;
+  differentiating : bool;
+      (** does this type differentiate at least one result pair? *)
+  cells : cell array;  (** one per result, in context order *)
+}
+
+type t = {
+  labels : string array;  (** result display labels (column headers) *)
+  rows : row list;
+      (** grouped by entity (ascending), then by maximal significance across
+          results (descending), then attribute *)
+  dod : int;  (** total DoD of the displayed DFSs *)
+  size_bound : int;
+}
+
+val build : ?size_bound:int -> Dod.context -> Dfs.t array -> t
+(** [size_bound] is only recorded for display (default: the largest DFS
+    size). *)

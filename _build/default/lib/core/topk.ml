@@ -1,0 +1,43 @@
+let weighted_fill ~key ~limit dfs =
+  let profile = Dfs.profile dfs in
+  let n = Result_profile.num_types profile in
+  let q = Dfs.to_q_array dfs in
+  let size = ref (Array.fold_left ( + ) 0 q) in
+  let current = ref (Dfs.of_q_array profile q) in
+  let continue = ref true in
+  while !continue && !size < limit do
+    (* Best next feature: highest key among heads of open types and heads
+       of openable types; ties by global type order (canonical). *)
+    let best = ref None in
+    for gi = 0 to n - 1 do
+      let info = Result_profile.type_info profile gi in
+      let qi = q.(gi) in
+      if qi < Array.length info.features && (qi > 0 || Dfs.can_open !current gi)
+      then begin
+        let k = key gi info.features.(qi).Result_profile.count in
+        match !best with
+        | Some (best_key, _) when best_key >= k -> ()
+        | _ -> best := Some (k, gi)
+      end
+    done;
+    match !best with
+    | None -> continue := false
+    | Some (_, gi) ->
+      q.(gi) <- q.(gi) + 1;
+      incr size;
+      current := Dfs.of_q_array profile q
+  done;
+  !current
+
+let fill ~limit dfs = weighted_fill ~key:(fun _ count -> count) ~limit dfs
+
+let generate_one ~limit profile = fill ~limit (Dfs.empty profile)
+
+let generate context ~limit =
+  Array.mapi
+    (fun i profile ->
+      (* Greedy key = weight x count, so user-prioritized types fill first;
+         with uniform weights this is plain count order. *)
+      let key gi count = Dod.weight_of context ~i ~gi * count in
+      weighted_fill ~key ~limit (Dfs.empty profile))
+    (Dod.results context)

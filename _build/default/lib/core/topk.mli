@@ -1,0 +1,26 @@
+(** Baseline DFS: greedy fill by occurrence count, per result independently.
+
+    This is the snippet-style selection the paper contrasts with (eXtract
+    highlights "the most frequently occurred information in the results"):
+    repeatedly take the highest-count not-yet-selected feature whose
+    selection keeps the DFS valid, until the size bound (or the result) is
+    exhausted. It ignores the other results entirely, which is exactly why
+    its DoD is poor — and it doubles as the initial solution of both swap
+    algorithms. *)
+
+val fill : limit:int -> Dfs.t -> Dfs.t
+(** Extend a partial DFS greedily by count up to [limit] features. The input
+    must be valid; the output is valid and has size [min limit
+    total-features]. *)
+
+val generate_one : limit:int -> Result_profile.t -> Dfs.t
+(** [fill ~limit (Dfs.empty profile)]. *)
+
+val generate : Dod.context -> limit:int -> Dfs.t array
+(** One independent top-k DFS per result of the context. Under a weighted
+    context the greedy key becomes [weight x count]: user-prioritized types
+    fill first, which also seeds the swap algorithms (whose initializer this
+    is) inside the region the weighting points at — a unilateral move can
+    never introduce a new shared type profitably, so the initial summaries
+    must already agree on what matters. With uniform weights this is
+    exactly [generate_one] per result. *)

@@ -1,0 +1,36 @@
+let uniform _ = 1
+
+let first_match ?(default = 1) rules key =
+  let rec scan = function
+    | [] -> default
+    | (pattern, weight) :: rest ->
+      if Xsact_util.Textutil.contains_substring key pattern then weight
+      else scan rest
+  in
+  scan rules
+
+let by_attribute ?default rules (t : Feature.ftype) =
+  first_match ?default rules t.Feature.attribute
+
+let by_entity ?default rules (t : Feature.ftype) =
+  first_match ?default rules t.Feature.entity
+
+let evidence profiles =
+  (* Precompute max significance per ftype across the result set. *)
+  let table = Hashtbl.create 64 in
+  Array.iter
+    (fun profile ->
+      Seq.iter
+        (fun (_, (ti : Result_profile.type_info)) ->
+          let prev =
+            Option.value ~default:0 (Hashtbl.find_opt table ti.ftype)
+          in
+          Hashtbl.replace table ti.ftype (max prev ti.significance))
+        (Result_profile.types_seq profile))
+    profiles;
+  fun ftype ->
+    match Hashtbl.find_opt table ftype with
+    | None | Some 0 -> 1
+    | Some s ->
+      let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+      1 + log2 0 s

@@ -1,0 +1,27 @@
+(** Built-in interestingness weightings for the weighted DoD objective
+    (see {!Dod.make_context}'s [weight] argument).
+
+    The demo paper lists "considering more factors (e.g., interestingness)
+    when selecting features for DFS" as future work; these are pragmatic
+    realizations. Weights are small non-negative integers: a type
+    contributes [weight] instead of 1 to the degree of differentiation when
+    it differentiates a pair. *)
+
+val uniform : Feature.ftype -> int
+(** Every type weighs 1 — the paper's objective. *)
+
+val by_attribute : ?default:int -> (string * int) list -> Feature.ftype -> int
+(** [by_attribute rules t] returns the weight of the first rule whose
+    pattern is a substring of [t]'s attribute, or [default] (1). Lets a user
+    say "I care about price and battery life": [by_attribute
+    [("price", 3); ("battery", 3)]]. *)
+
+val by_entity : ?default:int -> (string * int) list -> Feature.ftype -> int
+(** Same, matched against the entity name — e.g. weigh review opinions over
+    catalog attributes with [by_entity [("review", 2)]]. *)
+
+val evidence : Result_profile.t array -> Feature.ftype -> int
+(** Statistical-evidence weighting: a type weighs [1 + floor(log2 s)] where
+    [s] is its largest significance across the given results. Differences
+    backed by many observations ("38 of 68 reviewers") count more than
+    one-off values; identifier-like unit-count types keep weight 1. *)

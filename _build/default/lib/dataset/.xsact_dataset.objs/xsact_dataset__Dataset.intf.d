@@ -1,0 +1,1 @@
+lib/dataset/dataset.mli: Imdb Outdoor_retailer Product_reviews Xml

@@ -1,0 +1,1 @@
+lib/dataset/imdb.ml: Array Hashtbl List Names Printf Prng Sampling Xml

@@ -1,0 +1,1 @@
+lib/dataset/imdb.mli: Xml

@@ -1,0 +1,1 @@
+lib/dataset/imdb_list.ml: Buffer Bytes Filename Float Fun Hashtbl List Option Printf Result String Xml

@@ -1,0 +1,1 @@
+lib/dataset/imdb_list.mli: Xml

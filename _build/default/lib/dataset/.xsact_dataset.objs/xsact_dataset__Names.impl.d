@@ -1,0 +1,1 @@
+lib/dataset/names.ml: Prng Sampling

@@ -1,0 +1,1 @@
+lib/dataset/names.mli: Prng

@@ -1,0 +1,1 @@
+lib/dataset/outdoor_retailer.ml: Array List Names Printf Prng Sampling Xml

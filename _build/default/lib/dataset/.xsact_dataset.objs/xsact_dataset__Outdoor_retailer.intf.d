@@ -1,0 +1,1 @@
+lib/dataset/outdoor_retailer.mli: Xml

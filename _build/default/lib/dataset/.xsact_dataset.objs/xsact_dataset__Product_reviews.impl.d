@@ -1,0 +1,1 @@
+lib/dataset/product_reviews.ml: Array List Names Printf Prng Sampling Textutil Xml

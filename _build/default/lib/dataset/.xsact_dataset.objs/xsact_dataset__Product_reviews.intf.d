@@ -1,0 +1,1 @@
+lib/dataset/product_reviews.mli: Xml

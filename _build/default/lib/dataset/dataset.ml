@@ -1,0 +1,44 @@
+type t = {
+  name : string;
+  description : string;
+  document : Xml.document;
+  queries : (string * string) list;
+}
+
+let product_reviews ?(params = Product_reviews.default_params) () =
+  {
+    name = "product-reviews";
+    description =
+      "GPS / mobile phone / digital camera products with per-reviewer \
+       pros, cons and best uses (buzzillions.com stand-in)";
+    document = Product_reviews.generate params;
+    queries = Product_reviews.sample_queries;
+  }
+
+let outdoor_retailer ?(params = Outdoor_retailer.default_params) () =
+  {
+    name = "outdoor-retailer";
+    description =
+      "Outdoor brands with products across jackets, footwear, tents, packs, \
+       bicycles and clothes (REI.com stand-in)";
+    document = Outdoor_retailer.generate params;
+    queries = Outdoor_retailer.sample_queries;
+  }
+
+let imdb ?(params = Imdb.default_params) () =
+  {
+    name = "imdb";
+    description =
+      "Movies with title, year, rating and multi-valued genre / director / \
+       actor / keyword attributes (IMDB list snapshot stand-in)";
+    document = Imdb.generate params;
+    queries = Imdb.sample_queries;
+  }
+
+let names = [ "product-reviews"; "outdoor-retailer"; "imdb" ]
+
+let by_name = function
+  | "product-reviews" -> Some (product_reviews ())
+  | "outdoor-retailer" -> Some (outdoor_retailer ())
+  | "imdb" -> Some (imdb ())
+  | _ -> None

@@ -1,0 +1,19 @@
+(** Registry tying the generators together behind one interface, used by the
+    CLI, examples and benches. *)
+
+type t = {
+  name : string;  (** registry key, e.g. ["product-reviews"] *)
+  description : string;
+  document : Xml.document;
+  queries : (string * string) list;  (** (label, keywords) demo workload *)
+}
+
+val product_reviews : ?params:Product_reviews.params -> unit -> t
+val outdoor_retailer : ?params:Outdoor_retailer.params -> unit -> t
+val imdb : ?params:Imdb.params -> unit -> t
+
+val names : string list
+(** All registry keys. *)
+
+val by_name : string -> t option
+(** Build the dataset with default parameters; [None] for unknown names. *)

@@ -1,0 +1,209 @@
+type params = { seed : int; movies : int; year_range : int * int }
+
+let default_params = { seed = 1913; movies = 1500; year_range = (1970, 2009) }
+
+let genres =
+  [|
+    ("Drama", 5.0); ("Comedy", 4.5); ("Action", 3.5); ("Thriller", 3.0);
+    ("Romance", 2.5); ("Crime", 2.2); ("Adventure", 2.0); ("Horror", 1.8);
+    ("Sci-Fi", 1.5); ("Mystery", 1.3); ("Fantasy", 1.2); ("War", 0.8);
+    ("Western", 0.5); ("Animation", 0.9); ("Family", 1.0); ("Musical", 0.4);
+    ("Documentary", 0.6);
+  |]
+
+let famous_directors =
+  [|
+    "Steven Spielberg"; "Martin Scorsese"; "James Cameron"; "Ridley Scott";
+    "Joel Coen"; "Tim Burton"; "Clint Eastwood"; "Robert Zemeckis";
+    "Kathryn Bigelow"; "Spike Lee"; "Ron Howard"; "Oliver Stone";
+  |]
+
+let companies =
+  [|
+    "Paramount Pictures"; "Warner Bros"; "Universal Pictures";
+    "Columbia Pictures"; "20th Century Fox"; "Metro-Goldwyn-Mayer";
+    "Miramax Films"; "New Line Cinema"; "DreamWorks"; "Orion Pictures";
+  |]
+
+let countries =
+  [|
+    ("USA", 6.0); ("UK", 2.0); ("France", 1.5); ("Germany", 1.0);
+    ("Italy", 0.8); ("Canada", 0.8); ("Japan", 0.7); ("Australia", 0.5);
+    ("Spain", 0.5); ("Sweden", 0.3);
+  |]
+
+let languages =
+  [|
+    ("English", 8.0); ("French", 1.2); ("German", 0.8); ("Italian", 0.6);
+    ("Japanese", 0.6); ("Spanish", 0.6); ("Swedish", 0.25);
+  |]
+
+let certificates = [| "G"; "PG"; "PG-13"; "R"; "NC-17"; "Unrated" |]
+
+(* Keyword pools, weakly correlated with a genre cluster each; the final
+   movie keyword set mixes its genres' pools with the generic pool. *)
+let generic_keywords =
+  [|
+    "small-town"; "friendship"; "betrayal"; "family"; "redemption";
+    "road-trip"; "new-york"; "paris"; "london"; "based-on-novel"; "sequel";
+    "independent-film"; "flashback"; "voice-over";
+  |]
+
+let genre_keywords =
+  [
+    ("Action", [| "heist"; "explosion"; "car-chase"; "undercover"; "hostage"; "martial-arts" |]);
+    ("Thriller", [| "serial-killer"; "conspiracy"; "kidnapping"; "blackmail"; "cat-and-mouse" |]);
+    ("Crime", [| "heist"; "mafia"; "detective"; "prison-escape"; "courtroom" |]);
+    ("Drama", [| "courtroom"; "coming-of-age"; "terminal-illness"; "boxing"; "teacher" |]);
+    ("Comedy", [| "wedding"; "mistaken-identity"; "road-trip"; "slapstick"; "workplace" |]);
+    ("Romance", [| "wedding"; "love-triangle"; "paris"; "second-chance"; "letters" |]);
+    ("Horror", [| "haunted-house"; "vampire"; "zombie"; "possession"; "cabin" |]);
+    ("Sci-Fi", [| "space"; "robot"; "time-travel"; "alien"; "dystopia"; "cyborg" |]);
+    ("Fantasy", [| "dragon"; "quest"; "magic"; "prophecy"; "sword" |]);
+    ("Adventure", [| "treasure"; "jungle"; "expedition"; "island"; "map" |]);
+    ("War", [| "submarine"; "prisoner-of-war"; "resistance"; "d-day" |]);
+    ("Western", [| "gunslinger"; "outlaw"; "frontier"; "railroad" |]);
+    ("Mystery", [| "detective"; "locked-room"; "amnesia"; "missing-person" |]);
+  ]
+
+let title_adjectives =
+  [|
+    "Crimson"; "Silent"; "Broken"; "Golden"; "Midnight"; "Burning"; "Hidden";
+    "Savage"; "Electric"; "Distant"; "Fallen"; "Frozen"; "Hollow"; "Iron";
+    "Lost"; "Perfect"; "Restless"; "Scarlet"; "Shattered"; "Velvet";
+  |]
+
+let title_nouns =
+  [|
+    "Horizon"; "Empire"; "Shadow"; "River"; "Garden"; "Highway"; "Mirror";
+    "Harbor"; "Winter"; "Summer"; "Kingdom"; "Promise"; "Voyage"; "Secret";
+    "Storm"; "Echo"; "Crossing"; "Letter"; "Station"; "Fortune"; "Canyon";
+    "Masquerade"; "Reckoning"; "Labyrinth"; "Serenade";
+  |]
+
+let make_title g =
+  match Prng.int g 4 with
+  | 0 ->
+    Printf.sprintf "The %s %s" (Sampling.pick g title_adjectives)
+      (Sampling.pick g title_nouns)
+  | 1 ->
+    Printf.sprintf "%s of the %s" (Sampling.pick g title_nouns)
+      (Sampling.pick g title_nouns)
+  | 2 ->
+    Printf.sprintf "%s %s" (Sampling.pick g title_adjectives)
+      (Sampling.pick g title_nouns)
+  | _ ->
+    Printf.sprintf "The %s" (Sampling.pick g title_nouns)
+
+(* Directors: a third of the corpus goes to the famous pool (so queries like
+   "spielberg" have result sets), the rest to a generated pool that repeats
+   across movies. *)
+let make_director_pool g =
+  Array.init 60 (fun _ -> Names.full_name g)
+
+let make_actor_pool g =
+  Array.init 300 (fun _ -> Names.full_name g)
+
+let pick_genres g =
+  let count = 1 + Sampling.weighted_index g [| 3.0; 4.0; 2.0 |] in
+  let chosen = Hashtbl.create 4 in
+  let rec draw remaining acc =
+    if remaining = 0 then List.rev acc
+    else
+      let name, _ = genres.(Sampling.weighted_index g (Array.map snd genres)) in
+      if Hashtbl.mem chosen name then draw remaining acc
+      else begin
+        Hashtbl.add chosen name ();
+        draw (remaining - 1) (name :: acc)
+      end
+  in
+  draw count []
+
+let pick_keywords g movie_genres =
+  let pools =
+    List.filter_map (fun gname -> List.assoc_opt gname genre_keywords) movie_genres
+  in
+  let count = Prng.int_in g 2 6 in
+  let chosen = Hashtbl.create 8 in
+  let rec draw remaining acc attempts =
+    if remaining = 0 || attempts > 50 then List.rev acc
+    else
+      let kw =
+        if pools <> [] && Prng.chance g 0.6 then
+          Sampling.pick g (Sampling.pick_list g pools)
+        else Sampling.pick g generic_keywords
+      in
+      if Hashtbl.mem chosen kw then draw remaining acc (attempts + 1)
+      else begin
+        Hashtbl.add chosen kw ();
+        draw (remaining - 1) (kw :: acc) (attempts + 1)
+      end
+  in
+  draw count [] 0
+
+let movie g ~director_pool ~actor_pool ~year_range =
+  let lo_year, hi_year = year_range in
+  let title = make_title g in
+  let year = Prng.int_in g lo_year hi_year in
+  let movie_genres = pick_genres g in
+  let director_count = if Prng.chance g 0.08 then 2 else 1 in
+  let directors =
+    List.init director_count (fun _ ->
+        if Prng.chance g 0.33 then Sampling.pick g famous_directors
+        else Sampling.pick g director_pool)
+  in
+  let actor_count = Prng.int_in g 4 12 in
+  let actors =
+    Sampling.sample_without_replacement g actor_count actor_pool
+  in
+  let keywords = pick_keywords g movie_genres in
+  let rating = 2.0 +. Prng.float g 7.5 in
+  let votes = 50 + Prng.int g 250000 in
+  let runtime = Prng.int_in g 78 192 in
+  let country, _ = countries.(Sampling.weighted_index g (Array.map snd countries)) in
+  let language, _ = languages.(Sampling.weighted_index g (Array.map snd languages)) in
+  let multi tag items = Xml.elem (tag ^ "s") (List.map (Xml.leaf tag) items) in
+  let color =
+    (* Black and white fades out through the 70s-80s. *)
+    let bw_chance = if year < 1975 then 0.25 else if year < 1990 then 0.05 else 0.01 in
+    if Prng.chance g bw_chance then "Black and White" else "Color"
+  in
+  Xml.elem "movie"
+    [
+      Xml.leaf "title" title;
+      Xml.leaf "year" (string_of_int year);
+      Xml.leaf "runtime" (string_of_int runtime);
+      Xml.leaf "rating" (Printf.sprintf "%.1f" rating);
+      Xml.leaf "votes" (string_of_int votes);
+      Xml.leaf "certificate" (Sampling.pick g certificates);
+      Xml.leaf "color" color;
+      Xml.leaf "company" (Sampling.pick g companies);
+      Xml.leaf "country" country;
+      Xml.leaf "language" language;
+      multi "genre" movie_genres;
+      multi "director" directors;
+      multi "actor" actors;
+      multi "keyword" keywords;
+    ]
+
+let generate params =
+  let g = Prng.of_int params.seed in
+  let director_pool = make_director_pool g in
+  let actor_pool = make_actor_pool g in
+  let movies =
+    List.init params.movies (fun _ ->
+        movie g ~director_pool ~actor_pool ~year_range:params.year_range)
+  in
+  Xml.document { Xml.tag = "movies"; attrs = []; children = movies }
+
+let sample_queries =
+  [
+    ("QM1", "action");
+    ("QM2", "comedy 1994");
+    ("QM3", "spielberg");
+    ("QM4", "thriller heist");
+    ("QM5", "romance wedding");
+    ("QM6", "horror vampire");
+    ("QM7", "drama courtroom usa");
+    ("QM8", "sci fi space");
+  ]

@@ -1,0 +1,28 @@
+(** Synthetic IMDB movie corpus.
+
+    Figure 4 of the paper evaluates XSACT on "a movie data set extracted
+    from IMDB" (the ftp.sunet.se list snapshot). That snapshot is not
+    redistributable, so this generator produces a corpus with the same
+    entity/attribute structure: movies carrying title, year, runtime,
+    rating, votes, certificate, production company, country, language, and
+    the multi-valued genre / director / actor / keyword attributes.
+
+    Directors and actors are drawn from finite pools (including a few
+    well-known names used by the benchmark queries), genres follow a skewed
+    popularity distribution, and keyword sets correlate weakly with genres —
+    enough texture that the QM1..QM8 queries return result sets of varying
+    sizes and feature profiles. *)
+
+type params = {
+  seed : int;
+  movies : int;
+  year_range : int * int;  (** inclusive *)
+}
+
+val default_params : params
+(** [seed = 1913; movies = 1500; year_range = (1970, 2009)]. *)
+
+val generate : params -> Xml.document
+
+val sample_queries : (string * string) list
+(** The benchmark workload QM1..QM8 (label, keywords). *)

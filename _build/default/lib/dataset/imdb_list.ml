@@ -1,0 +1,507 @@
+type movie = {
+  title : string;
+  year : int;
+  qualifier : int;
+  runtime : int;
+  rating : float;
+  votes : int;
+  certificate : string;
+  color : string;
+  company : string;
+  country : string;
+  language : string;
+  genres : string list;
+  directors : string list;
+  actors : string list;
+  keywords : string list;
+}
+
+let roman n =
+  (* Qualifiers stay tiny (duplicate count of one title/year), so a direct
+     table beats a general algorithm. *)
+  match n with
+  | 1 -> "I"
+  | 2 -> "II"
+  | 3 -> "III"
+  | 4 -> "IV"
+  | 5 -> "V"
+  | 6 -> "VI"
+  | 7 -> "VII"
+  | 8 -> "VIII"
+  | 9 -> "IX"
+  | 10 -> "X"
+  | n -> Printf.sprintf "N%d" n
+
+let of_roman s =
+  let table =
+    [ ("I", 1); ("II", 2); ("III", 3); ("IV", 4); ("V", 5); ("VI", 6);
+      ("VII", 7); ("VIII", 8); ("IX", 9); ("X", 10) ]
+  in
+  match List.assoc_opt s table with
+  | Some n -> Some n
+  | None ->
+    if String.length s > 1 && s.[0] = 'N' then
+      int_of_string_opt (String.sub s 1 (String.length s - 1))
+    else None
+
+let key m =
+  if m.qualifier <= 1 then Printf.sprintf "%s (%d)" m.title m.year
+  else Printf.sprintf "%s (%d/%s)" m.title m.year (roman m.qualifier)
+
+let parse_key s =
+  (* "Title (1999)" or "Title (1999/II)". The title may itself contain
+     parentheses, so match the trailing group. *)
+  let n = String.length s in
+  if n < 7 || s.[n - 1] <> ')' then None
+  else
+    match String.rindex_opt s '(' with
+    | None -> None
+    | Some open_paren ->
+      if open_paren < 2 || s.[open_paren - 1] <> ' ' then None
+      else
+        let body = String.sub s (open_paren + 1) (n - open_paren - 2) in
+        let title = String.sub s 0 (open_paren - 1) in
+        (match String.index_opt body '/' with
+        | None ->
+          Option.map (fun year -> (title, year, 1)) (int_of_string_opt body)
+        | Some slash ->
+          let year = String.sub body 0 slash in
+          let qual = String.sub body (slash + 1) (String.length body - slash - 1) in
+          (match (int_of_string_opt year, of_roman qual) with
+          | Some y, Some q -> Some (title, y, q)
+          | _ -> None))
+
+type files = {
+  movies : string;
+  ratings : string;
+  genres : string;
+  keywords : string;
+  directors : string;
+  actors : string;
+  attributes : string;
+}
+
+let file_names =
+  ( [
+      (fun f -> f.movies);
+      (fun f -> f.ratings);
+      (fun f -> f.genres);
+      (fun f -> f.keywords);
+      (fun f -> f.directors);
+      (fun f -> f.actors);
+      (fun f -> f.attributes);
+    ],
+    [
+      "movies.list"; "ratings.list"; "genres.list"; "keywords.list";
+      "directors.list"; "actors.list"; "attributes.list";
+    ] )
+
+(* ---- XML <-> movie records ---------------------------------------------- *)
+
+let field e name =
+  match Xml.child e name with
+  | Some c -> Ok (Xml.text_content c)
+  | None -> Error (Printf.sprintf "movie element missing <%s>" name)
+
+let int_field e name =
+  Result.bind (field e name) (fun s ->
+      match int_of_string_opt s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "non-integer <%s>: %s" name s))
+
+let float_field e name =
+  Result.bind (field e name) (fun s ->
+      match float_of_string_opt s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "non-float <%s>: %s" name s))
+
+let multi_field e plural singular =
+  match Xml.child e plural with
+  | None -> Error (Printf.sprintf "movie element missing <%s>" plural)
+  | Some wrap -> Ok (List.map Xml.text_content (Xml.children_named wrap singular))
+
+let ( let* ) = Result.bind
+
+let movie_of_element counts e =
+  let* title = field e "title" in
+  let* year = int_field e "year" in
+  let* runtime = int_field e "runtime" in
+  let* rating = float_field e "rating" in
+  let* votes = int_field e "votes" in
+  let* certificate = field e "certificate" in
+  let* color = field e "color" in
+  let* company = field e "company" in
+  let* country = field e "country" in
+  let* language = field e "language" in
+  let* genres = multi_field e "genres" "genre" in
+  let* directors = multi_field e "directors" "director" in
+  let* actors = multi_field e "actors" "actor" in
+  let* keywords = multi_field e "keywords" "keyword" in
+  let k = (title, year) in
+  let qualifier = 1 + (try Hashtbl.find counts k with Not_found -> 0) in
+  Hashtbl.replace counts k qualifier;
+  Ok
+    {
+      title; year; qualifier; runtime; rating; votes; certificate; color;
+      company; country; language; genres; directors; actors; keywords;
+    }
+
+let movies_of_document (doc : Xml.document) =
+  if doc.root.Xml.tag <> "movies" then
+    Error (Printf.sprintf "expected <movies> root, got <%s>" doc.root.Xml.tag)
+  else
+    let counts = Hashtbl.create 64 in
+    List.fold_left
+      (fun acc e ->
+        let* movies = acc in
+        let* m = movie_of_element counts e in
+        Ok (m :: movies))
+      (Ok [])
+      (Xml.children_named doc.root "movie")
+    |> Result.map List.rev
+
+let element_of_movie m =
+  let multi tag items = Xml.elem (tag ^ "s") (List.map (Xml.leaf tag) items) in
+  Xml.elem "movie"
+    [
+      Xml.leaf "title" m.title;
+      Xml.leaf "year" (string_of_int m.year);
+      Xml.leaf "runtime" (string_of_int m.runtime);
+      Xml.leaf "rating" (Printf.sprintf "%.1f" m.rating);
+      Xml.leaf "votes" (string_of_int m.votes);
+      Xml.leaf "certificate" m.certificate;
+      Xml.leaf "color" m.color;
+      Xml.leaf "company" m.company;
+      Xml.leaf "country" m.country;
+      Xml.leaf "language" m.language;
+      multi "genre" m.genres;
+      multi "director" m.directors;
+      multi "actor" m.actors;
+      multi "keyword" m.keywords;
+    ]
+
+let document_of_movies movies =
+  let children = List.map element_of_movie movies in
+  Xml.document { Xml.tag = "movies"; attrs = []; children }
+
+(* ---- Writing --------------------------------------------------------------- *)
+
+(* A fake-but-plausible 10-digit star-distribution histogram: mass piles up
+   around the rating. Purely decorative, like the original's. *)
+let distribution rating =
+  let buf = Bytes.make 10 '0' in
+  let center = int_of_float (Float.round rating) - 1 in
+  let center = max 0 (min 9 center) in
+  Bytes.set buf center '9';
+  if center > 0 then Bytes.set buf (center - 1) '2';
+  if center < 9 then Bytes.set buf (center + 1) '2';
+  Bytes.to_string buf
+
+(* Person files carry IMDB-style billing positions ("Title (1999)  <3>" =
+   third credit of that movie), which is what makes the per-movie credit
+   order survive the person-major file layout. *)
+let write_person_file people =
+  (* people: (name, (title key, billing) list) in first-appearance order. *)
+  let buf = Buffer.create 4096 in
+  let entry (k, billing) = Printf.sprintf "%s  <%d>" k billing in
+  List.iter
+    (fun (name, entries) ->
+      match entries with
+      | [] -> ()
+      | first :: rest ->
+        Buffer.add_string buf (Printf.sprintf "%s\t%s\n" name (entry first));
+        List.iter
+          (fun e -> Buffer.add_string buf (Printf.sprintf "\t%s\n" (entry e)))
+          rest;
+        Buffer.add_char buf '\n')
+    people;
+  Buffer.contents buf
+
+let group_people select movies =
+  let order = ref [] in
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      let k = key m in
+      List.iteri
+        (fun idx name ->
+          let entry = (k, idx + 1) in
+          match Hashtbl.find_opt table name with
+          | Some entries -> entries := entry :: !entries
+          | None ->
+            Hashtbl.add table name (ref [ entry ]);
+            order := name :: !order)
+        (select m))
+    movies;
+  List.rev_map (fun name -> (name, List.rev !(Hashtbl.find table name))) !order
+
+let write movies =
+  let buf_of f =
+    let buf = Buffer.create 4096 in
+    List.iter (fun m -> f buf m) movies;
+    Buffer.contents buf
+  in
+  let movies_file = buf_of (fun buf m -> Buffer.add_string buf (key m ^ "\n")) in
+  let ratings =
+    buf_of (fun buf m ->
+        Buffer.add_string buf
+          (Printf.sprintf "      %s  %7d  %4.1f  %s\n" (distribution m.rating)
+             m.votes m.rating (key m)))
+  in
+  let value_lines select =
+    buf_of (fun buf m ->
+        List.iter
+          (fun v -> Buffer.add_string buf (Printf.sprintf "%s\t%s\n" (key m) v))
+          (select m))
+  in
+  let attributes =
+    buf_of (fun buf m ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%s\truntime=%d\tcertificate=%s\tcolor=%s\tcompany=%s\tcountry=%s\tlanguage=%s\n"
+             (key m) m.runtime m.certificate m.color m.company m.country
+             m.language))
+  in
+  {
+    movies = movies_file;
+    ratings;
+    genres = value_lines (fun m -> m.genres);
+    keywords = value_lines (fun m -> m.keywords);
+    directors = write_person_file (group_people (fun m -> m.directors) movies);
+    actors = write_person_file (group_people (fun m -> m.actors) movies);
+    attributes;
+  }
+
+let write_dir dir movies =
+  let files = write movies in
+  let accessors, names = file_names in
+  List.iter2
+    (fun accessor name ->
+      let oc = open_out_bin (Filename.concat dir name) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (accessor files)))
+    accessors names
+
+(* ---- Parsing --------------------------------------------------------------- *)
+
+exception Bad_line of string * int * string
+
+let lines_of s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter (fun (_, line) -> line <> "")
+
+let split_tab ~file ~line_no line =
+  match String.index_opt line '\t' with
+  | None -> raise (Bad_line (file, line_no, "expected a tab separator"))
+  | Some i ->
+    ( String.sub line 0 i,
+      String.sub line (i + 1) (String.length line - i - 1) )
+
+(* builder: key -> partially filled movie (hashtable of mutable records via
+   refs to immutable records). *)
+type partial = {
+  mutable p_runtime : int;
+  mutable p_rating : float;
+  mutable p_votes : int;
+  mutable p_certificate : string;
+  mutable p_color : string;
+  mutable p_company : string;
+  mutable p_country : string;
+  mutable p_language : string;
+  mutable p_genres : string list;  (* reversed *)
+  mutable p_directors : (int * string) list;
+  mutable p_actors : (int * string) list;
+  mutable p_keywords : string list;
+}
+
+let parse files =
+  let table : (string, partial) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let find ~file ~line_no k =
+    match Hashtbl.find_opt table k with
+    | Some p -> p
+    | None -> raise (Bad_line (file, line_no, Printf.sprintf "unknown movie %S" k))
+  in
+  try
+    (* movies.list declares the keys and the order. *)
+    List.iter
+      (fun (line_no, line) ->
+        match parse_key line with
+        | None -> raise (Bad_line ("movies.list", line_no, "malformed movie key"))
+        | Some _ ->
+          if Hashtbl.mem table line then
+            raise (Bad_line ("movies.list", line_no, "duplicate movie key"));
+          Hashtbl.add table line
+            {
+              p_runtime = 0; p_rating = 0.0; p_votes = 0; p_certificate = "";
+              p_color = ""; p_company = ""; p_country = ""; p_language = "";
+              p_genres = [];
+              p_directors = []; p_actors = []; p_keywords = [];
+            };
+          order := line :: !order)
+      (lines_of files.movies);
+    (* ratings.list: "      <dist>  <votes>  <rank>  <key>" *)
+    List.iter
+      (fun (line_no, line) ->
+        let fail () = raise (Bad_line ("ratings.list", line_no, "malformed rating line")) in
+        let trimmed = String.trim line in
+        (* split into 4 fields: dist votes rank key-with-spaces *)
+        let rec split3 acc s count =
+          if count = 0 then (List.rev acc, s)
+          else
+            match String.index_opt s ' ' with
+            | None -> fail ()
+            | Some i ->
+              let tok = String.sub s 0 i in
+              let rest =
+                let j = ref i in
+                while !j < String.length s && s.[!j] = ' ' do incr j done;
+                String.sub s !j (String.length s - !j)
+              in
+              if tok = "" then fail () else split3 (tok :: acc) rest (count - 1)
+        in
+        let fields, key_str = split3 [] trimmed 3 in
+        match fields with
+        | [ _dist; votes; rank ] ->
+          let p = find ~file:"ratings.list" ~line_no key_str in
+          (match (int_of_string_opt votes, float_of_string_opt rank) with
+          | Some v, Some r ->
+            p.p_votes <- v;
+            p.p_rating <- r
+          | _ -> fail ())
+        | _ -> fail ())
+      (lines_of files.ratings);
+    (* genres.list / keywords.list *)
+    let parse_values file content set =
+      List.iter
+        (fun (line_no, line) ->
+          let k, v = split_tab ~file ~line_no line in
+          let p = find ~file ~line_no k in
+          set p v)
+        (lines_of content)
+    in
+    parse_values "genres.list" files.genres (fun p v ->
+        p.p_genres <- v :: p.p_genres);
+    parse_values "keywords.list" files.keywords (fun p v ->
+        p.p_keywords <- v :: p.p_keywords);
+    (* directors.list / actors.list: person-grouped with continuations.
+       Blank lines were filtered by [lines_of]; continuation lines start
+       with a tab. *)
+    let parse_people file content add =
+      let current = ref None in
+      let split_entry ~line_no entry =
+        (* "Title (1999)  <3>" *)
+        match String.rindex_opt entry '<' with
+        | Some i
+          when i >= 2
+               && String.length entry > i + 1
+               && entry.[String.length entry - 1] = '>' ->
+          let k = String.trim (String.sub entry 0 i) in
+          let billing =
+            String.sub entry (i + 1) (String.length entry - i - 2)
+          in
+          (match int_of_string_opt billing with
+          | Some b -> (k, b)
+          | None -> raise (Bad_line (file, line_no, "malformed billing position")))
+        | _ -> raise (Bad_line (file, line_no, "missing billing position"))
+      in
+      List.iter
+        (fun (line_no, line) ->
+          if line.[0] = '\t' then begin
+            let entry = String.sub line 1 (String.length line - 1) in
+            let k, billing = split_entry ~line_no entry in
+            match !current with
+            | None -> raise (Bad_line (file, line_no, "continuation before a name"))
+            | Some name -> add (find ~file ~line_no k) billing name
+          end
+          else begin
+            let name, entry = split_tab ~file ~line_no line in
+            let k, billing = split_entry ~line_no entry in
+            current := Some name;
+            add (find ~file ~line_no k) billing name
+          end)
+        (lines_of content)
+    in
+    parse_people "directors.list" files.directors (fun p billing name ->
+        p.p_directors <- (billing, name) :: p.p_directors);
+    parse_people "actors.list" files.actors (fun p billing name ->
+        p.p_actors <- (billing, name) :: p.p_actors);
+    (* attributes.list *)
+    List.iter
+      (fun (line_no, line) ->
+        let file = "attributes.list" in
+        let k, rest = split_tab ~file ~line_no line in
+        let p = find ~file ~line_no k in
+        String.split_on_char '\t' rest
+        |> List.iter (fun binding ->
+               match String.index_opt binding '=' with
+               | None ->
+                 raise (Bad_line (file, line_no, "malformed key=value binding"))
+               | Some i ->
+                 let name = String.sub binding 0 i in
+                 let value =
+                   String.sub binding (i + 1) (String.length binding - i - 1)
+                 in
+                 (match name with
+                 | "runtime" ->
+                   (match int_of_string_opt value with
+                   | Some v -> p.p_runtime <- v
+                   | None ->
+                     raise (Bad_line (file, line_no, "non-integer runtime")))
+                 | "certificate" -> p.p_certificate <- value
+                 | "color" -> p.p_color <- value
+                 | "company" -> p.p_company <- value
+                 | "country" -> p.p_country <- value
+                 | "language" -> p.p_language <- value
+                 | other ->
+                   raise
+                     (Bad_line
+                        (file, line_no, Printf.sprintf "unknown attribute %S" other)))))
+      (lines_of files.attributes);
+    let movies =
+      List.rev_map
+        (fun k ->
+          let title, year, qualifier =
+            match parse_key k with Some v -> v | None -> assert false
+          in
+          let p = Hashtbl.find table k in
+          {
+            title; year; qualifier;
+            runtime = p.p_runtime;
+            rating = p.p_rating;
+            votes = p.p_votes;
+            certificate = p.p_certificate;
+            color = p.p_color;
+            company = p.p_company;
+            country = p.p_country;
+            language = p.p_language;
+            genres = List.rev p.p_genres;
+            directors =
+              List.sort compare p.p_directors |> List.map snd;
+            actors = List.sort compare p.p_actors |> List.map snd;
+            keywords = List.rev p.p_keywords;
+          })
+        !order
+    in
+    Ok movies
+  with Bad_line (file, line_no, msg) ->
+    Error (Printf.sprintf "%s, line %d: %s" file line_no msg)
+
+let parse_dir dir =
+  let read name =
+    let path = Filename.concat dir name in
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match
+    let _, names = file_names in
+    List.map read names
+  with
+  | exception Sys_error msg -> Error msg
+  | [ movies; ratings; genres; keywords; directors; actors; attributes ] ->
+    parse { movies; ratings; genres; keywords; directors; actors; attributes }
+  | _ -> assert false

@@ -1,0 +1,90 @@
+(** IMDB list-file interchange format.
+
+    The paper's Figure 4 corpus was "extracted from IMDB"
+    ([ftp://ftp.sunet.se/pub/tv+movies/imdb/]) — the classic plain-text
+    *.list snapshot. This module speaks a faithful simplification of that
+    format, so the pipeline can be driven from list files exactly like the
+    original system:
+
+    - [movies.list]    — one movie key per line: [Title (1999)] (duplicate
+      title/year pairs disambiguated [Title (1999/II)] like IMDB);
+    - [ratings.list]   — ["  <distribution>  <votes>  <rank>  <key>"], the
+      10-digit star-distribution histogram included;
+    - [genres.list], [keywords.list] — ["<key>\tValue"], one line per value;
+    - [directors.list], [actors.list] — person-grouped: the name and first
+      title on one line, further titles on tab-indented continuation lines,
+      people separated by blank lines;
+    - [attributes.list] — our extension carrying the remaining scalar fields
+      ([runtime=], [certificate=], ...) so that XML -> lists -> XML is
+      lossless.
+
+    {!movies_of_document} / {!document_of_movies} convert to and from the
+    XML corpus shape produced by {!Imdb.generate}; writing then parsing then
+    rebuilding reproduces the original document exactly (round-trip
+    tested). *)
+
+type movie = {
+  title : string;
+  year : int;
+  qualifier : int;  (** 1 for the first [Title (year)], 2 for [/II], ... *)
+  runtime : int;
+  rating : float;
+  votes : int;
+  certificate : string;
+  color : string;
+  company : string;
+  country : string;
+  language : string;
+  genres : string list;
+  directors : string list;
+  actors : string list;
+  keywords : string list;
+}
+
+val key : movie -> string
+(** ["Title (1999)"] or ["Title (1999/II)"] for [qualifier > 1]. *)
+
+val parse_key : string -> (string * int * int) option
+(** Inverse of {!key}: [(title, year, qualifier)], or [None] on malformed
+    keys. Titles may themselves contain parentheses; the trailing group
+    wins. *)
+
+type files = {
+  movies : string;
+  ratings : string;
+  genres : string;
+  keywords : string;
+  directors : string;
+  actors : string;
+  attributes : string;
+}
+(** The seven list files, as strings. *)
+
+val file_names : (files -> string) list * string list
+(** Accessors and their conventional on-disk names, aligned:
+    [movies.list; ratings.list; ...]. *)
+
+(** {1 XML <-> movie records} *)
+
+val movies_of_document : Xml.document -> (movie list, string) result
+(** Read the corpus shape produced by {!Imdb.generate}; qualifiers are
+    assigned in document order. Malformed movie elements yield [Error]. *)
+
+val document_of_movies : movie list -> Xml.document
+(** Rebuild the exact XML shape of {!Imdb.generate}. *)
+
+(** {1 Writing and parsing list files} *)
+
+val write : movie list -> files
+
+val write_dir : string -> movie list -> unit
+(** Write the seven files into an existing directory.
+    @raise Sys_error on I/O failure. *)
+
+val parse : files -> (movie list, string) result
+(** Inverse of {!write}. Errors carry the file and line number, e.g.
+    ["ratings.list, line 3: malformed rating line"]. Movies appear in
+    [movies.list] order; entries in other files referring to unknown keys
+    are errors. *)
+
+val parse_dir : string -> (movie list, string) result

@@ -1,0 +1,67 @@
+let first_names =
+  [|
+    "James"; "Mary"; "Robert"; "Patricia"; "John"; "Jennifer"; "Michael";
+    "Linda"; "David"; "Elizabeth"; "William"; "Barbara"; "Richard"; "Susan";
+    "Joseph"; "Jessica"; "Thomas"; "Sarah"; "Charles"; "Karen"; "Christopher";
+    "Lisa"; "Daniel"; "Nancy"; "Matthew"; "Betty"; "Anthony"; "Sandra";
+    "Mark"; "Margaret"; "Donald"; "Ashley"; "Steven"; "Kimberly"; "Andrew";
+    "Emily"; "Paul"; "Donna"; "Joshua"; "Michelle"; "Kenneth"; "Carol";
+    "Kevin"; "Amanda"; "Brian"; "Dorothy"; "George"; "Melissa"; "Timothy";
+    "Deborah"; "Ronald"; "Stephanie"; "Jason"; "Rebecca"; "Edward"; "Sharon";
+    "Jeffrey"; "Laura"; "Ryan"; "Cynthia"; "Jacob"; "Kathleen"; "Gary";
+    "Amy"; "Nicholas"; "Angela"; "Eric"; "Shirley"; "Jonathan"; "Anna";
+    "Stephen"; "Brenda"; "Larry"; "Pamela"; "Justin"; "Emma"; "Scott";
+    "Nicole"; "Brandon"; "Helen"; "Benjamin"; "Samantha"; "Samuel";
+    "Katherine"; "Gregory"; "Christine"; "Alexander"; "Debra"; "Patrick";
+    "Rachel"; "Frank"; "Carolyn"; "Raymond"; "Janet"; "Jack"; "Maria";
+    "Dennis"; "Olivia"; "Jerry"; "Heather";
+  |]
+
+let last_names =
+  [|
+    "Smith"; "Johnson"; "Williams"; "Brown"; "Jones"; "Garcia"; "Miller";
+    "Davis"; "Rodriguez"; "Martinez"; "Hernandez"; "Lopez"; "Gonzalez";
+    "Wilson"; "Anderson"; "Thomas"; "Taylor"; "Moore"; "Jackson"; "Martin";
+    "Lee"; "Perez"; "Thompson"; "White"; "Harris"; "Sanchez"; "Clark";
+    "Ramirez"; "Lewis"; "Robinson"; "Walker"; "Young"; "Allen"; "King";
+    "Wright"; "Scott"; "Torres"; "Nguyen"; "Hill"; "Flores"; "Green";
+    "Adams"; "Nelson"; "Baker"; "Hall"; "Rivera"; "Campbell"; "Mitchell";
+    "Carter"; "Roberts"; "Gomez"; "Phillips"; "Evans"; "Turner"; "Diaz";
+    "Parker"; "Cruz"; "Edwards"; "Collins"; "Reyes"; "Stewart"; "Morris";
+    "Morales"; "Murphy"; "Cook"; "Rogers"; "Gutierrez"; "Ortiz"; "Morgan";
+    "Cooper"; "Peterson"; "Bailey"; "Reed"; "Kelly"; "Howard"; "Ramos";
+    "Kim"; "Cox"; "Ward"; "Richardson"; "Watson"; "Brooks"; "Chavez";
+    "Wood"; "James"; "Bennett"; "Gray"; "Mendoza"; "Ruiz"; "Hughes";
+    "Price"; "Alvarez"; "Castillo"; "Sanders"; "Patel"; "Myers"; "Long";
+    "Ross"; "Foster"; "Jimenez";
+  |]
+
+let hobby_words =
+  [|
+    "roadtrip"; "gadget"; "travel"; "outdoor"; "trail"; "photo"; "pixel";
+    "techie"; "driver"; "hiker"; "camper"; "runner"; "cyclist"; "shutter";
+    "signal"; "compass"; "voyager"; "nomad"; "scout"; "ranger";
+  |]
+
+let cities =
+  [|
+    "Phoenix"; "Seattle"; "Denver"; "Austin"; "Portland"; "Chicago";
+    "Boston"; "Atlanta"; "Tucson"; "Boulder"; "Madison"; "Raleigh";
+    "Columbus"; "Omaha"; "Reno"; "Spokane"; "Eugene"; "Fresno"; "Tampa";
+    "Albany"; "Richmond"; "Savannah"; "Missoula"; "Flagstaff"; "Bend";
+  |]
+
+let full_name g =
+  Sampling.pick g first_names ^ " " ^ Sampling.pick g last_names
+
+let username g =
+  let word = Sampling.pick g hobby_words in
+  let suffix =
+    match Prng.int g 3 with
+    | 0 -> string_of_int (Prng.int_in g 1 99)
+    | 1 -> "fan" ^ string_of_int (Prng.int_in g 1 99)
+    | _ -> Sampling.pick g hobby_words
+  in
+  word ^ suffix
+
+let city g = Sampling.pick g cities

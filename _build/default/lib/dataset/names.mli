@@ -1,0 +1,14 @@
+(** Person-name material for the generators (reviewer names, directors,
+    actors). All draws are deterministic given the PRNG state. *)
+
+val first_names : string array
+val last_names : string array
+
+val full_name : Prng.t -> string
+(** ["First Last"]. *)
+
+val username : Prng.t -> string
+(** Lowercase reviewer handle like ["roadtripfan42"]. *)
+
+val city : Prng.t -> string
+(** A city name for reviewer locations / brand headquarters. *)

@@ -1,0 +1,218 @@
+type params = {
+  seed : int;
+  brands : int;
+  min_products : int;
+  max_products : int;
+}
+
+let default_params =
+  { seed = 7392; brands = 12; min_products = 30; max_products = 120 }
+
+let brand_names =
+  [|
+    "Marmot"; "Columbia"; "Patagonia"; "Mountain Hardwear"; "Arc'teryx";
+    "The North Face"; "Mammut"; "Salomon"; "Merrell"; "Vasque"; "Osprey";
+    "Kelty"; "Sierra Designs"; "Outdoor Research"; "Black Diamond";
+    "Marlin Cycles"; "Cannondale"; "Novara";
+  |]
+
+type cat_def = {
+  cat : string;
+  subcats : string array;
+  flags : string array;  (* boolean feature labels *)
+  price_range : float * float;
+  gendered : bool;
+}
+
+let cat_defs =
+  [|
+    {
+      cat = "jackets";
+      subcats =
+        [|
+          "rain-jackets"; "insulated-ski-jackets"; "softshell-jackets";
+          "down-jackets"; "fleece-jackets"; "windbreakers";
+        |];
+      flags =
+        [|
+          "waterproof"; "breathable"; "windproof"; "packable"; "insulated";
+          "pit-zips"; "adjustable-hood"; "seam-taped"; "lightweight";
+        |];
+      price_range = (59.0, 499.0);
+      gendered = true;
+    };
+    {
+      cat = "footwear";
+      subcats =
+        [|
+          "hiking-boots"; "trail-runners"; "mountaineering-boots"; "sandals";
+          "approach-shoes";
+        |];
+      flags =
+        [|
+          "waterproof"; "vibram-sole"; "gore-tex-lining"; "ankle-support";
+          "breathable"; "lightweight"; "wide-sizes";
+        |];
+      price_range = (49.0, 349.0);
+      gendered = true;
+    };
+    {
+      cat = "tents";
+      subcats = [| "backpacking-tents"; "camping-tents"; "mountaineering-tents" |];
+      flags =
+        [|
+          "freestanding"; "three-season"; "four-season"; "vestibule";
+          "ultralight"; "color-coded-poles";
+        |];
+      price_range = (129.0, 699.0);
+      gendered = false;
+    };
+    {
+      cat = "packs";
+      subcats = [| "daypacks"; "overnight-packs"; "expedition-packs"; "hydration-packs" |];
+      flags =
+        [|
+          "hydration-compatible"; "rain-cover"; "hip-belt"; "ventilated-back";
+          "top-loading"; "adjustable-torso";
+        |];
+      price_range = (39.0, 429.0);
+      gendered = true;
+    };
+    {
+      cat = "bicycles";
+      subcats = [| "mountain-bikes"; "road-bikes"; "hybrid-bikes"; "kids-bikes" |];
+      flags =
+        [|
+          "disc-brakes"; "front-suspension"; "full-suspension";
+          "aluminum-frame"; "carbon-fork"; "tubeless-ready";
+        |];
+      price_range = (249.0, 3499.0);
+      gendered = true;
+    };
+    {
+      cat = "clothes";
+      subcats = [| "base-layers"; "hiking-pants"; "shorts"; "shirts"; "socks" |];
+      flags =
+        [|
+          "moisture-wicking"; "quick-dry"; "upf-rated"; "merino-wool";
+          "stretch-fabric"; "zip-off-legs";
+        |];
+      price_range = (15.0, 159.0);
+      gendered = true;
+    };
+  |]
+
+let adjectives =
+  [|
+    "Alpine"; "Summit"; "Ridge"; "Cascade"; "Torrent"; "Glacier"; "Canyon";
+    "Sierra"; "Monsoon"; "Storm"; "Trail"; "Peak"; "Basecamp"; "Horizon";
+    "Traverse"; "Vertex"; "Cirrus"; "Stratus"; "Boulder"; "Juniper";
+  |]
+
+(* Brand focus: a weight per category and, inside each category, a weight per
+   subcategory; a couple of signature subcategories carry most of the mass. *)
+type focus = {
+  cat_weights : float array;
+  subcat_weights : float array array;
+}
+
+let make_focus g =
+  let cat_weights =
+    Array.map
+      (fun _ -> 0.2 +. Prng.float g 1.0)
+      cat_defs
+  in
+  (* Two signature categories get boosted weight. *)
+  for _ = 1 to 2 do
+    let i = Prng.int g (Array.length cat_defs) in
+    cat_weights.(i) <- cat_weights.(i) +. 3.0 +. Prng.float g 3.0
+  done;
+  let subcat_weights =
+    Array.map
+      (fun def ->
+        let w = Array.map (fun _ -> 0.15 +. Prng.float g 0.6) def.subcats in
+        (* One signature subcategory per category dominates. *)
+        let i = Prng.int g (Array.length def.subcats) in
+        w.(i) <- w.(i) +. 3.5 +. Prng.float g 2.5;
+        w)
+      cat_defs
+  in
+  { cat_weights; subcat_weights }
+
+let product g focus ~brand =
+  let ci = Sampling.weighted_index g focus.cat_weights in
+  let def = cat_defs.(ci) in
+  let si = Sampling.weighted_index g focus.subcat_weights.(ci) in
+  let subcat = def.subcats.(si) in
+  let adjective = Sampling.pick g adjectives in
+  let series = Prng.int_in g 1 9 * 10 in
+  let gender =
+    if def.gendered then
+      Sampling.weighted g [ ("men", 1.0); ("women", 1.0); ("unisex", 0.4) ]
+    else "unisex"
+  in
+  let name =
+    Printf.sprintf "%s %s %d" brand adjective series
+  in
+  let lo, hi = def.price_range in
+  let price = lo +. Prng.float g (hi -. lo) in
+  let flag_count = Prng.int_in g 2 (min 5 (Array.length def.flags)) in
+  let flags = Sampling.sample_without_replacement g flag_count def.flags in
+  let feature_items =
+    List.map (fun flag -> Xml.elem "feature" [ Xml.leaf flag "yes" ]) flags
+  in
+  let material =
+    Sampling.weighted g
+      [
+        ("nylon", 2.0); ("polyester", 2.0); ("gore-tex", 1.2); ("down", 0.8);
+        ("merino-wool", 0.6); ("aluminum", 0.5); ("cotton-blend", 0.7);
+      ]
+  in
+  let origin =
+    Sampling.weighted g
+      [ ("imported", 5.0); ("usa", 1.5); ("canada", 0.5) ]
+  in
+  Xml.elem "product"
+    ([
+       Xml.leaf "name" name;
+       Xml.leaf "category" def.cat;
+       Xml.leaf "subcategory" subcat;
+       Xml.leaf "gender" gender;
+       Xml.leaf "material" material;
+       Xml.leaf "origin" origin;
+       Xml.leaf "price" (Printf.sprintf "%.2f" price);
+     ]
+    @ if feature_items = [] then [] else [ Xml.elem "features" feature_items ])
+
+let generate params =
+  let g = Prng.of_int params.seed in
+  let count = min params.brands (Array.length brand_names) in
+  let brands =
+    List.init count (fun i ->
+        let brand = brand_names.(i) in
+        let focus = make_focus g in
+        let product_count =
+          Prng.int_in g params.min_products params.max_products
+        in
+        let products =
+          List.init product_count (fun _ -> product g focus ~brand)
+        in
+        Xml.elem "brand"
+          [
+            Xml.leaf "name" brand;
+            Xml.leaf "founded" (string_of_int (Prng.int_in g 1902 1995));
+            Xml.leaf "headquarters" (Names.city g);
+            Xml.elem "products" products;
+          ])
+  in
+  Xml.document { Xml.tag = "brands"; attrs = []; children = brands }
+
+let sample_queries =
+  [
+    ("QO1", "men jackets");
+    ("QO2", "women jackets");
+    ("QO3", "waterproof jackets");
+    ("QO4", "hiking boots");
+    ("QO5", "backpacking tents");
+    ("QO6", "mountain bikes");
+  ]

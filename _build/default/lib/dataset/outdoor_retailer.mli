@@ -1,0 +1,27 @@
+(** Synthetic Outdoor Retailer corpus (stands in for the REI.com crawl).
+
+    Shape, following the demo's Section 3: a list of brands, each with a set
+    of products for outdoor recreation (jackets, footwear, tents, bicycles,
+    packs, ...). Each product carries category / subcategory / gender /
+    price / material-style attributes plus boolean feature flags
+    ([<features><feature><waterproof>yes</waterproof></feature>...]).
+
+    Every brand draws a {e focus} — a skewed distribution over categories and
+    subcategories (e.g. a brand that mostly sells rain jackets) — so that the
+    demo scenario works: comparing brands on a "men jackets" query reveals
+    the different focuses, exactly the Marmot-vs-Columbia story in the
+    paper. *)
+
+type params = {
+  seed : int;
+  brands : int;
+  min_products : int;  (** per brand, inclusive *)
+  max_products : int;  (** per brand, inclusive *)
+}
+
+val default_params : params
+(** [seed = 7392; brands = 12; min_products = 30; max_products = 120]. *)
+
+val generate : params -> Xml.document
+
+val sample_queries : (string * string) list

@@ -1,0 +1,253 @@
+type params = {
+  seed : int;
+  products : int;
+  min_reviews : int;
+  max_reviews : int;
+}
+
+let default_params = { seed = 2010; products = 30; min_reviews = 8; max_reviews = 80 }
+
+type category = {
+  cat_name : string;  (* display name, e.g. "GPS" *)
+  brands : (string * string array) array;  (* brand, model lines *)
+  pros : string array;  (* slug feature labels *)
+  cons : string array;
+  best_uses : string array;
+  user_categories : string array;
+  price_range : float * float;
+}
+
+let gps_category =
+  {
+    cat_name = "GPS";
+    brands =
+      [|
+        ("TomTom", [| "Go 630"; "Go 730"; "Go 930"; "One XL"; "One 140" |]);
+        ("Garmin", [| "Nuvi 260"; "Nuvi 360"; "Nuvi 755"; "Nuvi 1350"; "Zumo 550" |]);
+        ("Magellan", [| "Maestro 3250"; "Maestro 4350"; "RoadMate 1412" |]);
+        ("Navigon", [| "2090S"; "7200T" |]);
+      |];
+    pros =
+      [|
+        "easy-to-read"; "compact"; "easy-to-setup"; "acquires-satellites-quickly";
+        "large-screen"; "accurate-directions"; "clear-voice-prompts";
+        "long-battery-life"; "fast-routing"; "intuitive-menus"; "good-value";
+        "sturdy-mount"; "bright-display"; "helpful-poi-database";
+      |];
+    cons =
+      [|
+        "short-battery-life"; "slow-startup"; "outdated-maps"; "weak-speaker";
+        "glare-in-sunlight"; "flimsy-mount"; "pricey-map-updates";
+        "confusing-menus"; "slow-recalculation";
+      |];
+    best_uses = [| "auto"; "road-trips"; "commuting"; "travel"; "walking"; "boating" |];
+    user_categories =
+      [| "casual-user"; "frequent-traveler"; "professional-driver"; "technophile" |];
+    price_range = (89.0, 499.0);
+  }
+
+let phone_category =
+  {
+    cat_name = "Mobile Phone";
+    brands =
+      [|
+        ("Nokia", [| "E71"; "N95"; "5310"; "6300" |]);
+        ("Motorola", [| "Razr V3"; "Krzr K1"; "Q9" |]);
+        ("Samsung", [| "Omnia"; "Propel"; "Gravity" |]);
+        ("BlackBerry", [| "Curve 8310"; "Bold 9000"; "Pearl 8120" |]);
+        ("LG", [| "Voyager"; "Dare"; "enV2" |]);
+      |];
+    pros =
+      [|
+        "long-battery-life"; "good-reception"; "loud-speaker"; "compact";
+        "durable"; "easy-to-use"; "bright-screen"; "good-camera";
+        "comfortable-keypad"; "fast-messaging"; "good-value"; "slim-design";
+        "clear-calls";
+      |];
+    cons =
+      [|
+        "short-battery-life"; "poor-reception"; "small-keys"; "dim-screen";
+        "fragile"; "laggy-menus"; "weak-camera"; "quiet-speaker";
+        "awkward-charger";
+      |];
+    best_uses = [| "everyday-calls"; "texting"; "business"; "travel"; "music" |];
+    user_categories =
+      [| "casual-user"; "business-user"; "heavy-texter"; "technophile" |];
+    price_range = (49.0, 399.0);
+  }
+
+let camera_category =
+  {
+    cat_name = "Digital Camera";
+    brands =
+      [|
+        ("Canon", [| "PowerShot SD1100"; "PowerShot G10"; "Rebel XSi" |]);
+        ("Nikon", [| "Coolpix S550"; "Coolpix P80"; "D60" |]);
+        ("Sony", [| "Cyber-shot W120"; "Cyber-shot H50"; "Alpha A200" |]);
+        ("Olympus", [| "Stylus 1010"; "FE-360" |]);
+        ("Kodak", [| "EasyShare M863"; "EasyShare Z1012" |]);
+      |];
+    pros =
+      [|
+        "sharp-images"; "fast-shutter"; "compact"; "easy-to-use";
+        "good-low-light"; "long-zoom"; "image-stabilization"; "vivid-colors";
+        "long-battery-life"; "quick-startup"; "good-value"; "large-lcd";
+        "sturdy-body";
+      |];
+    cons =
+      [|
+        "slow-focus"; "noisy-images"; "short-battery-life"; "bulky";
+        "weak-flash"; "confusing-menus"; "slow-between-shots"; "soft-corners";
+      |];
+    best_uses =
+      [| "family-photos"; "travel"; "sports"; "portraits"; "landscapes"; "macro" |];
+    user_categories =
+      [| "casual-user"; "enthusiast"; "parent"; "semi-professional" |];
+    price_range = (99.0, 899.0);
+  }
+
+let categories = [| gps_category; phone_category; camera_category |]
+
+(* A product's opinion profile: per feature label, the probability a reviewer
+   endorses it. A few signature features get high probability, the rest a low
+   background rate, so per-product counts come out heavy-tailed like the
+   Figure 1 statistics. *)
+let profile g labels ~signatures ~hi_lo ~hi_hi ~bg =
+  let probs = Array.map (fun label -> (label, bg)) labels in
+  let order = Array.init (Array.length labels) (fun i -> i) in
+  Sampling.shuffle g order;
+  let signature_count = min signatures (Array.length labels) in
+  for k = 0 to signature_count - 1 do
+    let i = order.(k) in
+    let label, _ = probs.(i) in
+    probs.(i) <- (label, hi_lo +. Prng.float g (hi_hi -. hi_lo))
+  done;
+  probs
+
+let opinion_elements g probs wrapper =
+  Array.to_list probs
+  |> List.filter_map (fun (label, p) ->
+         if Prng.chance g p then
+           Some (Xml.elem wrapper [ Xml.leaf label "yes" ])
+         else None)
+
+let ownership_periods =
+  [|
+    ("less-than-a-month", 1.0); ("one-to-six-months", 2.0);
+    ("six-months-to-a-year", 1.5); ("more-than-a-year", 1.0);
+  |]
+
+let review g ~pro_probs ~con_probs ~use_probs ~ucat_probs =
+  let reviewer =
+    Xml.elem "reviewer"
+      [
+        Xml.leaf "nickname" (Names.username g);
+        Xml.leaf "location" (Names.city g);
+      ]
+  in
+  let stars = Xml.leaf "stars" (string_of_int (Prng.int_in g 1 5)) in
+  let ownership =
+    let period, _ =
+      ownership_periods.(Sampling.weighted_index g (Array.map snd ownership_periods))
+    in
+    Xml.leaf "ownership" period
+  in
+  let verified =
+    Xml.leaf "verified" (if Prng.chance g 0.7 then "yes" else "no")
+  in
+  let pros = opinion_elements g pro_probs "pro" in
+  let cons = opinion_elements g con_probs "con" in
+  let uses = opinion_elements g use_probs "best-use" in
+  let ucats = opinion_elements g ucat_probs "user-category" in
+  let section tag = function [] -> [] | items -> [ Xml.elem tag items ] in
+  Xml.elem "review"
+    ([ reviewer; stars; ownership; verified ]
+    @ section "pros" pros
+    @ section "cons" cons
+    @ section "uses" (uses @ ucats))
+
+let product g idx =
+  (* Round-robin over categories, then over each category's brands and model
+     lines, so every brand/model appears before any repeats — sample queries
+     like "tomtom gps" must always have results. *)
+  let cat = categories.(idx mod Array.length categories) in
+  let slot = idx / Array.length categories in
+  let brand, models = cat.brands.(slot mod Array.length cat.brands) in
+  let model = models.((slot / Array.length cat.brands) mod Array.length models) in
+  let generation = slot / (Array.length cat.brands * Array.length models) in
+  let name =
+    if generation = 0 then Printf.sprintf "%s %s %s" brand model cat.cat_name
+    else Printf.sprintf "%s %s %s (v%d)" brand model cat.cat_name (generation + 1)
+  in
+  let lo, hi = cat.price_range in
+  let price = lo +. Prng.float g (hi -. lo) in
+  let pro_probs =
+    profile g cat.pros ~signatures:(Prng.int_in g 3 6) ~hi_lo:0.35 ~hi_hi:0.9
+      ~bg:0.05
+  in
+  let con_probs =
+    profile g cat.cons ~signatures:(Prng.int_in g 1 3) ~hi_lo:0.2 ~hi_hi:0.5
+      ~bg:0.04
+  in
+  let use_probs =
+    profile g cat.best_uses ~signatures:(Prng.int_in g 1 2) ~hi_lo:0.3
+      ~hi_hi:0.7 ~bg:0.08
+  in
+  let ucat_probs =
+    profile g cat.user_categories ~signatures:1 ~hi_lo:0.3 ~hi_hi:0.6 ~bg:0.1
+  in
+  (name, brand, cat, price, pro_probs, con_probs, use_probs, ucat_probs)
+
+let generate params =
+  let g = Prng.of_int params.seed in
+  let products =
+    List.init params.products (fun idx ->
+        let name, brand, cat, price, pro_probs, con_probs, use_probs, ucat_probs =
+          product g idx
+        in
+        let review_count = Prng.int_in g params.min_reviews params.max_reviews in
+        let reviews =
+          List.init review_count (fun _ ->
+              review g ~pro_probs ~con_probs ~use_probs ~ucat_probs)
+        in
+        let star_sum =
+          List.fold_left
+            (fun acc r ->
+              match r with
+              | Xml.Element e ->
+                (match Xml.child e "stars" with
+                | Some s -> acc + int_of_string (Xml.text_content s)
+                | None -> acc)
+              | _ -> acc)
+            0 reviews
+        in
+        let rating =
+          if review_count = 0 then 0.0
+          else float_of_int star_sum /. float_of_int review_count
+        in
+        Xml.elem "product"
+          [
+            Xml.leaf "name" name;
+            Xml.leaf "brand" brand;
+            Xml.leaf "category" cat.cat_name;
+            Xml.leaf "price" (Printf.sprintf "%.2f" price);
+            Xml.leaf "rating" (Printf.sprintf "%.1f" rating);
+            Xml.leaf "url"
+              (Printf.sprintf "http://www.buzzillions.com/reviews/%s"
+                 (Textutil.slug name));
+            Xml.elem "reviews" reviews;
+          ])
+  in
+  Xml.document { Xml.tag = "products"; attrs = []; children = products }
+
+let sample_queries =
+  [
+    ("QP1", "tomtom gps");
+    ("QP2", "garmin gps");
+    ("QP3", "gps");
+    ("QP4", "nokia phone");
+    ("QP5", "mobile phone");
+    ("QP6", "canon camera");
+    ("QP7", "digital camera");
+    ("QP8", "compact camera");
+  ]

@@ -1,0 +1,32 @@
+(** Synthetic Product Reviews corpus (stands in for the buzzillions.com
+    crawl of the demo).
+
+    Shape, mirroring Figure 1 of the paper: a flat list of products (GPS
+    devices, mobile phones, digital cameras), each with name / brand /
+    category / price / rating / url attributes and a set of reviews; each
+    review carries the reviewer's nickname and location, a star rating, and
+    boolean feature opinions grouped into pros, cons and uses (best-use and
+    user-category), e.g. [<pros><pro><compact>yes</compact></pro>...]</pros>].
+
+    Every product draws a hidden "opinion profile" — a handful of signature
+    pros/cons its reviewers agree on with high probability, everything else
+    rare — so that different products have overlapping but distinct
+    heavy-tailed feature statistics, which is exactly the structure the DFS
+    algorithms feed on. *)
+
+type params = {
+  seed : int;
+  products : int;  (** number of products across all categories *)
+  min_reviews : int;  (** per product, inclusive *)
+  max_reviews : int;  (** per product, inclusive *)
+}
+
+val default_params : params
+(** [seed = 2010; products = 30; min_reviews = 8; max_reviews = 80]. *)
+
+val generate : params -> Xml.document
+(** Deterministic in [params]. *)
+
+val sample_queries : (string * string) list
+(** [(label, keywords)] pairs that return useful result sets on the default
+    corpus, e.g. [("QP1", "tomtom gps")]. *)

@@ -1,0 +1,1 @@
+lib/search/doctree.ml: Array Dewey List Xml

@@ -1,0 +1,1 @@
+lib/search/doctree.mli: Dewey Xml

@@ -1,0 +1,1 @@
+lib/search/index.ml: Array Doctree Hashtbl List Token

@@ -1,0 +1,1 @@
+lib/search/index.mli: Doctree

@@ -1,0 +1,1 @@
+lib/search/node_category.ml: Array Doctree Hashtbl List String Xml

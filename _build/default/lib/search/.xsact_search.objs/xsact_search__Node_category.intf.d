@@ -1,0 +1,1 @@
+lib/search/node_category.mli: Doctree

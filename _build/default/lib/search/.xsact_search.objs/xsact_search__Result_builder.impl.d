@@ -1,0 +1,1 @@
+lib/search/result_builder.ml: Hashtbl List Node_category Token Xml

@@ -1,0 +1,1 @@
+lib/search/result_builder.mli: Node_category Xml

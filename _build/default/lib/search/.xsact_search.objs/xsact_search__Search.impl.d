@@ -1,0 +1,1 @@
+lib/search/search.ml: Array Dewey Doctree Float Hashtbl Index Int List Logs Node_category Slca Token Xml

@@ -1,0 +1,1 @@
+lib/search/search.mli: Dewey Doctree Index Node_category Xml

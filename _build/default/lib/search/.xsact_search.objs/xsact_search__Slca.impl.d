@@ -1,0 +1,1 @@
+lib/search/slca.ml: Array Dewey Doctree Index Int List Option

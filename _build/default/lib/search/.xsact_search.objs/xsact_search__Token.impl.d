@@ -1,0 +1,1 @@
+lib/search/token.ml: Hashtbl List Xml Xsact_util

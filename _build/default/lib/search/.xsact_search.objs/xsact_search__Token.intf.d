@@ -1,0 +1,1 @@
+lib/search/token.mli: Xml

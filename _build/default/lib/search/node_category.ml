@@ -1,0 +1,79 @@
+type category = Entity | Attribute | Connection
+
+let category_to_string = function
+  | Entity -> "entity"
+  | Attribute -> "attribute"
+  | Connection -> "connection"
+
+type t = (string, category) Hashtbl.t
+
+(* Per-tag evidence gathered in one pass. A tag is an entity when it both
+   repeats among siblings somewhere (a "*-node") and has internal structure
+   (some instance with at least two element children). Repeating tags without
+   structure — <genre>, <pro> wrapping a single value — are multi-valued
+   attributes of their enclosing entity, matching how the paper reads
+   Figure 1 (pro:compact is a feature type of the review entity, not an
+   entity of its own). *)
+let infer tree =
+  let repeats : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let structured : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let has_value : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let has_element_children : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let all_tags : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (node : Doctree.node) ->
+      let e = node.element in
+      if not (Hashtbl.mem all_tags node.tag) then
+        Hashtbl.add all_tags node.tag ();
+      if node.text <> "" || e.attrs <> [] then
+        Hashtbl.replace has_value node.tag ();
+      let children = Xml.children_elements e in
+      if children <> [] then Hashtbl.replace has_element_children node.tag ();
+      if List.length children >= 2 then Hashtbl.replace structured node.tag ();
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun (c : Xml.element) ->
+          let k = try Hashtbl.find counts c.tag with Not_found -> 0 in
+          Hashtbl.replace counts c.tag (k + 1))
+        children;
+      Hashtbl.iter
+        (fun tag k -> if k > 1 then Hashtbl.replace repeats tag ())
+        counts)
+    (Doctree.nodes tree);
+  let table = Hashtbl.create (Hashtbl.length all_tags) in
+  Hashtbl.iter
+    (fun tag () ->
+      let cat =
+        if Hashtbl.mem repeats tag && Hashtbl.mem structured tag then Entity
+        else if
+          Hashtbl.mem has_value tag
+          || not (Hashtbl.mem has_element_children tag)
+        then Attribute
+        else if Hashtbl.mem repeats tag then Attribute
+          (* repeating but value-like: multi-valued attribute *)
+        else Connection
+      in
+      Hashtbl.replace table tag cat)
+    all_tags;
+  table
+
+let category t tag =
+  match Hashtbl.find_opt t tag with Some c -> c | None -> Attribute
+
+let is_entity t tag = category t tag = Entity
+let is_attribute t tag = category t tag = Attribute
+
+let entity_of t tree id =
+  let rec up id =
+    let node = Doctree.node tree id in
+    if is_entity t node.tag then id
+    else
+      match node.parent with
+      | -1 -> id
+      | p -> up p
+  in
+  up id
+
+let tags t =
+  Hashtbl.fold (fun tag cat acc -> (tag, cat) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,41 @@
+(** XSeek-style node categorization.
+
+    XSACT's entity identifier "infers entities and attributes in the results
+    [3], defined in the spirit of the Entity-Relationship model". Following
+    XSeek, categories are inferred per {e node type} (element tag) from the
+    data itself, with no schema:
+
+    - a tag names an {b entity} if somewhere in the corpus several siblings
+      share it (a "*-node" in DTD terms) {e and} it has internal structure
+      (an instance with two or more element children): [review] under
+      [reviews];
+    - a tag names an {b attribute} if it carries a value directly ([name],
+      [rating]), or if it repeats but is value-like — a multi-valued
+      attribute such as [genre] or the [pro] wrappers of Figure 1;
+    - any remaining tag is a {b connection} node that merely groups others:
+      [reviews], [pros]. *)
+
+type category = Entity | Attribute | Connection
+
+val category_to_string : category -> string
+
+type t
+(** Per-tag category assignment inferred from one corpus. *)
+
+val infer : Doctree.t -> t
+(** Single pass over the node table. *)
+
+val category : t -> string -> category
+(** Category of a tag; unknown tags default to [Attribute] (a safe default
+    for tags introduced by small test fixtures). *)
+
+val is_entity : t -> string -> bool
+val is_attribute : t -> string -> bool
+
+val entity_of : t -> Doctree.t -> int -> int
+(** [entity_of cats tree id] is the id of the nearest ancestor-or-self of
+    [id] whose tag is an entity, falling back to the root when none is. This
+    is the node XSACT attaches a feature's {e entity} to. *)
+
+val tags : t -> (string * category) list
+(** All inferred tags with categories, sorted by tag name. *)

@@ -1,0 +1,198 @@
+let full_mask k = (1 lsl k) - 1
+
+(* Bottom-up keyword-mask aggregation: masks.(id) accumulates the set of
+   keywords matched in the subtree of [id]. Pre-order ids guarantee
+   parent < child, so one descending scan pushes every mask to the parent. *)
+let subtree_masks index keywords =
+  let tree = Index.doctree index in
+  let n = Doctree.size tree in
+  let masks = Array.make n 0 in
+  List.iteri
+    (fun ki kw ->
+      let bit = 1 lsl ki in
+      Array.iter
+        (fun id -> masks.(id) <- masks.(id) lor bit)
+        (Index.postings index kw))
+    keywords;
+  let nodes = Doctree.nodes tree in
+  for id = n - 1 downto 1 do
+    let p = nodes.(id).parent in
+    masks.(p) <- masks.(p) lor masks.(id)
+  done;
+  masks
+
+let lca_candidates index keywords =
+  match keywords with
+  | [] -> []
+  | _ ->
+    let k = List.length keywords in
+    let full = full_mask k in
+    let masks = subtree_masks index keywords in
+    let acc = ref [] in
+    for id = Array.length masks - 1 downto 0 do
+      if masks.(id) = full then acc := id :: !acc
+    done;
+    !acc
+
+let by_aggregation index keywords =
+  match keywords with
+  | [] -> []
+  | _ ->
+    let k = List.length keywords in
+    let full = full_mask k in
+    let tree = Index.doctree index in
+    let masks = subtree_masks index keywords in
+    let n = Array.length masks in
+    (* A candidate is smallest iff no child subtree is also a candidate.
+       covered.(id) = some proper descendant of id is a candidate. *)
+    let covered = Array.make n false in
+    let nodes = Doctree.nodes tree in
+    for id = n - 1 downto 1 do
+      if masks.(id) = full then begin
+        let p = nodes.(id).parent in
+        covered.(p) <- true
+      end
+    done;
+    (* Propagate coverage upward: a node whose child is covered is covered
+       too (the candidate sits deeper). *)
+    for id = n - 1 downto 1 do
+      if covered.(id) then covered.(nodes.(id).parent) <- true
+    done;
+    let acc = ref [] in
+    for id = n - 1 downto 0 do
+      if masks.(id) = full && not covered.(id) then acc := id :: !acc
+    done;
+    !acc
+
+let elca index keywords =
+  match keywords with
+  | [] -> []
+  | _ ->
+    let k = List.length keywords in
+    let full = full_mask k in
+    let tree = Index.doctree index in
+    let n = Doctree.size tree in
+    let masks = subtree_masks index keywords in
+    (* Direct-match bits per node. *)
+    let direct = Array.make n 0 in
+    List.iteri
+      (fun ki kw ->
+        let bit = 1 lsl ki in
+        Array.iter
+          (fun id -> direct.(id) <- direct.(id) lor bit)
+          (Index.postings index kw))
+      keywords;
+    (* contribution.(v) = keywords witnessed in v's subtree outside every
+       descendant LCA candidate. Children have larger pre-order ids, so a
+       descending pass sees each child's final contribution before its
+       parent accumulates it; full-mask children contribute nothing (their
+       witnesses belong to the nested result). *)
+    let contribution = Array.copy direct in
+    let nodes = Doctree.nodes tree in
+    for id = n - 1 downto 1 do
+      let p = nodes.(id).parent in
+      if masks.(id) <> full then
+        contribution.(p) <- contribution.(p) lor contribution.(id)
+    done;
+    let acc = ref [] in
+    for id = n - 1 downto 0 do
+      if contribution.(id) = full then acc := id :: !acc
+    done;
+    !acc
+
+(* Dewey-merge implementation, used as a testing oracle.
+
+   For each match v of the rarest keyword, and for each other keyword list L,
+   find the elements of L closest to v in document order (predecessor and
+   successor); the deeper of lca(v, pred) and lca(v, succ) is the lowest
+   ancestor of v with a match of that keyword. Intersecting over all lists
+   (taking the shallowest of the per-list lowest ancestors) gives the lowest
+   ancestor of v covering all keywords. The SLCAs are the minimal elements of
+   that candidate set. *)
+let by_merge index keywords =
+  match keywords with
+  | [] -> []
+  | _ ->
+    let tree = Index.doctree index in
+    let lists = List.map (fun kw -> Index.postings index kw) keywords in
+    if List.exists (fun arr -> Array.length arr = 0) lists then []
+    else
+      let deweys = Array.map (fun (n : Doctree.node) -> n.dewey) (Doctree.nodes tree) in
+      let rarest, others =
+        let sorted =
+          List.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists
+        in
+        (List.hd sorted, List.tl sorted)
+      in
+      (* Binary search in [arr] (ascending ids = ascending dewey order) for
+         the rightmost id whose dewey <= target's, and its successor. *)
+      let neighbors arr target_dewey =
+        let lo = ref 0 and hi = ref (Array.length arr - 1) in
+        let pred = ref None in
+        while !lo <= !hi do
+          let mid = (!lo + !hi) / 2 in
+          if Dewey.compare deweys.(arr.(mid)) target_dewey <= 0 then begin
+            pred := Some mid;
+            lo := mid + 1
+          end
+          else hi := mid - 1
+        done;
+        let succ =
+          match !pred with
+          | None -> if Array.length arr > 0 then Some 0 else None
+          | Some i -> if i + 1 < Array.length arr then Some (i + 1) else None
+        in
+        ( Option.map (fun i -> arr.(i)) !pred,
+          Option.map (fun i -> arr.(i)) succ )
+      in
+      let candidate_for v =
+        let vd = deweys.(v) in
+        List.fold_left
+          (fun acc arr ->
+            match acc with
+            | None -> None
+            | Some ancestor_dewey ->
+              let pred, succ = neighbors arr vd in
+              let lca_of = function
+                | None -> None
+                | Some u -> Some (Dewey.lca vd deweys.(u))
+              in
+              let best =
+                match (lca_of pred, lca_of succ) with
+                | None, None -> None
+                | Some d, None | None, Some d -> Some d
+                | Some d1, Some d2 ->
+                  Some (if Dewey.depth d1 >= Dewey.depth d2 then d1 else d2)
+              in
+              (match best with
+              | None -> None
+              | Some d ->
+                (* The covering ancestor for all lists so far is the
+                   shallower of the two (it must contain both). *)
+                Some
+                  (if Dewey.depth d <= Dewey.depth ancestor_dewey then d
+                   else ancestor_dewey)))
+          (Some vd) others
+      in
+      let candidates =
+        Array.to_list rarest
+        |> List.filter_map (fun v ->
+               match candidate_for v with
+               | None -> None
+               | Some d ->
+                 (match Doctree.find_by_dewey tree d with
+                 | Some node -> Some node.id
+                 | None -> None))
+      in
+      let sorted = List.sort_uniq Int.compare candidates in
+      (* Keep minimal candidates only: drop any candidate that is a proper
+         ancestor of another candidate. *)
+      List.filter
+        (fun id ->
+          not
+            (List.exists
+               (fun other ->
+                 other <> id
+                 && Doctree.is_descendant_or_self tree ~ancestor:id other)
+               sorted))
+        sorted

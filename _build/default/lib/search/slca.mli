@@ -1,0 +1,29 @@
+(** Smallest Lowest Common Ancestor computation.
+
+    The match semantics XSeek [3,4] builds on: a node is an LCA candidate if
+    its subtree contains at least one direct match of every query keyword; it
+    is a {e smallest} LCA (SLCA) if additionally no proper descendant is
+    itself an LCA candidate. Two independent implementations are provided —
+    the production one (linear bottom-up aggregation over the node table) and
+    a Dewey-merge one in the style of Xu & Papakonstantinou's indexed lookup,
+    kept as an oracle for property tests. *)
+
+val by_aggregation : Index.t -> string list -> int list
+(** Ascending ids of the SLCAs of the keywords' match lists. Keywords with
+    empty posting lists make the result empty (conjunctive semantics). An
+    empty keyword list yields []. *)
+
+val by_merge : Index.t -> string list -> int list
+(** Same contract, computed via Dewey-label binary searches. *)
+
+val lca_candidates : Index.t -> string list -> int list
+(** Ascending ids of {e all} LCA candidates (every node whose subtree covers
+    all keywords), used by tests and by result widening. *)
+
+val elca : Index.t -> string list -> int list
+(** Exclusive LCAs (XRank semantics): [v] is an ELCA iff every keyword has a
+    witness match inside [v]'s subtree that does not sit inside any
+    descendant LCA candidate. Every SLCA is an ELCA; an ELCA may additionally
+    own matches "of its own" above nested results (e.g. a department node
+    naming a keyword that also appears in each of its employees). Ascending
+    ids; same conjunctive contract as {!by_aggregation}. *)

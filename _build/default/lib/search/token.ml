@@ -1,0 +1,38 @@
+let tokenize s = Xsact_util.Textutil.lowercase_ascii_words s
+
+let tokenize_unique s =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun tok ->
+      if Hashtbl.mem seen tok then false
+      else begin
+        Hashtbl.add seen tok ();
+        true
+      end)
+    (tokenize s)
+
+let stopwords =
+  [
+    "a"; "an"; "and"; "are"; "as"; "at"; "be"; "by"; "for"; "from"; "has";
+    "he"; "in"; "is"; "it"; "its"; "of"; "on"; "or"; "that"; "the"; "to";
+    "was"; "were"; "will"; "with";
+  ]
+
+let stopword_table =
+  let table = Hashtbl.create 32 in
+  List.iter (fun w -> Hashtbl.add table w ()) stopwords;
+  table
+
+let is_stopword w = Hashtbl.mem stopword_table w
+
+let normalize_query s =
+  let toks = tokenize_unique s in
+  match List.filter (fun t -> not (is_stopword t)) toks with
+  | [] -> toks
+  | kept -> kept
+
+let element_tokens (e : Xml.element) =
+  let from_attrs =
+    List.concat_map (fun (_, value) -> tokenize value) e.attrs
+  in
+  tokenize e.tag @ tokenize (Xml.immediate_text e) @ from_attrs

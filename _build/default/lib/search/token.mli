@@ -1,0 +1,21 @@
+(** Keyword tokenization, shared by index construction and query parsing. *)
+
+val tokenize : string -> string list
+(** Lowercased alphanumeric runs, in order, duplicates kept. *)
+
+val tokenize_unique : string -> string list
+(** Like {!tokenize} but duplicates removed, first occurrence order kept —
+    the form a keyword query is normalized to. *)
+
+val is_stopword : string -> bool
+(** A small closed-class English stopword list. The engine indexes
+    stopwords (structured values like "best use" matter) but drops them from
+    queries when at least one non-stopword remains. *)
+
+val normalize_query : string -> string list
+(** [tokenize_unique] then stopword-drop (keeping everything if the query is
+    all stopwords). *)
+
+val element_tokens : Xml.element -> string list
+(** Tokens contributed by one node for indexing: its tag name, its immediate
+    text, and its attribute values (not attribute names). *)

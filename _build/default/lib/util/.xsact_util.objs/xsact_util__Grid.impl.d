@@ -1,0 +1,1 @@
+lib/util/grid.ml: Array Buffer List String Textutil

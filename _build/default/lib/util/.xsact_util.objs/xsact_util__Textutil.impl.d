@@ -1,0 +1,1 @@
+lib/util/textutil.ml: Buffer List String

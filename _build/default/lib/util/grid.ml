@@ -1,0 +1,68 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = { max_col_width : int; mutable rows : row list (* reversed *) }
+
+let create ?(max_col_width = 40) () = { max_col_width; rows = [] }
+
+let add_row t cells =
+  let clipped = List.map (fun c -> Textutil.truncate_middle c t.max_col_width) cells in
+  t.rows <- Cells clipped :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let align_cell align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let left = (width - n) / 2 in
+      let right = width - n - left in
+      String.make left ' ' ^ s ^ String.make right ' '
+
+let render ?(aligns = []) t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc row ->
+        match row with Cells cs -> max acc (List.length cs) | Separator -> acc)
+      0 rows
+  in
+  if ncols = 0 then ""
+  else begin
+    let widths = Array.make ncols 0 in
+    let note_row cs =
+      List.iteri
+        (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+        cs
+    in
+    List.iter (function Cells cs -> note_row cs | Separator -> ()) rows;
+    let align_of i = match List.nth_opt aligns i with Some a -> a | None -> Left in
+    let buf = Buffer.create 1024 in
+    let total_width =
+      Array.fold_left ( + ) 0 widths + (3 * (ncols - 1))
+    in
+    let pad_cells cs =
+      let arr = Array.make ncols "" in
+      List.iteri (fun i c -> if i < ncols then arr.(i) <- c) cs;
+      arr
+    in
+    List.iter
+      (fun row ->
+        (match row with
+        | Separator -> Buffer.add_string buf (String.make total_width '-')
+        | Cells cs ->
+          let arr = pad_cells cs in
+          Array.iteri
+            (fun i c ->
+              if i > 0 then Buffer.add_string buf " | ";
+              Buffer.add_string buf (align_cell (align_of i) widths.(i) c))
+            arr);
+        Buffer.add_char buf '\n')
+      rows;
+    Buffer.contents buf
+  end

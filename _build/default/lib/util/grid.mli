@@ -1,0 +1,26 @@
+(** Monospace table layout.
+
+    Renders a list of rows as an aligned ASCII grid, used by the plain-text
+    comparison-table renderer and by the benchmark harness to print the
+    paper's figures as tables. *)
+
+type align = Left | Right | Center
+
+type t
+(** A grid under construction. *)
+
+val create : ?max_col_width:int -> unit -> t
+(** [create ?max_col_width ()] makes an empty grid. Cells longer than
+    [max_col_width] (default 40 bytes) are truncated in the middle. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row. Rows may have differing lengths; short rows are padded
+    with empty cells. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule. *)
+
+val render : ?aligns:align list -> t -> string
+(** Render the grid with column-width autosizing and [" | "] separators.
+    [aligns] gives per-column alignment (default all [Left]); missing entries
+    default to [Left]. The result ends with a newline. *)

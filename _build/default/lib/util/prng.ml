@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+let copy g = { state = g.state }
+
+(* SplitMix64 output function: add the golden-ratio increment, then two
+   xor-shift-multiply mixing rounds (constants from the reference
+   implementation). *)
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed = next_int64 g in
+  create seed
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Take the top bits (better mixed in SplitMix64) and reduce modulo bound.
+     The modulo bias is < bound / 2^62, negligible for our bounds. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  raw mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bound *. (raw /. 9007199254740992.0) (* 2^53 *)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let chance g p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float g 1.0 < p

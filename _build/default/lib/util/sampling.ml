@@ -1,0 +1,57 @@
+let pick g arr =
+  if Array.length arr = 0 then invalid_arg "Sampling.pick: empty array";
+  arr.(Prng.int g (Array.length arr))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Sampling.pick_list: empty list"
+  | _ -> List.nth l (Prng.int g (List.length l))
+
+let weighted_index g w =
+  let total = Array.fold_left (fun acc x ->
+      if x < 0.0 then invalid_arg "Sampling.weighted_index: negative weight";
+      acc +. x)
+      0.0 w
+  in
+  if total <= 0.0 then invalid_arg "Sampling.weighted_index: zero total weight";
+  let target = Prng.float g total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let weighted g choices =
+  let arr = Array.of_list choices in
+  if Array.length arr = 0 then invalid_arg "Sampling.weighted: empty list";
+  let w = Array.map snd arr in
+  fst arr.(weighted_index g w)
+
+let zipf g ~n ~s =
+  if n <= 0 then invalid_arg "Sampling.zipf: n must be positive";
+  let w = Array.init n (fun k -> Float.pow (float_of_int (k + 1)) (-.s)) in
+  weighted_index g w
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Prng.int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement g k arr =
+  let copy = Array.copy arr in
+  shuffle g copy;
+  let k = min k (Array.length copy) in
+  Array.to_list (Array.sub copy 0 k)
+
+let binomial g ~n ~p =
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Prng.chance g p then incr count
+  done;
+  !count

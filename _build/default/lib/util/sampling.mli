@@ -1,0 +1,35 @@
+(** Random sampling utilities on top of {!Prng}.
+
+    These are the building blocks of the data-set generators: weighted
+    categorical draws, Zipf-distributed ranks (the feature-count profiles in
+    the paper's datasets are heavy-tailed), shuffles and subset draws. *)
+
+val pick : Prng.t -> 'a array -> 'a
+(** Uniform draw from a non-empty array. @raise Invalid_argument on [||]. *)
+
+val pick_list : Prng.t -> 'a list -> 'a
+(** Uniform draw from a non-empty list. @raise Invalid_argument on []. *)
+
+val weighted_index : Prng.t -> float array -> int
+(** [weighted_index g w] draws index [i] with probability [w.(i) / Σ w].
+    Weights must be non-negative with a positive sum.
+    @raise Invalid_argument otherwise. *)
+
+val weighted : Prng.t -> ('a * float) list -> 'a
+(** [weighted g choices] draws a value with probability proportional to its
+    weight. @raise Invalid_argument on an empty or all-zero list. *)
+
+val zipf : Prng.t -> n:int -> s:float -> int
+(** [zipf g ~n ~s] draws a rank in [\[0, n)] from a Zipf distribution with
+    exponent [s] (rank [k] has weight [(k+1)^-s]). @raise Invalid_argument if
+    [n <= 0]. *)
+
+val shuffle : Prng.t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_without_replacement : Prng.t -> int -> 'a array -> 'a list
+(** [sample_without_replacement g k arr] draws [min k (Array.length arr)]
+    distinct elements, in random order. *)
+
+val binomial : Prng.t -> n:int -> p:float -> int
+(** [binomial g ~n ~p] counts successes among [n] independent [p]-trials. *)

@@ -1,0 +1,45 @@
+type stats = {
+  median_s : float;
+  mean_s : float;
+  min_s : float;
+  max_s : float;
+  runs : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let once f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+let time ?(warmup = 1) ?(runs = 5) f =
+  let runs = max 1 runs in
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  let samples = Array.make runs 0.0 in
+  let last = ref None in
+  for i = 0 to runs - 1 do
+    let result, elapsed = once f in
+    samples.(i) <- elapsed;
+    last := Some result
+  done;
+  Array.sort compare samples;
+  let median =
+    if runs mod 2 = 1 then samples.(runs / 2)
+    else (samples.((runs / 2) - 1) +. samples.(runs / 2)) /. 2.0
+  in
+  let mean = Array.fold_left ( +. ) 0.0 samples /. float_of_int runs in
+  let stats =
+    {
+      median_s = median;
+      mean_s = mean;
+      min_s = samples.(0);
+      max_s = samples.(runs - 1);
+      runs;
+    }
+  in
+  match !last with
+  | Some result -> (result, stats)
+  | None -> assert false

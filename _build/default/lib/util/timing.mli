@@ -1,0 +1,22 @@
+(** Wall-clock measurement helpers for the figure-reproduction harness.
+
+    Bechamel gives rigorous micro-benchmarks; these helpers give the simple
+    "run it a few times and report the median" numbers that the paper's
+    Figure 4(b) plots (per-query end-to-end seconds). *)
+
+type stats = {
+  median_s : float;  (** median of the measured runs, in seconds *)
+  mean_s : float;    (** arithmetic mean, in seconds *)
+  min_s : float;     (** fastest run *)
+  max_s : float;     (** slowest run *)
+  runs : int;        (** number of measured runs *)
+}
+
+val time : ?warmup:int -> ?runs:int -> (unit -> 'a) -> 'a * stats
+(** [time ~warmup ~runs f] runs [f] [warmup] times unmeasured (default 1),
+    then [runs] times measured (default 5), and returns the last result with
+    the run statistics. *)
+
+val once : (unit -> 'a) -> 'a * float
+(** [once f] runs [f] a single time and returns its result and elapsed
+    seconds. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Extractor Feature List Printf Prng Result_profile Search Xsact_dataset Xsact_util

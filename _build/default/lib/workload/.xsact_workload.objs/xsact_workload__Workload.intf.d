@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Result_profile Search Xsact_dataset

@@ -1,0 +1,1 @@
+lib/xmlkit/dewey.ml: Array Format Int List String

@@ -1,0 +1,1 @@
+lib/xmlkit/xml_parse.ml: Fun List String Xml Xml_sax

@@ -1,0 +1,1 @@
+lib/xmlkit/xml_print.ml: Buffer Fun List String Xml

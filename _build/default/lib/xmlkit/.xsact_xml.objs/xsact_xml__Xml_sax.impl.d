@@ -1,0 +1,1 @@
+lib/xmlkit/xml_sax.ml: Buffer Char Fun List Printf Result String Xml

@@ -1,0 +1,1 @@
+lib/xmlkit/xml_stats.ml: Format Hashtbl Int List String Xml Xml_sax

@@ -1,0 +1,1 @@
+lib/xmlkit/xml_stats.mli: Format Xml Xml_sax

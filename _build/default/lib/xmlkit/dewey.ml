@@ -1,0 +1,55 @@
+type t = int array
+
+let root = [||]
+
+let of_list l =
+  List.iter
+    (fun i -> if i < 0 then invalid_arg "Dewey.of_list: negative component")
+    l;
+  Array.of_list l
+
+let to_list = Array.to_list
+
+let child d i =
+  if i < 0 then invalid_arg "Dewey.child: negative ordinal";
+  Array.append d [| i |]
+
+let depth = Array.length
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let is_prefix a b =
+  let la = Array.length a and lb = Array.length b in
+  la <= lb
+  &&
+  let rec go i = i >= la || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let is_ancestor a b = Array.length a < Array.length b && is_prefix a b
+let is_ancestor_or_self = is_prefix
+
+let lca a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec common i = if i < n && a.(i) = b.(i) then common (i + 1) else i in
+  Array.sub a 0 (common 0)
+
+let parent d =
+  let n = Array.length d in
+  if n = 0 then None else Some (Array.sub d 0 (n - 1))
+
+let to_string d =
+  String.concat "." (List.map string_of_int (Array.to_list d))
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -1,0 +1,46 @@
+(** Dewey labels for XML nodes.
+
+    A Dewey label is the path of child ordinals from the document root
+    ([[]]) to a node ([[0; 2; 1]] = second child of third child of first
+    child of the root). The search substrate labels every element this way:
+    Dewey order coincides with document order, and the longest common prefix
+    of two labels is the label of their lowest common ancestor — the two
+    facts the SLCA algorithm relies on. *)
+
+type t = private int array
+(** A label; immutable by convention (the private type blocks construction
+    of aliased arrays from outside). *)
+
+val root : t
+(** The document root's label, [[||]]. *)
+
+val of_list : int list -> t
+(** @raise Invalid_argument on negative components. *)
+
+val to_list : t -> int list
+
+val child : t -> int -> t
+(** [child d i] labels the [i]-th element child ([i >= 0]). *)
+
+val depth : t -> int
+
+val compare : t -> t -> int
+(** Document order: lexicographic, prefix-first ([compare a (child a i) < 0]). *)
+
+val equal : t -> t -> bool
+
+val is_ancestor : t -> t -> bool
+(** [is_ancestor a b] — strict ancestor: [a] a proper prefix of [b]. *)
+
+val is_ancestor_or_self : t -> t -> bool
+
+val lca : t -> t -> t
+(** Longest common prefix = label of the lowest common ancestor. *)
+
+val parent : t -> t option
+(** [None] for the root. *)
+
+val to_string : t -> string
+(** Dotted form, e.g. ["0.2.1"]; [""] for the root. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type name = string
+type attribute = name * string
+
+type node =
+  | Element of element
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of string * string
+
+and element = { tag : name; attrs : attribute list; children : node list }
+
+type document = { root : element }
+
+let elem ?(attrs = []) tag children = Element { tag; attrs; children }
+let text s = Text s
+let leaf ?(attrs = []) tag value = elem ~attrs tag [ text value ]
+let document root = { root }
+
+let tag e = e.tag
+let attr e name = List.assoc_opt name e.attrs
+
+let children_elements e =
+  List.filter_map (function Element c -> Some c | _ -> None) e.children
+
+let child e name =
+  List.find_opt (fun c -> c.tag = name) (children_elements e)
+
+let children_named e name =
+  List.filter (fun c -> c.tag = name) (children_elements e)
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let trim_ascii s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && is_space s.[!i] do incr i done;
+  let j = ref (n - 1) in
+  while !j >= !i && is_space s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+let text_content e =
+  let buf = Buffer.create 64 in
+  let rec go node =
+    match node with
+    | Text s | Cdata s -> Buffer.add_string buf s
+    | Element c -> List.iter go c.children
+    | Comment _ | Pi _ -> ()
+  in
+  List.iter go e.children;
+  trim_ascii (Buffer.contents buf)
+
+let immediate_text e =
+  let buf = Buffer.create 32 in
+  List.iter
+    (function Text s | Cdata s -> Buffer.add_string buf s | _ -> ())
+    e.children;
+  trim_ascii (Buffer.contents buf)
+
+let rec iter_elements f e =
+  f e;
+  List.iter
+    (function Element c -> iter_elements f c | _ -> ())
+    e.children
+
+let rec fold_elements f acc e =
+  let acc = f acc e in
+  List.fold_left
+    (fun acc node ->
+      match node with Element c -> fold_elements f acc c | _ -> acc)
+    acc e.children
+
+let count_elements e = fold_elements (fun acc _ -> acc + 1) 0 e
+
+let rec depth e =
+  let child_depth =
+    List.fold_left
+      (fun acc node ->
+        match node with Element c -> max acc (depth c) | _ -> acc)
+      0 e.children
+  in
+  1 + child_depth
+
+let sorted_attrs attrs = List.sort compare attrs
+
+let rec equal_node a b =
+  match (a, b) with
+  | Element ea, Element eb -> equal_element ea eb
+  | Text sa, Text sb | Cdata sa, Cdata sb | Comment sa, Comment sb -> sa = sb
+  | Pi (ta, ba), Pi (tb, bb) -> ta = tb && ba = bb
+  | (Element _ | Text _ | Cdata _ | Comment _ | Pi _), _ -> false
+
+and equal_element ea eb =
+  ea.tag = eb.tag
+  && sorted_attrs ea.attrs = sorted_attrs eb.attrs
+  && List.length ea.children = List.length eb.children
+  && List.for_all2 equal_node ea.children eb.children
+
+let equal da db = equal_element da.root db.root

@@ -1,0 +1,82 @@
+(** XML document model.
+
+    Both demo datasets and the IMDB corpus are "stored in XML format" (paper,
+    Section 3); this module is the in-memory representation shared by the
+    generators, the search engine and the feature extractor. It is a plain
+    immutable rose tree — no namespaces, DTDs or validation, which the paper's
+    pipeline does not need. *)
+
+type name = string
+(** Element and attribute names (no namespace splitting). *)
+
+type attribute = name * string
+
+type node =
+  | Element of element
+  | Text of string  (** character data, entity references already decoded *)
+  | Cdata of string  (** CDATA section contents, kept verbatim *)
+  | Comment of string
+  | Pi of string * string  (** processing instruction: target, body *)
+
+and element = { tag : name; attrs : attribute list; children : node list }
+
+type document = { root : element }
+
+(** {1 Construction} *)
+
+val elem : ?attrs:attribute list -> name -> node list -> node
+(** [elem tag children] builds an element node. *)
+
+val text : string -> node
+(** [text s] builds a text node. *)
+
+val leaf : ?attrs:attribute list -> name -> string -> node
+(** [leaf tag value] is [elem tag [text value]] — the common
+    attribute-with-value shape in the datasets. *)
+
+val document : element -> document
+
+(** {1 Accessors} *)
+
+val tag : element -> name
+
+val attr : element -> name -> string option
+(** [attr e name] is the value of attribute [name], if present. *)
+
+val children_elements : element -> element list
+(** Element children in document order (text/comment nodes skipped). *)
+
+val child : element -> name -> element option
+(** First element child with the given tag. *)
+
+val children_named : element -> name -> element list
+(** All element children with the given tag, in order. *)
+
+val text_content : element -> string
+(** Concatenation of all descendant text and CDATA, in document order,
+    trimmed of leading/trailing ASCII whitespace. *)
+
+val immediate_text : element -> string
+(** Concatenation of the element's direct text/CDATA children only,
+    trimmed. *)
+
+(** {1 Traversal} *)
+
+val iter_elements : (element -> unit) -> element -> unit
+(** Pre-order visit of [e] and all its element descendants. *)
+
+val fold_elements : ('a -> element -> 'a) -> 'a -> element -> 'a
+(** Pre-order fold over [e] and all its element descendants. *)
+
+val count_elements : element -> int
+(** Number of element nodes in the subtree (including the root). *)
+
+val depth : element -> int
+(** Height of the element tree ([1] for a leaf element). *)
+
+(** {1 Comparison} *)
+
+val equal_node : node -> node -> bool
+(** Structural equality ignoring attribute order. *)
+
+val equal : document -> document -> bool

@@ -1,0 +1,103 @@
+type position = Xml_sax.position = { line : int; col : int }
+type error = Xml_sax.error = { position : position; message : string }
+
+let error_to_string = Xml_sax.error_to_string
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let all_space s = String.for_all is_space s
+
+(* DOM construction is a fold over the SAX event stream. One policy lives
+   here rather than in the scanner: whitespace-only character runs between
+   markup are formatting, not data, and are dropped — unless they touch a
+   CDATA section, whose character data they belong to. [pending_ws] holds a
+   whitespace run whose fate depends on the next event. *)
+type frame = {
+  tag : Xml.name;
+  attrs : Xml.attribute list;
+  mutable children : Xml.node list;  (* reversed *)
+  mutable pending_ws : string option;
+}
+
+type builder = {
+  mutable stack : frame list;
+  mutable root : Xml.element option;
+}
+
+let flush_ws frame =
+  match frame.pending_ws with
+  | None -> ()
+  | Some ws ->
+    frame.children <- Xml.Text ws :: frame.children;
+    frame.pending_ws <- None
+
+let drop_ws frame = frame.pending_ws <- None
+
+let add_child b node =
+  match b.stack with
+  | frame :: _ -> frame.children <- node :: frame.children
+  | [] -> () (* prolog/epilog comments and PIs are not part of the tree *)
+
+let on_event b (event : Xml_sax.event) =
+  match event with
+  | Xml_sax.Start_element (tag, attrs) ->
+    (match b.stack with frame :: _ -> drop_ws frame | [] -> ());
+    b.stack <- { tag; attrs; children = []; pending_ws = None } :: b.stack
+  | Xml_sax.End_element _ ->
+    (match b.stack with
+    | frame :: rest ->
+      drop_ws frame;
+      let element =
+        { Xml.tag = frame.tag; attrs = frame.attrs;
+          children = List.rev frame.children }
+      in
+      b.stack <- rest;
+      (match rest with
+      | parent :: _ -> parent.children <- Xml.Element element :: parent.children
+      | [] -> b.root <- Some element)
+    | [] -> assert false (* the scanner validated nesting *))
+  | Xml_sax.Text s ->
+    (match b.stack with
+    | [] -> ()
+    | frame :: _ ->
+      if not (all_space s) then frame.children <- Xml.Text s :: frame.children
+      else begin
+        (* Keep the run right away when it follows CDATA; otherwise park it
+           until we know whether CDATA follows. *)
+        match frame.children with
+        | Xml.Cdata _ :: _ -> frame.children <- Xml.Text s :: frame.children
+        | _ -> frame.pending_ws <- Some s
+      end)
+  | Xml_sax.Cdata s ->
+    (match b.stack with
+    | [] -> ()
+    | frame :: _ ->
+      flush_ws frame;
+      frame.children <- Xml.Cdata s :: frame.children)
+  | Xml_sax.Comment s ->
+    (match b.stack with frame :: _ -> drop_ws frame | [] -> ());
+    add_child b (Xml.Comment s)
+  | Xml_sax.Pi (target, body) ->
+    (match b.stack with frame :: _ -> drop_ws frame | [] -> ());
+    add_child b (Xml.Pi (target, body))
+
+let parse_string src =
+  let b = { stack = []; root = None } in
+  match Xml_sax.fold src ~init:() ~f:(fun () e -> on_event b e) with
+  | Error e -> Error e
+  | Ok () ->
+    (match b.root with
+    | Some root -> Ok { Xml.root }
+    | None ->
+      (* The scanner guarantees a root element on success. *)
+      assert false)
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg ->
+    Error { position = { line = 0; col = 0 }; message = msg }
+  | src -> parse_string src

@@ -1,0 +1,31 @@
+(** XML parser (DOM construction over the {!Xml_sax} event stream).
+
+    Covers the subset of XML 1.0 our datasets use: element trees with
+    attributes, character data, CDATA sections, comments, processing
+    instructions, an optional XML declaration, a skipped DOCTYPE, and the
+    five predefined entities plus numeric character references. Namespaces
+    and DTD-defined entities are out of scope (the corpora never use them).
+
+    Whitespace-only character runs between markup are treated as formatting
+    and dropped, except when adjacent to a CDATA section (whose character
+    data they belong to) — so pretty-printed and compact documents parse to
+    equal trees.
+
+    All failures are reported as located {!error} values; no exception
+    escapes {!parse_string}. *)
+
+type position = Xml_sax.position = { line : int; col : int }
+(** 1-based line and column of the offending byte. *)
+
+type error = Xml_sax.error = { position : position; message : string }
+
+val error_to_string : error -> string
+(** ["line L, column C: message"]. *)
+
+val parse_string : string -> (Xml.document, error) result
+(** Parse a complete document (exactly one root element; trailing content
+    other than whitespace, comments and PIs is an error). *)
+
+val parse_file : string -> (Xml.document, error) result
+(** [parse_file path] reads the file and parses it. I/O failures are mapped
+    to an [error] at position 0,0. *)

@@ -1,0 +1,73 @@
+type step = Child of string | Descendant of string
+
+let parse path =
+  let n = String.length path in
+  let steps = ref [] in
+  let i = ref 0 in
+  let read_name () =
+    let start = !i in
+    while !i < n && path.[!i] <> '/' do incr i done;
+    let name = String.sub path start (!i - start) in
+    if name = "" then invalid_arg "Xml_path.parse: empty step";
+    name
+  in
+  while !i < n do
+    if path.[!i] = '/' then
+      if !i + 1 < n && path.[!i + 1] = '/' then begin
+        i := !i + 2;
+        steps := Descendant (read_name ()) :: !steps
+      end
+      else begin
+        incr i;
+        steps := Child (read_name ()) :: !steps
+      end
+    else steps := Child (read_name ()) :: !steps
+  done;
+  if !steps = [] then invalid_arg "Xml_path.parse: empty path";
+  List.rev !steps
+
+let matches name (e : Xml.element) = name = "*" || e.Xml.tag = name
+
+let descendants_matching name e =
+  (* All proper descendants of [e] matching [name], pre-order. *)
+  let acc = ref [] in
+  let rec go (c : Xml.element) =
+    List.iter
+      (function
+        | Xml.Element child ->
+          if matches name child then acc := child :: !acc;
+          go child
+        | _ -> ())
+      c.Xml.children
+  in
+  go e;
+  List.rev !acc
+
+let apply_step frontier step =
+  let next =
+    List.concat_map
+      (fun e ->
+        match step with
+        | Child name -> List.filter (matches name) (Xml.children_elements e)
+        | Descendant name -> descendants_matching name e)
+      frontier
+  in
+  (* Physical dedup is enough: overlapping descendant steps revisit the very
+     same element values. *)
+  let seen = ref [] in
+  List.filter
+    (fun e ->
+      if List.memq e !seen then false
+      else begin
+        seen := e :: !seen;
+        true
+      end)
+    next
+
+let select root path =
+  List.fold_left apply_step [ root ] (parse path)
+
+let select_first root path =
+  match select root path with [] -> None | e :: _ -> Some e
+
+let texts root path = List.map Xml.text_content (select root path)

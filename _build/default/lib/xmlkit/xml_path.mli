@@ -1,0 +1,24 @@
+(** Minimal path queries over {!Xml} trees.
+
+    A tiny XPath-like selector sufficient for the dataset loaders and tests:
+    steps are element names separated by ['/'], a leading ["//"] (or a step
+    written ["//name"]) selects descendants instead of children, and ["*"]
+    matches any element. No predicates, attributes or axes. *)
+
+type step = Child of string | Descendant of string
+(** [Child "*"] / [Descendant "*"] act as wildcards. *)
+
+val parse : string -> step list
+(** [parse "a/b//c"] = [[Child "a"; Child "b"; Descendant "c"]].
+    @raise Invalid_argument on empty steps (["a//"], [""]). *)
+
+val select : Xml.element -> string -> Xml.element list
+(** [select root path] returns matching elements in document order, starting
+    the path at [root]'s children (so ["review"] selects [root]'s [review]
+    children, not [root] itself). Duplicates arising from overlapping
+    descendant steps are removed. *)
+
+val select_first : Xml.element -> string -> Xml.element option
+
+val texts : Xml.element -> string -> string list
+(** [texts root path] is [select] followed by {!Xml.text_content}. *)

@@ -1,0 +1,145 @@
+type t = {
+  elements : int;
+  text_nodes : int;
+  attributes : int;
+  max_depth : int;
+  distinct_tags : int;
+  text_bytes : int;
+}
+
+let of_element root =
+  let elements = ref 0 in
+  let text_nodes = ref 0 in
+  let attributes = ref 0 in
+  let text_bytes = ref 0 in
+  let tags = Hashtbl.create 64 in
+  let max_depth = ref 0 in
+  let rec go depth (e : Xml.element) =
+    incr elements;
+    if depth > !max_depth then max_depth := depth;
+    attributes := !attributes + List.length e.attrs;
+    if not (Hashtbl.mem tags e.tag) then Hashtbl.add tags e.tag ();
+    List.iter
+      (fun node ->
+        match node with
+        | Xml.Element c -> go (depth + 1) c
+        | Xml.Text s | Xml.Cdata s ->
+          if String.trim s <> "" then incr text_nodes;
+          text_bytes := !text_bytes + String.length s
+        | Xml.Comment _ | Xml.Pi _ -> ())
+      e.children
+  in
+  go 1 root;
+  {
+    elements = !elements;
+    text_nodes = !text_nodes;
+    attributes = !attributes;
+    max_depth = !max_depth;
+    distinct_tags = Hashtbl.length tags;
+    text_bytes = !text_bytes;
+  }
+
+let of_document (doc : Xml.document) = of_element doc.root
+
+(* Streaming variant: replicate the DOM parser's whitespace policy (drop
+   whitespace-only runs unless adjacent to CDATA) so both paths agree. *)
+type stream_state = {
+  mutable elements : int;
+  mutable text_nodes : int;
+  mutable attributes : int;
+  mutable depth : int;
+  mutable max_depth : int;
+  mutable text_bytes : int;
+  mutable pending_ws : int;  (* bytes of a parked whitespace run *)
+  mutable prev_cdata : bool;
+  tags : (string, unit) Hashtbl.t;
+}
+
+let of_string_streaming src =
+  let st =
+    {
+      elements = 0;
+      text_nodes = 0;
+      attributes = 0;
+      depth = 0;
+      max_depth = 0;
+      text_bytes = 0;
+      pending_ws = 0;
+      prev_cdata = false;
+      tags = Hashtbl.create 64;
+    }
+  in
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let all_space s = String.for_all is_space s in
+  let reset_run () =
+    st.pending_ws <- 0;
+    st.prev_cdata <- false
+  in
+  let on_event () (event : Xml_sax.event) =
+    match event with
+    | Xml_sax.Start_element (tag, attrs) ->
+      reset_run ();
+      st.elements <- st.elements + 1;
+      st.attributes <- st.attributes + List.length attrs;
+      if not (Hashtbl.mem st.tags tag) then Hashtbl.add st.tags tag ();
+      st.depth <- st.depth + 1;
+      if st.depth > st.max_depth then st.max_depth <- st.depth
+    | Xml_sax.End_element _ ->
+      reset_run ();
+      st.depth <- st.depth - 1
+    | Xml_sax.Text s ->
+      if st.depth > 0 then
+        if not (all_space s) then begin
+          st.text_nodes <- st.text_nodes + 1;
+          st.text_bytes <- st.text_bytes + String.length s;
+          st.prev_cdata <- false
+        end
+        else if st.prev_cdata then begin
+          (* kept as a text node by the DOM builder, but trim-empty *)
+          st.text_bytes <- st.text_bytes + String.length s;
+          st.prev_cdata <- false
+        end
+        else st.pending_ws <- String.length s
+    | Xml_sax.Cdata s ->
+      if st.depth > 0 then begin
+        st.text_bytes <- st.text_bytes + st.pending_ws;
+        st.pending_ws <- 0;
+        if String.trim s <> "" then st.text_nodes <- st.text_nodes + 1;
+        st.text_bytes <- st.text_bytes + String.length s;
+        st.prev_cdata <- true
+      end
+    | Xml_sax.Comment _ | Xml_sax.Pi _ -> reset_run ()
+  in
+  match Xml_sax.fold src ~init:() ~f:on_event with
+  | Error e -> Error e
+  | Ok () ->
+    Ok
+      {
+        elements = st.elements;
+        text_nodes = st.text_nodes;
+        attributes = st.attributes;
+        max_depth = st.max_depth;
+        distinct_tags = Hashtbl.length st.tags;
+        text_bytes = st.text_bytes;
+      }
+
+let tag_histogram root =
+  let tags = Hashtbl.create 64 in
+  Xml.iter_elements
+    (fun e ->
+      let count = try Hashtbl.find tags e.Xml.tag with Not_found -> 0 in
+      Hashtbl.replace tags e.Xml.tag (count + 1))
+    root;
+  let entries = Hashtbl.fold (fun tag count acc -> (tag, count) :: acc) tags [] in
+  List.sort
+    (fun (ta, ca) (tb, cb) ->
+      let c = Int.compare cb ca in
+      if c <> 0 then c else String.compare ta tb)
+    entries
+
+let pp ppf (t : t) =
+  Format.fprintf ppf
+    "elements: %d@ text nodes: %d@ attributes: %d@ max depth: %d@ distinct \
+     tags: %d@ text bytes: %d"
+    t.elements t.text_nodes t.attributes t.max_depth t.distinct_tags
+    t.text_bytes

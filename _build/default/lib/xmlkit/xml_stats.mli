@@ -1,0 +1,30 @@
+(** Corpus statistics over XML trees.
+
+    Used by dataset sanity tests and by the CLI's [stats] command to report
+    the shape of a generated corpus (the demo paper stresses that both demo
+    datasets are large — hundreds of reviews per product, hundreds of
+    products per brand). *)
+
+type t = {
+  elements : int;        (** total element count *)
+  text_nodes : int;      (** non-whitespace text/CDATA nodes *)
+  attributes : int;      (** total attribute count *)
+  max_depth : int;       (** deepest element nesting, root = 1 *)
+  distinct_tags : int;   (** number of distinct element names *)
+  text_bytes : int;      (** total bytes of character data *)
+}
+
+val of_element : Xml.element -> t
+val of_document : Xml.document -> t
+
+val of_string_streaming : string -> (t, Xml_sax.error) result
+(** Same statistics computed in one constant-memory pass over the
+    {!Xml_sax} event stream, never building the tree. Agrees with
+    [of_document] composed with {!Xml_parse.parse_string} (whitespace-only
+    runs the DOM parser drops are excluded from both counts). *)
+
+val tag_histogram : Xml.element -> (string * int) list
+(** Element-name frequencies, most frequent first (ties by name). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable summary. *)

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Algorithm Array Dfs Dod Exhaustive Feature Gen Greedy List Multi_swap Printf QCheck QCheck_alcotest Result_profile Single_swap Topk Xsact_workload

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Filename Fun List Printf String Sys Unix Xsact_util

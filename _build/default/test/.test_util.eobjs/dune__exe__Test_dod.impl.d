@@ -1,0 +1,1 @@
+test/test_dod.ml: Alcotest Array Dfs Dod Feature Float Gen List Multi_swap Option QCheck QCheck_alcotest Render_text Result_profile Topk Xsact_util Xsact_workload

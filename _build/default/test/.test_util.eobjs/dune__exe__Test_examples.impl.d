@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Filename Fun Printf Sys Xsact_util

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Dfs Doctree Extractor Feature List Node_category Option Printf QCheck QCheck_alcotest Result_profile Seq Topk Xml Xml_parse Xsact_workload

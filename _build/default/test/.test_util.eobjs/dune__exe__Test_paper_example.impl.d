@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Array Dfs Dod Exhaustive Feature List Multi_swap Option Printf Render_html Render_text Result_profile Table Topk Xsact_util

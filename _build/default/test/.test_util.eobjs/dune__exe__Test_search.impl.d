@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Dewey Doctree Index List Node_category Printf QCheck QCheck_alcotest Search Slca String Token Xml Xml_parse Xml_print

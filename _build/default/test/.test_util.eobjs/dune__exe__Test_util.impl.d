@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Grid List Prng QCheck QCheck_alcotest Sampling String Textutil Timing Xsact_util

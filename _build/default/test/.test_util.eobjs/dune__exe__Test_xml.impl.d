@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Dewey Gen List Option QCheck QCheck_alcotest String Xml Xml_parse Xml_path Xml_print Xml_sax Xml_stats Xsact_util

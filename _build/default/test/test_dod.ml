@@ -1,0 +1,365 @@
+(* Tests for the Degree-of-Differentiation objective: differentiability
+   semantics, threshold edge cases, raw vs. rate measures, pair tables,
+   incremental deltas, and the paper's DoD algebra. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let f ~e ~a ~v = Feature.make ~entity:e ~attribute:a ~value:v
+
+let profile label ?(populations = []) features =
+  Result_profile.make ~label ~populations features
+
+let find p ~e ~a =
+  Option.get (Result_profile.find_type p { Feature.entity = e; attribute = a })
+
+(* Full DFS: everything selected (within a generous limit). *)
+let full p = Topk.generate_one ~limit:1000 p
+
+(* ---- Differentiability semantics --------------------------------------- *)
+
+(* Same type, same single feature, equal counts: NOT differentiable. *)
+let test_equal_counts_not_differentiable () =
+  let p1 = profile "A" [ (f ~e:"m" ~a:"genre" ~v:"Action", 3) ] in
+  let p2 = profile "B" [ (f ~e:"m" ~a:"genre" ~v:"Action", 3) ] in
+  let c = Dod.make_context [| p1; p2 |] in
+  check Alcotest.int "dod 0" 0 (Dod.total c [| full p1; full p2 |])
+
+(* Different values of a shared type: differentiable (absent counts as 0). *)
+let test_different_values_differentiable () =
+  let p1 = profile "A" [ (f ~e:"m" ~a:"title" ~v:"Alpha", 1) ] in
+  let p2 = profile "B" [ (f ~e:"m" ~a:"title" ~v:"Beta", 1) ] in
+  let c = Dod.make_context [| p1; p2 |] in
+  check Alcotest.int "dod 1" 1 (Dod.total c [| full p1; full p2 |])
+
+(* Unshared types never differentiate ("null means unknown"). *)
+let test_unshared_type_not_comparable () =
+  let p1 = profile "A" [ (f ~e:"m" ~a:"alpha" ~v:"x", 5) ] in
+  let p2 = profile "B" [ (f ~e:"m" ~a:"beta" ~v:"y", 5) ] in
+  let c = Dod.make_context [| p1; p2 |] in
+  check Alcotest.int "dod 0" 0 (Dod.total c [| full p1; full p2 |])
+
+(* The 10% threshold: 10 vs 11 differs by 1 = 10% of 10, NOT more than 10%.
+   10 vs 12 differs by 2 = 20% > 10%. *)
+let test_threshold_edge () =
+  let make a b =
+    let p1 = profile "A" [ (f ~e:"r" ~a:"pro" ~v:"yes", a) ] in
+    let p2 = profile "B" [ (f ~e:"r" ~a:"pro" ~v:"yes", b) ] in
+    let c = Dod.make_context [| p1; p2 |] in
+    Dod.total c [| full p1; full p2 |]
+  in
+  check Alcotest.int "10 vs 11 below threshold" 0 (make 10 11);
+  check Alcotest.int "10 vs 12 above threshold" 1 (make 10 12);
+  check Alcotest.int "equal" 0 (make 7 7)
+
+let test_threshold_zero_pct () =
+  let params = { Dod.threshold_pct = 0.0; measure = Dod.Raw } in
+  let p1 = profile "A" [ (f ~e:"r" ~a:"pro" ~v:"yes", 10) ] in
+  let p2 = profile "B" [ (f ~e:"r" ~a:"pro" ~v:"yes", 11) ] in
+  let c = Dod.make_context ~params [| p1; p2 |] in
+  check Alcotest.int "any difference counts at x=0" 1
+    (Dod.total c [| full p1; full p2 |]);
+  let c2 =
+    Dod.make_context ~params [| profile "A" [ (f ~e:"r" ~a:"p" ~v:"y", 5) ];
+                                profile "B" [ (f ~e:"r" ~a:"p" ~v:"y", 5) ] |]
+  in
+  let p1' = (Dod.results c2).(0) and p2' = (Dod.results c2).(1) in
+  check Alcotest.int "equal still 0 at x=0" 0
+    (Dod.total c2 [| full p1'; full p2' |])
+
+(* Rate measure: 8/11 vs 38/68 -> 73% vs 56%: differentiable; raw also. But
+   5/10 vs 10/20 -> both 50%: rate says no, raw says yes. *)
+let test_rate_vs_raw () =
+  let p1 =
+    profile "A" ~populations:[ ("r", 10) ] [ (f ~e:"r" ~a:"pro" ~v:"yes", 5) ]
+  in
+  let p2 =
+    profile "B" ~populations:[ ("r", 20) ] [ (f ~e:"r" ~a:"pro" ~v:"yes", 10) ]
+  in
+  let raw = Dod.make_context [| p1; p2 |] in
+  check Alcotest.int "raw sees 5 vs 10" 1 (Dod.total raw [| full p1; full p2 |]);
+  let rate =
+    Dod.make_context ~params:{ Dod.threshold_pct = 10.0; measure = Dod.Rate }
+      [| p1; p2 |]
+  in
+  check Alcotest.int "rate sees 50% vs 50%" 0
+    (Dod.total rate [| full p1; full p2 |])
+
+(* Both sides must select the type: q = 0 on either side kills it. *)
+let test_requires_both_selected () =
+  let p1 = profile "A" [ (f ~e:"m" ~a:"title" ~v:"Alpha", 1) ] in
+  let p2 = profile "B" [ (f ~e:"m" ~a:"title" ~v:"Beta", 1) ] in
+  let c = Dod.make_context [| p1; p2 |] in
+  check Alcotest.int "one side empty" 0
+    (Dod.total c [| Dfs.empty p1; full p2 |])
+
+(* A gap feature selected only on ONE side still differentiates, as long as
+   the other side selects the type at all. *)
+let test_gap_via_other_side () =
+  let p1 =
+    profile "A"
+      [ (f ~e:"m" ~a:"genre" ~v:"Action", 1); (f ~e:"m" ~a:"genre" ~v:"Drama", 1) ]
+  in
+  let p2 =
+    profile "B"
+      [ (f ~e:"m" ~a:"genre" ~v:"Action", 1); (f ~e:"m" ~a:"genre" ~v:"Western", 1) ]
+  in
+  let c = Dod.make_context [| p1; p2 |] in
+  let gi1 = find p1 ~e:"m" ~a:"genre" in
+  let gi2 = find p2 ~e:"m" ~a:"genre" in
+  (* D1 selects only Action (q=1, the canonical head); D2 selects both.
+     Drama/Western (selected in D2's prefix) witness the gap. *)
+  let d1 = Dfs.set_q (Dfs.empty p1) gi1 1 in
+  let d2 = Dfs.set_q (Dfs.empty p2) gi2 2 in
+  check Alcotest.int "other-side witness" 1 (Dod.total c [| d1; d2 |]);
+  (* With q=1 on both sides, the only visible feature is Action (equal):
+     not differentiable. *)
+  let d2' = Dfs.set_q (Dfs.empty p2) gi2 1 in
+  check Alcotest.int "equal heads only" 0 (Dod.total c [| d1; d2' |])
+
+(* ---- Multi-result DoD algebra -------------------------------------------- *)
+
+let three_results () =
+  let p1 =
+    profile "R1"
+      [ (f ~e:"m" ~a:"title" ~v:"A", 1); (f ~e:"m" ~a:"year" ~v:"1999", 1) ]
+  in
+  let p2 =
+    profile "R2"
+      [ (f ~e:"m" ~a:"title" ~v:"B", 1); (f ~e:"m" ~a:"year" ~v:"1999", 1) ]
+  in
+  let p3 =
+    profile "R3"
+      [ (f ~e:"m" ~a:"title" ~v:"C", 1); (f ~e:"m" ~a:"year" ~v:"2005", 1) ]
+  in
+  (p1, p2, p3)
+
+let test_total_is_sum_of_pairs () =
+  let p1, p2, p3 = three_results () in
+  let c = Dod.make_context [| p1; p2; p3 |] in
+  let dfss = [| full p1; full p2; full p3 |] in
+  let pairwise =
+    Dod.dod_pair c ~i:0 ~j:1 dfss.(0) dfss.(1)
+    + Dod.dod_pair c ~i:0 ~j:2 dfss.(0) dfss.(2)
+    + Dod.dod_pair c ~i:1 ~j:2 dfss.(1) dfss.(2)
+  in
+  check Alcotest.int "total = sum of pairs" pairwise (Dod.total c dfss);
+  (* titles differ on all 3 pairs; years differ on pairs (1,3) and (2,3) *)
+  check Alcotest.int "expected value" 5 (Dod.total c dfss)
+
+let test_dod_pair_symmetric () =
+  let p1, p2, _ = three_results () in
+  let c = Dod.make_context [| p1; p2 |] in
+  let d1 = full p1 and d2 = full p2 in
+  check Alcotest.int "symmetric"
+    (Dod.dod_pair c ~i:0 ~j:1 d1 d2)
+    (Dod.dod_pair c ~i:1 ~j:0 d2 d1)
+
+let test_upper_bound () =
+  let p1, p2, p3 = three_results () in
+  let c = Dod.make_context [| p1; p2; p3 |] in
+  check Alcotest.int "pair 0-1: only title can differ" 1
+    (Dod.upper_bound_pair c ~i:0 ~j:1);
+  check Alcotest.int "pair 0-2: both types" 2 (Dod.upper_bound_pair c ~i:0 ~j:2)
+
+(* ---- Links and thresholds -------------------------------------------------- *)
+
+let test_links_and_threshold_q () =
+  let p1 =
+    profile "A"
+      [
+        (f ~e:"m" ~a:"genre" ~v:"Action", 1);
+        (f ~e:"m" ~a:"genre" ~v:"Drama", 1);
+      ]
+  in
+  let p2 = profile "B" [ (f ~e:"m" ~a:"genre" ~v:"Action", 1) ] in
+  let c = Dod.make_context [| p1; p2 |] in
+  let gi1 = find p1 ~e:"m" ~a:"genre" in
+  (match Dod.links c ~i:0 ~gi:gi1 with
+  | [ link ] ->
+    check Alcotest.int "other" 1 link.Dod.other;
+    (* A's features: Action (equal, no gap), Drama (gap) -> first gap at 2.
+       B's only feature Action has no gap -> infinity. *)
+    check Alcotest.int "gap_self" 2 link.Dod.gap_self;
+    check Alcotest.bool "gap_other infinite" true
+      (link.Dod.gap_other = Dod.infinity_gap);
+    (* If B selects genre (q_other=1), A needs q >= 2. *)
+    check Alcotest.int "threshold with other selected" 2
+      (Dod.threshold_q link ~q_other:1);
+    check Alcotest.bool "impossible when other empty" true
+      (Dod.threshold_q link ~q_other:0 = Dod.infinity_gap)
+  | l -> Alcotest.failf "expected 1 link, got %d" (List.length l));
+  check Alcotest.int "no links for absent pair type" 0
+    (List.length (Dod.links c ~i:1 ~gi:(find p2 ~e:"m" ~a:"genre") |> List.filter (fun l -> l.Dod.other = 1)))
+
+(* ---- delta_for_type consistency (property) --------------------------------- *)
+
+let prop_delta_consistent =
+  QCheck.Test.make ~name:"delta_for_type = recomputed total difference"
+    ~count:200
+    QCheck.(make Gen.(pair (int_range 0 1000000) (int_range 1 6)))
+    (fun (seed, _) ->
+      let profiles =
+        Xsact_workload.Workload.synthetic_profiles ~seed ~results:3 ~entities:2
+          ~types_per_entity:3 ~values_per_type:3 ~max_count:5
+      in
+      let c = Dod.make_context profiles in
+      let dfss = Topk.generate c ~limit:4 in
+      (* Try every single-type change on result 0 and check the delta. *)
+      let p0 = profiles.(0) in
+      let ok = ref true in
+      for gi = 0 to Result_profile.num_types p0 - 1 do
+        let old_q = Dfs.q dfss.(0) gi in
+        let info = Result_profile.type_info p0 gi in
+        let max_q = Array.length info.Result_profile.features in
+        for new_q = 0 to max_q do
+          let delta =
+            Dod.delta_for_type c ~dfss ~i:0 ~gi ~old_q ~new_q
+          in
+          let before = Dod.total c dfss in
+          let changed = Array.copy dfss in
+          changed.(0) <- Dfs.set_q dfss.(0) gi new_q;
+          let after = Dod.total c changed in
+          if delta <> after - before then ok := false
+        done
+      done;
+      !ok)
+
+let prop_dod_monotone_in_selection =
+  QCheck.Test.make ~name:"adding features never decreases DoD" ~count:200
+    QCheck.(make Gen.(int_range 0 1000000))
+    (fun seed ->
+      let profiles =
+        Xsact_workload.Workload.synthetic_profiles ~seed ~results:2 ~entities:2
+          ~types_per_entity:3 ~values_per_type:3 ~max_count:5
+      in
+      let c = Dod.make_context profiles in
+      let small = Topk.generate c ~limit:3 in
+      let big =
+        Array.map2
+          (fun d p -> Topk.fill ~limit:6 (Dfs.of_q_array p (Dfs.to_q_array d)))
+          small profiles
+      in
+      Dod.total c big >= Dod.total c small)
+
+let test_witness_and_explain () =
+  let p1 =
+    profile "A" ~populations:[ ("r", 11) ]
+      [
+        (f ~e:"r" ~a:"compact" ~v:"yes", 8);
+        (f ~e:"r" ~a:"same" ~v:"x", 5);
+      ]
+  in
+  let p2 =
+    profile "B" ~populations:[ ("r", 68) ]
+      [
+        (f ~e:"r" ~a:"compact" ~v:"yes", 38);
+        (f ~e:"r" ~a:"same" ~v:"x", 5);
+      ]
+  in
+  let c = Dod.make_context [| p1; p2 |] in
+  let d1 = full p1 and d2 = full p2 in
+  let gi = find p1 ~e:"r" ~a:"compact" in
+  (match Dod.witness c ~i:0 ~j:1 d1 d2 ~gi with
+  | Some w ->
+    check Alcotest.string "witness value" "yes" w.Dod.feature.Feature.value;
+    check (Alcotest.float 0.001) "measure i" 8.0 w.Dod.measure_i;
+    check (Alcotest.float 0.001) "measure j" 38.0 w.Dod.measure_j
+  | None -> Alcotest.fail "compact should differentiate");
+  let gi_same = find p1 ~e:"r" ~a:"same" in
+  check Alcotest.bool "equal type has no witness" true
+    (Dod.witness c ~i:0 ~j:1 d1 d2 ~gi:gi_same = None);
+  (* explain_pair lists exactly the differentiating types. *)
+  let explained = Dod.explain_pair c ~i:0 ~j:1 d1 d2 in
+  check Alcotest.int "one explanation" 1 (List.length explained);
+  (* rendered form *)
+  let text = Render_text.explanations c [| d1; d2 |] in
+  check Alcotest.bool "mentions pair and measures" true
+    (Xsact_util.Textutil.contains_substring text "A vs B on r.compact")
+  ;
+  check Alcotest.bool "mentions 8 vs 38" true
+    (Xsact_util.Textutil.contains_substring text "8 vs 38");
+  (* under the rate measure the witness reports rates *)
+  let crate =
+    Dod.make_context ~params:{ Dod.threshold_pct = 10.0; measure = Dod.Rate }
+      [| p1; p2 |]
+  in
+  match Dod.witness crate ~i:0 ~j:1 d1 d2 ~gi with
+  | Some w ->
+    check (Alcotest.float 0.001) "rate i" (8.0 /. 11.0) w.Dod.measure_i;
+    check (Alcotest.float 0.001) "rate j" (38.0 /. 68.0) w.Dod.measure_j
+  | None -> Alcotest.fail "rate measure also differentiates"
+
+(* Under uniform weights, the explanation list has exactly DoD(D_i,D_j)
+   entries, and every witness's measures actually clear the threshold. *)
+let prop_explanations_consistent =
+  QCheck.Test.make ~name:"explain_pair count = dod_pair; witnesses gap"
+    ~count:150
+    QCheck.(make Gen.(pair (int_range 0 1000000) (int_range 2 6)))
+    (fun (seed, limit) ->
+      let profiles =
+        Xsact_workload.Workload.synthetic_profiles ~seed ~results:2 ~entities:2
+          ~types_per_entity:3 ~values_per_type:3 ~max_count:6
+      in
+      let c = Dod.make_context profiles in
+      let dfss = Multi_swap.generate c ~limit in
+      let explained = Dod.explain_pair c ~i:0 ~j:1 dfss.(0) dfss.(1) in
+      List.length explained = Dod.dod_pair c ~i:0 ~j:1 dfss.(0) dfss.(1)
+      && List.for_all
+           (fun (_, (w : Dod.witness)) ->
+             let diff = Float.abs (w.Dod.measure_i -. w.Dod.measure_j) in
+             diff > 0.1 *. Float.min w.Dod.measure_i w.Dod.measure_j
+             && diff > 0.0)
+           explained)
+
+let test_context_arity_errors () =
+  let p1 = profile "A" [ (f ~e:"m" ~a:"t" ~v:"x", 1) ] in
+  Alcotest.check_raises "needs two results"
+    (Invalid_argument "Dod.make_context: need at least two results") (fun () ->
+      ignore (Dod.make_context [| p1 |]));
+  let p2 = profile "B" [ (f ~e:"m" ~a:"t" ~v:"y", 1) ] in
+  let c = Dod.make_context [| p1; p2 |] in
+  Alcotest.check_raises "total arity"
+    (Invalid_argument "Dod.total: arity mismatch") (fun () ->
+      ignore (Dod.total c [| full p1 |]))
+
+let () =
+  Alcotest.run "xsact_dod"
+    [
+      ( "differentiability",
+        [
+          Alcotest.test_case "equal counts" `Quick
+            test_equal_counts_not_differentiable;
+          Alcotest.test_case "different values" `Quick
+            test_different_values_differentiable;
+          Alcotest.test_case "unshared types" `Quick
+            test_unshared_type_not_comparable;
+          Alcotest.test_case "10% threshold edge" `Quick test_threshold_edge;
+          Alcotest.test_case "x = 0" `Quick test_threshold_zero_pct;
+          Alcotest.test_case "rate vs raw" `Quick test_rate_vs_raw;
+          Alcotest.test_case "both sides must select" `Quick
+            test_requires_both_selected;
+          Alcotest.test_case "other-side witness" `Quick test_gap_via_other_side;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "total = sum of pairs" `Quick
+            test_total_is_sum_of_pairs;
+          Alcotest.test_case "pair symmetry" `Quick test_dod_pair_symmetric;
+          Alcotest.test_case "upper bound" `Quick test_upper_bound;
+          Alcotest.test_case "arity errors" `Quick test_context_arity_errors;
+        ] );
+      ( "links",
+        [
+          Alcotest.test_case "links and threshold_q" `Quick
+            test_links_and_threshold_q;
+          Alcotest.test_case "witness and explain" `Quick
+            test_witness_and_explain;
+        ] );
+      ( "properties",
+        [
+          qtest prop_delta_consistent;
+          qtest prop_dod_monotone_in_selection;
+          qtest prop_explanations_consistent;
+        ] );
+    ]

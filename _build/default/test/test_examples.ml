@@ -1,0 +1,71 @@
+(* The four example programs are documentation that must keep working: run
+   each as a subprocess and check its key output. *)
+
+let check = Alcotest.check
+let contains = Xsact_util.Textutil.contains_substring
+
+let example name =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "../examples")
+    (name ^ ".exe")
+
+let run_ok name =
+  let tmp = Filename.temp_file "xsact_example" ".out" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2>&1" (example name) tmp) in
+  let ic = open_in_bin tmp in
+  let output =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove tmp;
+  if code <> 0 then
+    Alcotest.failf "example %s failed (%d):\n%s" name code output;
+  output
+
+let test_quickstart () =
+  let out = run_ok "quickstart" in
+  check Alcotest.bool "search results" true (contains out "2 results");
+  check Alcotest.bool "figure 1 stats" true (contains out "ATTR:VALUE:# of occ");
+  check Alcotest.bool "snippets" true (contains out "independent snippets");
+  check Alcotest.bool "comparison table" true (contains out "DoD =")
+
+let test_product_compare () =
+  let out = run_ok "product_compare" in
+  check Alcotest.bool "result list" true (contains out "[1]");
+  check Alcotest.bool "sweep table" true (contains out "multi-swap");
+  check Alcotest.bool "html written" true (contains out ".html")
+
+let test_outdoor_brands () =
+  let out = run_ok "outdoor_brands" in
+  check Alcotest.bool "brand list" true (contains out "Brands selling");
+  check Alcotest.bool "matched-products table" true
+    (contains out "MATCHING products");
+  check Alcotest.bool "full-catalog table" true (contains out "full catalogs");
+  check Alcotest.bool "brand focus" true (contains out "Brand focus")
+
+let test_movie_explorer () =
+  let out = run_ok "movie_explorer" in
+  check Alcotest.bool "qm table header" true (contains out "single-swap");
+  check Alcotest.bool "eight queries" true (contains out "QM8");
+  check Alcotest.bool "comparison table" true (contains out "DoD =")
+
+let test_interactive_session () =
+  let out = run_ok "interactive_session" in
+  check Alcotest.bool "steps logged" true (contains out "step 5");
+  check Alcotest.bool "final table" true (contains out "final table");
+  check Alcotest.bool "weighted rerun" true (contains out "re-weighted")
+
+let () =
+  Alcotest.run "xsact_examples"
+    [
+      ( "examples",
+        [
+          Alcotest.test_case "quickstart" `Slow test_quickstart;
+          Alcotest.test_case "product_compare" `Slow test_product_compare;
+          Alcotest.test_case "outdoor_brands" `Slow test_outdoor_brands;
+          Alcotest.test_case "movie_explorer" `Slow test_movie_explorer;
+          Alcotest.test_case "interactive_session" `Slow
+            test_interactive_session;
+        ] );
+    ]

@@ -1,0 +1,317 @@
+(* Unit and property tests for xsact_util: PRNG, sampling, text helpers,
+   grid layout, timing. *)
+
+open Xsact_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Prng -------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.of_int 42 and b = Prng.of_int 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.of_int 1 and b = Prng.of_int 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 5)
+
+let test_prng_copy_independent () =
+  let a = Prng.of_int 7 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b);
+  ignore (Prng.next_int64 a);
+  (* advancing a does not advance b *)
+  let a2 = Prng.next_int64 a and b2 = Prng.next_int64 b in
+  check Alcotest.bool "diverged after extra draw" true (a2 <> b2)
+
+let test_prng_split () =
+  let a = Prng.of_int 13 in
+  let b = Prng.split a in
+  let xs = List.init 20 (fun _ -> Prng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Prng.next_int64 b) in
+  check Alcotest.bool "split streams differ" true (xs <> ys)
+
+let test_prng_int_bounds () =
+  let g = Prng.of_int 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    check Alcotest.bool "0 <= v < 7" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g 0))
+
+let test_prng_int_in () =
+  let g = Prng.of_int 6 in
+  for _ = 1 to 500 do
+    let v = Prng.int_in g (-3) 3 in
+    check Alcotest.bool "in range" true (v >= -3 && v <= 3)
+  done;
+  check Alcotest.int "singleton range" 9 (Prng.int_in g 9 9);
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Prng.int_in: empty range") (fun () ->
+      ignore (Prng.int_in g 4 3))
+
+let test_prng_float () =
+  let g = Prng.of_int 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 2.5 in
+    check Alcotest.bool "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_chance () =
+  let g = Prng.of_int 3 in
+  check Alcotest.bool "p=0 never" false (Prng.chance g 0.0);
+  check Alcotest.bool "p=1 always" true (Prng.chance g 1.0);
+  let hits = ref 0 in
+  for _ = 1 to 10000 do
+    if Prng.chance g 0.3 then incr hits
+  done;
+  check Alcotest.bool "p=0.3 plausible" true (!hits > 2500 && !hits < 3500)
+
+let test_prng_bool_balanced () =
+  let g = Prng.of_int 17 in
+  let heads = ref 0 in
+  for _ = 1 to 10000 do
+    if Prng.bool g then incr heads
+  done;
+  check Alcotest.bool "fair-ish" true (!heads > 4500 && !heads < 5500)
+
+(* ---- Sampling ---------------------------------------------------------- *)
+
+let test_pick () =
+  let g = Prng.of_int 1 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    check Alcotest.bool "member" true (Array.mem (Sampling.pick g arr) arr)
+  done;
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Sampling.pick: empty array") (fun () ->
+      ignore (Sampling.pick g [||]))
+
+let test_weighted_index () =
+  let g = Prng.of_int 2 in
+  let w = [| 0.0; 5.0; 0.0; 5.0 |] in
+  for _ = 1 to 200 do
+    let i = Sampling.weighted_index g w in
+    check Alcotest.bool "only positive-weight indices" true (i = 1 || i = 3)
+  done;
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Sampling.weighted_index: zero total weight") (fun () ->
+      ignore (Sampling.weighted_index g [| 0.0; 0.0 |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Sampling.weighted_index: negative weight") (fun () ->
+      ignore (Sampling.weighted_index g [| 1.0; -1.0 |]))
+
+let test_weighted_skew () =
+  let g = Prng.of_int 4 in
+  let counts = [| 0; 0 |] in
+  for _ = 1 to 10000 do
+    let v = Sampling.weighted g [ (0, 9.0); (1, 1.0) ] in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check Alcotest.bool "9:1 skew observed" true
+    (counts.(0) > 8 * counts.(1))
+
+let test_zipf () =
+  let g = Prng.of_int 8 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10000 do
+    let r = Sampling.zipf g ~n:10 ~s:1.2 in
+    check Alcotest.bool "rank in range" true (r >= 0 && r < 10);
+    counts.(r) <- counts.(r) + 1
+  done;
+  check Alcotest.bool "rank 0 most frequent" true
+    (Array.for_all (fun c -> counts.(0) >= c) counts)
+
+let test_shuffle_permutation () =
+  let g = Prng.of_int 9 in
+  let arr = Array.init 50 (fun i -> i) in
+  let copy = Array.copy arr in
+  Sampling.shuffle g copy;
+  Array.sort compare copy;
+  check Alcotest.(array int) "same multiset" arr copy
+
+let test_sample_without_replacement () =
+  let g = Prng.of_int 10 in
+  let arr = Array.init 20 (fun i -> i) in
+  let s = Sampling.sample_without_replacement g 8 arr in
+  check Alcotest.int "size 8" 8 (List.length s);
+  check Alcotest.int "distinct" 8 (List.length (List.sort_uniq compare s));
+  let all = Sampling.sample_without_replacement g 100 arr in
+  check Alcotest.int "capped at population" 20 (List.length all)
+
+let test_binomial () =
+  let g = Prng.of_int 12 in
+  for _ = 1 to 50 do
+    let v = Sampling.binomial g ~n:10 ~p:0.5 in
+    check Alcotest.bool "0..10" true (v >= 0 && v <= 10)
+  done;
+  check Alcotest.int "p=0" 0 (Sampling.binomial g ~n:10 ~p:0.0);
+  check Alcotest.int "p=1" 10 (Sampling.binomial g ~n:10 ~p:1.0)
+
+(* ---- Textutil ----------------------------------------------------------- *)
+
+let test_words () =
+  check
+    Alcotest.(list string)
+    "basic split" [ "tomtom"; "go"; "630" ]
+    (Textutil.lowercase_ascii_words "TomTom, Go-630!");
+  check Alcotest.(list string) "empty" [] (Textutil.lowercase_ascii_words " .,;");
+  check
+    Alcotest.(list string)
+    "digits kept" [ "a1"; "b2" ]
+    (Textutil.lowercase_ascii_words "a1 b2")
+
+let test_slug () =
+  check Alcotest.string "slug" "tomtom-go-630-gps"
+    (Textutil.slug "TomTom Go 630 GPS!")
+
+let test_pad_truncate () =
+  check Alcotest.string "pad" "ab   " (Textutil.pad_right "ab" 5);
+  check Alcotest.string "no pad needed" "abcdef" (Textutil.pad_right "abcdef" 3);
+  check Alcotest.string "truncate keeps ends" "abc...xyz"
+    (Textutil.truncate_middle "abcdefuvwxyz" 9);
+  check Alcotest.string "short string untouched" "abc"
+    (Textutil.truncate_middle "abc" 9);
+  check Alcotest.string "tiny width" "ab" (Textutil.truncate_middle "abcdef" 2)
+
+let test_misc_text () =
+  check Alcotest.string "capitalize" "Mobile Phone"
+    (Textutil.capitalize_words "mobile phone");
+  check Alcotest.string "join nonempty" "a, b"
+    (Textutil.join_nonempty ", " [ "a"; ""; "b" ]);
+  check Alcotest.bool "contains" true
+    (Textutil.contains_substring "hello world" "lo wo");
+  check Alcotest.bool "not contains" false
+    (Textutil.contains_substring "hello" "xyz");
+  check Alcotest.bool "empty needle" true (Textutil.contains_substring "abc" "")
+
+(* ---- Grid ---------------------------------------------------------------- *)
+
+let test_grid_alignment () =
+  let g = Grid.create () in
+  Grid.add_row g [ "a"; "bbb" ];
+  Grid.add_separator g;
+  Grid.add_row g [ "cc"; "d" ];
+  let out = Grid.render g in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | [ l1; sep; l3; "" ] ->
+    check Alcotest.string "row 1" "a  | bbb" l1;
+    check Alcotest.string "separator" "--------" sep;
+    check Alcotest.string "row 2" "cc | d  " l3
+  | _ -> Alcotest.fail "unexpected line structure")
+
+let test_grid_right_align () =
+  let g = Grid.create () in
+  Grid.add_row g [ "x"; "1" ];
+  Grid.add_row g [ "yy"; "22" ];
+  let out = Grid.render ~aligns:[ Grid.Left; Grid.Right ] g in
+  check Alcotest.bool "right aligned" true
+    (Textutil.contains_substring out "x  |  1");
+  check Alcotest.bool "empty grid" true (Grid.render (Grid.create ()) = "")
+
+let test_grid_ragged_rows () =
+  let g = Grid.create () in
+  Grid.add_row g [ "a" ];
+  Grid.add_row g [ "b"; "c" ];
+  let out = Grid.render g in
+  check Alcotest.bool "renders" true (String.length out > 0)
+
+(* ---- Timing -------------------------------------------------------------- *)
+
+let test_timing () =
+  let calls = ref 0 in
+  let result, stats =
+    Timing.time ~warmup:2 ~runs:5 (fun () ->
+        incr calls;
+        !calls)
+  in
+  check Alcotest.int "warmup + runs calls" 7 !calls;
+  check Alcotest.int "last result" 7 result;
+  check Alcotest.int "runs recorded" 5 stats.Timing.runs;
+  check Alcotest.bool "min <= median <= max" true
+    (stats.Timing.min_s <= stats.Timing.median_s
+    && stats.Timing.median_s <= stats.Timing.max_s);
+  let v, elapsed = Timing.once (fun () -> 42) in
+  check Alcotest.int "once result" 42 v;
+  check Alcotest.bool "elapsed nonnegative" true (elapsed >= 0.0)
+
+(* ---- Properties ----------------------------------------------------------- *)
+
+let prop_truncate_bound =
+  QCheck.Test.make ~name:"truncate_middle respects width" ~count:500
+    QCheck.(pair (string_of_size (Gen.int_bound 80)) (int_range 1 60))
+    (fun (s, w) -> String.length (Textutil.truncate_middle s w) <= max w 3)
+
+let prop_pad_width =
+  QCheck.Test.make ~name:"pad_right reaches width" ~count:500
+    QCheck.(pair (string_of_size (Gen.int_bound 30)) (int_range 0 40))
+    (fun (s, w) -> String.length (Textutil.pad_right s w) >= w)
+
+let prop_words_lowercase =
+  QCheck.Test.make ~name:"tokenizer output is lowercase alnum" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 60))
+    (fun s ->
+      List.for_all
+        (fun w ->
+          w <> ""
+          && String.for_all
+               (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+               w)
+        (Textutil.lowercase_ascii_words s))
+
+let () =
+  Alcotest.run "xsact_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split" `Quick test_prng_split;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int_in" `Quick test_prng_int_in;
+          Alcotest.test_case "float" `Quick test_prng_float;
+          Alcotest.test_case "chance" `Quick test_prng_chance;
+          Alcotest.test_case "bool" `Quick test_prng_bool_balanced;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "pick" `Quick test_pick;
+          Alcotest.test_case "weighted_index" `Quick test_weighted_index;
+          Alcotest.test_case "weighted skew" `Quick test_weighted_skew;
+          Alcotest.test_case "zipf" `Quick test_zipf;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "binomial" `Quick test_binomial;
+        ] );
+      ( "textutil",
+        [
+          Alcotest.test_case "words" `Quick test_words;
+          Alcotest.test_case "slug" `Quick test_slug;
+          Alcotest.test_case "pad/truncate" `Quick test_pad_truncate;
+          Alcotest.test_case "misc" `Quick test_misc_text;
+          qtest prop_truncate_bound;
+          qtest prop_pad_width;
+          qtest prop_words_lowercase;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "alignment" `Quick test_grid_alignment;
+          Alcotest.test_case "right align" `Quick test_grid_right_align;
+          Alcotest.test_case "ragged rows" `Quick test_grid_ragged_rows;
+        ] );
+      ("timing", [ Alcotest.test_case "stats" `Quick test_timing ]);
+    ]
