@@ -470,6 +470,119 @@ let ext_spread () =
      the poor equilibria of the all-tied movie corpus (DESIGN.md, \
      tie-breaking note)"
 
+(* ---- SCALE: multicore DoD engine sweep -------------------------------------------------- *)
+
+(* Set by the `--quick` CLI flag: a small sweep for CI smoke runs. *)
+let quick = ref false
+
+(* n results x domain counts, timing the two engine phases: pair-table
+   construction (Dod.make_context) and multi-swap generation. Also times
+   the threshold-cache ablation at domains = 1 (the sequential-only
+   speedup recorded in EXPERIMENTS.md). Emits machine-readable
+   BENCH_dod.json so future PRs can track the perf trajectory. *)
+let scale () =
+  section
+    (Printf.sprintf
+       "SCALE -- parallel DoD engine: n x domains sweep%s (synthetic \
+        results, L = 8)"
+       (if !quick then " (quick)" else ""));
+  let ns = if !quick then [ 10; 25 ] else [ 10; 25; 50; 100 ] in
+  let domain_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let runs = if !quick then 3 else 5 in
+  let limit = 8 in
+  (* (n, domains, phase, median_s) in sweep order *)
+  let entries = ref [] in
+  let record n domains phase median_s =
+    entries := (n, domains, phase, median_s) :: !entries
+  in
+  Printf.printf "%6s %8s | %14s %14s %20s\n" "n" "domains" "make_context"
+    "multi_swap" "multi_swap(nocache)";
+  List.iter
+    (fun n ->
+      let profiles =
+        Workload.synthetic_profiles ~seed:42 ~results:n ~entities:3
+          ~types_per_entity:8 ~values_per_type:6 ~max_count:12
+      in
+      List.iter
+        (fun domains ->
+          let context, ctx_stats =
+            Timing.time ~warmup:1 ~runs (fun () ->
+                Dod.make_context ~domains profiles)
+          in
+          let _, swap_stats =
+            Timing.time ~warmup:1 ~runs (fun () ->
+                Multi_swap.generate ~domains context ~limit)
+          in
+          record n domains "make_context" ctx_stats.Timing.median_s;
+          record n domains "multi_swap" swap_stats.Timing.median_s;
+          let nocache =
+            if domains = 1 then begin
+              let _, stats =
+                Timing.time ~warmup:1 ~runs (fun () ->
+                    Multi_swap.generate ~cache:false ~domains:1 context ~limit)
+              in
+              record n 1 "multi_swap_nocache" stats.Timing.median_s;
+              Printf.sprintf "%18.6fs" stats.Timing.median_s
+            end
+            else ""
+          in
+          Printf.printf "%6d %8d | %13.6fs %13.6fs %20s\n" n domains
+            ctx_stats.Timing.median_s swap_stats.Timing.median_s nocache)
+        domain_counts)
+    ns;
+  (* Headline ratios at the largest n. *)
+  let median ~n ~domains phase =
+    List.find_map
+      (fun (n', d', p', m) ->
+        if n' = n && d' = domains && p' = phase then Some m else None)
+      !entries
+  in
+  let n_max = List.fold_left max 0 ns in
+  let par = if List.mem 4 domain_counts then 4 else List.fold_left max 1 domain_counts in
+  (match (median ~n:n_max ~domains:1 "make_context",
+          median ~n:n_max ~domains:par "make_context") with
+  | Some seq, Some parallel when parallel > 0.0 ->
+    Printf.printf
+      "\nmake_context speedup at n = %d, %d domains vs 1: %.2fx (of %d \
+       available cores)\n"
+      n_max par (seq /. parallel)
+      (Domain.recommended_domain_count ())
+  | _ -> ());
+  (match (median ~n:n_max ~domains:1 "multi_swap_nocache",
+          median ~n:n_max ~domains:1 "multi_swap") with
+  | Some nocache, Some cached when cached > 0.0 ->
+    Printf.printf
+      "multi_swap threshold-cache speedup at n = %d (sequential): %.2fx\n"
+      n_max (nocache /. cached)
+  | _ -> ());
+  (* Machine-readable output, one object per (n, domains, phase) median. *)
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\n";
+  Buffer.add_string json
+    (Printf.sprintf "  \"bench\": \"scale\",\n  \"quick\": %b,\n" !quick);
+  Buffer.add_string json
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string json
+    (Printf.sprintf "  \"limit\": %d,\n  \"runs\": %d,\n" limit runs);
+  Buffer.add_string json "  \"entries\": [\n";
+  let sorted = List.rev !entries in
+  List.iteri
+    (fun k (n, domains, phase, median_s) ->
+      Buffer.add_string json
+        (Printf.sprintf
+           "    {\"n\": %d, \"domains\": %d, \"phase\": %S, \"median_s\": \
+            %.6f}%s\n"
+           n domains phase median_s
+           (if k = List.length sorted - 1 then "" else ",")))
+    sorted;
+  Buffer.add_string json "  ]\n}\n";
+  let path = "BENCH_dod.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d medians)\n" path (List.length sorted)
+
 (* ---- Bechamel micro-benchmarks --------------------------------------------------------- *)
 
 let micro () =
@@ -564,14 +677,23 @@ let targets =
     ("ext_incremental", ext_incremental);
     ("ext_weighting", ext_weighting);
     ("ext_spread", ext_spread);
+    ("scale", scale);
     ("micro", micro);
   ]
 
 let () =
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst targets
+    match args with [] -> List.map fst targets | names -> names
   in
   let t0 = Unix.gettimeofday () in
   List.iter

@@ -103,6 +103,15 @@ let select_arg =
   let doc = "Comma-separated 1-based ranks of the results to compare." in
   Arg.(value & opt (some (list int)) None & info [ "select" ] ~docv:"RANKS" ~doc)
 
+let domains_arg =
+  let doc =
+    "Domain-pool parallelism for context construction and DFS generation \
+     (default: the hardware's recommended domain count, capped). The \
+     comparison is identical for every value; $(b,--domains 1) forces the \
+     sequential engine."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let top_arg =
   let doc = "Number of top results to use when $(b,--select) is absent." in
   Arg.(value & opt int 4 & info [ "top" ] ~docv:"N" ~doc)
@@ -338,14 +347,15 @@ let compare_cmd =
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
   let run dataset file lists keywords size_bound algorithm threshold measure
-      weight prune select top lift_to html markdown explain stats =
+      weight prune select top lift_to domains html markdown explain stats =
     let doc = or_die (load_corpus ?lists ~dataset ~file ()) in
     let pipeline = Pipeline.create doc in
     let params = { Dod.threshold_pct = threshold; measure } in
     let comparison =
       or_die
         (Pipeline.compare ~params ?weight:(weight_fn weight) ~algorithm
-           ?lift_to ~prune ?select ~top pipeline ~keywords ~size_bound)
+           ?domains ?lift_to ~prune ?select ~top pipeline ~keywords
+           ~size_bound)
     in
     if stats then
       Array.iter
@@ -358,7 +368,7 @@ let compare_cmd =
     else print_string (Render_text.table comparison.Pipeline.table);
     if explain then begin
       let context =
-        Dod.make_context ~params ?weight:(weight_fn weight)
+        Dod.make_context ~params ?weight:(weight_fn weight) ?domains
           comparison.Pipeline.profiles
       in
       print_newline ();
@@ -379,8 +389,8 @@ let compare_cmd =
     Term.(
       const run $ dataset_arg $ file_arg $ lists_arg $ keywords_arg
       $ size_bound_arg $ algorithm_arg $ threshold_arg $ measure_arg
-      $ weight_arg $ prune_arg $ select_arg $ top_arg $ lift_arg $ html_arg
-      $ markdown_flag $ explain_flag $ stats_flag)
+      $ weight_arg $ prune_arg $ select_arg $ top_arg $ lift_arg
+      $ domains_arg $ html_arg $ markdown_flag $ explain_flag $ stats_flag)
   in
   Cmd.v
     (Cmd.info "compare"
@@ -419,6 +429,7 @@ let repl_cmd =
     let selection = ref [] in
     let size_bound = ref 8 in
     let algorithm = ref Algorithm.Multi_swap in
+    let domains = ref None in
     let weight = ref None in
     let prune = ref Result_builder.Full in
     let lift = ref None in
@@ -441,6 +452,7 @@ let repl_cmd =
   select <ranks...>      tick result checkboxes (1-based)
   size <L>               set the table size bound (default 8)
   algorithm <name>       topk|greedy|single-swap|multi-swap|annealing|restarts
+  domains <n>|auto       domain-pool parallelism (auto = hardware default)
   weight <pat=w,...>|off interestingness weights on attribute patterns
   prune full|matched|attributes   result subtree policy
   stats <rank>           Figure-1 style statistics of one result
@@ -455,8 +467,8 @@ let repl_cmd =
       else
         match
           Pipeline.compare ?weight:!weight ~algorithm:!algorithm
-            ?lift_to:!lift ~prune:!prune ~select:!selection pipeline
-            ~keywords:!keywords ~size_bound:!size_bound
+            ?domains:!domains ?lift_to:!lift ~prune:!prune ~select:!selection
+            pipeline ~keywords:!keywords ~size_bound:!size_bound
         with
         | Ok c ->
           print_string (Render_text.table c.Pipeline.table);
@@ -502,6 +514,11 @@ let repl_cmd =
            match Algorithm.of_string name with
            | Some a -> algorithm := a
            | None -> print_endline "  unknown algorithm")
+         | "domains", "auto" -> domains := None
+         | "domains", n -> (
+           match int_of_string_opt n with
+           | Some n when n >= 1 -> domains := Some n
+           | _ -> print_endline "  usage: domains <positive int>|auto")
          | "weight", "off" -> weight := None
          | "weight", rules ->
            let parsed =

@@ -32,12 +32,12 @@ let of_string = function
   | "exhaustive" -> Some Exhaustive
   | _ -> None
 
-let generate t context ~limit =
+let generate ?domains t context ~limit =
   match t with
   | Topk -> Topk.generate context ~limit
   | Greedy -> Greedy.generate context ~limit
   | Single_swap -> Single_swap.generate context ~limit
-  | Multi_swap -> Multi_swap.generate context ~limit
+  | Multi_swap -> Multi_swap.generate ?domains context ~limit
   | Annealing -> Stochastic.anneal context ~limit
   | Restarts -> Stochastic.restarts context ~limit
   | Exhaustive -> Exhaustive.generate context ~limit

@@ -24,5 +24,9 @@ val to_string : t -> string
 
 val of_string : string -> t option
 
-val generate : t -> Dod.context -> limit:int -> Dfs.t array
-(** Run the method. [Exhaustive] may raise {!Exhaustive.Too_large}. *)
+val generate : ?domains:int -> t -> Dod.context -> limit:int -> Dfs.t array
+(** Run the method. [Exhaustive] may raise {!Exhaustive.Too_large}.
+    [domains] sets the domain-pool parallelism of the methods that use it
+    (currently [Multi_swap] threshold construction); the others ignore
+    it. Every method is deterministic in it — outputs are identical for
+    every domain count. *)

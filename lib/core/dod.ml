@@ -83,9 +83,19 @@ let ftype_map (profile : Result_profile.t) =
     Feature.Ftype_map.empty
     (Result_profile.types_seq profile)
 
-let make_context ?(params = default_params) ?(weight = fun _ -> 1) results =
+(* Below this many pairs per domain the fork/join round-trip costs more
+   than the first_gap work it distributes. *)
+let min_pairs_per_domain = 8
+
+let make_context ?(params = default_params) ?(weight = fun _ -> 1) ?domains
+    results =
   if Array.length results < 2 then
     invalid_arg "Dod.make_context: need at least two results";
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain_pool.default_domains ()
+  in
   let weights =
     Array.map
       (fun profile ->
@@ -104,27 +114,66 @@ let make_context ?(params = default_params) ?(weight = fun _ -> 1) results =
         Array.make (Result_profile.num_types profile) ([] : link list))
       results
   in
+  (* The unordered pairs (i, j), i < j, flattened in the order the
+     sequential double loop visits them. Pair work (first_gap scans over the
+     shared types) is independent across pairs, so the pairs partition
+     across domains; each pair's links land in a private slot and a
+     sequential merge replays them in pair order, making the resulting
+     links_table bit-identical to the sequential build for every domain
+     count. *)
+  let npairs = n * (n - 1) / 2 in
+  let pair_i = Array.make npairs 0 and pair_j = Array.make npairs 0 in
+  let p = ref 0 in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      (* Shared types of the pair. *)
-      Feature.Ftype_map.iter
-        (fun ftype gi_i ->
-          match Feature.Ftype_map.find_opt ftype fmaps.(j) with
-          | None -> ()
-          | Some gi_j ->
-            let ti = Result_profile.type_info results.(i) gi_i in
-            let tj = Result_profile.type_info results.(j) gi_j in
-            let gap_i = first_gap params results.(i) ti results.(j) counts.(j) in
-            let gap_j = first_gap params results.(j) tj results.(i) counts.(i) in
-            links_table.(i).(gi_i) <-
-              { other = j; gi_other = gi_j; gap_self = gap_i; gap_other = gap_j }
-              :: links_table.(i).(gi_i);
-            links_table.(j).(gi_j) <-
-              { other = i; gi_other = gi_i; gap_self = gap_j; gap_other = gap_i }
-              :: links_table.(j).(gi_j))
-        fmaps.(i)
+      pair_i.(!p) <- i;
+      pair_j.(!p) <- j;
+      incr p
     done
   done;
+  (* Shared types of pair [p], with both first-gap indices, in the
+     iteration order of result i's type map. Reads only immutable data. *)
+  let compute_pair p =
+    let i = pair_i.(p) and j = pair_j.(p) in
+    let acc = ref [] in
+    Feature.Ftype_map.iter
+      (fun ftype gi_i ->
+        match Feature.Ftype_map.find_opt ftype fmaps.(j) with
+        | None -> ()
+        | Some gi_j ->
+          let ti = Result_profile.type_info results.(i) gi_i in
+          let tj = Result_profile.type_info results.(j) gi_j in
+          let gap_i = first_gap params results.(i) ti results.(j) counts.(j) in
+          let gap_j = first_gap params results.(j) tj results.(i) counts.(i) in
+          acc := (gi_i, gi_j, gap_i, gap_j) :: !acc)
+      fmaps.(i);
+    List.rev !acc
+  in
+  let merge_pair p entries =
+    let i = pair_i.(p) and j = pair_j.(p) in
+    List.iter
+      (fun (gi_i, gi_j, gap_i, gap_j) ->
+        links_table.(i).(gi_i) <-
+          { other = j; gi_other = gi_j; gap_self = gap_i; gap_other = gap_j }
+          :: links_table.(i).(gi_i);
+        links_table.(j).(gi_j) <-
+          { other = i; gi_other = gi_i; gap_self = gap_j; gap_other = gap_i }
+          :: links_table.(j).(gi_j))
+      entries
+  in
+  if domains = 1 || npairs < min_pairs_per_domain * domains then
+    for p = 0 to npairs - 1 do
+      merge_pair p (compute_pair p)
+    done
+  else begin
+    let pool = Domain_pool.get ~domains in
+    let buffers = Array.make npairs [] in
+    Domain_pool.parallel_for pool ~n:npairs ~chunk:(fun lo hi ->
+        for p = lo to hi - 1 do
+          buffers.(p) <- compute_pair p
+        done);
+    Array.iteri merge_pair buffers
+  end;
   { params; results; links_table; weights; counts }
 
 let links c ~i ~gi = c.links_table.(i).(gi)
@@ -239,15 +288,15 @@ let explain_pair c ~i ~j di dj =
   List.rev !acc
 
 let upper_bound_pair c ~i ~j =
-  let count = ref 0 in
-  Array.iter
-    (fun link_list ->
+  let sum = ref 0 in
+  Array.iteri
+    (fun gi link_list ->
       List.iter
         (fun link ->
           if
             link.other = j
             && (link.gap_self < infinity_gap || link.gap_other < infinity_gap)
-          then incr count)
+          then sum := !sum + c.weights.(i).(gi))
         link_list)
     c.links_table.(i);
-  !count
+  !sum

@@ -30,10 +30,18 @@ type context
 val make_context :
   ?params:params ->
   ?weight:(Feature.ftype -> int) ->
+  ?domains:int ->
   Result_profile.t array ->
   context
 (** Precompute pair tables for a set of results (O(pairs × shared types ×
     features)). @raise Invalid_argument on fewer than 2 results.
+
+    [domains] (default {!Xsact_util.Domain_pool.default_domains}) sets the
+    parallelism of the pair-table build: the unordered result pairs are
+    partitioned across a reusable domain pool and each pair's links are
+    merged back deterministically, so the context is {e bit-identical} to
+    the sequential one ([domains = 1]) for every domain count. Small
+    inputs fall back to the sequential path automatically.
 
     [weight] (default [fun _ -> 1]) realizes the paper's "interestingness"
     future-work direction: each feature type contributes its weight, rather
@@ -89,8 +97,10 @@ val delta_for_type :
     [new_q] selected features, all other selections fixed. *)
 
 val upper_bound_pair : context -> i:int -> j:int -> int
-(** Number of shared types of the pair that can possibly be differentiable
-    (both sides fully selected) — a cheap upper bound used by tests. *)
+(** Total weight of the shared types of the pair that can possibly be
+    differentiable (both sides fully selected) — a cheap upper bound on the
+    weighted {!dod_pair}, used by tests. Under the default uniform
+    weighting this is the plain type count. *)
 
 (** {1 Explanations} *)
 

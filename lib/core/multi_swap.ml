@@ -36,6 +36,27 @@ let gain_at thresholds q =
   let rec count k = if k < n && thresholds.(k) <= q then count (k + 1) else k in
   count 0
 
+(* All threshold arrays of result [i] at once — the unit the per-round
+   cache stores and the pool parallelizes. Each type's array lands in a
+   private slot from reads of immutable data ([dfss] is not mutated while
+   a response is being computed), so the result is identical for every
+   domain count. *)
+let min_types_per_domain = 4
+
+let compute_thresholds ?pool context dfss i =
+  let nt = Result_profile.num_types (Dod.results context).(i) in
+  match pool with
+  | Some pool
+    when Domain_pool.domains pool > 1
+         && nt >= min_types_per_domain * Domain_pool.domains pool ->
+    let arrays = Array.make nt [||] in
+    Domain_pool.parallel_for pool ~n:nt ~chunk:(fun lo hi ->
+        for gi = lo to hi - 1 do
+          arrays.(gi) <- thresholds_for context dfss i gi
+        done);
+    arrays
+  | _ -> Array.init nt (fun gi -> thresholds_for context dfss i gi)
+
 (* ---- Knapsack over the types of one significance class ---------------- *)
 
 (* Items are within-class type positions. Item [t] takes q in
@@ -192,10 +213,14 @@ let reconstruct_entity ~gain_for plan budget =
 let spread_bonus context ~i ~gi =
   1 + List.length (Dod.links context ~i ~gi)
 
-let best_response ?(spread = true) context ~limit dfss i =
+let best_response ?(spread = true) ?thresholds context ~limit dfss i =
   let profile = (Dod.results context).(i) in
   let nt = Result_profile.num_types profile in
-  let thresholds = Array.init nt (fun gi -> thresholds_for context dfss i gi) in
+  let thresholds =
+    match thresholds with
+    | Some arrays -> arrays
+    | None -> compute_thresholds context dfss i
+  in
   let gain_global gi q =
     if q = 0 then 0
     else
@@ -255,17 +280,24 @@ let best_response ?(spread = true) context ~limit dfss i =
   Dfs.of_q_array profile q
 
 (* Packed gain of a DFS for result i given the others — the same objective
-   the DP maximizes, so adoption decisions compare like with like. *)
-let packed_gain ?(spread = true) context dfss i dfs =
+   the DP maximizes, so adoption decisions compare like with like. Without
+   [thresholds] every array is recomputed per call (the pre-cache
+   behavior, kept as the ablation baseline for the bench). *)
+let packed_gain ?(spread = true) ?thresholds context dfss i dfs =
   let profile = (Dod.results context).(i) in
   let nt = Result_profile.num_types profile in
+  let thresholds_of gi =
+    match thresholds with
+    | Some arrays -> arrays.(gi)
+    | None -> thresholds_for context dfss i gi
+  in
   let sum = ref 0 in
   for gi = 0 to nt - 1 do
     let q = Dfs.q dfs gi in
     if q > 0 then
       sum :=
         !sum
-        + gain_at (thresholds_for context dfss i gi) q
+        + gain_at (thresholds_of gi) q
           * Dod.weight_of context ~i ~gi * type_tie_base
         + (if spread then spread_bonus context ~i ~gi else 0)
   done;
@@ -283,9 +315,47 @@ let prepare ?init context ~limit =
     Array.copy dfss
   | None -> Topk.generate context ~limit
 
-let generate_with_stats ?init ?spread context ~limit =
+let generate_with_stats ?init ?spread ?(cache = true) ?domains context ~limit =
   let dfss = prepare ?init context ~limit in
   let n = Array.length dfss in
+  let pool =
+    let d =
+      match domains with
+      | Some d -> max 1 d
+      | None -> Domain_pool.default_domains ()
+    in
+    if d > 1 then Some (Domain_pool.get ~domains:d) else None
+  in
+  (* Threshold cache. Result [i]'s threshold arrays depend only on the
+     OTHER results' current selections, so an entry stays exact until some
+     j <> i adopts a new response: each adoption bumps [version] and stamps
+     [adopted_at], and an entry computed at stamp [s] is valid while
+     [adopted_at.(j) <= s] for every other [j]. In particular result i's
+     own adoption never invalidates its own entry, and once a round stops
+     adopting, the fixpoint check reuses every entry. The cached arrays are
+     what best_response and both packed_gain calls share — previously
+     packed_gain silently recomputed every array per adoption check. *)
+  let version = ref 0 in
+  let adopted_at = Array.make n 0 in
+  let cached = Array.make n ([||] : int array array) in
+  let cached_at = Array.make n (-1) in
+  let thresholds_of i =
+    let valid =
+      cached_at.(i) >= 0
+      &&
+      let s = cached_at.(i) in
+      let ok = ref true in
+      for j = 0 to n - 1 do
+        if j <> i && adopted_at.(j) > s then ok := false
+      done;
+      !ok
+    in
+    if not valid then begin
+      cached.(i) <- compute_thresholds ?pool context dfss i;
+      cached_at.(i) <- !version
+    end;
+    cached.(i)
+  in
   let iterations = ref 0 in
   let rounds = ref 0 in
   let improved_in_round = ref true in
@@ -293,16 +363,19 @@ let generate_with_stats ?init ?spread context ~limit =
     improved_in_round := false;
     incr rounds;
     for i = 0 to n - 1 do
+      let thresholds = if cache then Some (thresholds_of i) else None in
       (* Pad the response to the full budget: extra features never reduce the
          packed objective (gains and the type bonus are monotone) and keep
          the summaries budget-filling like every other method. *)
       let candidate =
-        Topk.fill ~limit (best_response ?spread context ~limit dfss i)
+        Topk.fill ~limit (best_response ?spread ?thresholds context ~limit dfss i)
       in
-      let cur = packed_gain ?spread context dfss i dfss.(i) in
-      let cand_gain = packed_gain ?spread context dfss i candidate in
+      let cur = packed_gain ?spread ?thresholds context dfss i dfss.(i) in
+      let cand_gain = packed_gain ?spread ?thresholds context dfss i candidate in
       if cand_gain > cur then begin
         dfss.(i) <- candidate;
+        incr version;
+        adopted_at.(i) <- !version;
         incr iterations;
         improved_in_round := true
       end
@@ -310,5 +383,5 @@ let generate_with_stats ?init ?spread context ~limit =
   done;
   (dfss, { iterations = !iterations; rounds = !rounds })
 
-let generate ?init ?spread context ~limit =
-  fst (generate_with_stats ?init ?spread context ~limit)
+let generate ?init ?spread ?cache ?domains context ~limit =
+  fst (generate_with_stats ?init ?spread ?cache ?domains context ~limit)

@@ -29,8 +29,20 @@ type stats = {
   rounds : int;  (** full passes over the results *)
 }
 
+val compute_thresholds :
+  ?pool:Xsact_util.Domain_pool.t -> Dod.context -> Dfs.t array -> int ->
+  int array array
+(** [compute_thresholds context dfss i] is, per type of result [i], the
+    sorted array of minimal prefix lengths at which each linked pair
+    becomes differentiable given the other results' current selections
+    ({!Dod.threshold_q} with infinite entries dropped) — the per-type gain
+    curves the DP maximizes over. Depends only on the {e other} results'
+    DFSs. With [pool], the per-type arrays are built in parallel across the
+    pool's domains; the result is identical for every pool size. *)
+
 val best_response :
-  ?spread:bool -> Dod.context -> limit:int -> Dfs.t array -> int -> Dfs.t
+  ?spread:bool -> ?thresholds:int array array -> Dod.context -> limit:int ->
+  Dfs.t array -> int -> Dfs.t
 (** [best_response context ~limit dfss i] is an optimal valid DFS for result
     [i] holding the other DFSs fixed. DoD ties are resolved toward more
     distinct selected types, preferring types more of the other results
@@ -39,15 +51,30 @@ val best_response :
     responses escape the poor equilibria of pure best-response dynamics on
     corpora whose significances are all tied (see the implementation comment
     on the packed potential Φ; termination is still guaranteed). Exposed for
-    tests, which compare its packed gain against exhaustive enumeration. *)
+    tests, which compare its packed gain against exhaustive enumeration.
+
+    [thresholds] supplies precomputed gain curves (from
+    {!compute_thresholds} against the same [dfss]); without it they are
+    recomputed, which is exact but wasteful inside the iteration. *)
 
 val generate :
-  ?init:Dfs.t array -> ?spread:bool -> Dod.context -> limit:int -> Dfs.t array
+  ?init:Dfs.t array -> ?spread:bool -> ?cache:bool -> ?domains:int ->
+  Dod.context -> limit:int -> Dfs.t array
 (** Iterate best responses from {!Topk.generate} (or [init]) to a multi-swap
     optimum. [spread] (default [true]) enables the type-spreading
     tie-break; disabling it is the coordination ablation DESIGN.md calls
-    out. *)
+    out.
+
+    [cache] (default [true]) shares each result's threshold arrays between
+    its best response and both adoption-check evaluations, and keeps them
+    across rounds until another result adopts a new DFS — every use is
+    provably identical to a fresh computation, so the output never changes;
+    [~cache:false] is the recompute-everything baseline kept for the
+    micro-bench (see EXPERIMENTS.md). [domains] (default
+    {!Xsact_util.Domain_pool.default_domains}) additionally builds the
+    arrays in parallel on the shared domain pool when profiles are wide
+    enough. *)
 
 val generate_with_stats :
-  ?init:Dfs.t array -> ?spread:bool -> Dod.context -> limit:int ->
-  Dfs.t array * stats
+  ?init:Dfs.t array -> ?spread:bool -> ?cache:bool -> ?domains:int ->
+  Dod.context -> limit:int -> Dfs.t array * stats

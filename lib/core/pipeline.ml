@@ -38,15 +38,18 @@ type comparison = {
 }
 
 let compare_profiles ?(params = Dod.default_params) ?weight
-    ?(algorithm = Algorithm.Multi_swap) ~keywords ~size_bound profiles =
+    ?(algorithm = Algorithm.Multi_swap) ?domains ~keywords ~size_bound
+    profiles =
   if Array.length profiles < 2 then
     Error "need at least two results to compare"
   else if size_bound < 1 then Error "size bound must be at least 1"
   else begin
-    let context = Dod.make_context ~params ?weight profiles in
+    let context = Dod.make_context ~params ?weight ?domains profiles in
     let (dfss, elapsed_s) =
       let t0 = Unix.gettimeofday () in
-      let dfss = Algorithm.generate algorithm context ~limit:size_bound in
+      let dfss =
+        Algorithm.generate ?domains algorithm context ~limit:size_bound
+      in
       (dfss, Unix.gettimeofday () -. t0)
     in
     let table = Table.build ~size_bound context dfss in
@@ -68,8 +71,8 @@ let compare_profiles ?(params = Dod.default_params) ?weight
       }
   end
 
-let compare ?params ?weight ?algorithm ?lift_to ?prune ?select ?top t ~keywords
-    ~size_bound =
+let compare ?params ?weight ?algorithm ?domains ?lift_to ?prune ?select ?top t
+    ~keywords ~size_bound =
   let results = search ?lift_to t keywords in
   match results with
   | [] -> Error (Printf.sprintf "no results for %S" keywords)
@@ -95,5 +98,5 @@ let compare ?params ?weight ?algorithm ?lift_to ?prune ?select ?top t ~keywords
       let profiles =
         Array.of_list (List.map (profile_of ?prune ~keywords t) chosen)
       in
-      compare_profiles ?params ?weight ?algorithm ~keywords ~size_bound
-        profiles)
+      compare_profiles ?params ?weight ?algorithm ?domains ~keywords
+        ~size_bound profiles)

@@ -34,6 +34,7 @@ val compare :
   ?params:Dod.params ->
   ?weight:(Feature.ftype -> int) ->
   ?algorithm:Algorithm.t ->
+  ?domains:int ->
   ?lift_to:string ->
   ?prune:Result_builder.mode ->
   ?select:int list ->
@@ -49,6 +50,10 @@ val compare :
     - [algorithm] defaults to [Multi_swap]; [params] to
       {!Dod.default_params}; [weight] to uniform (see
       {!Dod.make_context}).
+    - [domains] (default {!Xsact_util.Domain_pool.default_domains}) sets
+      the domain-pool parallelism of context construction and DFS
+      generation; the comparison is identical for every value (see
+      {!Dod.make_context}).
     - Errors (as [Error message]): no results, fewer than two selected,
       out-of-range ranks. *)
 
@@ -56,6 +61,7 @@ val compare_profiles :
   ?params:Dod.params ->
   ?weight:(Feature.ftype -> int) ->
   ?algorithm:Algorithm.t ->
+  ?domains:int ->
   keywords:string ->
   size_bound:int ->
   Result_profile.t array ->

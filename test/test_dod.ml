@@ -162,6 +162,26 @@ let test_upper_bound () =
     (Dod.upper_bound_pair c ~i:0 ~j:1);
   check Alcotest.int "pair 0-2: both types" 2 (Dod.upper_bound_pair c ~i:0 ~j:2)
 
+(* The bound is the total WEIGHT of the differentiable types, not their
+   count, and it dominates the weighted dod_pair of any DFS pair. *)
+let test_upper_bound_weighted () =
+  let p1, p2, p3 = three_results () in
+  let weight ft = if ft.Feature.attribute = "title" then 3 else 2 in
+  let c = Dod.make_context ~weight [| p1; p2; p3 |] in
+  check Alcotest.int "pair 0-1: only title can differ" 3
+    (Dod.upper_bound_pair c ~i:0 ~j:1);
+  check Alcotest.int "pair 0-2: title + year" 5
+    (Dod.upper_bound_pair c ~i:0 ~j:2);
+  let dfss = [| full p1; full p2; full p3 |] in
+  for i = 0 to 1 do
+    for j = i + 1 to 2 do
+      let pair = Dod.dod_pair c ~i ~j dfss.(i) dfss.(j) in
+      let bound = Dod.upper_bound_pair c ~i ~j in
+      if pair > bound then
+        Alcotest.failf "pair %d-%d: dod %d exceeds bound %d" i j pair bound
+    done
+  done
+
 (* ---- Links and thresholds -------------------------------------------------- *)
 
 let test_links_and_threshold_q () =
@@ -347,6 +367,8 @@ let () =
             test_total_is_sum_of_pairs;
           Alcotest.test_case "pair symmetry" `Quick test_dod_pair_symmetric;
           Alcotest.test_case "upper bound" `Quick test_upper_bound;
+          Alcotest.test_case "upper bound (weighted)" `Quick
+            test_upper_bound_weighted;
           Alcotest.test_case "arity errors" `Quick test_context_arity_errors;
         ] );
       ( "links",
