@@ -164,6 +164,22 @@ let or_die = function
     prerr_endline ("xsact: " ^ msg);
     exit 1
 
+let or_die_compare = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("xsact: " ^ Error.to_string e);
+    exit 1
+
+(* Fold the CLI's flags into the unified comparison configuration. *)
+let config_of ?weight ?domains ~params ~algorithm () =
+  Config.default
+  |> Config.with_params params
+  |> Config.with_algorithm algorithm
+  |> (fun c ->
+       match weight with Some w -> Config.with_weight w c | None -> c)
+  |> fun c ->
+  match domains with Some d -> Config.with_domains d c | None -> c
+
 (* ---- generate ----------------------------------------------------------- *)
 
 let generate_cmd =
@@ -351,11 +367,13 @@ let compare_cmd =
     let doc = or_die (load_corpus ?lists ~dataset ~file ()) in
     let pipeline = Pipeline.create doc in
     let params = { Dod.threshold_pct = threshold; measure } in
+    let config =
+      config_of ?weight:(weight_fn weight) ?domains ~params ~algorithm ()
+    in
     let comparison =
-      or_die
-        (Pipeline.compare ~params ?weight:(weight_fn weight) ~algorithm
-           ?domains ?lift_to ~prune ?select ~top pipeline ~keywords
-           ~size_bound)
+      or_die_compare
+        (Pipeline.compare ~config ?lift_to ~prune ?select ~top pipeline
+           ~keywords ~size_bound)
     in
     if stats then
       Array.iter
@@ -368,7 +386,7 @@ let compare_cmd =
     else print_string (Render_text.table comparison.Pipeline.table);
     if explain then begin
       let context =
-        Dod.make_context ~params ?weight:(weight_fn weight) ?domains
+        Dod.make_context ~params ~weight:config.Config.weight ?domains
           comparison.Pipeline.profiles
       in
       print_newline ();
@@ -465,17 +483,21 @@ let repl_cmd =
       if List.length !selection < 2 then
         print_endline "  select at least two results first"
       else
+        let config =
+          config_of ?weight:!weight ?domains:!domains
+            ~params:Dod.default_params ~algorithm:!algorithm ()
+        in
         match
-          Pipeline.compare ?weight:!weight ~algorithm:!algorithm
-            ?domains:!domains ?lift_to:!lift ~prune:!prune ~select:!selection
-            pipeline ~keywords:!keywords ~size_bound:!size_bound
+          Pipeline.compare ~config ?lift_to:!lift ~prune:!prune
+            ~select:!selection pipeline ~keywords:!keywords
+            ~size_bound:!size_bound
         with
         | Ok c ->
           print_string (Render_text.table c.Pipeline.table);
           Printf.printf "  (%s, %.4fs)\n"
             (Algorithm.to_string c.Pipeline.algorithm)
             c.Pipeline.elapsed_s
-        | Error e -> Printf.printf "  error: %s\n" e
+        | Error e -> Printf.printf "  error: %s\n" (Error.to_string e)
     in
     let dispatch line =
       let line = String.trim line in

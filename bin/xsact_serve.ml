@@ -1,0 +1,83 @@
+(* xsact-serve: the HTTP comparison service.
+
+   dune exec bin/xsact_serve.exe -- --port 8080
+   curl localhost:8080/datasets *)
+
+open Cmdliner
+module Server = Xsact_server.Server
+
+let serve port threads cache domains datasets =
+  let datasets = match datasets with [] -> None | names -> Some names in
+  let server =
+    try Ok (Server.create ?datasets ~cache_capacity:cache ?domains ())
+    with Invalid_argument msg -> Error msg
+  in
+  match server with
+  | Error msg ->
+    prerr_endline ("xsact-serve: " ^ msg);
+    exit 1
+  | Ok server ->
+    let running =
+      try Server.start ~threads ~port server
+      with Unix.Unix_error (err, _, _) ->
+        prerr_endline
+          (Printf.sprintf "xsact-serve: cannot bind port %d: %s" port
+             (Unix.error_message err));
+        exit 1
+    in
+    Printf.printf "xsact-serve listening on http://127.0.0.1:%d\n"
+      (Server.port running);
+    Printf.printf "  workers: %d  cache: %d entries  datasets: %s\n%!"
+      threads cache
+      (String.concat ", " (Server.dataset_names server));
+    let stop_requested = ref false in
+    let request_stop _ = stop_requested := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    while not !stop_requested do
+      Thread.delay 0.25
+    done;
+    print_endline "xsact-serve: shutting down";
+    Server.stop running
+
+let port_arg =
+  Arg.(
+    value & opt int 8080
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"Port to listen on (0 picks an ephemeral port).")
+
+let threads_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "threads" ] ~docv:"N" ~doc:"Worker threads serving connections.")
+
+let cache_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "cache" ] ~docv:"N" ~doc:"Comparison LRU cache capacity.")
+
+let domains_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domain-pool parallelism for requests that don't pin their own \
+           (default: hardware parallelism).")
+
+let datasets_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "dataset" ] ~docv:"NAME"
+        ~doc:
+          "Dataset to load (repeatable; default: the whole registry). See \
+           GET /datasets.")
+
+let cmd =
+  let doc = "serve XSACT comparisons over a JSON HTTP API" in
+  Cmd.v
+    (Cmd.info "xsact-serve" ~version:"1.0.0" ~doc)
+    Term.(
+      const serve $ port_arg $ threads_arg $ cache_arg $ domains_arg
+      $ datasets_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -17,7 +17,7 @@ let die msg =
   prerr_endline msg;
   exit 1
 
-let ok = function Ok v -> v | Error e -> die e
+let ok = function Ok v -> v | Error e -> die (Error.to_string e)
 
 let () =
   let dataset = Xsact_dataset.Dataset.product_reviews () in
@@ -43,7 +43,11 @@ let () =
     let weighted =
       ok
         (Session.create
-           ~weight:(Weighting.by_attribute [ ("battery", 4); ("stars", 3) ])
+           ~config:
+             Config.(
+               default
+               |> with_weight
+                    (Weighting.by_attribute [ ("battery", 4); ("stars", 3) ]))
            ~size_bound:10
            (Array.to_list (Session.profiles s)))
     in

@@ -26,10 +26,10 @@ let () =
 
   (match
      Pipeline.compare pipeline ~keywords ~lift_to:"brand" ~top:3 ~size_bound:9
-       ~algorithm:Algorithm.Multi_swap
+       ~config:Config.(default |> with_algorithm Algorithm.Multi_swap)
        ~prune:Result_builder.Matched_entities
    with
-  | Error e -> prerr_endline e
+  | Error e -> prerr_endline (Error.to_string e)
   | Ok c ->
     print_endline
       "Comparing the brands' MATCHING products only (men's jackets):";
@@ -38,10 +38,10 @@ let () =
 
   match
     Pipeline.compare pipeline ~keywords ~lift_to:"brand" ~top:3 ~size_bound:9
-      ~algorithm:Algorithm.Multi_swap
+      ~config:Config.(default |> with_algorithm Algorithm.Multi_swap)
   with
   | Error e ->
-    prerr_endline e;
+    prerr_endline (Error.to_string e);
     exit 1
   | Ok c ->
     print_endline "Comparing the brands' full catalogs:";

@@ -25,10 +25,10 @@ let () =
   let select = [ 1; 2; 3 ] in
   (match
      Pipeline.compare pipeline ~keywords ~select ~size_bound:8
-       ~algorithm:Algorithm.Multi_swap
+       ~config:Config.(default |> with_algorithm Algorithm.Multi_swap)
    with
   | Error e ->
-    prerr_endline e;
+    prerr_endline (Error.to_string e);
     exit 1
   | Ok c ->
     Printf.printf "Comparing results %s (L = 8):\n\n"
@@ -44,11 +44,11 @@ let () =
     (fun size_bound ->
       let dod alg =
         match
-          Pipeline.compare pipeline ~keywords ~select ~size_bound ~algorithm:alg
+          Pipeline.compare pipeline ~keywords ~select ~size_bound ~config:Config.(default |> with_algorithm alg)
         with
         | Ok c -> c.Pipeline.dod
         | Error e ->
-          prerr_endline e;
+          prerr_endline (Error.to_string e);
           exit 1
       in
       Printf.printf "  %4d  %8d  %12d  %11d\n" size_bound
@@ -60,10 +60,10 @@ let () =
   (* Export the table as the HTML page the demo UI would pop up. *)
   match
     Pipeline.compare pipeline ~keywords ~select ~size_bound:8
-      ~algorithm:Algorithm.Multi_swap
+      ~config:Config.(default |> with_algorithm Algorithm.Multi_swap)
   with
   | Error e ->
-    prerr_endline e;
+    prerr_endline (Error.to_string e);
     exit 1
   | Ok c ->
     let path = Filename.temp_file "xsact_products" ".html" in

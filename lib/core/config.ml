@@ -1,0 +1,25 @@
+type t = {
+  params : Dod.params;
+  weight : Feature.ftype -> int;
+  algorithm : Algorithm.t;
+  domains : int option;
+}
+
+let default =
+  {
+    params = Dod.default_params;
+    weight = Weighting.uniform;
+    algorithm = Algorithm.Multi_swap;
+    domains = None;
+  }
+
+let with_params params t = { t with params }
+let with_weight weight t = { t with weight }
+let with_algorithm algorithm t = { t with algorithm }
+
+let with_domains domains t =
+  if domains < 1 then
+    invalid_arg "Config.with_domains: domain count must be positive";
+  { t with domains = Some domains }
+
+let with_default_domains t = { t with domains = None }

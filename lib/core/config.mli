@@ -1,0 +1,37 @@
+(** The unified comparison configuration.
+
+    {!Pipeline.compare}, {!Pipeline.compare_profiles} and {!Session.create}
+    used to re-declare the same [?params ?weight ?algorithm ?domains]
+    optional arguments — inconsistently ([Session.create] silently dropped
+    [?domains]). They now all take one [?config:Config.t], built from
+    {!default} in a functional-update style:
+
+    {[
+      let config =
+        Config.default
+        |> Config.with_algorithm Algorithm.Single_swap
+        |> Config.with_domains 4
+    ]} *)
+
+type t = {
+  params : Dod.params;  (** differentiation threshold and measure *)
+  weight : Feature.ftype -> int;  (** interestingness weighting *)
+  algorithm : Algorithm.t;  (** DFS generation method *)
+  domains : int option;
+      (** domain-pool parallelism; [None] defers to
+          {!Xsact_util.Domain_pool.default_domains} *)
+}
+
+val default : t
+(** The paper's setting: {!Dod.default_params}, uniform weighting,
+    [Multi_swap], hardware-default parallelism. *)
+
+val with_params : Dod.params -> t -> t
+val with_weight : (Feature.ftype -> int) -> t -> t
+val with_algorithm : Algorithm.t -> t -> t
+
+val with_domains : int -> t -> t
+(** Pin the domain count. @raise Invalid_argument if not positive. *)
+
+val with_default_domains : t -> t
+(** Back to the hardware-default parallelism ([domains = None]). *)

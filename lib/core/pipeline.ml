@@ -37,14 +37,14 @@ type comparison = {
   elapsed_s : float;
 }
 
-let compare_profiles ?(params = Dod.default_params) ?weight
-    ?(algorithm = Algorithm.Multi_swap) ?domains ~keywords ~size_bound
+let compare_profiles ?(config = Config.default) ~keywords ~size_bound
     profiles =
+  let { Config.params; weight; algorithm; domains } = config in
   if Array.length profiles < 2 then
-    Error "need at least two results to compare"
-  else if size_bound < 1 then Error "size bound must be at least 1"
+    Error (Error.Too_few_selected (Array.length profiles))
+  else if size_bound < 1 then Error (Error.Bound_too_small size_bound)
   else begin
-    let context = Dod.make_context ~params ?weight ?domains profiles in
+    let context = Dod.make_context ~params ~weight ?domains profiles in
     let (dfss, elapsed_s) =
       let t0 = Unix.gettimeofday () in
       let dfss =
@@ -71,23 +71,20 @@ let compare_profiles ?(params = Dod.default_params) ?weight
       }
   end
 
-let compare ?params ?weight ?algorithm ?domains ?lift_to ?prune ?select ?top t
-    ~keywords ~size_bound =
+let compare ?config ?lift_to ?prune ?select ?top t ~keywords ~size_bound =
   let results = search ?lift_to t keywords in
   match results with
-  | [] -> Error (Printf.sprintf "no results for %S" keywords)
+  | [] -> Error (Error.No_results keywords)
   | _ ->
     let chosen =
       match select with
       | Some ranks ->
         let n = List.length results in
-        let bad = List.filter (fun r -> r < 1 || r > n) ranks in
-        if bad <> [] then
-          Error
-            (Printf.sprintf "selection out of range (have %d results)" n)
-        else
-          Ok
-            (List.map (fun rank -> List.nth results (rank - 1)) ranks)
+        (match List.find_opt (fun r -> r < 1 || r > n) ranks with
+        | Some rank ->
+          Error (Error.Rank_out_of_range { rank; available = n })
+        | None ->
+          Ok (List.map (fun rank -> List.nth results (rank - 1)) ranks))
       | None ->
         let top = match top with Some t -> t | None -> 4 in
         Ok (List.filteri (fun i _ -> i < top) results)
@@ -98,5 +95,4 @@ let compare ?params ?weight ?algorithm ?domains ?lift_to ?prune ?select ?top t
       let profiles =
         Array.of_list (List.map (profile_of ?prune ~keywords t) chosen)
       in
-      compare_profiles ?params ?weight ?algorithm ?domains ~keywords
-        ~size_bound profiles)
+      compare_profiles ?config ~keywords ~size_bound profiles)

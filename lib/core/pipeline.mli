@@ -31,10 +31,7 @@ type comparison = {
 }
 
 val compare :
-  ?params:Dod.params ->
-  ?weight:(Feature.ftype -> int) ->
-  ?algorithm:Algorithm.t ->
-  ?domains:int ->
+  ?config:Config.t ->
   ?lift_to:string ->
   ?prune:Result_builder.mode ->
   ?select:int list ->
@@ -42,29 +39,22 @@ val compare :
   t ->
   keywords:string ->
   size_bound:int ->
-  (comparison, string) result
+  (comparison, Error.t) result
 (** Search, pick results, and build the comparison.
 
+    - [config] (default {!Config.default}) carries the differentiation
+      parameters, interestingness weighting, generation algorithm and
+      domain-pool parallelism — see {!Config}.
     - [select]: 1-based ranks of the results to compare (the demo's
       checkboxes); default: the [top] first results ([top] defaults to 4).
-    - [algorithm] defaults to [Multi_swap]; [params] to
-      {!Dod.default_params}; [weight] to uniform (see
-      {!Dod.make_context}).
-    - [domains] (default {!Xsact_util.Domain_pool.default_domains}) sets
-      the domain-pool parallelism of context construction and DFS
-      generation; the comparison is identical for every value (see
-      {!Dod.make_context}).
-    - Errors (as [Error message]): no results, fewer than two selected,
-      out-of-range ranks. *)
+    - Errors: [No_results], [Too_few_selected], [Rank_out_of_range],
+      [Bound_too_small] (see {!Error}). *)
 
 val compare_profiles :
-  ?params:Dod.params ->
-  ?weight:(Feature.ftype -> int) ->
-  ?algorithm:Algorithm.t ->
-  ?domains:int ->
+  ?config:Config.t ->
   keywords:string ->
   size_bound:int ->
   Result_profile.t array ->
-  (comparison, string) result
+  (comparison, Error.t) result
 (** Same, starting from already-extracted profiles (used by benches and by
     callers that assemble results by hand). *)

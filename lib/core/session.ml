@@ -1,7 +1,5 @@
 type t = {
-  params : Dod.params;
-  weight : Feature.ftype -> int;
-  algorithm : Algorithm.t;
+  config : Config.t;
   size_bound : int;
   profiles : Result_profile.t array;
   context : Dod.context;
@@ -11,36 +9,38 @@ type t = {
 
 let generate ?init session context =
   incr session.runs;
-  match (session.algorithm, init) with
+  let domains = session.config.Config.domains in
+  match (session.config.Config.algorithm, init) with
   | Algorithm.Single_swap, Some init ->
     Single_swap.generate ~init context ~limit:session.size_bound
   | Algorithm.Multi_swap, Some init ->
-    Multi_swap.generate ~init context ~limit:session.size_bound
-  | alg, _ -> Algorithm.generate alg context ~limit:session.size_bound
+    Multi_swap.generate ~init ?domains context ~limit:session.size_bound
+  | alg, _ ->
+    Algorithm.generate ?domains alg context ~limit:session.size_bound
+
+let make_context config profiles =
+  Dod.make_context ~params:config.Config.params
+    ~weight:config.Config.weight ?domains:config.Config.domains profiles
 
 let rebuild ?init session profiles =
-  let context =
-    Dod.make_context ~params:session.params ~weight:session.weight profiles
-  in
+  let context = make_context session.config profiles in
   let session = { session with profiles; context } in
   let dfss = generate ?init session context in
   { session with dfss }
 
-let create ?(params = Dod.default_params) ?(weight = fun _ -> 1)
-    ?(algorithm = Algorithm.Multi_swap) ~size_bound profiles =
-  if algorithm = Algorithm.Exhaustive then
-    Error "sessions do not support the exhaustive oracle"
+let create ?(config = Config.default) ~size_bound profiles =
+  if config.Config.algorithm = Algorithm.Exhaustive then
+    Error
+      (Error.Unsupported_algorithm (Algorithm.to_string Algorithm.Exhaustive))
   else if List.length profiles < 2 then
-    Error "need at least two results to compare"
-  else if size_bound < 1 then Error "size bound must be at least 1"
+    Error (Error.Too_few_selected (List.length profiles))
+  else if size_bound < 1 then Error (Error.Bound_too_small size_bound)
   else
     let profiles = Array.of_list profiles in
-    let context = Dod.make_context ~params ~weight profiles in
+    let context = make_context config profiles in
     let skeleton =
       {
-        params;
-        weight;
-        algorithm;
+        config;
         size_bound;
         profiles;
         context;
@@ -51,6 +51,7 @@ let create ?(params = Dod.default_params) ?(weight = fun _ -> 1)
     let dfss = generate skeleton context in
     Ok { skeleton with dfss }
 
+let config s = s.config
 let profiles s = s.profiles
 let dfss s = s.dfss
 let dod s = Dod.total s.context s.dfss
@@ -69,8 +70,9 @@ let add s profile =
 
 let remove s index =
   let n = Array.length s.profiles in
-  if index < 0 || index >= n then Error "index out of range"
-  else if n <= 2 then Error "cannot drop below two results"
+  if index < 0 || index >= n then
+    Error (Error.Index_out_of_range { index; length = n })
+  else if n <= 2 then Error (Error.Too_few_selected (n - 1))
   else begin
     let keep i = i <> index in
     let profiles =
@@ -84,7 +86,7 @@ let remove s index =
   end
 
 let set_size_bound s size_bound =
-  if size_bound < 1 then Error "size bound must be at least 1"
+  if size_bound < 1 then Error (Error.Bound_too_small size_bound)
   else if size_bound = s.size_bound then Ok s
   else
     let s' = { s with size_bound } in

@@ -15,17 +15,19 @@
 type t
 
 val create :
-  ?params:Dod.params ->
-  ?weight:(Feature.ftype -> int) ->
-  ?algorithm:Algorithm.t ->
+  ?config:Config.t ->
   size_bound:int ->
   Result_profile.t list ->
-  (t, string) result
-(** Start a session over at least two results. [algorithm] defaults to
-    [Multi_swap]; [Exhaustive] is rejected. *)
+  (t, Error.t) result
+(** Start a session over at least two results. The session keeps [config]
+    (default {!Config.default}) for its whole lifetime: every rebuild —
+    including warm-started ones — honors its parameters, weighting,
+    algorithm {e and domain-pool parallelism}. [Exhaustive] is rejected
+    with [Unsupported_algorithm]. *)
 
 (** {1 State} *)
 
+val config : t -> Config.t
 val profiles : t -> Result_profile.t array
 val dfss : t -> Dfs.t array
 val dod : t -> int
@@ -38,13 +40,13 @@ val table : t -> Table.t
 val add : t -> Result_profile.t -> t
 (** Add one result to the comparison (appended last). *)
 
-val remove : t -> int -> (t, string) result
-(** Remove the result at 0-based index; fails when out of range or when
-    only two results remain. *)
+val remove : t -> int -> (t, Error.t) result
+(** Remove the result at 0-based index; fails with [Index_out_of_range]
+    when out of range, [Too_few_selected] when only two results remain. *)
 
-val set_size_bound : t -> int -> (t, string) result
+val set_size_bound : t -> int -> (t, Error.t) result
 (** Change L. Shrinking restarts from scratch (old selections may violate
-    the bound); growing warm-starts. *)
+    the bound); growing warm-starts. Fails with [Bound_too_small]. *)
 
 val stats : t -> int
 (** Number of algorithm invocations performed by this session so far

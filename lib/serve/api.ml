@@ -1,0 +1,212 @@
+type compare_request = {
+  dataset : string;
+  keywords : string;
+  select : int list option;
+  top : int;
+  size_bound : int;
+  algorithm : Algorithm.t;
+  threshold_pct : float;
+  measure : Dod.measure;
+  weights : (string * int) list;
+  domains : int option;
+}
+
+let normalize_keywords s = String.concat " " (Token.normalize_query s)
+
+(* ---- Decoding ---------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let required json name decode =
+  match Json.member name json with
+  | None -> Error (Printf.sprintf "missing required field %S" name)
+  | Some v -> (
+    match decode v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let optional json name ~default decode =
+  match Json.member name json with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+    match decode v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let int_list j =
+  Option.bind (Json.to_list j) (fun items ->
+      let ints = List.filter_map Json.to_int items in
+      if List.length ints = List.length items then Some ints else None)
+
+let weight_rules j =
+  Option.bind (Json.obj_fields j) (fun fields ->
+      let rules =
+        List.filter_map
+          (fun (pat, v) -> Option.map (fun w -> (pat, w)) (Json.to_int v))
+          fields
+      in
+      if List.length rules = List.length fields then
+        Some (List.sort compare rules)
+      else None)
+
+let decode_compare json =
+  let* dataset = required json "dataset" Json.to_str in
+  let* raw_keywords = required json "q" Json.to_str in
+  let* select = optional json "select" ~default:None (fun j ->
+      Option.map Option.some (int_list j)) in
+  let* top = optional json "top" ~default:4 Json.to_int in
+  let* size_bound = optional json "size_bound" ~default:8 Json.to_int in
+  let* algorithm =
+    optional json "algorithm" ~default:Algorithm.Multi_swap (fun j ->
+        Option.bind (Json.to_str j) Algorithm.of_string)
+  in
+  let* threshold_pct =
+    optional json "threshold_pct" ~default:10.0 Json.to_float
+  in
+  let* measure =
+    optional json "measure" ~default:Dod.Raw (fun j ->
+        match Json.to_str j with
+        | Some "raw" -> Some Dod.Raw
+        | Some "rate" -> Some Dod.Rate
+        | _ -> None)
+  in
+  let* weights = optional json "weights" ~default:[] weight_rules in
+  let* domains = optional json "domains" ~default:None (fun j ->
+      Option.map Option.some (Json.to_int j)) in
+  let* () =
+    if match domains with Some d -> d < 1 | None -> false then
+      Error "field \"domains\" must be positive"
+    else Ok ()
+  in
+  Ok
+    {
+      dataset;
+      keywords = normalize_keywords raw_keywords;
+      select;
+      top;
+      size_bound;
+      algorithm;
+      threshold_pct;
+      measure;
+      weights;
+      domains;
+    }
+
+(* ---- Cache key --------------------------------------------------------- *)
+
+let cache_key r =
+  let select =
+    match r.select with
+    | Some ranks -> String.concat "," (List.map string_of_int ranks)
+    | None -> Printf.sprintf "top%d" r.top
+  in
+  let weights =
+    String.concat ","
+      (List.map (fun (pat, w) -> Printf.sprintf "%s:%d" pat w) r.weights)
+  in
+  Printf.sprintf
+    "ds=%s&q=%s&sel=%s&k=%d&alg=%s&thr=%g&measure=%s&w=%s&domains=%s"
+    r.dataset r.keywords select r.size_bound
+    (Algorithm.to_string r.algorithm)
+    r.threshold_pct
+    (match r.measure with Dod.Raw -> "raw" | Dod.Rate -> "rate")
+    weights
+    (match r.domains with Some d -> string_of_int d | None -> "default")
+
+let to_config r =
+  let weight =
+    match r.weights with
+    | [] -> Weighting.uniform
+    | rules -> Weighting.by_attribute rules
+  in
+  let config =
+    Config.default
+    |> Config.with_params
+         { Dod.threshold_pct = r.threshold_pct; measure = r.measure }
+    |> Config.with_weight weight
+    |> Config.with_algorithm r.algorithm
+  in
+  match r.domains with
+  | Some d -> Config.with_domains d config
+  | None -> config
+
+let status_of_error = function
+  | Error.No_results _ -> 404
+  | Error.Too_few_selected _ | Error.Rank_out_of_range _
+  | Error.Index_out_of_range _ | Error.Bound_too_small _
+  | Error.Unsupported_algorithm _ ->
+    422
+
+(* ---- Encoders ---------------------------------------------------------- *)
+
+let error_body msg = Json.to_string (Json.Obj [ ("error", Json.String msg) ])
+
+let json_of_results results =
+  Json.List
+    (List.map
+       (fun (r, title) ->
+         Json.Obj
+           [
+             ("rank", Json.Int r.Search.rank);
+             ("title", Json.String title);
+             ("score", Json.Float r.Search.score);
+             ("node_id", Json.Int r.Search.node_id);
+           ])
+       results)
+
+let json_of_cell = function
+  | Table.Unknown -> Json.Null
+  | Table.Entries entries ->
+    Json.List
+      (List.map
+         (fun { Table.feature; count; population } ->
+           Json.Obj
+             [
+               ("value", Json.String feature.Feature.value);
+               ("count", Json.Int count);
+               ("population", Json.Int population);
+             ])
+         entries)
+
+let json_of_table (table : Table.t) =
+  Json.Obj
+    [
+      ( "labels",
+        Json.List
+          (Array.to_list
+             (Array.map (fun l -> Json.String l) table.Table.labels)) );
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.Obj
+                 [
+                   ( "type",
+                     Json.String (Feature.ftype_to_string row.Table.ftype) );
+                   ("differentiating", Json.Bool row.Table.differentiating);
+                   ( "cells",
+                     Json.List
+                       (Array.to_list (Array.map json_of_cell row.Table.cells))
+                   );
+                 ])
+             table.Table.rows) );
+      ("dod", Json.Int table.Table.dod);
+      ("size_bound", Json.Int table.Table.size_bound);
+    ]
+
+let json_of_comparison (c : Pipeline.comparison) =
+  Json.Obj
+    [
+      ("keywords", Json.String c.Pipeline.keywords);
+      ("algorithm", Json.String (Algorithm.to_string c.Pipeline.algorithm));
+      ("size_bound", Json.Int c.Pipeline.size_bound);
+      ("dod", Json.Int c.Pipeline.dod);
+      ( "dfs_sizes",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun dfs -> Json.Int (Dfs.size dfs))
+                c.Pipeline.dfss)) );
+      ("elapsed_s", Json.Float c.Pipeline.elapsed_s);
+      ("table", json_of_table c.Pipeline.table);
+    ]

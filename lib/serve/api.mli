@@ -1,0 +1,54 @@
+(** The typed request/response layer of the comparison service.
+
+    [POST /compare] bodies decode into one {!compare_request} value — the
+    single source of truth for defaults, validation, the comparison
+    {!cache_key} and the {!to_config} mapping onto the core API. Handlers
+    never look at raw JSON beyond this module. *)
+
+type compare_request = {
+  dataset : string;
+  keywords : string;  (** normalized: tokenized and re-joined *)
+  select : int list option;  (** 1-based ranks; [None] = first [top] *)
+  top : int;
+  size_bound : int;
+  algorithm : Algorithm.t;
+  threshold_pct : float;
+  measure : Dod.measure;
+  weights : (string * int) list;
+      (** attribute-substring interestingness rules, sorted by pattern *)
+  domains : int option;
+}
+
+val decode_compare : Json.t -> (compare_request, string) result
+(** Decode a request body. Required: ["dataset"], ["q"]. Optional with
+    defaults: ["select"], ["top"] (4), ["size_bound"] (8), ["algorithm"]
+    (["multi-swap"]), ["threshold_pct"] (10.0), ["measure"] (["raw"]),
+    ["weights"] (object of attribute-pattern → weight), ["domains"].
+    Keywords are normalized via {!Xsact_search.Token.normalize_query}, so
+    requests differing only in case/whitespace decode identically. *)
+
+val normalize_keywords : string -> string
+(** The keyword normalization used by {!decode_compare} — exposed so
+    [GET /search] agrees with the cache key. *)
+
+val cache_key : compare_request -> string
+(** Canonical string over every field that affects the response body.
+    Equal requests (after normalization) have equal keys. *)
+
+val to_config : compare_request -> Config.t
+
+val status_of_error : Error.t -> int
+(** [No_results] → 404; everything else (a well-formed request the corpus
+    can't satisfy) → 422. Malformed JSON is the caller's 400. *)
+
+(** {1 Response encoders} — deterministic field order, so cached bodies
+    are byte-stable. *)
+
+val error_body : string -> string
+(** [{"error": msg}] *)
+
+val json_of_results : (Search.result * string) list -> Json.t
+(** Ranked search results with their display titles. *)
+
+val json_of_table : Table.t -> Json.t
+val json_of_comparison : Pipeline.comparison -> Json.t

@@ -1,0 +1,87 @@
+(** Dependency-free HTTP/1.1 — just enough of RFC 9112 for the JSON API.
+
+    Requests are read from a buffered channel (request line, headers, then
+    a [Content-Length] body); responses always carry [Content-Length] so
+    connections can be kept alive. No chunked transfer, no TLS — the
+    daemon fronts a trusted demo/bench workload, not the open internet. *)
+
+type request = {
+  meth : string;  (** verb, uppercased: ["GET"], ["POST"], ... *)
+  target : string;  (** the raw request target, e.g. ["/search?q=gps"] *)
+  path : string list;
+      (** decoded, non-empty path segments: ["/session/s1"] is
+          [["session"; "s1"]]; ["/"] is [[]] *)
+  query : (string * string) list;  (** decoded query parameters, in order *)
+  headers : (string * string) list;  (** names lowercased, in order *)
+  body : string;
+}
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val wants_close : request -> bool
+(** [Connection: close] requested (HTTP/1.1 defaults to keep-alive). *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;  (** extra headers *)
+  resp_body : string;
+}
+
+val response : ?headers:(string * string) list -> status:int -> string -> response
+(** [response ~status body] with the standard reason phrase.
+    [Content-Type: application/json] and [Content-Length] are added at
+    write time; [headers] adds extras (e.g. [X-Cache]). *)
+
+val reason_phrase : int -> string
+
+(** {1 Wire functions} *)
+
+val read_request :
+  Stdlib.in_channel -> (request, [ `Eof | `Bad of string ]) result
+(** Read one request. [`Eof] when the peer closed before a request line
+    (normal keep-alive shutdown); [`Bad] on a malformed request or a body
+    larger than 8 MiB. *)
+
+val write_response :
+  Stdlib.out_channel -> ?keep_alive:bool -> response -> unit
+(** Serialize and flush. [keep_alive] (default [true]) picks the
+    [Connection] header. *)
+
+(** {1 Pieces exposed for unit tests} *)
+
+val parse_request_line : string -> (string * string, string) result
+(** ["GET /x HTTP/1.1"] → [Ok ("GET", "/x")]. *)
+
+val parse_header_line : string -> (string * string, string) result
+(** ["Content-Type: text/a"] → [Ok ("content-type", "text/a")]. *)
+
+val split_target : string -> string list * (string * string) list
+(** Split a request target into decoded path segments and query params. *)
+
+val url_decode : string -> string
+(** Percent- and [+]-decoding (malformed escapes pass through verbatim). *)
+
+(** {1 A minimal client} (tests and benches) *)
+
+val request :
+  host:string ->
+  port:int ->
+  ?meth:string ->
+  ?body:string ->
+  string ->
+  int * (string * string) list * string
+(** [request ~host ~port "/path"] opens a connection, sends one request
+    ([meth] defaults to ["GET"], or ["POST"] when [body] is given), and
+    returns [(status, headers, body)]. @raise Failure on a malformed
+    response, [Unix.Unix_error] on connection failure. *)
+
+val with_connection :
+  host:string ->
+  port:int ->
+  ((?meth:string -> ?body:string -> string -> int * (string * string) list * string) -> 'a) ->
+  'a
+(** Keep-alive variant: [with_connection ~host ~port f] opens one
+    connection and passes [f] a function issuing sequential requests on
+    it — what the throughput bench uses. *)

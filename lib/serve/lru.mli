@@ -1,0 +1,28 @@
+(** A fixed-capacity LRU cache with hit/miss counters — the comparison
+    cache behind [POST /compare].
+
+    O(1) find/add via a hash table over an intrusive doubly-linked recency
+    list. Not thread-safe: the server guards it with its own mutex (one
+    lock covers the lookup-compute-insert sequence, so two concurrent
+    identical misses still compute only once under the compute lock). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit moves the entry to most-recently-used and increments the
+    hit counter, a miss increments the miss counter. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace as most-recently-used; evicts the least-recently-used
+    entry when over capacity. Does not touch the counters. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+
+val keys_mru : 'a t -> string list
+(** Keys from most- to least-recently used (tests assert eviction order). *)

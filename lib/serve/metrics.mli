@@ -1,0 +1,22 @@
+(** Request metrics behind [GET /metrics]: per-route request counts,
+    status classes, and a fixed-bucket latency histogram. Thread-safe —
+    every worker records into the one shared instance. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> route:string -> status:int -> elapsed_s:float -> unit
+(** Record one served request. [route] is the route pattern (e.g.
+    ["POST /compare"]), not the concrete target, so cardinality stays
+    bounded. *)
+
+val bucket_bounds_ms : float array
+(** Upper bounds (milliseconds) of the latency buckets; the histogram has
+    one extra overflow bucket above the last bound. *)
+
+val snapshot : t -> extra:(string * Json.t) list -> Json.t
+(** Consistent snapshot as the [/metrics] response body. [extra] appends
+    server-owned gauges (cache hit rate, pool size, ...). *)
+
+val requests_total : t -> int

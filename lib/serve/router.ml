@@ -1,0 +1,54 @@
+type params = (string * string) list
+type handler = Http.request -> params -> Http.response
+
+type route = {
+  meth : string;
+  pattern : string;
+  segments : string list;
+  handler : handler;
+}
+
+let route ~meth ~pattern handler =
+  let segments =
+    String.split_on_char '/' pattern |> List.filter (fun s -> s <> "")
+  in
+  { meth = String.uppercase_ascii meth; pattern; segments; handler }
+
+let match_segments segments path =
+  let rec go acc segments path =
+    match (segments, path) with
+    | [], [] -> Some (List.rev acc)
+    | seg :: segments, value :: path
+      when String.length seg > 0 && seg.[0] = ':' ->
+      let name = String.sub seg 1 (String.length seg - 1) in
+      go ((name, value) :: acc) segments path
+    | seg :: segments, value :: path when seg = value -> go acc segments path
+    | _ -> None
+  in
+  go [] segments path
+
+let match_pattern pattern path =
+  match_segments
+    (String.split_on_char '/' pattern |> List.filter (fun s -> s <> ""))
+    path
+
+let dispatch routes req =
+  let matches =
+    List.filter_map
+      (fun r ->
+        match match_segments r.segments req.Http.path with
+        | Some params -> Some (r, params)
+        | None -> None)
+      routes
+  in
+  match
+    List.find_opt (fun (r, _) -> r.meth = req.Http.meth) matches
+  with
+  | Some (r, params) ->
+    `Matched (Printf.sprintf "%s /%s" r.meth r.pattern, r.handler, params)
+  | None -> (
+    match matches with
+    | [] -> `Not_found
+    | _ ->
+      `Method_not_allowed
+        (List.sort_uniq compare (List.map (fun (r, _) -> r.meth) matches)))

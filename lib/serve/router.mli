@@ -1,0 +1,28 @@
+(** Pattern-based request dispatch.
+
+    A route is a method plus a pattern like ["session/:id/add"]; [":"]
+    segments bind path parameters. Dispatch picks the first route whose
+    pattern matches the request path: a match on the wrong method is 405,
+    no path match at all is 404 — both produced by the caller via
+    [dispatch]'s result. *)
+
+type params = (string * string) list
+
+type handler = Http.request -> params -> Http.response
+
+type route
+
+val route : meth:string -> pattern:string -> handler -> route
+(** [pattern] is slash-separated with no leading slash; [""] is the root.
+    Segments starting with [':'] bind the decoded path segment under the
+    name after the colon. *)
+
+val match_pattern : string -> string list -> params option
+(** [match_pattern pattern path_segments] — exposed for unit tests. *)
+
+val dispatch :
+  route list ->
+  Http.request ->
+  [ `Matched of string * handler * params  (** route pattern, for metrics *)
+  | `Method_not_allowed of string list  (** allowed methods for the path *)
+  | `Not_found ]

@@ -1,0 +1,580 @@
+type entry = { dataset : Dataset.t; pipeline : Pipeline.t }
+
+type session_entry = {
+  s_dataset : string;
+  s_request : Api.compare_request;
+  s_results : Search.result list;  (* the full ranked list, for /add *)
+  s_ranks : int list;  (* current selection, in column order *)
+  s_session : Session.t;
+}
+
+type t = {
+  entries : (string * entry) list;
+  cache : string Lru.t;  (* cache_key -> response body *)
+  compute : Mutex.t;  (* serializes DFS generation and the LRU *)
+  metrics : Metrics.t;
+  sessions : session_entry Session_store.t;
+  default_domains : int option;
+  mutable threads : int;  (* worker-pool size, recorded for /metrics *)
+  mutable routes : Router.route list;
+}
+
+let dataset_names t = List.map fst t.entries
+
+let with_compute t f =
+  Mutex.lock t.compute;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.compute) f
+
+(* ---- Response helpers -------------------------------------------------- *)
+
+let json_response ?headers ~status j =
+  Http.response ?headers ~status (Json.to_string j)
+
+let error_response ~status msg = Http.response ~status (Api.error_body msg)
+
+let core_error e =
+  error_response ~status:(Api.status_of_error e) (Error.to_string e)
+
+let find_entry t name = List.assoc_opt name t.entries
+
+let query_param req name =
+  match List.assoc_opt name req.Http.query with
+  | Some "" | None -> None
+  | Some v -> Some v
+
+(* ---- Plain endpoints --------------------------------------------------- *)
+
+let handle_root t _req _params =
+  json_response ~status:200
+    (Json.Obj
+       [
+         ("service", Json.String "xsact-serve");
+         ( "datasets",
+           Json.List (List.map (fun n -> Json.String n) (dataset_names t)) );
+         ( "endpoints",
+           Json.List
+             (List.map
+                (fun e -> Json.String e)
+                [
+                  "GET /health";
+                  "GET /datasets";
+                  "GET /search?dataset=&q=";
+                  "POST /compare";
+                  "GET /metrics";
+                  "POST /session";
+                  "GET /session";
+                  "GET /session/:id";
+                  "POST /session/:id/add";
+                  "POST /session/:id/remove";
+                  "POST /session/:id/size";
+                  "DELETE /session/:id";
+                ]) );
+       ])
+
+let handle_health _t _req _params =
+  json_response ~status:200 (Json.Obj [ ("status", Json.String "ok") ])
+
+let handle_datasets t _req _params =
+  json_response ~status:200
+    (Json.Obj
+       [
+         ( "datasets",
+           Json.List
+             (List.map
+                (fun (name, e) ->
+                  Json.Obj
+                    [
+                      ("name", Json.String name);
+                      ("description", Json.String e.dataset.Dataset.description);
+                      ( "queries",
+                        Json.List
+                          (List.map
+                             (fun (label, q) ->
+                               Json.Obj
+                                 [
+                                   ("label", Json.String label);
+                                   ("q", Json.String q);
+                                 ])
+                             e.dataset.Dataset.queries) );
+                    ])
+                t.entries) );
+       ])
+
+let handle_search t req _params =
+  match (query_param req "dataset", query_param req "q") with
+  | None, _ -> error_response ~status:400 "missing query parameter \"dataset\""
+  | _, None -> error_response ~status:400 "missing query parameter \"q\""
+  | Some dataset, Some q -> (
+    match find_entry t dataset with
+    | None -> error_response ~status:404 ("unknown dataset " ^ dataset)
+    | Some entry ->
+      let limit =
+        Option.bind (query_param req "limit") int_of_string_opt
+        |> Option.value ~default:10
+      in
+      let lift_to = query_param req "lift_to" in
+      let results = Pipeline.search ~limit ?lift_to entry.pipeline q in
+      let engine = Pipeline.engine entry.pipeline in
+      let titled =
+        List.map (fun r -> (r, Search.result_title engine r)) results
+      in
+      json_response ~status:200
+        (Json.Obj
+           [
+             ("q", Json.String (Api.normalize_keywords q));
+             ("count", Json.Int (List.length titled));
+             ("results", Api.json_of_results titled);
+           ]))
+
+(* ---- /compare: decode, consult the LRU, compute ------------------------ *)
+
+let decode_body req =
+  match Json.of_string req.Http.body with
+  | Error e -> Error (error_response ~status:400 ("invalid JSON: " ^ e))
+  | Ok json -> Ok json
+
+let decode_compare_body req =
+  match decode_body req with
+  | Error resp -> Error resp
+  | Ok json -> (
+    match Api.decode_compare json with
+    | Error e -> Error (error_response ~status:400 e)
+    | Ok creq ->
+      if creq.Api.algorithm = Algorithm.Exhaustive then
+        Error (core_error (Error.Unsupported_algorithm "exhaustive"))
+      else Ok creq)
+
+let request_config t (creq : Api.compare_request) =
+  let config = Api.to_config creq in
+  match (creq.Api.domains, t.default_domains) with
+  | None, Some d -> Config.with_domains d config
+  | _ -> config
+
+let handle_compare t req _params =
+  match decode_compare_body req with
+  | Error resp -> resp
+  | Ok creq -> (
+    match find_entry t creq.Api.dataset with
+    | None -> error_response ~status:404 ("unknown dataset " ^ creq.Api.dataset)
+    | Some entry ->
+      let key = Api.cache_key creq in
+      with_compute t (fun () ->
+          match Lru.find t.cache key with
+          | Some body ->
+            Http.response ~headers:[ ("X-Cache", "hit") ] ~status:200 body
+          | None -> (
+            let config = request_config t creq in
+            match
+              Pipeline.compare ~config ?select:creq.Api.select
+                ~top:creq.Api.top entry.pipeline ~keywords:creq.Api.keywords
+                ~size_bound:creq.Api.size_bound
+            with
+            | Error e -> core_error e
+            | Ok comparison ->
+              let body = Json.to_string (Api.json_of_comparison comparison) in
+              Lru.add t.cache key body;
+              Http.response ~headers:[ ("X-Cache", "miss") ] ~status:200 body)))
+
+(* ---- Sessions ---------------------------------------------------------- *)
+
+let session_summary id se =
+  Json.Obj
+    [
+      ("id", Json.String id);
+      ("dataset", Json.String se.s_dataset);
+      ("q", Json.String se.s_request.Api.keywords);
+      ("ranks", Json.List (List.map (fun r -> Json.Int r) se.s_ranks));
+      ("size_bound", Json.Int (Session.size_bound se.s_session));
+      ("dod", Json.Int (Session.dod se.s_session));
+      ( "algorithm",
+        Json.String
+          (Algorithm.to_string (Session.config se.s_session).Config.algorithm)
+      );
+      ("runs", Json.Int (Session.stats se.s_session));
+    ]
+
+let result_with_rank results rank =
+  List.find_opt (fun r -> r.Search.rank = rank) results
+
+let handle_session_create t req _params =
+  match decode_compare_body req with
+  | Error resp -> resp
+  | Ok creq -> (
+    match find_entry t creq.Api.dataset with
+    | None -> error_response ~status:404 ("unknown dataset " ^ creq.Api.dataset)
+    | Some entry ->
+      with_compute t (fun () ->
+          let keywords = creq.Api.keywords in
+          let results = Pipeline.search entry.pipeline keywords in
+          if results = [] then core_error (Error.No_results keywords)
+          else
+            let available = List.length results in
+            let ranks =
+              match creq.Api.select with
+              | Some ranks -> ranks
+              | None -> List.init (min creq.Api.top available) (fun i -> i + 1)
+            in
+            match
+              List.find_opt (fun r -> result_with_rank results r = None) ranks
+            with
+            | Some bad ->
+              core_error (Error.Rank_out_of_range { rank = bad; available })
+            | None -> (
+              let profiles =
+                List.map
+                  (fun rank ->
+                    let r = Option.get (result_with_rank results rank) in
+                    Pipeline.profile_of ~keywords entry.pipeline r)
+                  ranks
+              in
+              let config = request_config t creq in
+              match
+                Session.create ~config ~size_bound:creq.Api.size_bound
+                  profiles
+              with
+              | Error e -> core_error e
+              | Ok session ->
+                let se =
+                  {
+                    s_dataset = creq.Api.dataset;
+                    s_request = creq;
+                    s_results = results;
+                    s_ranks = ranks;
+                    s_session = session;
+                  }
+                in
+                let id = Session_store.add t.sessions se in
+                json_response ~status:201 (session_summary id se))))
+
+let handle_session_list t _req _params =
+  json_response ~status:200
+    (Json.Obj
+       [
+         ( "sessions",
+           Json.List
+             (List.map
+                (fun id -> Json.String id)
+                (Session_store.ids t.sessions)) );
+       ])
+
+let with_session t params f =
+  let id = Option.value ~default:"" (List.assoc_opt "id" params) in
+  match Session_store.find t.sessions id with
+  | None -> error_response ~status:404 ("unknown session " ^ id)
+  | Some se -> f id se
+
+let handle_session_get t _req params =
+  with_session t params (fun id se ->
+      let fields =
+        match session_summary id se with Json.Obj fields -> fields | _ -> []
+      in
+      json_response ~status:200
+        (Json.Obj
+           (fields
+           @ [ ("table", Api.json_of_table (Session.table se.s_session)) ])))
+
+let body_int req name =
+  match decode_body req with
+  | Error resp -> Error resp
+  | Ok json -> (
+    match Option.bind (Json.member name json) Json.to_int with
+    | Some v -> Ok v
+    | None ->
+      Error
+        (error_response ~status:400
+           (Printf.sprintf "missing integer field %S" name)))
+
+let handle_session_add t req params =
+  match body_int req "rank" with
+  | Error resp -> resp
+  | Ok rank ->
+    with_compute t (fun () ->
+        with_session t params (fun id se ->
+            if List.mem rank se.s_ranks then
+              error_response ~status:422
+                (Printf.sprintf "rank %d is already in the comparison" rank)
+            else
+              match result_with_rank se.s_results rank with
+              | None ->
+                core_error
+                  (Error.Rank_out_of_range
+                     { rank; available = List.length se.s_results })
+              | Some r ->
+                let entry =
+                  Option.get (find_entry t se.s_dataset)
+                in
+                let profile =
+                  Pipeline.profile_of ~keywords:se.s_request.Api.keywords
+                    entry.pipeline r
+                in
+                let session = Session.add se.s_session profile in
+                let se =
+                  { se with s_ranks = se.s_ranks @ [ rank ];
+                            s_session = session }
+                in
+                Session_store.set t.sessions id se;
+                json_response ~status:200 (session_summary id se)))
+
+let handle_session_remove t req params =
+  match body_int req "rank" with
+  | Error resp -> resp
+  | Ok rank ->
+    with_compute t (fun () ->
+        with_session t params (fun id se ->
+            let rec index_of i = function
+              | [] -> None
+              | r :: _ when r = rank -> Some i
+              | _ :: rest -> index_of (i + 1) rest
+            in
+            match index_of 0 se.s_ranks with
+            | None ->
+              error_response ~status:422
+                (Printf.sprintf "rank %d is not in the comparison" rank)
+            | Some idx -> (
+              match Session.remove se.s_session idx with
+              | Error e -> core_error e
+              | Ok session ->
+                let se =
+                  {
+                    se with
+                    s_ranks = List.filter (fun r -> r <> rank) se.s_ranks;
+                    s_session = session;
+                  }
+                in
+                Session_store.set t.sessions id se;
+                json_response ~status:200 (session_summary id se))))
+
+let handle_session_size t req params =
+  match body_int req "size_bound" with
+  | Error resp -> resp
+  | Ok size_bound ->
+    with_compute t (fun () ->
+        with_session t params (fun id se ->
+            match Session.set_size_bound se.s_session size_bound with
+            | Error e -> core_error e
+            | Ok session ->
+              let se = { se with s_session = session } in
+              Session_store.set t.sessions id se;
+              json_response ~status:200 (session_summary id se)))
+
+let handle_session_delete t _req params =
+  let id = Option.value ~default:"" (List.assoc_opt "id" params) in
+  if Session_store.remove t.sessions id then
+    json_response ~status:200 (Json.Obj [ ("deleted", Json.String id) ])
+  else error_response ~status:404 ("unknown session " ^ id)
+
+(* ---- /metrics ---------------------------------------------------------- *)
+
+let handle_metrics t _req _params =
+  let hits, misses, cache_len =
+    with_compute t (fun () ->
+        (Lru.hits t.cache, Lru.misses t.cache, Lru.length t.cache))
+  in
+  let lookups = hits + misses in
+  let hit_rate =
+    if lookups = 0 then 0. else float_of_int hits /. float_of_int lookups
+  in
+  json_response ~status:200
+    (Metrics.snapshot t.metrics
+       ~extra:
+         [
+           ( "cache",
+             Json.Obj
+               [
+                 ("capacity", Json.Int (Lru.capacity t.cache));
+                 ("entries", Json.Int cache_len);
+                 ("hits", Json.Int hits);
+                 ("misses", Json.Int misses);
+                 ("hit_rate", Json.Float hit_rate);
+               ] );
+           ("sessions_live", Json.Int (Session_store.count t.sessions));
+           ("datasets", Json.Int (List.length t.entries));
+           ("worker_threads", Json.Int t.threads);
+         ])
+
+(* ---- Construction and dispatch ----------------------------------------- *)
+
+let routes_of t =
+  let r meth pattern handler =
+    Router.route ~meth ~pattern (fun req params -> handler t req params)
+  in
+  [
+    r "GET" "" handle_root;
+    r "GET" "health" handle_health;
+    r "GET" "datasets" handle_datasets;
+    r "GET" "search" handle_search;
+    r "POST" "compare" handle_compare;
+    r "GET" "metrics" handle_metrics;
+    r "POST" "session" handle_session_create;
+    r "GET" "session" handle_session_list;
+    r "GET" "session/:id" handle_session_get;
+    r "POST" "session/:id/add" handle_session_add;
+    r "POST" "session/:id/remove" handle_session_remove;
+    r "POST" "session/:id/size" handle_session_size;
+    r "DELETE" "session/:id" handle_session_delete;
+  ]
+
+let create ?datasets ?(cache_capacity = 128) ?domains () =
+  let names = Option.value datasets ~default:Dataset.names in
+  let entries =
+    List.map
+      (fun name ->
+        match Dataset.by_name name with
+        | None -> invalid_arg ("Server.create: unknown dataset " ^ name)
+        | Some ds ->
+          (name, { dataset = ds; pipeline = Pipeline.create ds.Dataset.document }))
+      names
+  in
+  let t =
+    {
+      entries;
+      cache = Lru.create ~capacity:cache_capacity;
+      compute = Mutex.create ();
+      metrics = Metrics.create ();
+      sessions = Session_store.create ();
+      default_domains = domains;
+      threads = 0;
+      routes = [];
+    }
+  in
+  t.routes <- routes_of t;
+  t
+
+let handle t req =
+  let started = Unix.gettimeofday () in
+  let route, resp =
+    match Router.dispatch t.routes req with
+    | `Matched (route, handler, params) ->
+      let resp =
+        try handler req params
+        with e ->
+          error_response ~status:500
+            ("internal error: " ^ Printexc.to_string e)
+      in
+      (route, resp)
+    | `Method_not_allowed allowed ->
+      ( "405",
+        Http.response
+          ~headers:[ ("Allow", String.concat ", " allowed) ]
+          ~status:405
+          (Api.error_body "method not allowed") )
+    | `Not_found -> ("404", error_response ~status:404 "not found")
+  in
+  Metrics.record t.metrics ~route ~status:resp.Http.status
+    ~elapsed_s:(Unix.gettimeofday () -. started);
+  resp
+
+(* ---- Serving ----------------------------------------------------------- *)
+
+type job = Conn of Unix.file_descr | Quit
+
+type running = {
+  server : t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  jobs : job Queue.t;
+  jobs_mutex : Mutex.t;
+  jobs_cond : Condition.t;
+  mutable workers : Thread.t list;
+  mutable acceptor : Thread.t option;
+}
+
+let push r job =
+  Mutex.lock r.jobs_mutex;
+  Queue.push job r.jobs;
+  Condition.signal r.jobs_cond;
+  Mutex.unlock r.jobs_mutex
+
+let pop r =
+  Mutex.lock r.jobs_mutex;
+  while Queue.is_empty r.jobs do
+    Condition.wait r.jobs_cond r.jobs_mutex
+  done;
+  let job = Queue.pop r.jobs in
+  Mutex.unlock r.jobs_mutex;
+  job
+
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match Http.read_request ic with
+    | Error `Eof -> ()
+    | Error (`Bad msg) ->
+      Http.write_response oc ~keep_alive:false
+        (Http.response ~status:400 (Api.error_body msg))
+    | Ok req ->
+      let resp = handle t req in
+      let keep_alive = not (Http.wants_close req) in
+      Http.write_response oc ~keep_alive resp;
+      if keep_alive then loop ()
+  in
+  (try loop () with
+  | Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let worker_loop r () =
+  let rec go () =
+    match pop r with
+    | Quit -> ()
+    | Conn fd ->
+      serve_connection r.server fd;
+      go ()
+  in
+  go ()
+
+let acceptor_loop r () =
+  let rec go () =
+    match Unix.accept r.listen_fd with
+    | fd, _ ->
+      push r (Conn fd);
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()  (* listener closed by stop *)
+    | exception Sys_error _ -> ()
+  in
+  go ()
+
+let start ?(threads = 4) ~port t =
+  if threads < 1 then invalid_arg "Server.start: threads must be positive";
+  t.threads <- threads;
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let r =
+    {
+      server = t;
+      listen_fd;
+      bound_port;
+      jobs = Queue.create ();
+      jobs_mutex = Mutex.create ();
+      jobs_cond = Condition.create ();
+      workers = [];
+      acceptor = None;
+    }
+  in
+  r.workers <- List.init threads (fun _ -> Thread.create (worker_loop r) ());
+  r.acceptor <- Some (Thread.create (acceptor_loop r) ());
+  r
+
+let port r = r.bound_port
+
+let stop r =
+  (* shutdown (not just close) — close from another thread does not wake a
+     blocked accept(2), shutdown makes it return EINVAL *)
+  (try Unix.shutdown r.listen_fd Unix.SHUTDOWN_ALL
+   with Unix.Unix_error _ -> ());
+  Option.iter Thread.join r.acceptor;
+  (try Unix.close r.listen_fd with Unix.Unix_error _ -> ());
+  List.iter (fun _ -> push r Quit) r.workers;
+  List.iter Thread.join r.workers

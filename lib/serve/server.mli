@@ -1,0 +1,50 @@
+(** The xsact-serve daemon: resident indexed corpora behind a JSON API.
+
+    {!create} eagerly loads and indexes the requested datasets; {!handle}
+    maps one {!Http.request} to a response (pure dispatch — the unit tests
+    exercise it without sockets); {!start} binds a loopback listener and
+    serves with a fixed pool of worker threads.
+
+    Threading model (see DESIGN.md §8): worker threads overlap on socket
+    I/O and parsing, while DFS generation is serialized by one compute
+    mutex — the PR-1 {!Xsact_util.Domain_pool} is an orchestrator-level
+    resource, and OCaml systhreads share a single domain anyway, so there
+    is nothing to gain (and races to lose) from concurrent compute. The
+    comparison LRU is read and written under the same mutex, so concurrent
+    identical requests compute at most once.
+
+    Endpoints: [GET /], [GET /health], [GET /datasets],
+    [GET /search?dataset=&q=], [POST /compare], [GET /metrics],
+    [POST /session], [GET /session], [GET /session/:id],
+    [POST /session/:id/add], [POST /session/:id/remove],
+    [POST /session/:id/size], [DELETE /session/:id]. *)
+
+type t
+
+val create :
+  ?datasets:string list -> ?cache_capacity:int -> ?domains:int -> unit -> t
+(** Load and index [datasets] (default: the whole {!Xsact_dataset.Dataset}
+    registry). [cache_capacity] sizes the comparison LRU (default 128).
+    [domains] sets the domain-pool parallelism used for requests that
+    don't pin their own.
+    @raise Invalid_argument on an unknown dataset name. *)
+
+val dataset_names : t -> string list
+
+val handle : t -> Http.request -> Http.response
+(** Route and serve one request, recording metrics. Handler exceptions
+    become 500s; unmatched paths 404; matched paths with the wrong verb
+    405 (with an [Allow] header). *)
+
+(** {1 Serving} *)
+
+type running
+
+val start : ?threads:int -> port:int -> t -> running
+(** Bind [127.0.0.1:port] ([port = 0] picks an ephemeral port — see
+    {!port}) and serve until {!stop}, with [threads] workers (default 4).
+    @raise Unix.Unix_error if the port is taken. *)
+
+val port : running -> int
+val stop : running -> unit
+(** Close the listener, drain the workers and join every thread. *)

@@ -1,0 +1,34 @@
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a) Hashtbl.t;
+  mutable next : int;
+}
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 16; next = 1 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let add t value =
+  locked t (fun () ->
+      let id = Printf.sprintf "s%d" t.next in
+      t.next <- t.next + 1;
+      Hashtbl.replace t.table id value;
+      id)
+
+let find t id = locked t (fun () -> Hashtbl.find_opt t.table id)
+let set t id value = locked t (fun () -> Hashtbl.replace t.table id value)
+
+let remove t id =
+  locked t (fun () ->
+      let present = Hashtbl.mem t.table id in
+      Hashtbl.remove t.table id;
+      present)
+
+let count t = locked t (fun () -> Hashtbl.length t.table)
+
+let ids t =
+  locked t (fun () ->
+      Hashtbl.fold (fun id _ acc -> id :: acc) t.table []
+      |> List.sort compare)

@@ -1,0 +1,23 @@
+(** A thread-safe id → value store for server-resident sessions.
+
+    Ids are deterministic ("s1", "s2", ...) so tests and curl transcripts
+    are reproducible. Values are replaced wholesale with [set] — session
+    state is an immutable record, so readers never observe a torn value. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> 'a -> string
+(** Store a fresh value and return its id. *)
+
+val find : 'a t -> string -> 'a option
+val set : 'a t -> string -> 'a -> unit
+
+val remove : 'a t -> string -> bool
+(** [true] if the id was present. *)
+
+val count : 'a t -> int
+
+val ids : 'a t -> string list
+(** Sorted ids, for listings. *)

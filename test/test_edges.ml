@@ -93,7 +93,7 @@ let test_session_stats_chain () =
          ~entities:1 ~types_per_entity:4 ~values_per_type:2 ~max_count:3)
   in
   match Session.create ~size_bound:4 profiles with
-  | Error e -> Alcotest.failf "create: %s" e
+  | Error e -> Alcotest.failf "create: %s" (Error.to_string e)
   | Ok s ->
     let n0 = Session.stats s in
     let s2 = Result.get_ok (Session.set_size_bound s 6) in

@@ -167,10 +167,11 @@ let session_profiles n =
     (Xsact_workload.Workload.synthetic_profiles ~seed:77 ~results:n ~entities:1
        ~types_per_entity:5 ~values_per_type:3 ~max_count:2)
 
-let create_ok ?algorithm profiles ~size_bound =
-  match Session.create ?algorithm ~size_bound profiles with
+let create_ok ?(algorithm = Algorithm.Multi_swap) profiles ~size_bound =
+  let config = Config.(default |> with_algorithm algorithm) in
+  match Session.create ~config ~size_bound profiles with
   | Ok s -> s
-  | Error e -> Alcotest.failf "session create: %s" e
+  | Error e -> Alcotest.failf "session create: %s" (Error.to_string e)
 
 let test_session_create () =
   let s = create_ok (session_profiles 3) ~size_bound:4 in
@@ -182,10 +183,13 @@ let test_session_create () =
   (match Session.create ~size_bound:4 [] with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "empty session accepted");
-  match Session.create ~algorithm:Algorithm.Exhaustive ~size_bound:4
-          (session_profiles 2)
+  match
+    Session.create
+      ~config:Config.(default |> with_algorithm Algorithm.Exhaustive)
+      ~size_bound:4 (session_profiles 2)
   with
-  | Error _ -> ()
+  | Error (Error.Unsupported_algorithm "exhaustive") -> ()
+  | Error e -> Alcotest.failf "wrong variant: %s" (Error.to_string e)
   | Ok _ -> Alcotest.fail "exhaustive session accepted"
 
 let test_session_add_remove () =
@@ -205,7 +209,7 @@ let test_session_add_remove () =
   | Ok s3 ->
     check Alcotest.int "back to three" 3 (Array.length (Session.profiles s3));
     check Alcotest.int "same profiles" 3 (Array.length (Session.dfss s3))
-  | Error e -> Alcotest.failf "remove: %s" e);
+  | Error e -> Alcotest.failf "remove: %s" (Error.to_string e));
   (match Session.remove s4 9 with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "out of range accepted");
@@ -229,8 +233,8 @@ let test_session_resize () =
         (fun d ->
           check Alcotest.bool "valid at 2" true (Dfs.is_valid ~limit:2 d))
         (Session.dfss smaller)
-    | Error e -> Alcotest.failf "shrink: %s" e)
-  | Error e -> Alcotest.failf "grow: %s" e);
+    | Error e -> Alcotest.failf "shrink: %s" (Error.to_string e))
+  | Error e -> Alcotest.failf "grow: %s" (Error.to_string e));
   match Session.set_size_bound s 0 with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "L=0 accepted"

@@ -192,11 +192,12 @@ let test_pipeline_domains_identical () =
   let profiles = synthetic 7 5 in
   let run domains =
     match
-      Pipeline.compare_profiles ~domains ~keywords:"synthetic" ~size_bound:6
-        profiles
+      Pipeline.compare_profiles
+        ~config:(Config.with_domains domains Config.default)
+        ~keywords:"synthetic" ~size_bound:6 profiles
     with
     | Ok c -> (c.Pipeline.dod, Array.map Dfs.to_q_array c.Pipeline.dfss)
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Error.to_string e)
   in
   let dod1, dfss1 = run 1 in
   List.iter
@@ -208,6 +209,42 @@ let test_pipeline_domains_identical () =
       if dfss <> dfss1 then
         Alcotest.failf "DFSs differ at %d domains" domains)
     (List.filter (fun d -> d > 1) (domain_counts @ [ 8 ]))
+
+(* Regression for the PR-1 inconsistency: Session.create used to drop the
+   domain count on the floor, so sessions always ran sequentially. Sessions
+   must now honor Config.domains — and, like everything else in the engine,
+   produce bit-identical DoD and DFSs for every domain count, through the
+   warm-started operations too. *)
+let test_session_domains_identical () =
+  let profiles = Array.to_list (synthetic 11 4) in
+  let extra = (synthetic 12 5).(4) in
+  let run domains =
+    let config = Config.(default |> with_domains domains) in
+    match Session.create ~config ~size_bound:5 profiles with
+    | Error e -> Alcotest.fail (Error.to_string e)
+    | Ok s ->
+      let s = Session.add s extra in
+      let s =
+        match Session.set_size_bound s 7 with
+        | Ok s -> s
+        | Error e -> Alcotest.fail (Error.to_string e)
+      in
+      check Alcotest.int
+        (Printf.sprintf "config keeps %d domains" domains)
+        domains
+        (Option.value ~default:(-1) (Session.config s).Config.domains);
+      (Session.dod s, Array.map Dfs.to_q_array (Session.dfss s))
+  in
+  let dod1, dfss1 = run 1 in
+  List.iter
+    (fun domains ->
+      let dod, dfss = run domains in
+      check Alcotest.int
+        (Printf.sprintf "session dod at %d domains" domains)
+        dod1 dod;
+      if dfss <> dfss1 then
+        Alcotest.failf "session DFSs differ at %d domains" domains)
+    (List.filter (fun d -> d > 1) domain_counts)
 
 let () =
   Alcotest.run "xsact_parallel"
@@ -231,5 +268,7 @@ let () =
           qtest prop_best_response_cache_exact;
           Alcotest.test_case "pipeline identical across domains" `Quick
             test_pipeline_domains_identical;
+          Alcotest.test_case "session honors configured domains" `Quick
+            test_session_domains_identical;
         ] );
     ]

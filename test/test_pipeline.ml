@@ -22,10 +22,15 @@ let pr_pipeline = Pipeline.create pr_doc
 let or_pipeline = Pipeline.create or_doc
 let imdb_pipeline = Pipeline.create imdb_doc
 
-let compare_ok ?lift_to ?algorithm pipeline ~keywords ~size_bound ~top =
-  match Pipeline.compare ?lift_to ?algorithm ~top pipeline ~keywords ~size_bound with
+let compare_ok ?lift_to ?(algorithm = Algorithm.Multi_swap) pipeline ~keywords
+    ~size_bound ~top =
+  let config = Config.(default |> with_algorithm algorithm) in
+  match
+    Pipeline.compare ~config ?lift_to ~top pipeline ~keywords ~size_bound
+  with
   | Ok c -> c
-  | Error e -> Alcotest.failf "compare %S failed: %s" keywords e
+  | Error e ->
+    Alcotest.failf "compare %S failed: %s" keywords (Error.to_string e)
 
 (* ---- End-to-end on each dataset ------------------------------------------- *)
 
@@ -218,18 +223,26 @@ let test_snippets () =
 (* ---- Error paths -------------------------------------------------------------------- *)
 
 let test_compare_errors () =
+  (* Errors are typed variants; to_string keeps a readable message. *)
   (match Pipeline.compare pr_pipeline ~keywords:"zzzznope" ~size_bound:5 with
-  | Error msg -> check Alcotest.bool "no results error" true (contains msg "no results")
+  | Error (Error.No_results kw) ->
+    check Alcotest.string "keywords carried" "zzzznope" kw;
+    check Alcotest.bool "message mentions no results" true
+      (contains (Error.to_string (Error.No_results kw)) "no results")
+  | Error e -> Alcotest.failf "wrong variant: %s" (Error.to_string e)
   | Ok _ -> Alcotest.fail "expected error");
   (match Pipeline.compare pr_pipeline ~keywords:"gps" ~select:[ 1 ] ~size_bound:5 with
-  | Error msg ->
-    check Alcotest.bool "single selection rejected" true (contains msg "two results")
+  | Error (Error.Too_few_selected 1) -> ()
+  | Error e -> Alcotest.failf "wrong variant: %s" (Error.to_string e)
   | Ok _ -> Alcotest.fail "expected error");
   (match Pipeline.compare pr_pipeline ~keywords:"gps" ~select:[ 1; 999 ] ~size_bound:5 with
-  | Error msg -> check Alcotest.bool "range error" true (contains msg "out of range")
+  | Error (Error.Rank_out_of_range { rank = 999; available }) ->
+    check Alcotest.bool "available positive" true (available > 0)
+  | Error e -> Alcotest.failf "wrong variant: %s" (Error.to_string e)
   | Ok _ -> Alcotest.fail "expected error");
   match Pipeline.compare pr_pipeline ~keywords:"gps" ~size_bound:0 with
-  | Error msg -> check Alcotest.bool "bad bound" true (contains msg "size bound")
+  | Error (Error.Bound_too_small 0) -> ()
+  | Error e -> Alcotest.failf "wrong variant: %s" (Error.to_string e)
   | Ok _ -> Alcotest.fail "expected error"
 
 let test_compare_select () =
@@ -239,7 +252,7 @@ let test_compare_select () =
       Pipeline.compare pr_pipeline ~keywords:"gps" ~select:[ 2; 1 ] ~size_bound:5
     with
     | Ok c -> c
-    | Error e -> Alcotest.failf "select failed: %s" e
+    | Error e -> Alcotest.failf "select failed: %s" (Error.to_string e)
   in
   (* selection order preserved: first profile is rank 2's result *)
   let expected_label =
@@ -367,7 +380,7 @@ let test_prune_through_pipeline () =
       ~prune:Result_builder.Matched_entities ~top:3 ~keywords:"men jackets"
       ~size_bound:8
   with
-  | Error e -> Alcotest.failf "pruned compare: %s" e
+  | Error e -> Alcotest.failf "pruned compare: %s" (Error.to_string e)
   | Ok pruned ->
     Array.iteri
       (fun i (p : Result_profile.t) ->

@@ -1,0 +1,501 @@
+(* Tests for the HTTP comparison service: protocol units (request parsing,
+   JSON round-trips, routing, LRU eviction), typed-request handling through
+   Server.handle without sockets, and an end-to-end socket test with
+   concurrent clients exercising the comparison cache. *)
+
+module Http = Xsact_server.Http
+module Json = Xsact_server.Json
+module Router = Xsact_server.Router
+module Lru = Xsact_server.Lru
+module Api = Xsact_server.Api
+module Server = Xsact_server.Server
+
+let check = Alcotest.check
+
+let request ?(meth = "GET") ?(headers = []) ?(body = "") target =
+  let path, query = Http.split_target target in
+  { Http.meth; target; path; query; headers; body }
+
+(* ---- HTTP parsing ---------------------------------------------------------- *)
+
+let test_request_line () =
+  check
+    Alcotest.(result (pair string string) reject)
+    "simple"
+    (Ok ("GET", "/health"))
+    (Http.parse_request_line "GET /health HTTP/1.1");
+  check
+    Alcotest.(result (pair string string) reject)
+    "lowercase verb is uppercased"
+    (Ok ("POST", "/compare"))
+    (Http.parse_request_line "post /compare HTTP/1.0");
+  let bad line =
+    match Http.parse_request_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  bad "GET /x HTTP/2";
+  bad "GET /x";
+  bad "";
+  bad "GET  /x HTTP/1.1"
+
+let test_header_line () =
+  check
+    Alcotest.(result (pair string string) reject)
+    "lowercased name, trimmed value"
+    (Ok ("content-length", "42"))
+    (Http.parse_header_line "Content-Length:  42 ");
+  (match Http.parse_header_line "no colon here" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted header without colon");
+  match Http.parse_header_line ": empty name" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted empty header name"
+
+let test_split_target () =
+  let path, query = Http.split_target "/search?q=gps+golf&lift_to=%2Fa" in
+  check Alcotest.(list string) "path" [ "search" ] path;
+  check
+    Alcotest.(list (pair string string))
+    "query decoded"
+    [ ("q", "gps golf"); ("lift_to", "/a") ]
+    query;
+  let path, query = Http.split_target "/session/s1/add" in
+  check Alcotest.(list string) "nested path" [ "session"; "s1"; "add" ] path;
+  check Alcotest.(list (pair string string)) "no query" [] query;
+  let path, _ = Http.split_target "/" in
+  check Alcotest.(list string) "root" [] path;
+  check Alcotest.string "malformed escape passes through" "100%!"
+    (Http.url_decode "100%!")
+
+(* ---- JSON ------------------------------------------------------------------ *)
+
+let json : Json.t Alcotest.testable =
+  Alcotest.testable (fun ppf v -> Format.pp_print_string ppf (Json.to_string v)) ( = )
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.String "tom \"quote\" \\slash\n");
+        ("count", Json.Int (-42));
+        ("score", Json.Float 1.5);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []);
+                              ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string v) with
+  | Ok v' -> check json "roundtrip" v v'
+  | Error e -> Alcotest.failf "reparse failed: %s" e);
+  check Alcotest.string "deterministic print"
+    {|{"b":1,"a":[2,3.5,"x"]}|}
+    (Json.to_string
+       (Json.Obj
+          [
+            ("b", Json.Int 1);
+            ("a", Json.List [ Json.Int 2; Json.Float 3.5; Json.String "x" ]);
+          ]))
+
+let test_json_parse () =
+  let ok src v =
+    match Json.of_string src with
+    | Ok v' -> check json src v v'
+    | Error e -> Alcotest.failf "%s: %s" src e
+  in
+  ok {| {"a": 1, "b": [true, null], "c": "\u0041"} |}
+    (Json.Obj
+       [
+         ("a", Json.Int 1);
+         ("b", Json.List [ Json.Bool true; Json.Null ]);
+         ("c", Json.String "A");
+       ]);
+  ok "3.25e2" (Json.Float 325.);
+  ok "-7" (Json.Int (-7));
+  let bad src =
+    match Json.of_string src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" src
+  in
+  bad "{\"a\": }";
+  bad "[1, 2";
+  bad "tru";
+  bad "1 2";
+  bad "\"raw \x01 control\"";
+  bad ""
+
+(* ---- Router ---------------------------------------------------------------- *)
+
+let test_router_params () =
+  check
+    Alcotest.(option (list (pair string string)))
+    "binds params"
+    (Some [ ("id", "s7") ])
+    (Router.match_pattern "session/:id/add" [ "session"; "s7"; "add" ]);
+  check
+    Alcotest.(option (list (pair string string)))
+    "literal mismatch" None
+    (Router.match_pattern "session/:id/add" [ "session"; "s7"; "remove" ]);
+  check
+    Alcotest.(option (list (pair string string)))
+    "length mismatch" None
+    (Router.match_pattern "session/:id" [ "session" ]);
+  check
+    Alcotest.(option (list (pair string string)))
+    "root pattern" (Some [])
+    (Router.match_pattern "" [])
+
+let test_router_dispatch () =
+  let handler _req _params = Http.response ~status:200 "{}" in
+  let routes =
+    [
+      Router.route ~meth:"GET" ~pattern:"health" handler;
+      Router.route ~meth:"POST" ~pattern:"compare" handler;
+      Router.route ~meth:"GET" ~pattern:"session/:id" handler;
+      Router.route ~meth:"DELETE" ~pattern:"session/:id" handler;
+    ]
+  in
+  (match Router.dispatch routes (request "/health") with
+  | `Matched ("GET /health", _, []) -> ()
+  | _ -> Alcotest.fail "GET /health should match");
+  (match Router.dispatch routes (request ~meth:"DELETE" "/session/s2") with
+  | `Matched ("DELETE /session/:id", _, [ ("id", "s2") ]) -> ()
+  | _ -> Alcotest.fail "DELETE /session/s2 should match with params");
+  (match Router.dispatch routes (request ~meth:"GET" "/compare") with
+  | `Method_not_allowed [ "POST" ] -> ()
+  | _ -> Alcotest.fail "GET /compare should be 405 allowing POST");
+  match Router.dispatch routes (request "/nope") with
+  | `Not_found -> ()
+  | _ -> Alcotest.fail "/nope should be 404"
+
+(* ---- LRU ------------------------------------------------------------------- *)
+
+let test_lru_eviction () =
+  let lru = Lru.create ~capacity:3 in
+  Lru.add lru "a" 1;
+  Lru.add lru "b" 2;
+  Lru.add lru "c" 3;
+  check Alcotest.(list string) "mru order" [ "c"; "b"; "a" ] (Lru.keys_mru lru);
+  (* touching "a" protects it from the next eviction *)
+  check Alcotest.(option int) "hit" (Some 1) (Lru.find lru "a");
+  Lru.add lru "d" 4;
+  check
+    Alcotest.(list string)
+    "b evicted as LRU" [ "d"; "a"; "c" ] (Lru.keys_mru lru);
+  check Alcotest.(option int) "evicted" None (Lru.find lru "b");
+  check Alcotest.int "length" 3 (Lru.length lru);
+  check Alcotest.int "hits" 1 (Lru.hits lru);
+  check Alcotest.int "misses" 1 (Lru.misses lru);
+  (* replacing refreshes recency without growing *)
+  Lru.add lru "c" 33;
+  check Alcotest.(list string) "replace bumps" [ "c"; "d"; "a" ] (Lru.keys_mru lru);
+  check Alcotest.(option int) "replaced value" (Some 33) (Lru.find lru "c")
+
+(* ---- Typed request / cache key --------------------------------------------- *)
+
+let decode_exn body =
+  match Json.of_string body with
+  | Error e -> Alcotest.failf "bad test JSON: %s" e
+  | Ok j -> (
+    match Api.decode_compare j with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "decode failed: %s" e)
+
+let test_cache_key_normalization () =
+  let a =
+    decode_exn
+      {|{"dataset":"product-reviews","q":"  GPS ","weights":{"price":3,"battery":2}}|}
+  in
+  let b =
+    decode_exn
+      {|{"dataset":"product-reviews","q":"gps","top":4,"size_bound":8,
+         "algorithm":"multi-swap","threshold_pct":10.0,"measure":"raw",
+         "weights":{"battery":2,"price":3}}|}
+  in
+  check Alcotest.string "case/whitespace/rule-order insensitive"
+    (Api.cache_key a) (Api.cache_key b);
+  let c = decode_exn {|{"dataset":"product-reviews","q":"gps","algorithm":"greedy"}|} in
+  if Api.cache_key a = Api.cache_key c then
+    Alcotest.fail "different algorithm must change the cache key";
+  let d = decode_exn {|{"dataset":"product-reviews","q":"gps","select":[1,3]}|} in
+  if Api.cache_key a = Api.cache_key d then
+    Alcotest.fail "explicit selection must change the cache key"
+
+let test_decode_errors () =
+  let bad body =
+    match Json.of_string body with
+    | Error _ -> ()
+    | Ok j -> (
+      match Api.decode_compare j with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %s" body)
+  in
+  bad {|{"q":"gps"}|};
+  bad {|{"dataset":"product-reviews"}|};
+  bad {|{"dataset":"product-reviews","q":"gps","algorithm":"quantum"}|};
+  bad {|{"dataset":"product-reviews","q":"gps","select":"1"}|};
+  bad {|{"dataset":"product-reviews","q":"gps","domains":0}|}
+
+(* ---- Server.handle (no sockets) --------------------------------------------- *)
+
+let server =
+  lazy (Server.create ~datasets:[ "product-reviews" ] ~cache_capacity:4 ())
+
+let handle ?meth ?body target =
+  Server.handle (Lazy.force server) (request ?meth ?body target)
+
+let compare_body =
+  {|{"dataset":"product-reviews","q":"gps","top":3,"size_bound":6}|}
+
+let member_exn name body =
+  match Json.of_string body with
+  | Ok j -> (
+    match Json.member name j with
+    | Some v -> v
+    | None -> Alcotest.failf "no field %S in %s" name body)
+  | Error e -> Alcotest.failf "bad response JSON %s: %s" body e
+
+let test_handle_basic () =
+  let resp = handle "/health" in
+  check Alcotest.int "health status" 200 resp.Http.status;
+  check Alcotest.string "health body" {|{"status":"ok"}|} resp.Http.resp_body;
+  let resp = handle "/datasets" in
+  check Alcotest.int "datasets status" 200 resp.Http.status;
+  (match member_exn "datasets" resp.Http.resp_body with
+  | Json.List [ ds ] ->
+    check json "dataset name" (Json.String "product-reviews")
+      (Option.value ~default:Json.Null (Json.member "name" ds))
+  | _ -> Alcotest.fail "expected one dataset");
+  let resp = handle ~meth:"POST" ~body:"{}" "/health" in
+  check Alcotest.int "405 on wrong verb" 405 resp.Http.status;
+  check Alcotest.(option string) "Allow header" (Some "GET")
+    (List.assoc_opt "Allow" resp.Http.resp_headers);
+  let resp = handle "/no/such/route" in
+  check Alcotest.int "404" 404 resp.Http.status
+
+let test_handle_search () =
+  let resp = handle "/search?dataset=product-reviews&q=gps&limit=3" in
+  check Alcotest.int "search status" 200 resp.Http.status;
+  (match member_exn "count" resp.Http.resp_body with
+  | Json.Int n when n > 0 && n <= 3 -> ()
+  | v -> Alcotest.failf "bad count %s" (Json.to_string v));
+  check Alcotest.int "missing q" 400 (handle "/search?dataset=product-reviews").Http.status;
+  check Alcotest.int "unknown dataset" 404
+    (handle "/search?dataset=nope&q=gps").Http.status
+
+let test_handle_compare_errors () =
+  check Alcotest.int "bad JSON" 400
+    (handle ~meth:"POST" ~body:"{oops" "/compare").Http.status;
+  check Alcotest.int "unknown dataset" 404
+    (handle ~meth:"POST"
+       ~body:{|{"dataset":"nope","q":"gps"}|} "/compare")
+      .Http.status;
+  check Alcotest.int "no results" 404
+    (handle ~meth:"POST"
+       ~body:{|{"dataset":"product-reviews","q":"zzzqqqxxx"}|} "/compare")
+      .Http.status;
+  check Alcotest.int "bound too small" 422
+    (handle ~meth:"POST"
+       ~body:{|{"dataset":"product-reviews","q":"gps","size_bound":0}|}
+       "/compare")
+      .Http.status;
+  check Alcotest.int "exhaustive rejected" 422
+    (handle ~meth:"POST"
+       ~body:{|{"dataset":"product-reviews","q":"gps","algorithm":"exhaustive"}|}
+       "/compare")
+      .Http.status;
+  check Alcotest.int "rank out of range" 422
+    (handle ~meth:"POST"
+       ~body:{|{"dataset":"product-reviews","q":"gps","select":[1,999]}|}
+       "/compare")
+      .Http.status
+
+let test_handle_compare_cache () =
+  let miss = handle ~meth:"POST" ~body:compare_body "/compare" in
+  check Alcotest.int "compare ok" 200 miss.Http.status;
+  check Alcotest.(option string) "first is a miss" (Some "miss")
+    (List.assoc_opt "X-Cache" miss.Http.resp_headers);
+  let hit = handle ~meth:"POST" ~body:compare_body "/compare" in
+  check Alcotest.(option string) "second is a hit" (Some "hit")
+    (List.assoc_opt "X-Cache" hit.Http.resp_headers);
+  check Alcotest.string "byte-identical body" miss.Http.resp_body
+    hit.Http.resp_body;
+  (* a differently-spelled but equivalent request also hits *)
+  let equiv =
+    {|{"dataset":"product-reviews","q":"GPS","top":3,"size_bound":6,"measure":"raw"}|}
+  in
+  let hit2 = handle ~meth:"POST" ~body:equiv "/compare" in
+  check Alcotest.(option string) "normalized request hits" (Some "hit")
+    (List.assoc_opt "X-Cache" hit2.Http.resp_headers);
+  check Alcotest.string "same body" miss.Http.resp_body hit2.Http.resp_body;
+  match member_exn "dod" miss.Http.resp_body with
+  | Json.Int dod when dod >= 0 -> ()
+  | v -> Alcotest.failf "bad dod %s" (Json.to_string v)
+
+let test_handle_sessions () =
+  let created =
+    handle ~meth:"POST" ~body:compare_body "/session"
+  in
+  check Alcotest.int "created" 201 created.Http.status;
+  let id =
+    match member_exn "id" created.Http.resp_body with
+    | Json.String id -> id
+    | _ -> Alcotest.fail "no session id"
+  in
+  let got = handle ("/session/" ^ id) in
+  check Alcotest.int "get" 200 got.Http.status;
+  (match member_exn "table" got.Http.resp_body with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "session table missing");
+  let added =
+    handle ~meth:"POST" ~body:{|{"rank":4}|} ("/session/" ^ id ^ "/add")
+  in
+  check Alcotest.int "add" 200 added.Http.status;
+  check json "ranks after add"
+    (Json.List [ Json.Int 1; Json.Int 2; Json.Int 3; Json.Int 4 ])
+    (member_exn "ranks" added.Http.resp_body);
+  check Alcotest.int "double add rejected" 422
+    (handle ~meth:"POST" ~body:{|{"rank":4}|} ("/session/" ^ id ^ "/add"))
+      .Http.status;
+  let removed =
+    handle ~meth:"POST" ~body:{|{"rank":2}|} ("/session/" ^ id ^ "/remove")
+  in
+  check Alcotest.int "remove" 200 removed.Http.status;
+  check json "ranks after remove"
+    (Json.List [ Json.Int 1; Json.Int 3; Json.Int 4 ])
+    (member_exn "ranks" removed.Http.resp_body);
+  let resized =
+    handle ~meth:"POST" ~body:{|{"size_bound":9}|} ("/session/" ^ id ^ "/size")
+  in
+  check Alcotest.int "resize" 200 resized.Http.status;
+  check json "new bound" (Json.Int 9) (member_exn "size_bound" resized.Http.resp_body);
+  check Alcotest.int "bad resize" 422
+    (handle ~meth:"POST" ~body:{|{"size_bound":0}|}
+       ("/session/" ^ id ^ "/size"))
+      .Http.status;
+  check Alcotest.int "delete" 200
+    (handle ~meth:"DELETE" ("/session/" ^ id)).Http.status;
+  check Alcotest.int "gone" 404 (handle ("/session/" ^ id)).Http.status;
+  check Alcotest.int "unknown session" 404
+    (handle ~meth:"POST" ~body:{|{"rank":1}|} "/session/sX/add").Http.status
+
+let test_handle_metrics () =
+  let resp = handle "/metrics" in
+  check Alcotest.int "metrics status" 200 resp.Http.status;
+  (match member_exn "requests_total" resp.Http.resp_body with
+  | Json.Int n when n > 0 -> ()
+  | v -> Alcotest.failf "requests_total not positive: %s" (Json.to_string v));
+  match Json.member "hits" (member_exn "cache" resp.Http.resp_body) with
+  | Some (Json.Int hits) when hits > 0 -> ()
+  | _ -> Alcotest.fail "cache hits should be positive after the cache test"
+
+(* ---- End-to-end over sockets ------------------------------------------------ *)
+
+let test_e2e_concurrent () =
+  let t = Server.create ~datasets:[ "product-reviews" ] ~cache_capacity:8 () in
+  let running = Server.start ~threads:8 ~port:0 t in
+  let port = Server.port running in
+  Fun.protect
+    ~finally:(fun () -> Server.stop running)
+    (fun () ->
+      let status, _, body = Http.request ~host:"127.0.0.1" ~port "/health" in
+      check Alcotest.int "health over socket" 200 status;
+      check Alcotest.string "health body" {|{"status":"ok"}|} body;
+      (* cold request, then 8 concurrent clients on the same comparison *)
+      let cold_start = Unix.gettimeofday () in
+      let _, cold_headers, cold_body =
+        Http.request ~host:"127.0.0.1" ~port ~body:compare_body "/compare"
+      in
+      let cold_elapsed = Unix.gettimeofday () -. cold_start in
+      check Alcotest.(option string) "cold is a miss" (Some "miss")
+        (List.assoc_opt "x-cache" cold_headers);
+      let results = Array.make 8 (0, [], "") in
+      let clients =
+        List.init 8 (fun i ->
+            Thread.create
+              (fun i ->
+                results.(i) <-
+                  Http.request ~host:"127.0.0.1" ~port ~body:compare_body
+                    "/compare")
+              i)
+      in
+      List.iter Thread.join clients;
+      Array.iteri
+        (fun i (status, headers, body) ->
+          check Alcotest.int (Printf.sprintf "client %d status" i) 200 status;
+          check Alcotest.string
+            (Printf.sprintf "client %d byte-identical" i)
+            cold_body body;
+          check Alcotest.(option string)
+            (Printf.sprintf "client %d cache hit" i)
+            (Some "hit")
+            (List.assoc_opt "x-cache" headers))
+        results;
+      (* warm repeat is served from the cache measurably faster *)
+      let warm_start = Unix.gettimeofday () in
+      let _, _, warm_body =
+        Http.request ~host:"127.0.0.1" ~port ~body:compare_body "/compare"
+      in
+      let warm_elapsed = Unix.gettimeofday () -. warm_start in
+      check Alcotest.string "warm byte-identical" cold_body warm_body;
+      if warm_elapsed >= cold_elapsed then
+        Alcotest.failf "cache hit not faster: cold %.6fs warm %.6fs"
+          cold_elapsed warm_elapsed;
+      (* keep-alive: several requests on one connection *)
+      Http.with_connection ~host:"127.0.0.1" ~port (fun call ->
+          let status, _, _ = call "/health" in
+          check Alcotest.int "keep-alive 1" 200 status;
+          let status, _, _ = call ~body:compare_body "/compare" in
+          check Alcotest.int "keep-alive 2" 200 status;
+          let status, _, _ = call "/metrics" in
+          check Alcotest.int "keep-alive 3" 200 status);
+      (* metrics reflect the traffic *)
+      let _, _, metrics = Http.request ~host:"127.0.0.1" ~port "/metrics" in
+      (match member_exn "requests_total" metrics with
+      | Json.Int n when n >= 13 -> ()
+      | v -> Alcotest.failf "requests_total too small: %s" (Json.to_string v));
+      match Json.member "hits" (member_exn "cache" metrics) with
+      | Some (Json.Int hits) when hits >= 9 -> ()
+      | v ->
+        Alcotest.failf "expected >= 9 cache hits, got %s"
+          (match v with Some v -> Json.to_string v | None -> "nothing"))
+
+let () =
+  Alcotest.run "xsact_serve"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "request line" `Quick test_request_line;
+          Alcotest.test_case "header line" `Quick test_header_line;
+          Alcotest.test_case "target splitting" `Quick test_split_target;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "patterns" `Quick test_router_params;
+          Alcotest.test_case "dispatch" `Quick test_router_dispatch;
+        ] );
+      ("lru", [ Alcotest.test_case "eviction order" `Quick test_lru_eviction ]);
+      ( "api",
+        [
+          Alcotest.test_case "cache-key normalization" `Quick
+            test_cache_key_normalization;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+        ] );
+      ( "handle",
+        [
+          Alcotest.test_case "basic routes" `Quick test_handle_basic;
+          Alcotest.test_case "search" `Quick test_handle_search;
+          Alcotest.test_case "compare errors" `Quick test_handle_compare_errors;
+          Alcotest.test_case "compare cache" `Quick test_handle_compare_cache;
+          Alcotest.test_case "sessions" `Quick test_handle_sessions;
+          Alcotest.test_case "metrics" `Quick test_handle_metrics;
+        ] );
+      ( "e2e",
+        [ Alcotest.test_case "concurrent clients" `Quick test_e2e_concurrent ]
+      );
+    ]
