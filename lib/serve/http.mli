@@ -85,3 +85,14 @@ val with_connection :
 (** Keep-alive variant: [with_connection ~host ~port f] opens one
     connection and passes [f] a function issuing sequential requests on
     it — what the throughput bench uses. *)
+
+val send_request :
+  Stdlib.out_channel -> host:string -> ?meth:string -> ?body:string ->
+  string -> unit
+(** Write one request on an already-connected channel and flush; [meth]
+    defaults to ["GET"], or ["POST"] when [body] is given. For tests that
+    need to control connection lifetime themselves. *)
+
+val read_response : Stdlib.in_channel -> int * (string * string) list * string
+(** Read one response ([(status, headers, body)]).
+    @raise Failure on a malformed response. *)

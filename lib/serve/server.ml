@@ -10,8 +10,11 @@ type session_entry = {
 
 type t = {
   entries : (string * entry) list;
-  cache : string Lru.t;  (* cache_key -> response body *)
-  compute : Mutex.t;  (* serializes DFS generation and the LRU *)
+  cache : string Lru.t;  (* cache_key -> response body; under [lock] *)
+  lock : Mutex.t;  (* guards [cache] and [inflight] — O(1) sections only *)
+  inflight : (string, unit) Hashtbl.t;  (* compare keys being computed *)
+  inflight_done : Condition.t;  (* signalled when an inflight key retires *)
+  session_update : Mutex.t;  (* serializes session read-modify-write *)
   metrics : Metrics.t;
   sessions : session_entry Session_store.t;
   default_domains : int option;
@@ -21,9 +24,13 @@ type t = {
 
 let dataset_names t = List.map fst t.entries
 
-let with_compute t f =
-  Mutex.lock t.compute;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.compute) f
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let with_session_update t f =
+  Mutex.lock t.session_update;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.session_update) f
 
 (* ---- Response helpers -------------------------------------------------- *)
 
@@ -150,19 +157,48 @@ let request_config t (creq : Api.compare_request) =
   | None, Some d -> Config.with_domains d config
   | _ -> config
 
+(* Per-key single-flight: the first thread to miss on [key] claims it and
+   computes with [t.lock] released, so cache hits, other keys, and /metrics
+   never wait behind an in-flight comparison. Duplicate requests block on
+   [inflight_done] and replay the cached body once the claimant retires the
+   key. If the claimant fails (typed error or exception), waiters wake to
+   find neither a cache entry nor an inflight mark and claim the key
+   themselves. *)
 let handle_compare t req _params =
   match decode_compare_body req with
   | Error resp -> resp
   | Ok creq -> (
     match find_entry t creq.Api.dataset with
     | None -> error_response ~status:404 ("unknown dataset " ^ creq.Api.dataset)
-    | Some entry ->
+    | Some entry -> (
       let key = Api.cache_key creq in
-      with_compute t (fun () ->
-          match Lru.find t.cache key with
-          | Some body ->
-            Http.response ~headers:[ ("X-Cache", "hit") ] ~status:200 body
-          | None -> (
+      let claim =
+        locked t (fun () ->
+            let rec claim () =
+              match Lru.find t.cache key with
+              | Some body -> `Hit body
+              | None ->
+                if Hashtbl.mem t.inflight key then begin
+                  Condition.wait t.inflight_done t.lock;
+                  claim ()
+                end
+                else begin
+                  Hashtbl.add t.inflight key ();
+                  `Compute
+                end
+            in
+            claim ())
+      in
+      match claim with
+      | `Hit body ->
+        Http.response ~headers:[ ("X-Cache", "hit") ] ~status:200 body
+      | `Compute ->
+        let retire () =
+          locked t (fun () ->
+              Hashtbl.remove t.inflight key;
+              Condition.broadcast t.inflight_done)
+        in
+        Fun.protect ~finally:retire (fun () ->
             let config = request_config t creq in
             match
               Pipeline.compare ~config ?select:creq.Api.select
@@ -172,7 +208,7 @@ let handle_compare t req _params =
             | Error e -> core_error e
             | Ok comparison ->
               let body = Json.to_string (Api.json_of_comparison comparison) in
-              Lru.add t.cache key body;
+              locked t (fun () -> Lru.add t.cache key body);
               Http.response ~headers:[ ("X-Cache", "miss") ] ~status:200 body)))
 
 (* ---- Sessions ---------------------------------------------------------- *)
@@ -202,49 +238,58 @@ let handle_session_create t req _params =
   | Ok creq -> (
     match find_entry t creq.Api.dataset with
     | None -> error_response ~status:404 ("unknown dataset " ^ creq.Api.dataset)
-    | Some entry ->
-      with_compute t (fun () ->
-          let keywords = creq.Api.keywords in
-          let results = Pipeline.search entry.pipeline keywords in
-          if results = [] then core_error (Error.No_results keywords)
-          else
-            let available = List.length results in
-            let ranks =
-              match creq.Api.select with
-              | Some ranks -> ranks
-              | None -> List.init (min creq.Api.top available) (fun i -> i + 1)
+    | Some entry -> (
+      let keywords = creq.Api.keywords in
+      let results = Pipeline.search entry.pipeline keywords in
+      if results = [] then core_error (Error.No_results keywords)
+      else
+        let available = List.length results in
+        let ranks =
+          match creq.Api.select with
+          | Some ranks -> ranks
+          | None -> List.init (min creq.Api.top available) (fun i -> i + 1)
+        in
+        let rec first_dup seen = function
+          | [] -> None
+          | r :: rest ->
+            if List.mem r seen then Some r else first_dup (r :: seen) rest
+        in
+        match first_dup [] ranks with
+        | Some dup ->
+          (* same invariant POST /session/:id/add enforces *)
+          error_response ~status:422
+            (Printf.sprintf "duplicate rank %d in \"select\"" dup)
+        | None -> (
+          match
+            List.find_opt (fun r -> result_with_rank results r = None) ranks
+          with
+          | Some bad ->
+            core_error (Error.Rank_out_of_range { rank = bad; available })
+          | None -> (
+            let profiles =
+              List.map
+                (fun rank ->
+                  let r = Option.get (result_with_rank results rank) in
+                  Pipeline.profile_of ~keywords entry.pipeline r)
+                ranks
             in
+            let config = request_config t creq in
             match
-              List.find_opt (fun r -> result_with_rank results r = None) ranks
+              Session.create ~config ~size_bound:creq.Api.size_bound profiles
             with
-            | Some bad ->
-              core_error (Error.Rank_out_of_range { rank = bad; available })
-            | None -> (
-              let profiles =
-                List.map
-                  (fun rank ->
-                    let r = Option.get (result_with_rank results rank) in
-                    Pipeline.profile_of ~keywords entry.pipeline r)
-                  ranks
+            | Error e -> core_error e
+            | Ok session ->
+              let se =
+                {
+                  s_dataset = creq.Api.dataset;
+                  s_request = creq;
+                  s_results = results;
+                  s_ranks = ranks;
+                  s_session = session;
+                }
               in
-              let config = request_config t creq in
-              match
-                Session.create ~config ~size_bound:creq.Api.size_bound
-                  profiles
-              with
-              | Error e -> core_error e
-              | Ok session ->
-                let se =
-                  {
-                    s_dataset = creq.Api.dataset;
-                    s_request = creq;
-                    s_results = results;
-                    s_ranks = ranks;
-                    s_session = session;
-                  }
-                in
-                let id = Session_store.add t.sessions se in
-                json_response ~status:201 (session_summary id se))))
+              let id = Session_store.add t.sessions se in
+              json_response ~status:201 (session_summary id se)))))
 
 let handle_session_list t _req _params =
   json_response ~status:200
@@ -288,7 +333,7 @@ let handle_session_add t req params =
   match body_int req "rank" with
   | Error resp -> resp
   | Ok rank ->
-    with_compute t (fun () ->
+    with_session_update t (fun () ->
         with_session t params (fun id se ->
             if List.mem rank se.s_ranks then
               error_response ~status:422
@@ -319,7 +364,7 @@ let handle_session_remove t req params =
   match body_int req "rank" with
   | Error resp -> resp
   | Ok rank ->
-    with_compute t (fun () ->
+    with_session_update t (fun () ->
         with_session t params (fun id se ->
             let rec index_of i = function
               | [] -> None
@@ -348,7 +393,7 @@ let handle_session_size t req params =
   match body_int req "size_bound" with
   | Error resp -> resp
   | Ok size_bound ->
-    with_compute t (fun () ->
+    with_session_update t (fun () ->
         with_session t params (fun id se ->
             match Session.set_size_bound se.s_session size_bound with
             | Error e -> core_error e
@@ -367,7 +412,7 @@ let handle_session_delete t _req params =
 
 let handle_metrics t _req _params =
   let hits, misses, cache_len =
-    with_compute t (fun () ->
+    locked t (fun () ->
         (Lru.hits t.cache, Lru.misses t.cache, Lru.length t.cache))
   in
   let lookups = hits + misses in
@@ -429,7 +474,10 @@ let create ?datasets ?(cache_capacity = 128) ?domains () =
     {
       entries;
       cache = Lru.create ~capacity:cache_capacity;
-      compute = Mutex.create ();
+      lock = Mutex.create ();
+      inflight = Hashtbl.create 8;
+      inflight_done = Condition.create ();
+      session_update = Mutex.create ();
       metrics = Metrics.create ();
       sessions = Session_store.create ();
       default_domains = domains;
@@ -472,9 +520,13 @@ type running = {
   server : t;
   listen_fd : Unix.file_descr;
   bound_port : int;
+  idle_timeout : float;
   jobs : job Queue.t;
   jobs_mutex : Mutex.t;
   jobs_cond : Condition.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;  (* live; under conns_mutex *)
+  conns_mutex : Mutex.t;
+  mutable stopping : bool;  (* under conns_mutex *)
   mutable workers : Thread.t list;
   mutable acceptor : Thread.t option;
 }
@@ -494,6 +546,11 @@ let pop r =
   Mutex.unlock r.jobs_mutex;
   job
 
+(* Serve requests on [fd] until the client closes, errors, or idles past
+   SO_RCVTIMEO (a timed-out channel read raises [Sys_error]/[Unix_error],
+   absorbed below like any torn connection). Does not close [fd] — the
+   worker does, after unregistering it, so a recycled descriptor number
+   can never evict a live connection from the tracking table. *)
 let serve_connection t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
@@ -509,16 +566,36 @@ let serve_connection t fd =
       Http.write_response oc ~keep_alive resp;
       if keep_alive then loop ()
   in
-  (try loop () with
-  | Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  try loop () with Sys_error _ | End_of_file | Unix.Unix_error _ -> ()
+
+(* Register [fd] as a live connection so [stop] can shut it down; refused
+   once [stopping] is set (the worker then just closes the socket). *)
+let register r fd =
+  Mutex.lock r.conns_mutex;
+  let accepted = not r.stopping in
+  if accepted then Hashtbl.replace r.conns fd ();
+  Mutex.unlock r.conns_mutex;
+  accepted
+
+let unregister r fd =
+  Mutex.lock r.conns_mutex;
+  Hashtbl.remove r.conns fd;
+  Mutex.unlock r.conns_mutex
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let worker_loop r () =
   let rec go () =
     match pop r with
     | Quit -> ()
     | Conn fd ->
-      serve_connection r.server fd;
+      if register r fd then
+        Fun.protect
+          ~finally:(fun () ->
+            unregister r fd;
+            close_quietly fd)
+          (fun () -> serve_connection r.server fd)
+      else close_quietly fd;
       go ()
   in
   go ()
@@ -527,6 +604,10 @@ let acceptor_loop r () =
   let rec go () =
     match Unix.accept r.listen_fd with
     | fd, _ ->
+      (* Bound every read so an idle or slow-loris connection releases
+         its worker instead of pinning it forever. *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO r.idle_timeout
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
       push r (Conn fd);
       go ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
@@ -535,9 +616,15 @@ let acceptor_loop r () =
   in
   go ()
 
-let start ?(threads = 4) ~port t =
+let start ?(threads = 4) ?(idle_timeout = 30.) ~port t =
   if threads < 1 then invalid_arg "Server.start: threads must be positive";
+  if idle_timeout <= 0. then
+    invalid_arg "Server.start: idle_timeout must be positive";
   t.threads <- threads;
+  (* A client that disconnects mid-response must surface as EPIPE on the
+     write (absorbed in serve_connection), not as process-fatal SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -556,9 +643,13 @@ let start ?(threads = 4) ~port t =
       server = t;
       listen_fd;
       bound_port;
+      idle_timeout;
       jobs = Queue.create ();
       jobs_mutex = Mutex.create ();
       jobs_cond = Condition.create ();
+      conns = Hashtbl.create 16;
+      conns_mutex = Mutex.create ();
+      stopping = false;
       workers = [];
       acceptor = None;
     }
@@ -577,4 +668,16 @@ let stop r =
   Option.iter Thread.join r.acceptor;
   (try Unix.close r.listen_fd with Unix.Unix_error _ -> ());
   List.iter (fun _ -> push r Quit) r.workers;
+  (* Wake workers blocked reading an idle keep-alive connection: shutdown
+     every live socket so the pending read returns EOF immediately instead
+     of holding the join until the idle timeout fires. [stopping] makes
+     workers close (not serve) any connection still queued behind the
+     poison pills. *)
+  Mutex.lock r.conns_mutex;
+  r.stopping <- true;
+  Hashtbl.iter
+    (fun fd () ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    r.conns;
+  Mutex.unlock r.conns_mutex;
   List.iter Thread.join r.workers

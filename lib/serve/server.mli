@@ -6,12 +6,16 @@
     serves with a fixed pool of worker threads.
 
     Threading model (see DESIGN.md §8): worker threads overlap on socket
-    I/O and parsing, while DFS generation is serialized by one compute
-    mutex — the PR-1 {!Xsact_util.Domain_pool} is an orchestrator-level
-    resource, and OCaml systhreads share a single domain anyway, so there
-    is nothing to gain (and races to lose) from concurrent compute. The
-    comparison LRU is read and written under the same mutex, so concurrent
-    identical requests compute at most once.
+    I/O and parsing, and comparisons run per-key single-flight — the
+    first thread to miss on a cache key computes it with the cache mutex
+    {e released}, duplicate requests for the same key wait on a condition
+    variable and replay the cached body, and cache hits, other keys, and
+    [/metrics] never block behind an in-flight computation. Concurrent
+    computations are safe: the {!Xsact_util.Domain_pool} serializes whole
+    fan-out jobs behind a per-pool submit mutex. SIGPIPE is ignored at
+    {!start} so a client that disconnects mid-response surfaces as EPIPE
+    (absorbed per-connection), and every accepted socket carries an idle
+    read timeout so stalled keep-alive connections release their worker.
 
     Endpoints: [GET /], [GET /health], [GET /datasets],
     [GET /search?dataset=&q=], [POST /compare], [GET /metrics],
@@ -40,11 +44,18 @@ val handle : t -> Http.request -> Http.response
 
 type running
 
-val start : ?threads:int -> port:int -> t -> running
+val start : ?threads:int -> ?idle_timeout:float -> port:int -> t -> running
 (** Bind [127.0.0.1:port] ([port = 0] picks an ephemeral port — see
     {!port}) and serve until {!stop}, with [threads] workers (default 4).
-    @raise Unix.Unix_error if the port is taken. *)
+    Ignores SIGPIPE process-wide. [idle_timeout] (seconds, default 30)
+    bounds every socket read, so a connection that goes quiet
+    mid-request or between keep-alive requests is dropped rather than
+    pinning its worker.
+    @raise Unix.Unix_error if the port is taken.
+    @raise Invalid_argument if [threads < 1] or [idle_timeout <= 0]. *)
 
 val port : running -> int
 val stop : running -> unit
-(** Close the listener, drain the workers and join every thread. *)
+(** Close the listener, shut down live connections, drain the workers and
+    join every thread. Returns promptly even when clients still hold open
+    keep-alive connections. *)

@@ -18,6 +18,7 @@ type job = {
 
 type t = {
   domains : int;
+  submit : Mutex.t;  (* serializes whole jobs: one in flight per pool *)
   lock : Mutex.t;
   work_ready : Condition.t;  (* new job published, or shutdown *)
   work_done : Condition.t;  (* a job's last chunk finished *)
@@ -75,6 +76,7 @@ let create ~domains =
   let t =
     {
       domains;
+      submit = Mutex.create ();
       lock = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
@@ -103,24 +105,31 @@ let parallel_for t ~n ~chunk =
   if n > 0 then
     if t.domains = 1 then chunk 0 n
     else begin
-      let nchunks = min n (t.domains * chunks_per_domain) in
-      let job =
-        { f = chunk; n; nchunks; next = Atomic.make 0; remaining = nchunks;
-          failed = None }
-      in
-      Mutex.lock t.lock;
-      t.job <- Some job;
-      t.generation <- t.generation + 1;
-      Condition.broadcast t.work_ready;
-      Mutex.unlock t.lock;
-      run_chunks t job;
-      Mutex.lock t.lock;
-      while job.remaining > 0 do
-        Condition.wait t.work_done t.lock
-      done;
-      t.job <- None;
-      Mutex.unlock t.lock;
-      match job.failed with Some e -> raise e | None -> ()
+      (* Callers may race in from several systhreads (e.g. xsact-serve
+         worker threads); [submit] upholds the one-job-in-flight
+         invariant by serializing whole jobs per pool. *)
+      Mutex.lock t.submit;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.submit)
+        (fun () ->
+          let nchunks = min n (t.domains * chunks_per_domain) in
+          let job =
+            { f = chunk; n; nchunks; next = Atomic.make 0;
+              remaining = nchunks; failed = None }
+          in
+          Mutex.lock t.lock;
+          t.job <- Some job;
+          t.generation <- t.generation + 1;
+          Condition.broadcast t.work_ready;
+          Mutex.unlock t.lock;
+          run_chunks t job;
+          Mutex.lock t.lock;
+          while job.remaining > 0 do
+            Condition.wait t.work_done t.lock
+          done;
+          t.job <- None;
+          Mutex.unlock t.lock;
+          match job.failed with Some e -> raise e | None -> ())
     end
 
 let map_reduce t ~n ~map ~reduce ~init =
@@ -159,12 +168,17 @@ let default_domains () =
   | None -> min (Domain.recommended_domain_count ()) max_default_domains
 
 let pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let pools_lock = Mutex.create ()
 
 let get ~domains =
   let domains = max 1 domains in
-  match Hashtbl.find_opt pools domains with
-  | Some pool -> pool
-  | None ->
-    let pool = create ~domains in
-    Hashtbl.add pools domains pool;
-    pool
+  Mutex.lock pools_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pools_lock)
+    (fun () ->
+      match Hashtbl.find_opt pools domains with
+      | Some pool -> pool
+      | None ->
+        let pool = create ~domains in
+        Hashtbl.add pools domains pool;
+        pool)

@@ -14,9 +14,11 @@
     chunk are caught, the job is drained, and the first exception is
     re-raised in the caller.
 
-    All functions must be called from a single orchestrating domain; the
-    pool does not support concurrent or nested [parallel_for] calls on the
-    same pool. *)
+    Jobs may be submitted from several orchestrating threads (e.g. the
+    xsact-serve worker pool): a per-pool submit mutex serializes whole
+    jobs, so exactly one is in flight at a time and concurrent callers
+    queue. Nested [parallel_for] from inside a chunk is still
+    unsupported (it would self-deadlock on the submit mutex). *)
 
 type t
 
@@ -27,8 +29,8 @@ val create : domains:int -> t
 val get : domains:int -> t
 (** Memoized {!create}: returns the process-global pool of this size,
     spawning it on first use. This is what the engine calls on hot paths so
-    repeated comparisons reuse the same domains. Thread-unsafe like the
-    rest of the API (orchestrator-only). *)
+    repeated comparisons reuse the same domains. Safe to call from
+    concurrent threads (the registry is mutex-guarded). *)
 
 val domains : t -> int
 (** Total parallelism, including the calling domain. *)

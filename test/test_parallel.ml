@@ -107,6 +107,38 @@ let test_pool_memoized () =
   check Alcotest.int "size 1 pool is sequential" 1
     (Domain_pool.domains (Domain_pool.get ~domains:1))
 
+(* Jobs racing in from several systhreads (the xsact-serve worker pool
+   does exactly this) must serialize behind the submit mutex: every job
+   covers its range exactly once, none corrupt each other. *)
+let test_pool_concurrent_submitters () =
+  let pool = Domain_pool.get ~domains:4 in
+  let submitters = 6 and jobs_each = 5 and n = 512 in
+  let bad = ref [] in
+  let bad_mutex = Mutex.create () in
+  let submitter s =
+    for j = 0 to jobs_each - 1 do
+      let hits = Array.make n 0 in
+      Domain_pool.parallel_for pool ~n ~chunk:(fun lo hi ->
+          for k = lo to hi - 1 do
+            hits.(k) <- hits.(k) + 1
+          done);
+      Array.iteri
+        (fun k c ->
+          if c <> 1 then begin
+            Mutex.lock bad_mutex;
+            bad := (s, j, k, c) :: !bad;
+            Mutex.unlock bad_mutex
+          end)
+        hits
+    done
+  in
+  let threads = List.init submitters (fun s -> Thread.create submitter s) in
+  List.iter Thread.join threads;
+  match !bad with
+  | [] -> ()
+  | (s, j, k, c) :: _ ->
+    Alcotest.failf "submitter %d job %d: index %d run %d times" s j k c
+
 (* ---- Engine determinism across domain counts --------------------------- *)
 
 let synthetic seed results =
@@ -260,6 +292,8 @@ let () =
             test_pool_exception_propagates;
           Alcotest.test_case "create/shutdown" `Quick test_pool_create_shutdown;
           Alcotest.test_case "get memoized" `Quick test_pool_memoized;
+          Alcotest.test_case "concurrent submitters" `Quick
+            test_pool_concurrent_submitters;
         ] );
       ( "determinism",
         [

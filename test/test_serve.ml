@@ -333,6 +333,11 @@ let test_handle_compare_cache () =
   | v -> Alcotest.failf "bad dod %s" (Json.to_string v)
 
 let test_handle_sessions () =
+  check Alcotest.int "duplicate select ranks rejected" 422
+    (handle ~meth:"POST"
+       ~body:{|{"dataset":"product-reviews","q":"gps","select":[1,2,1]}|}
+       "/session")
+      .Http.status;
   let created =
     handle ~meth:"POST" ~body:compare_body "/session"
   in
@@ -460,6 +465,47 @@ let test_e2e_concurrent () =
         Alcotest.failf "expected >= 9 cache hits, got %s"
           (match v with Some v -> Json.to_string v | None -> "nothing"))
 
+(* Regression: a worker parked in a keep-alive read must not stall stop.
+   Hold open a connection that already served one request (its worker is
+   blocked reading the next request line) plus one that never sent a byte,
+   then require stop to join every thread promptly. *)
+let test_stop_with_idle_connections () =
+  let t = Server.create ~datasets:[ "product-reviews" ] ~cache_capacity:4 () in
+  let running = Server.start ~threads:2 ~port:0 t in
+  let port = Server.port running in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let connect () =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect sock addr;
+    sock
+  in
+  let keep_alive = connect () in
+  let oc = Unix.out_channel_of_descr keep_alive in
+  let ic = Unix.in_channel_of_descr keep_alive in
+  Http.send_request oc ~host:"127.0.0.1" "/health";
+  let status, _, _ = Http.read_response ic in
+  check Alcotest.int "request served before idling" 200 status;
+  let silent = connect () in
+  let stopped = ref false in
+  let stopper =
+    Thread.create
+      (fun () ->
+        Server.stop running;
+        stopped := true)
+      ()
+  in
+  (* Bounded wait: if stop hangs on the idle connections, fail instead of
+     wedging the whole suite. *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while (not !stopped) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.05
+  done;
+  if not !stopped then Alcotest.fail "stop did not return with idle clients";
+  Thread.join stopper;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ keep_alive; silent ]
+
 let () =
   Alcotest.run "xsact_serve"
     [
@@ -496,6 +542,9 @@ let () =
           Alcotest.test_case "metrics" `Quick test_handle_metrics;
         ] );
       ( "e2e",
-        [ Alcotest.test_case "concurrent clients" `Quick test_e2e_concurrent ]
-      );
+        [
+          Alcotest.test_case "concurrent clients" `Quick test_e2e_concurrent;
+          Alcotest.test_case "stop with idle connections" `Quick
+            test_stop_with_idle_connections;
+        ] );
     ]
