@@ -6,10 +6,14 @@
 open Cmdliner
 module Server = Xsact_server.Server
 
-let serve port threads cache domains datasets =
+let serve port threads cache domains datasets deadline_ms max_pending
+    session_ttl max_sessions =
   let datasets = match datasets with [] -> None | names -> Some names in
   let server =
-    try Ok (Server.create ?datasets ~cache_capacity:cache ?domains ())
+    try
+      Ok
+        (Server.create ?datasets ~cache_capacity:cache ?domains ?deadline_ms
+           ?session_ttl_s:session_ttl ?max_sessions ())
     with Invalid_argument msg -> Error msg
   in
   match server with
@@ -18,17 +22,27 @@ let serve port threads cache domains datasets =
     exit 1
   | Ok server ->
     let running =
-      try Server.start ~threads ~port server
-      with Unix.Unix_error (err, _, _) ->
+      try Server.start ~threads ~max_pending ~port server
+      with
+      | Unix.Unix_error (err, _, _) ->
         prerr_endline
           (Printf.sprintf "xsact-serve: cannot bind port %d: %s" port
              (Unix.error_message err));
         exit 1
+      | Invalid_argument msg ->
+        prerr_endline ("xsact-serve: " ^ msg);
+        exit 1
     in
     Printf.printf "xsact-serve listening on http://127.0.0.1:%d\n"
       (Server.port running);
-    Printf.printf "  workers: %d  cache: %d entries  datasets: %s\n%!"
-      threads cache
+    Printf.printf
+      "  workers: %d  cache: %d entries  max-pending: %d  deadline: %s  \
+       datasets: %s\n\
+       %!"
+      threads cache max_pending
+      (match deadline_ms with
+      | Some ms -> Printf.sprintf "%dms" ms
+      | None -> "none")
       (String.concat ", " (Server.dataset_names server));
     let stop_requested = ref false in
     let request_stop _ = stop_requested := true in
@@ -72,12 +86,49 @@ let datasets_arg =
           "Dataset to load (repeatable; default: the whole registry). See \
            GET /datasets.")
 
+let deadline_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request compute budget for POST /compare \
+           (milliseconds). A tripped budget returns the algorithm's valid \
+           best-so-far with an X-Degraded header, or 504 when nothing \
+           completed. Clients override per request with X-Deadline-Ms, \
+           capped by the server. Default: unbounded.")
+
+let max_pending_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-pending" ] ~docv:"N"
+        ~doc:
+          "Admission bound on accepted-but-unserved connections; beyond it \
+           new connections are shed with 503 + Retry-After. At half this \
+           bound, multi-swap compares degrade to single-swap.")
+
+let session_ttl_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "session-ttl" ] ~docv:"SECONDS"
+        ~doc:
+          "Expire server-resident sessions idle longer than this. Default: \
+           never.")
+
+let max_sessions_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-sessions" ] ~docv:"N"
+        ~doc:
+          "Cap on live sessions; adding past it evicts the \
+           least-recently-used. Default: unbounded.")
+
 let cmd =
   let doc = "serve XSACT comparisons over a JSON HTTP API" in
   Cmd.v
     (Cmd.info "xsact-serve" ~version:"1.0.0" ~doc)
     Term.(
       const serve $ port_arg $ threads_arg $ cache_arg $ domains_arg
-      $ datasets_arg)
+      $ datasets_arg $ deadline_arg $ max_pending_arg $ session_ttl_arg
+      $ max_sessions_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -32,12 +32,23 @@ let of_string = function
   | "exhaustive" -> Some Exhaustive
   | _ -> None
 
-let generate ?domains t context ~limit =
+let generate_within ?domains ?deadline t context ~limit =
   match t with
-  | Topk -> Topk.generate context ~limit
-  | Greedy -> Greedy.generate context ~limit
-  | Single_swap -> Single_swap.generate context ~limit
-  | Multi_swap -> Multi_swap.generate ?domains context ~limit
-  | Annealing -> Stochastic.anneal context ~limit
-  | Restarts -> Stochastic.restarts context ~limit
-  | Exhaustive -> Exhaustive.generate context ~limit
+  | Topk -> (Topk.generate context ~limit, `Complete)
+  | Greedy -> Greedy.generate_within ?deadline context ~limit
+  | Single_swap ->
+    let dfss, stats =
+      Single_swap.generate_with_stats ?deadline context ~limit
+    in
+    (dfss, if stats.Single_swap.converged then `Complete else `Degraded)
+  | Multi_swap ->
+    let dfss, stats =
+      Multi_swap.generate_with_stats ?domains ?deadline context ~limit
+    in
+    (dfss, if stats.Multi_swap.converged then `Complete else `Degraded)
+  | Annealing -> Stochastic.anneal_within ?deadline context ~limit
+  | Restarts -> Stochastic.restarts_within ?deadline context ~limit
+  | Exhaustive -> (Exhaustive.generate context ~limit, `Complete)
+
+let generate ?domains t context ~limit =
+  fst (generate_within ?domains t context ~limit)

@@ -30,3 +30,13 @@ val generate : ?domains:int -> t -> Dod.context -> limit:int -> Dfs.t array
     (currently [Multi_swap] threshold construction); the others ignore
     it. Every method is deterministic in it — outputs are identical for
     every domain count. *)
+
+val generate_within :
+  ?domains:int -> ?deadline:Xsact_util.Deadline.t ->
+  t -> Dod.context -> limit:int -> Dfs.t array * [ `Complete | `Degraded ]
+(** Like {!generate}, under a cooperative deadline: the iterative methods
+    poll the token between work units and, once it trips, return their
+    (always valid, budget-filling) best-so-far tagged [`Degraded].
+    [Topk] and [Exhaustive] are not anytime — they run to completion and
+    always report [`Complete]. A run whose deadline never trips is
+    bit-identical to {!generate}. *)

@@ -88,9 +88,10 @@ let ftype_map (profile : Result_profile.t) =
 let min_pairs_per_domain = 8
 
 let make_context ?(params = default_params) ?(weight = fun _ -> 1) ?domains
-    results =
+    ?deadline results =
   if Array.length results < 2 then
     invalid_arg "Dod.make_context: need at least two results";
+  Deadline.check deadline;
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -161,14 +162,19 @@ let make_context ?(params = default_params) ?(weight = fun _ -> 1) ?domains
           :: links_table.(j).(gi_j))
       entries
   in
+  (* A context is all-or-nothing — a partially linked table would silently
+     change the objective — so a tripped deadline raises Deadline.Expired
+     (here between pairs, or inside parallel_for between chunks) instead
+     of returning something degraded. *)
   if domains = 1 || npairs < min_pairs_per_domain * domains then
     for p = 0 to npairs - 1 do
+      Deadline.check deadline;
       merge_pair p (compute_pair p)
     done
   else begin
     let pool = Domain_pool.get ~domains in
     let buffers = Array.make npairs [] in
-    Domain_pool.parallel_for pool ~n:npairs ~chunk:(fun lo hi ->
+    Domain_pool.parallel_for ?deadline pool ~n:npairs ~chunk:(fun lo hi ->
         for p = lo to hi - 1 do
           buffers.(p) <- compute_pair p
         done);

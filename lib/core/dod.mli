@@ -31,10 +31,16 @@ val make_context :
   ?params:params ->
   ?weight:(Feature.ftype -> int) ->
   ?domains:int ->
+  ?deadline:Xsact_util.Deadline.t ->
   Result_profile.t array ->
   context
 (** Precompute pair tables for a set of results (O(pairs × shared types ×
     features)). @raise Invalid_argument on fewer than 2 results.
+
+    [deadline] bounds the build cooperatively: the token is polled between
+    result pairs (and between pool chunks on the parallel path), and a
+    tripped token raises {!Xsact_util.Deadline.Expired} — a context is
+    all-or-nothing, so there is no degraded partial form.
 
     [domains] (default {!Xsact_util.Domain_pool.default_domains}) sets the
     parallelism of the pair-table build: the unordered result pairs are

@@ -5,6 +5,7 @@ type t =
   | Index_out_of_range of { index : int; length : int }
   | Bound_too_small of int
   | Unsupported_algorithm of string
+  | Timeout
 
 let to_string = function
   | No_results keywords -> Printf.sprintf "no results for %S" keywords
@@ -18,5 +19,6 @@ let to_string = function
     Printf.sprintf "size bound must be at least 1 (got %d)" bound
   | Unsupported_algorithm name ->
     Printf.sprintf "algorithm %s is not supported by this operation" name
+  | Timeout -> "deadline exceeded before any complete comparison was available"
 
 let equal (a : t) (b : t) = a = b

@@ -22,6 +22,10 @@ type t =
   | Unsupported_algorithm of string
       (** the operation rejects this algorithm (e.g. sessions and the
           exhaustive oracle); carries {!Algorithm.to_string} of it *)
+  | Timeout
+      (** the request's {!Xsact_util.Deadline} tripped before even a
+          degraded (best-so-far) answer existed — e.g. during context
+          construction. The serving layer maps this to HTTP 504. *)
 
 val to_string : t -> string
 (** The human-readable message ("no results for ...", "size bound must be

@@ -1,28 +1,46 @@
-let generate context ~limit =
+let generate_within ?deadline context ~limit =
   let results = Dod.results context in
   let dfss = Array.map Dfs.empty results in
+  (* Anytime loop: every accepted grow leaves [dfss] valid, and the final
+     Topk.fill pads whatever prefix of the greedy schedule completed, so a
+     tripped deadline — polled once per accepted move, the unit of work —
+     simply ends the scan early with a `Degraded tag. Without a deadline
+     the path is untouched and bit-identical to the original. *)
+  let stopped = ref false in
   let continue = ref true in
   while !continue do
-    let best = ref None in
-    Array.iteri
-      (fun i dfs ->
-        if Dfs.size dfs < limit then
-          let nt = Result_profile.num_types results.(i) in
-          for gi = 0 to nt - 1 do
-            let q = Dfs.q dfs gi in
-            if q < Dfs.max_q dfs gi && (q > 0 || Dfs.can_open dfs gi) then begin
-              let delta =
-                Dod.delta_for_type context ~dfss ~i ~gi ~old_q:q ~new_q:(q + 1)
-              in
-              if delta > 0 then
-                match !best with
-                | Some (bd, _, _) when bd >= delta -> ()
-                | _ -> best := Some (delta, i, gi)
-            end
-          done)
-      dfss;
-    match !best with
-    | None -> continue := false
-    | Some (_, i, gi) -> dfss.(i) <- Dfs.set_q dfss.(i) gi (Dfs.q dfss.(i) gi + 1)
+    if Deadline.over deadline then begin
+      stopped := true;
+      continue := false
+    end
+    else begin
+      Failpoint.hit "compare.round";
+      let best = ref None in
+      Array.iteri
+        (fun i dfs ->
+          if Dfs.size dfs < limit then
+            let nt = Result_profile.num_types results.(i) in
+            for gi = 0 to nt - 1 do
+              let q = Dfs.q dfs gi in
+              if q < Dfs.max_q dfs gi && (q > 0 || Dfs.can_open dfs gi) then begin
+                let delta =
+                  Dod.delta_for_type context ~dfss ~i ~gi ~old_q:q
+                    ~new_q:(q + 1)
+                in
+                if delta > 0 then
+                  match !best with
+                  | Some (bd, _, _) when bd >= delta -> ()
+                  | _ -> best := Some (delta, i, gi)
+              end
+            done)
+        dfss;
+      match !best with
+      | None -> continue := false
+      | Some (_, i, gi) ->
+        dfss.(i) <- Dfs.set_q dfss.(i) gi (Dfs.q dfss.(i) gi + 1)
+    end
   done;
-  Array.map (Topk.fill ~limit) dfss
+  let dfss = Array.map (Topk.fill ~limit) dfss in
+  (dfss, if !stopped then `Degraded else `Complete)
+
+let generate context ~limit = fst (generate_within context ~limit)

@@ -8,3 +8,13 @@
     awareness) and the swap algorithms (which can also undo choices). *)
 
 val generate : Dod.context -> limit:int -> Dfs.t array
+
+val generate_within :
+  ?deadline:Xsact_util.Deadline.t ->
+  Dod.context -> limit:int -> Dfs.t array * [ `Complete | `Degraded ]
+(** Like {!generate}, but anytime: [deadline] is polled before every greedy
+    step, and a tripped token stops the scan — the budget fill still runs,
+    so the output is always a valid, budget-filling set of DFSs — tagged
+    [`Degraded]. A run whose deadline never trips returns [`Complete] and
+    is bit-identical to {!generate}. Carries the ["compare.round"]
+    {!Xsact_util.Failpoint} before every step. *)

@@ -1,4 +1,4 @@
-type stats = { iterations : int; rounds : int }
+type stats = { iterations : int; rounds : int; converged : bool }
 
 let neg_inf = min_int / 4
 
@@ -315,7 +315,8 @@ let prepare ?init context ~limit =
     Array.copy dfss
   | None -> Topk.generate context ~limit
 
-let generate_with_stats ?init ?spread ?(cache = true) ?domains context ~limit =
+let generate_with_stats ?init ?spread ?(cache = true) ?domains ?deadline
+    context ~limit =
   let dfss = prepare ?init context ~limit in
   let n = Array.length dfss in
   let pool =
@@ -358,30 +359,48 @@ let generate_with_stats ?init ?spread ?(cache = true) ?domains context ~limit =
   in
   let iterations = ref 0 in
   let rounds = ref 0 in
+  (* Anytime loop: [dfss] is a valid configuration after every adopted
+     response (it starts as Topk and only ever swaps in valid responses),
+     so when the deadline trips — polled before each per-result response,
+     the expensive unit — iteration just stops and the best-so-far stands,
+     flagged [converged = false]. With no deadline the path is untouched
+     and outputs stay bit-identical to an undeadlined run. *)
+  let stopped = ref false in
   let improved_in_round = ref true in
-  while !improved_in_round do
+  while !improved_in_round && not !stopped do
     improved_in_round := false;
     incr rounds;
+    Failpoint.hit "compare.round";
     for i = 0 to n - 1 do
-      let thresholds = if cache then Some (thresholds_of i) else None in
-      (* Pad the response to the full budget: extra features never reduce the
-         packed objective (gains and the type bonus are monotone) and keep
-         the summaries budget-filling like every other method. *)
-      let candidate =
-        Topk.fill ~limit (best_response ?spread ?thresholds context ~limit dfss i)
-      in
-      let cur = packed_gain ?spread ?thresholds context dfss i dfss.(i) in
-      let cand_gain = packed_gain ?spread ?thresholds context dfss i candidate in
-      if cand_gain > cur then begin
-        dfss.(i) <- candidate;
-        incr version;
-        adopted_at.(i) <- !version;
-        incr iterations;
-        improved_in_round := true
+      if not !stopped then begin
+        if Deadline.over deadline then stopped := true
+        else begin
+          let thresholds = if cache then Some (thresholds_of i) else None in
+          (* Pad the response to the full budget: extra features never reduce
+             the packed objective (gains and the type bonus are monotone) and
+             keep the summaries budget-filling like every other method. *)
+          let candidate =
+            Topk.fill ~limit
+              (best_response ?spread ?thresholds context ~limit dfss i)
+          in
+          let cur = packed_gain ?spread ?thresholds context dfss i dfss.(i) in
+          let cand_gain =
+            packed_gain ?spread ?thresholds context dfss i candidate
+          in
+          if cand_gain > cur then begin
+            dfss.(i) <- candidate;
+            incr version;
+            adopted_at.(i) <- !version;
+            incr iterations;
+            improved_in_round := true
+          end
+        end
       end
     done
   done;
-  (dfss, { iterations = !iterations; rounds = !rounds })
+  (dfss, { iterations = !iterations; rounds = !rounds;
+           converged = not !stopped })
 
-let generate ?init ?spread ?cache ?domains context ~limit =
-  fst (generate_with_stats ?init ?spread ?cache ?domains context ~limit)
+let generate ?init ?spread ?cache ?domains ?deadline context ~limit =
+  fst (generate_with_stats ?init ?spread ?cache ?domains ?deadline context
+         ~limit)

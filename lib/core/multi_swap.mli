@@ -27,6 +27,9 @@
 type stats = {
   iterations : int;  (** adopted best responses *)
   rounds : int;  (** full passes over the results *)
+  converged : bool;
+      (** [true]: reached the multi-swap fixpoint; [false]: the deadline
+          tripped first and the output is the (valid) best-so-far *)
 }
 
 val compute_thresholds :
@@ -59,11 +62,19 @@ val best_response :
 
 val generate :
   ?init:Dfs.t array -> ?spread:bool -> ?cache:bool -> ?domains:int ->
+  ?deadline:Xsact_util.Deadline.t ->
   Dod.context -> limit:int -> Dfs.t array
 (** Iterate best responses from {!Topk.generate} (or [init]) to a multi-swap
     optimum. [spread] (default [true]) enables the type-spreading
     tie-break; disabling it is the coordination ablation DESIGN.md calls
     out.
+
+    [deadline] makes the iteration anytime: the token is polled before
+    every best response, and once it trips the current configuration —
+    valid after every adopted response — is returned as is with
+    [converged = false] in the stats. A run whose deadline never trips is
+    bit-identical to an undeadlined run. Carries the ["compare.round"]
+    {!Xsact_util.Failpoint} at every round start.
 
     [cache] (default [true]) shares each result's threshold arrays between
     its best response and both adoption-check evaluations, and keeps them
@@ -77,4 +88,5 @@ val generate :
 
 val generate_with_stats :
   ?init:Dfs.t array -> ?spread:bool -> ?cache:bool -> ?domains:int ->
+  ?deadline:Xsact_util.Deadline.t ->
   Dod.context -> limit:int -> Dfs.t array * stats

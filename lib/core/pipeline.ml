@@ -35,43 +35,58 @@ type comparison = {
   algorithm : Algorithm.t;
   size_bound : int;
   elapsed_s : float;
+  degraded : bool;
 }
 
-let compare_profiles ?(config = Config.default) ~keywords ~size_bound
-    profiles =
+let compare_profiles ?(config = Config.default) ?deadline ~keywords
+    ~size_bound profiles =
   let { Config.params; weight; algorithm; domains } = config in
   if Array.length profiles < 2 then
     Error (Error.Too_few_selected (Array.length profiles))
   else if size_bound < 1 then Error (Error.Bound_too_small size_bound)
+  else if Xsact_util.Deadline.over deadline then Error Error.Timeout
   else begin
-    let context = Dod.make_context ~params ~weight ?domains profiles in
-    let (dfss, elapsed_s) =
-      let t0 = Unix.gettimeofday () in
-      let dfss =
-        Algorithm.generate ?domains algorithm context ~limit:size_bound
+    (* The context build is all-or-nothing: a deadline tripping inside it
+       raises Expired, and with no complete round of anything there is no
+       best-so-far to degrade to — that is the one Timeout error path.
+       Past the context, generation is anytime and only ever degrades. *)
+    match
+      Dod.make_context ~params ~weight ?domains ?deadline profiles
+    with
+    | exception Xsact_util.Deadline.Expired -> Error Error.Timeout
+    | context ->
+      let (dfss, outcome, elapsed_s) =
+        let t0 = Unix.gettimeofday () in
+        let dfss, outcome =
+          Algorithm.generate_within ?domains ?deadline algorithm context
+            ~limit:size_bound
+        in
+        (dfss, outcome, Unix.gettimeofday () -. t0)
       in
-      (dfss, Unix.gettimeofday () -. t0)
-    in
-    let table = Table.build ~size_bound context dfss in
-    Log.info (fun m ->
-        m "compared %d results for %S with %s (L=%d): DoD=%d in %.4fs"
-          (Array.length profiles) keywords
-          (Algorithm.to_string algorithm)
-          size_bound (Dod.total context dfss) elapsed_s);
-    Ok
-      {
-        keywords;
-        profiles;
-        dfss;
-        dod = Dod.total context dfss;
-        table;
-        algorithm;
-        size_bound;
-        elapsed_s;
-      }
+      let degraded = outcome = `Degraded in
+      let table = Table.build ~size_bound context dfss in
+      Log.info (fun m ->
+          m "compared %d results for %S with %s (L=%d): DoD=%d in %.4fs%s"
+            (Array.length profiles) keywords
+            (Algorithm.to_string algorithm)
+            size_bound (Dod.total context dfss) elapsed_s
+            (if degraded then " (degraded: deadline hit)" else ""));
+      Ok
+        {
+          keywords;
+          profiles;
+          dfss;
+          dod = Dod.total context dfss;
+          table;
+          algorithm;
+          size_bound;
+          elapsed_s;
+          degraded;
+        }
   end
 
-let compare ?config ?lift_to ?prune ?select ?top t ~keywords ~size_bound =
+let compare ?config ?deadline ?lift_to ?prune ?select ?top t ~keywords
+    ~size_bound =
   let results = search ?lift_to t keywords in
   match results with
   | [] -> Error (Error.No_results keywords)
@@ -95,4 +110,4 @@ let compare ?config ?lift_to ?prune ?select ?top t ~keywords ~size_bound =
       let profiles =
         Array.of_list (List.map (profile_of ?prune ~keywords t) chosen)
       in
-      compare_profiles ?config ~keywords ~size_bound profiles)
+      compare_profiles ?config ?deadline ~keywords ~size_bound profiles)

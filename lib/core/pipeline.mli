@@ -28,10 +28,15 @@ type comparison = {
   algorithm : Algorithm.t;
   size_bound : int;
   elapsed_s : float;  (** DFS generation time (excludes search) *)
+  degraded : bool;
+      (** [true] iff a deadline tripped mid-generation and the table is the
+          algorithm's (valid, budget-filling) best-so-far rather than its
+          converged output. Always [false] without a deadline. *)
 }
 
 val compare :
   ?config:Config.t ->
+  ?deadline:Xsact_util.Deadline.t ->
   ?lift_to:string ->
   ?prune:Result_builder.mode ->
   ?select:int list ->
@@ -45,13 +50,21 @@ val compare :
     - [config] (default {!Config.default}) carries the differentiation
       parameters, interestingness weighting, generation algorithm and
       domain-pool parallelism — see {!Config}.
+    - [deadline]: a cooperative time/cancellation budget over context
+      construction and DFS generation. If it trips during generation the
+      comparison still succeeds with [degraded = true] (anytime
+      best-so-far); if it trips before any complete result is available
+      (during context construction, which is all-or-nothing) the result is
+      [Error Timeout]. A run whose deadline never trips is bit-identical
+      to a deadline-free run.
     - [select]: 1-based ranks of the results to compare (the demo's
       checkboxes); default: the [top] first results ([top] defaults to 4).
     - Errors: [No_results], [Too_few_selected], [Rank_out_of_range],
-      [Bound_too_small] (see {!Error}). *)
+      [Bound_too_small], [Timeout] (see {!Error}). *)
 
 val compare_profiles :
   ?config:Config.t ->
+  ?deadline:Xsact_util.Deadline.t ->
   keywords:string ->
   size_bound:int ->
   Result_profile.t array ->

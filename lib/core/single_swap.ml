@@ -1,4 +1,4 @@
-type stats = { iterations : int; rounds : int }
+type stats = { iterations : int; rounds : int; converged : bool }
 
 type move =
   | Grow of int  (* type index *)
@@ -116,28 +116,41 @@ let best_move ?(spread = true) context ~limit dfss i =
     shrinks;
   !best
 
-let climb ?spread context ~limit dfss =
+(* The climb is an anytime computation: [dfss] is valid after every
+   applied move, so when the deadline trips (polled before each move
+   search, the expensive unit) the loop just stops and the best-so-far
+   configuration stands, flagged [converged = false]. Without a deadline
+   the code path is untouched — outputs are bit-identical to an
+   undeadlined run. *)
+let climb ?spread ?deadline context ~limit dfss =
   let n = Array.length dfss in
   let iterations = ref 0 in
   let rounds = ref 0 in
+  let stopped = ref false in
   let improved_in_round = ref true in
-  while !improved_in_round do
+  while !improved_in_round && not !stopped do
     improved_in_round := false;
     incr rounds;
+    Failpoint.hit "compare.round";
     for i = 0 to n - 1 do
       (* Exhaust improvements on result i before moving on. *)
-      let continue = ref true in
+      let continue = ref (not !stopped) in
       while !continue do
-        match best_move ?spread context ~limit dfss i with
-        | None -> continue := false
-        | Some (_, move) ->
-          apply_move dfss i move;
-          incr iterations;
-          improved_in_round := true
+        if Deadline.over deadline then begin
+          stopped := true;
+          continue := false
+        end
+        else
+          match best_move ?spread context ~limit dfss i with
+          | None -> continue := false
+          | Some (_, move) ->
+            apply_move dfss i move;
+            incr iterations;
+            improved_in_round := true
       done
     done
   done;
-  { iterations = !iterations; rounds = !rounds }
+  { iterations = !iterations; rounds = !rounds; converged = not !stopped }
 
 let prepare ?init context ~limit =
   match init with
@@ -151,13 +164,13 @@ let prepare ?init context ~limit =
     Array.copy dfss
   | None -> Topk.generate context ~limit
 
-let generate_with_stats ?init ?spread context ~limit =
+let generate_with_stats ?init ?spread ?deadline context ~limit =
   let dfss = prepare ?init context ~limit in
-  let stats = climb ?spread context ~limit dfss in
+  let stats = climb ?spread ?deadline context ~limit dfss in
   (dfss, stats)
 
-let generate ?init ?spread context ~limit =
-  fst (generate_with_stats ?init ?spread context ~limit)
+let generate ?init ?spread ?deadline context ~limit =
+  fst (generate_with_stats ?init ?spread ?deadline context ~limit)
 
 let improving_move_exists context ~limit dfss =
   let n = Array.length dfss in

@@ -23,18 +23,29 @@
 type stats = {
   iterations : int;  (** accepted moves *)
   rounds : int;  (** full passes over the results *)
+  converged : bool;
+      (** [true]: reached the single-swap optimum; [false]: the deadline
+          tripped first and the output is the (valid) best-so-far *)
 }
 
 val generate :
-  ?init:Dfs.t array -> ?spread:bool -> Dod.context -> limit:int -> Dfs.t array
+  ?init:Dfs.t array -> ?spread:bool -> ?deadline:Xsact_util.Deadline.t ->
+  Dod.context -> limit:int -> Dfs.t array
 (** [generate context ~limit] starts from {!Topk.generate} (or [init],
     which must be valid for [limit]) and climbs to a single-swap optimum.
     [spread] (default [true]) enables the type-spreading tie-break; disable
     it to reproduce pure DoD hill climbing — the ablation DESIGN.md calls
-    out (it stalls in poor equilibria on all-tied corpora). *)
+    out (it stalls in poor equilibria on all-tied corpora).
+
+    [deadline] makes the climb anytime: the token is polled before every
+    move search, and once it trips the current (always-valid)
+    configuration is returned as is. A run whose deadline never trips is
+    bit-identical to an undeadlined run. Carries the ["compare.round"]
+    {!Xsact_util.Failpoint} at every round start. *)
 
 val generate_with_stats :
-  ?init:Dfs.t array -> ?spread:bool -> Dod.context -> limit:int ->
+  ?init:Dfs.t array -> ?spread:bool -> ?deadline:Xsact_util.Deadline.t ->
+  Dod.context -> limit:int ->
   Dfs.t array * stats
 
 val improving_move_exists : Dod.context -> limit:int -> Dfs.t array -> bool

@@ -85,47 +85,79 @@ let apply dfss i = function
     let d = Dfs.set_q dfss.(i) gm (Dfs.q dfss.(i) gm - 1) in
     dfss.(i) <- Dfs.set_q d gp (Dfs.q d gp + 1)
 
-let anneal ?(params = default_anneal) context ~limit =
+(* Both optimizers only ever improve on a valid starting configuration, so
+   cancellation is a clean early-exit: whatever best-so-far stands when the
+   deadline trips is returned, tagged `Degraded. With no deadline the
+   polling is inert and the runs are bit-identical to the originals. *)
+
+let anneal_within ?(params = default_anneal) ?deadline context ~limit =
   let g = Prng.of_int params.seed in
   let dfss = Topk.generate context ~limit in
   let current = ref (Dod.total context dfss) in
   let best = ref (Array.copy dfss) in
   let best_value = ref !current in
   let temperature = ref params.initial_temperature in
-  for _ = 1 to params.steps do
-    (match sample_move g context ~limit dfss with
-    | None -> ()
-    | Some (i, move, delta) ->
-      let accept =
-        delta >= 0
-        || Prng.float g 1.0 < exp (float_of_int delta /. !temperature)
-      in
-      if accept then begin
-        apply dfss i move;
-        current := !current + delta;
-        if !current > !best_value then begin
-          best_value := !current;
-          best := Array.copy dfss
-        end
-      end);
-    temperature := Float.max 1e-6 (!temperature *. params.cooling)
+  let stopped = ref false in
+  let step = ref 1 in
+  while !step <= params.steps && not !stopped do
+    if Deadline.over deadline then stopped := true
+    else begin
+      (match sample_move g context ~limit dfss with
+      | None -> ()
+      | Some (i, move, delta) ->
+        let accept =
+          delta >= 0
+          || Prng.float g 1.0 < exp (float_of_int delta /. !temperature)
+        in
+        if accept then begin
+          apply dfss i move;
+          current := !current + delta;
+          if !current > !best_value then begin
+            best_value := !current;
+            best := Array.copy dfss
+          end
+        end);
+      temperature := Float.max 1e-6 (!temperature *. params.cooling);
+      incr step
+    end
   done;
   (* Polish the best configuration to a single-swap optimum so the result is
-     never worse than plain hill climbing from that point. *)
-  Single_swap.generate ~init:!best context ~limit
+     never worse than plain hill climbing from that point (itself anytime
+     under the same deadline). *)
+  let polished, stats =
+    Single_swap.generate_with_stats ~init:!best ?deadline context ~limit
+  in
+  (polished, if !stopped || not stats.Single_swap.converged then `Degraded
+             else `Complete)
 
-let restarts ?(seed = 0x5EED) ?(rounds = 8) context ~limit =
+let anneal ?params context ~limit =
+  fst (anneal_within ?params context ~limit)
+
+let restarts_within ?(seed = 0x5EED) ?(rounds = 8) ?deadline context ~limit =
   let g = Prng.of_int seed in
   let results = Dod.results context in
-  let best = ref (Single_swap.generate context ~limit) in
+  let first, first_stats =
+    Single_swap.generate_with_stats ?deadline context ~limit
+  in
+  let complete = ref first_stats.Single_swap.converged in
+  let best = ref first in
   let best_value = ref (Dod.total context !best) in
-  for _ = 1 to rounds do
+  let round = ref 1 in
+  while !round <= rounds && not (Deadline.over deadline) do
     let init = Array.map (fun p -> random_valid_dfs g ~limit p) results in
-    let climbed = Single_swap.generate ~init context ~limit in
+    let climbed, stats =
+      Single_swap.generate_with_stats ~init ?deadline context ~limit
+    in
+    if not stats.Single_swap.converged then complete := false;
     let value = Dod.total context climbed in
     if value > !best_value then begin
       best_value := value;
       best := climbed
-    end
+    end;
+    incr round
   done;
-  !best
+  if !round <= rounds then complete := false;
+  (!best, if !complete then `Complete else `Degraded)
+
+let restarts ?seed ?rounds context ~limit =
+  fst (restarts_within ?seed ?rounds context ~limit)

@@ -24,11 +24,28 @@ val anneal :
     the top-k solution. Returns the best configuration seen, polished to a
     single-swap optimum. Output is valid for [limit]. *)
 
+val anneal_within :
+  ?params:anneal_params -> ?deadline:Xsact_util.Deadline.t ->
+  Dod.context -> limit:int -> Dfs.t array * [ `Complete | `Degraded ]
+(** Like {!anneal}, but anytime: [deadline] is polled before every proposed
+    move and inside the final polish; a tripped token returns the best
+    configuration seen so far, tagged [`Degraded]. A run whose deadline
+    never trips returns [`Complete] and is bit-identical to {!anneal}. *)
+
 val restarts :
   ?seed:int -> ?rounds:int -> Dod.context -> limit:int -> Dfs.t array
 (** [rounds] (default 8) independent single-swap climbs from random valid
     budget-filling initial DFSs (plus one from top-k); returns the best
     final configuration. *)
+
+val restarts_within :
+  ?seed:int -> ?rounds:int -> ?deadline:Xsact_util.Deadline.t ->
+  Dod.context -> limit:int -> Dfs.t array * [ `Complete | `Degraded ]
+(** Like {!restarts}, but anytime: [deadline] is polled between restarts and
+    inside every climb; a tripped token returns the best configuration
+    found so far (always at least the partially climbed top-k start),
+    tagged [`Degraded]. A run whose deadline never trips returns
+    [`Complete] and is bit-identical to {!restarts}. *)
 
 val random_valid_dfs : Xsact_util.Prng.t -> limit:int -> Result_profile.t -> Dfs.t
 (** A uniform-ish random valid DFS of size [min limit total]: repeatedly

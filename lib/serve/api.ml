@@ -136,6 +136,7 @@ let status_of_error = function
   | Error.Index_out_of_range _ | Error.Bound_too_small _
   | Error.Unsupported_algorithm _ ->
     422
+  | Error.Timeout -> 504
 
 (* ---- Encoders ---------------------------------------------------------- *)
 
@@ -196,17 +197,20 @@ let json_of_table (table : Table.t) =
 
 let json_of_comparison (c : Pipeline.comparison) =
   Json.Obj
-    [
-      ("keywords", Json.String c.Pipeline.keywords);
-      ("algorithm", Json.String (Algorithm.to_string c.Pipeline.algorithm));
-      ("size_bound", Json.Int c.Pipeline.size_bound);
-      ("dod", Json.Int c.Pipeline.dod);
-      ( "dfs_sizes",
-        Json.List
-          (Array.to_list
-             (Array.map
-                (fun dfs -> Json.Int (Dfs.size dfs))
-                c.Pipeline.dfss)) );
-      ("elapsed_s", Json.Float c.Pipeline.elapsed_s);
-      ("table", json_of_table c.Pipeline.table);
-    ]
+    ([
+       ("keywords", Json.String c.Pipeline.keywords);
+       ("algorithm", Json.String (Algorithm.to_string c.Pipeline.algorithm));
+       ("size_bound", Json.Int c.Pipeline.size_bound);
+       ("dod", Json.Int c.Pipeline.dod);
+       ( "dfs_sizes",
+         Json.List
+           (Array.to_list
+              (Array.map
+                 (fun dfs -> Json.Int (Dfs.size dfs))
+                 c.Pipeline.dfss)) );
+       ("elapsed_s", Json.Float c.Pipeline.elapsed_s);
+       ("table", json_of_table c.Pipeline.table);
+     ]
+    (* Only serialized when set, so undeadlined response bodies stay
+       byte-identical to previous releases. *)
+    @ if c.Pipeline.degraded then [ ("degraded", Json.Bool true) ] else [])

@@ -28,6 +28,8 @@ let reason_phrase = function
   | 422 -> "Unprocessable Content"
   | 500 -> "Internal Server Error"
   | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
   | _ -> "Status"
 
 let response ?(headers = []) ~status body =

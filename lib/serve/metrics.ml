@@ -7,6 +7,9 @@ type t = {
   buckets : int array;  (* one slot per bound + overflow *)
   mutable total : int;
   mutable latency_sum_s : float;
+  (* free-form named counters: overload/fault events (shed, timeout,
+     degraded, accept retries, session evictions, ...) *)
+  events : (string, int) Hashtbl.t;
 }
 
 let create () =
@@ -17,6 +20,7 @@ let create () =
     buckets = Array.make (Array.length bucket_bounds_ms + 1) 0;
     total = 0;
     latency_sum_s = 0.;
+    events = Hashtbl.create 8;
   }
 
 let locked t f =
@@ -47,6 +51,15 @@ let record t ~route ~status ~elapsed_s =
 
 let requests_total t = locked t (fun () -> t.total)
 
+let incr_counter ?(by = 1) t name =
+  locked t (fun () ->
+      Hashtbl.replace t.events name
+        (by + Option.value ~default:0 (Hashtbl.find_opt t.events name)))
+
+let counter t name =
+  locked t (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt t.events name))
+
 let sorted_bindings table =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -76,6 +89,9 @@ let snapshot t ~extra =
         if t.total = 0 then 0.
         else 1000. *. t.latency_sum_s /. float_of_int t.total
       in
+      let events =
+        List.map (fun (k, v) -> (k, Json.Int v)) (sorted_bindings t.events)
+      in
       Json.Obj
         ([
            ("requests_total", Json.Int t.total);
@@ -83,5 +99,6 @@ let snapshot t ~extra =
            ("responses_by_status", Json.Obj statuses);
            ("latency_ms_buckets", Json.Obj buckets);
            ("latency_ms_mean", Json.Float mean_ms);
+           ("events", Json.Obj events);
          ]
         @ extra))

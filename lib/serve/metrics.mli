@@ -20,3 +20,12 @@ val snapshot : t -> extra:(string * Json.t) list -> Json.t
     server-owned gauges (cache hit rate, pool size, ...). *)
 
 val requests_total : t -> int
+
+val incr_counter : ?by:int -> t -> string -> unit
+(** Bump the named event counter (created at 0 on first use). The overload
+    path uses ["requests_shed"], ["requests_timed_out"],
+    ["responses_degraded"] and ["accept_retries"]. All appear under
+    ["events"] in {!snapshot}. *)
+
+val counter : t -> string -> int
+(** Current value of a named event counter (0 if never bumped). *)

@@ -18,8 +18,17 @@ type t = {
   metrics : Metrics.t;
   sessions : session_entry Session_store.t;
   default_domains : int option;
+  default_deadline_ms : int option;  (* per-request compare budget *)
+  max_deadline_ms : int;  (* cap on the X-Deadline-Ms override *)
+  inflight_now : int Atomic.t;  (* requests currently inside [handle] *)
   mutable threads : int;  (* worker-pool size, recorded for /metrics *)
   mutable routes : Router.route list;
+  (* Wired up by [start]: depth of the pending-connection queue and the
+     overload predicate driving the degradation ladder. Inert (0 / false)
+     when handling requests without a running listener, as the unit tests
+     do. *)
+  mutable queue_depth : unit -> int;
+  mutable overloaded : unit -> bool;
 }
 
 let dataset_names t = List.map fst t.entries
@@ -157,6 +166,25 @@ let request_config t (creq : Api.compare_request) =
   | None, Some d -> Config.with_domains d config
   | _ -> config
 
+(* The request's cooperative deadline: the server default, overridable per
+   request with an [X-Deadline-Ms] header, clamped to the configured
+   maximum (a client cannot buy unbounded compute) and to 0 from below (a
+   nonsense negative budget just expires immediately → 504). *)
+let deadline_of_req t req =
+  let ms =
+    match Option.bind (Http.header req "x-deadline-ms") int_of_string_opt with
+    | Some ms -> Some (max 0 (min ms t.max_deadline_ms))
+    | None -> t.default_deadline_ms
+  in
+  Option.map (fun ms -> Xsact_util.Deadline.of_ms (float_of_int ms)) ms
+
+let degraded_response t ~cache ~reasons body =
+  Metrics.incr_counter t.metrics "responses_degraded";
+  Http.response
+    ~headers:
+      [ ("X-Cache", cache); ("X-Degraded", String.concat ", " reasons) ]
+    ~status:200 body
+
 (* Per-key single-flight: the first thread to miss on [key] claims it and
    computes with [t.lock] released, so cache hits, other keys, and /metrics
    never wait behind an in-flight comparison. Duplicate requests block on
@@ -171,6 +199,22 @@ let handle_compare t req _params =
     match find_entry t creq.Api.dataset with
     | None -> error_response ~status:404 ("unknown dataset " ^ creq.Api.dataset)
     | Some entry -> (
+      let deadline = deadline_of_req t req in
+      (* Overload degradation ladder (DESIGN.md §9): under queue pressure a
+         multi-swap request is downgraded to single-swap {e before}
+         looking at the cache, so a cached single-swap answer (possibly
+         populated by an earlier degraded request) is served stale-but-fast
+         and a fresh compute does the cheaper climb. The downgraded result
+         is cached under its {e actual} (single-swap) key — never under the
+         multi-swap key it stands in for — so the cache is never
+         poisoned. *)
+      let downgraded =
+        creq.Api.algorithm = Algorithm.Multi_swap && t.overloaded ()
+      in
+      let creq =
+        if downgraded then { creq with Api.algorithm = Algorithm.Single_swap }
+        else creq
+      in
       let key = Api.cache_key creq in
       let claim =
         locked t (fun () ->
@@ -191,7 +235,9 @@ let handle_compare t req _params =
       in
       match claim with
       | `Hit body ->
-        Http.response ~headers:[ ("X-Cache", "hit") ] ~status:200 body
+        if downgraded then
+          degraded_response t ~cache:"hit" ~reasons:[ "algorithm" ] body
+        else Http.response ~headers:[ ("X-Cache", "hit") ] ~status:200 body
       | `Compute ->
         let retire () =
           locked t (fun () ->
@@ -201,15 +247,37 @@ let handle_compare t req _params =
         Fun.protect ~finally:retire (fun () ->
             let config = request_config t creq in
             match
-              Pipeline.compare ~config ?select:creq.Api.select
+              Pipeline.compare ~config ?deadline ?select:creq.Api.select
                 ~top:creq.Api.top entry.pipeline ~keywords:creq.Api.keywords
                 ~size_bound:creq.Api.size_bound
             with
+            | Error Error.Timeout ->
+              (* A waiter can land here too: if its deadline expired while
+                 parked on the condition variable and the claimant left no
+                 cache entry, its own compute attempt times out at entry. *)
+              Metrics.incr_counter t.metrics "requests_timed_out";
+              core_error Error.Timeout
             | Error e -> core_error e
             | Ok comparison ->
               let body = Json.to_string (Api.json_of_comparison comparison) in
-              locked t (fun () -> Lru.add t.cache key body);
-              Http.response ~headers:[ ("X-Cache", "miss") ] ~status:200 body)))
+              if comparison.Pipeline.degraded then
+                (* Anytime best-so-far, not the converged answer: serve it
+                   (the client asked for a budget) but never cache it. *)
+                degraded_response t ~cache:"miss"
+                  ~reasons:
+                    (if downgraded then [ "algorithm"; "deadline" ]
+                     else [ "deadline" ])
+                  body
+              else begin
+                locked t (fun () -> Lru.add t.cache key body);
+                if downgraded then
+                  degraded_response t ~cache:"miss" ~reasons:[ "algorithm" ]
+                    body
+                else
+                  Http.response
+                    ~headers:[ ("X-Cache", "miss") ]
+                    ~status:200 body
+              end)))
 
 (* ---- Sessions ---------------------------------------------------------- *)
 
@@ -433,8 +501,14 @@ let handle_metrics t _req _params =
                  ("hit_rate", Json.Float hit_rate);
                ] );
            ("sessions_live", Json.Int (Session_store.count t.sessions));
+           ( "sessions_expired",
+             Json.Int (Session_store.expired_total t.sessions) );
+           ( "sessions_evicted",
+             Json.Int (Session_store.evicted_total t.sessions) );
            ("datasets", Json.Int (List.length t.entries));
            ("worker_threads", Json.Int t.threads);
+           ("inflight_requests", Json.Int (Atomic.get t.inflight_now));
+           ("queue_pending", Json.Int (t.queue_depth ()));
          ])
 
 (* ---- Construction and dispatch ----------------------------------------- *)
@@ -459,7 +533,14 @@ let routes_of t =
     r "DELETE" "session/:id" handle_session_delete;
   ]
 
-let create ?datasets ?(cache_capacity = 128) ?domains () =
+let create ?datasets ?(cache_capacity = 128) ?domains ?deadline_ms
+    ?(max_deadline_ms = 60_000) ?session_ttl_s ?max_sessions () =
+  (match deadline_ms with
+  | Some ms when ms < 1 ->
+    invalid_arg "Server.create: deadline_ms must be positive"
+  | _ -> ());
+  if max_deadline_ms < 1 then
+    invalid_arg "Server.create: max_deadline_ms must be positive";
   let names = Option.value datasets ~default:Dataset.names in
   let entries =
     List.map
@@ -479,16 +560,24 @@ let create ?datasets ?(cache_capacity = 128) ?domains () =
       inflight_done = Condition.create ();
       session_update = Mutex.create ();
       metrics = Metrics.create ();
-      sessions = Session_store.create ();
+      sessions = Session_store.create ?ttl_s:session_ttl_s
+                   ?capacity:max_sessions ();
       default_domains = domains;
+      default_deadline_ms = deadline_ms;
+      max_deadline_ms;
+      inflight_now = Atomic.make 0;
       threads = 0;
       routes = [];
+      queue_depth = (fun () -> 0);
+      overloaded = (fun () -> false);
     }
   in
   t.routes <- routes_of t;
   t
 
 let handle t req =
+  Atomic.incr t.inflight_now;
+  Fun.protect ~finally:(fun () -> Atomic.decr t.inflight_now) @@ fun () ->
   let started = Unix.gettimeofday () in
   let route, resp =
     match Router.dispatch t.routes req with
@@ -521,6 +610,8 @@ type running = {
   listen_fd : Unix.file_descr;
   bound_port : int;
   idle_timeout : float;
+  max_pending : int;  (* admission bound on queued connections *)
+  accept_stop : bool Atomic.t;  (* the only way the acceptor exits *)
   jobs : job Queue.t;
   jobs_mutex : Mutex.t;
   jobs_cond : Condition.t;
@@ -536,6 +627,19 @@ let push r job =
   Queue.push job r.jobs;
   Condition.signal r.jobs_cond;
   Mutex.unlock r.jobs_mutex
+
+(* Admission control: enqueue the connection unless the pending queue is
+   already at [max_pending] — the depth check and the push are one critical
+   section, so the bound is exact. *)
+let try_enqueue r fd =
+  Mutex.lock r.jobs_mutex;
+  let admitted = Queue.length r.jobs < r.max_pending in
+  if admitted then begin
+    Queue.push (Conn fd) r.jobs;
+    Condition.signal r.jobs_cond
+  end;
+  Mutex.unlock r.jobs_mutex;
+  admitted
 
 let pop r =
   Mutex.lock r.jobs_mutex;
@@ -563,10 +667,16 @@ let serve_connection t fd =
     | Ok req ->
       let resp = handle t req in
       let keep_alive = not (Http.wants_close req) in
+      (* The failpoint stands in for a client that vanished mid-response:
+         Injected is absorbed below exactly like the EPIPE it simulates. *)
+      Xsact_util.Failpoint.hit "socket.write";
       Http.write_response oc ~keep_alive resp;
       if keep_alive then loop ()
   in
-  try loop () with Sys_error _ | End_of_file | Unix.Unix_error _ -> ()
+  try loop () with
+  | Sys_error _ | End_of_file | Unix.Unix_error _
+  | Xsact_util.Failpoint.Injected _ ->
+    ()
 
 (* Register [fd] as a live connection so [stop] can shut it down; refused
    once [stopping] is set (the worker then just closes the socket). *)
@@ -594,32 +704,84 @@ let worker_loop r () =
           ~finally:(fun () ->
             unregister r fd;
             close_quietly fd)
-          (fun () -> serve_connection r.server fd)
+          (fun () ->
+            (* Belt and braces: serve_connection absorbs the expected
+               connection-level exceptions, and this catch-all keeps any
+               surprise from killing a pool worker — a dead worker would
+               silently shrink the pool for the daemon's whole life. *)
+            try serve_connection r.server fd with _ -> ())
       else close_quietly fd;
       go ()
   in
   go ()
 
+(* Shed one connection with 503 + Retry-After, off the acceptor thread so
+   a slow or dead client cannot stall accepts. The close lingers: write,
+   shutdown our sending side, then drain the client's bytes (bounded by a
+   short read timeout) before closing — closing with unread request bytes
+   in the kernel buffer would RST the connection and discard the very 503
+   we are trying to deliver. *)
+let shed_overload r fd =
+  Metrics.incr_counter r.server.metrics "requests_shed";
+  Metrics.record r.server.metrics ~route:"shed" ~status:503 ~elapsed_s:0.;
+  let thread () =
+    (try
+       let oc = Unix.out_channel_of_descr fd in
+       Http.write_response oc ~keep_alive:false
+         (Http.response
+            ~headers:[ ("Retry-After", "1") ]
+            ~status:503
+            (Api.error_body "server overloaded; retry shortly"));
+       (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+       (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
+        with Unix.Unix_error _ | Invalid_argument _ -> ());
+       let buf = Bytes.create 1024 in
+       while Unix.read fd buf 0 (Bytes.length buf) > 0 do
+         ()
+       done
+     with Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
+    close_quietly fd
+  in
+  ignore (Thread.create thread ())
+
 let acceptor_loop r () =
+  let initial_backoff = 0.001 in
+  let backoff = ref initial_backoff in
   let rec go () =
-    match Unix.accept r.listen_fd with
-    | fd, _ ->
-      (* Bound every read so an idle or slow-loris connection releases
-         its worker instead of pinning it forever. *)
-      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO r.idle_timeout
-       with Unix.Unix_error _ | Invalid_argument _ -> ());
-      push r (Conn fd);
-      go ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-    | exception Unix.Unix_error _ -> ()  (* listener closed by stop *)
-    | exception Sys_error _ -> ()
+    if Atomic.get r.accept_stop then ()
+    else
+      match Unix.accept r.listen_fd with
+      | fd, _ ->
+        backoff := initial_backoff;
+        (* Bound every read so an idle or slow-loris connection releases
+           its worker instead of pinning it forever. *)
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO r.idle_timeout
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        if not (try_enqueue r fd) then shed_overload r fd;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+        (* EMFILE/ENFILE/ECONNABORTED/ENOBUFS and kin are transient — fd
+           pressure clears when connections close, aborted handshakes just
+           go away. Exiting here would wedge the daemon (bound port, no
+           acceptor), so back off and retry; the only exit is [stop]
+           flipping [accept_stop] before shutting the listener down. *)
+        if Atomic.get r.accept_stop then ()
+        else begin
+          Metrics.incr_counter r.server.metrics "accept_retries";
+          Thread.delay !backoff;
+          backoff := Float.min 0.5 (!backoff *. 2.);
+          go ()
+        end
   in
   go ()
 
-let start ?(threads = 4) ?(idle_timeout = 30.) ~port t =
+let start ?(threads = 4) ?(idle_timeout = 30.) ?(max_pending = 64) ~port t =
   if threads < 1 then invalid_arg "Server.start: threads must be positive";
   if idle_timeout <= 0. then
     invalid_arg "Server.start: idle_timeout must be positive";
+  if max_pending < 1 then
+    invalid_arg "Server.start: max_pending must be positive";
   t.threads <- threads;
   (* A client that disconnects mid-response must surface as EPIPE on the
      write (absorbed in serve_connection), not as process-fatal SIGPIPE. *)
@@ -644,6 +806,8 @@ let start ?(threads = 4) ?(idle_timeout = 30.) ~port t =
       listen_fd;
       bound_port;
       idle_timeout;
+      max_pending;
+      accept_stop = Atomic.make false;
       jobs = Queue.create ();
       jobs_mutex = Mutex.create ();
       jobs_cond = Condition.create ();
@@ -654,6 +818,18 @@ let start ?(threads = 4) ?(idle_timeout = 30.) ~port t =
       acceptor = None;
     }
   in
+  (* Expose queue pressure to the handlers: /metrics reports the depth, and
+     the /compare degradation ladder downgrades algorithms once the backlog
+     reaches half the admission bound (the queue is filling faster than the
+     workers drain it — shedding is next). *)
+  t.queue_depth <-
+    (fun () ->
+      Mutex.lock r.jobs_mutex;
+      let n = Queue.length r.jobs in
+      Mutex.unlock r.jobs_mutex;
+      n);
+  let overload_mark = max 1 (max_pending / 2) in
+  t.overloaded <- (fun () -> t.queue_depth () >= overload_mark);
   r.workers <- List.init threads (fun _ -> Thread.create (worker_loop r) ());
   r.acceptor <- Some (Thread.create (acceptor_loop r) ());
   r
@@ -661,6 +837,10 @@ let start ?(threads = 4) ?(idle_timeout = 30.) ~port t =
 let port r = r.bound_port
 
 let stop r =
+  (* The flag goes first: the acceptor retries every accept error {e except}
+     when accept_stop is set, so the shutdown-induced error below is its
+     exit signal rather than a transient to back off on. *)
+  Atomic.set r.accept_stop true;
   (* shutdown (not just close) — close from another thread does not wake a
      blocked accept(2), shutdown makes it return EINVAL *)
   (try Unix.shutdown r.listen_fd Unix.SHUTDOWN_ALL

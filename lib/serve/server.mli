@@ -26,12 +26,26 @@
 type t
 
 val create :
-  ?datasets:string list -> ?cache_capacity:int -> ?domains:int -> unit -> t
+  ?datasets:string list -> ?cache_capacity:int -> ?domains:int ->
+  ?deadline_ms:int -> ?max_deadline_ms:int -> ?session_ttl_s:float ->
+  ?max_sessions:int -> unit -> t
 (** Load and index [datasets] (default: the whole {!Xsact_dataset.Dataset}
     registry). [cache_capacity] sizes the comparison LRU (default 128).
     [domains] sets the domain-pool parallelism used for requests that
     don't pin their own.
-    @raise Invalid_argument on an unknown dataset name. *)
+
+    Overload/robustness knobs (DESIGN.md §9):
+    - [deadline_ms]: default cooperative budget for each [/compare]
+      computation; omit for no default. A request overrides it with an
+      [X-Deadline-Ms] header, clamped to [max_deadline_ms] (default
+      60000). A tripped budget yields the algorithm's valid best-so-far
+      with an [X-Degraded: deadline] header — or a 504 when not even the
+      pair-context build finished in time.
+    - [session_ttl_s] / [max_sessions]: idle expiry and LRU capacity of
+      the session store (both unbounded by default).
+
+    @raise Invalid_argument on an unknown dataset name or a non-positive
+    knob. *)
 
 val dataset_names : t -> string list
 
@@ -44,15 +58,31 @@ val handle : t -> Http.request -> Http.response
 
 type running
 
-val start : ?threads:int -> ?idle_timeout:float -> port:int -> t -> running
+val start :
+  ?threads:int -> ?idle_timeout:float -> ?max_pending:int -> port:int -> t ->
+  running
 (** Bind [127.0.0.1:port] ([port = 0] picks an ephemeral port — see
     {!port}) and serve until {!stop}, with [threads] workers (default 4).
     Ignores SIGPIPE process-wide. [idle_timeout] (seconds, default 30)
     bounds every socket read, so a connection that goes quiet
     mid-request or between keep-alive requests is dropped rather than
     pinning its worker.
+
+    [max_pending] (default 64) bounds the accepted-but-unserved connection
+    queue: a connection arriving when the queue is full is {e shed} with
+    [503 Service Unavailable] + [Retry-After: 1] (written off the acceptor
+    thread, with a lingering close so the response survives). At half the
+    bound the server starts degrading: multi-swap [/compare] requests are
+    downgraded to single-swap and tagged [X-Degraded: algorithm].
+
+    Transient accept errors (EMFILE, ENFILE, ECONNABORTED, ENOBUFS, ...)
+    are retried with capped exponential backoff (counted under
+    [accept_retries] in [/metrics]); the accept loop exits only via
+    {!stop}.
+
     @raise Unix.Unix_error if the port is taken.
-    @raise Invalid_argument if [threads < 1] or [idle_timeout <= 0]. *)
+    @raise Invalid_argument if [threads < 1], [idle_timeout <= 0], or
+    [max_pending < 1]. *)
 
 val port : running -> int
 val stop : running -> unit

@@ -1,24 +1,109 @@
+type 'a entry = { value : 'a; mutable last_used : float }
+
 type 'a t = {
   mutex : Mutex.t;
-  table : (string, 'a) Hashtbl.t;
+  table : (string, 'a entry) Hashtbl.t;
   mutable next : int;
+  ttl_s : float option;
+  capacity : int option;
+  now : unit -> float;
+  mutable expired_total : int;
+  mutable evicted_total : int;
 }
 
-let create () = { mutex = Mutex.create (); table = Hashtbl.create 16; next = 1 }
+let create ?ttl_s ?capacity ?(now = Unix.gettimeofday) () =
+  (match ttl_s with
+  | Some ttl when not (ttl > 0.) ->
+    invalid_arg "Session_store.create: ttl_s must be positive"
+  | _ -> ());
+  (match capacity with
+  | Some c when c < 1 ->
+    invalid_arg "Session_store.create: capacity must be positive"
+  | _ -> ());
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 16;
+    next = 1;
+    ttl_s;
+    capacity;
+    now;
+    expired_total = 0;
+    evicted_total = 0;
+  }
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Hygiene on every access (all call sites hold the lock): first drop
+   entries idle past the TTL, then — only when about to insert — evict the
+   least-recently-used survivors down to capacity. Scans are O(n), fine for
+   the session counts a single daemon holds. *)
+let purge_expired t =
+  match t.ttl_s with
+  | None -> ()
+  | Some ttl ->
+    let now = t.now () in
+    let dead =
+      Hashtbl.fold
+        (fun id e acc -> if now -. e.last_used > ttl then id :: acc else acc)
+        t.table []
+    in
+    List.iter
+      (fun id ->
+        Hashtbl.remove t.table id;
+        t.expired_total <- t.expired_total + 1)
+      dead
+
+let evict_to_capacity t ~incoming =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+    while Hashtbl.length t.table + incoming > cap do
+      (* Oldest last_used loses; ties break toward the smaller id so the
+         order is deterministic under a frozen test clock. *)
+      let victim =
+        Hashtbl.fold
+          (fun id e acc ->
+            match acc with
+            | None -> Some (id, e)
+            | Some (bid, best) ->
+              if
+                e.last_used < best.last_used
+                || (e.last_used = best.last_used && compare id bid < 0)
+              then Some (id, e)
+              else acc)
+          t.table None
+      in
+      match victim with
+      | None -> assert false (* empty yet over capacity: impossible *)
+      | Some (id, _) ->
+        Hashtbl.remove t.table id;
+        t.evicted_total <- t.evicted_total + 1
+    done
+
 let add t value =
   locked t (fun () ->
+      purge_expired t;
+      evict_to_capacity t ~incoming:1;
       let id = Printf.sprintf "s%d" t.next in
       t.next <- t.next + 1;
-      Hashtbl.replace t.table id value;
+      Hashtbl.replace t.table id { value; last_used = t.now () };
       id)
 
-let find t id = locked t (fun () -> Hashtbl.find_opt t.table id)
-let set t id value = locked t (fun () -> Hashtbl.replace t.table id value)
+let find t id =
+  locked t (fun () ->
+      purge_expired t;
+      match Hashtbl.find_opt t.table id with
+      | None -> None
+      | Some e ->
+        e.last_used <- t.now ();
+        Some e.value)
+
+let set t id value =
+  locked t (fun () ->
+      purge_expired t;
+      Hashtbl.replace t.table id { value; last_used = t.now () })
 
 let remove t id =
   locked t (fun () ->
@@ -26,9 +111,16 @@ let remove t id =
       Hashtbl.remove t.table id;
       present)
 
-let count t = locked t (fun () -> Hashtbl.length t.table)
+let count t =
+  locked t (fun () ->
+      purge_expired t;
+      Hashtbl.length t.table)
 
 let ids t =
   locked t (fun () ->
+      purge_expired t;
       Hashtbl.fold (fun id _ acc -> id :: acc) t.table []
       |> List.sort compare)
+
+let expired_total t = locked t (fun () -> t.expired_total)
+let evicted_total t = locked t (fun () -> t.evicted_total)

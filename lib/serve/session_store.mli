@@ -1,23 +1,48 @@
-(** A thread-safe id → value store for server-resident sessions.
+(** A thread-safe id → value store for server-resident sessions, with
+    optional idle-TTL expiry and LRU capacity eviction.
 
     Ids are deterministic ("s1", "s2", ...) so tests and curl transcripts
     are reproducible. Values are replaced wholesale with [set] — session
-    state is an immutable record, so readers never observe a torn value. *)
+    state is an immutable record, so readers never observe a torn value.
+
+    Expiry is lazy: entries idle longer than the TTL are dropped on the
+    next access (no background thread), and [add] additionally evicts the
+    least-recently-used entries when the store is at capacity. [find] and
+    [set] refresh an entry's idle clock. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create :
+  ?ttl_s:float -> ?capacity:int -> ?now:(unit -> float) -> unit -> 'a t
+(** [ttl_s]: drop entries idle (not accessed) longer than this many
+    seconds; omit for no expiry. [capacity]: maximum live entries — adding
+    past it evicts the least-recently-used; omit for unbounded. [now]
+    (default [Unix.gettimeofday]) injects the clock for deterministic
+    tests. @raise Invalid_argument on a non-positive [ttl_s] or
+    [capacity]. *)
 
 val add : 'a t -> 'a -> string
-(** Store a fresh value and return its id. *)
+(** Store a fresh value and return its id, evicting expired/LRU entries
+    first as needed. *)
 
 val find : 'a t -> string -> 'a option
+(** Refreshes the entry's idle clock. An entry past its TTL is gone —
+    [find] never resurrects it. *)
+
 val set : 'a t -> string -> 'a -> unit
+(** Replace (or re-create) the value under [id], refreshing its clock. *)
 
 val remove : 'a t -> string -> bool
 (** [true] if the id was present. *)
 
 val count : 'a t -> int
+(** Live (unexpired) entries. *)
 
 val ids : 'a t -> string list
-(** Sorted ids, for listings. *)
+(** Sorted live ids, for listings. *)
+
+val expired_total : 'a t -> int
+(** Entries dropped by TTL expiry since creation. *)
+
+val evicted_total : 'a t -> int
+(** Entries dropped by LRU capacity eviction since creation. *)

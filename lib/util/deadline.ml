@@ -1,0 +1,55 @@
+(* A cancellation token with an optional monotonic-clock time budget.
+
+   Long computations (context construction, swap rounds) poll [over]
+   between units of work and wind down cooperatively, returning their
+   best-so-far answer. [cancel] flips an atomic flag, so any thread — a
+   server worker noticing a dropped connection, a signal handler — can
+   abandon a computation running on another thread or domain without
+   tearing shared state. The time budget reads the monotonic clock
+   (bechamel's [Monotonic_clock], CLOCK_MONOTONIC underneath), so wall
+   clock steps from NTP never fire or starve a deadline. *)
+
+type t = {
+  expires_at_ns : int64;  (* monotonic ns; [no_expiry] = none *)
+  cancel_flag : bool Atomic.t;
+}
+
+exception Expired
+
+let no_expiry = Int64.max_int
+
+let now_ns () = Monotonic_clock.now ()
+
+let create ?budget_s () =
+  let expires_at_ns =
+    match budget_s with
+    | None -> no_expiry
+    | Some b ->
+      if not (Float.is_finite b) || b < 0. then
+        invalid_arg "Deadline.create: budget must be finite and non-negative";
+      Int64.add (now_ns ()) (Int64.of_float (b *. 1e9))
+  in
+  { expires_at_ns; cancel_flag = Atomic.make false }
+
+let of_ms ms = create ~budget_s:(ms /. 1000.) ()
+
+let cancel t = Atomic.set t.cancel_flag true
+
+let expired t =
+  t.expires_at_ns <> no_expiry && Int64.compare (now_ns ()) t.expires_at_ns >= 0
+
+let cancelled t = Atomic.get t.cancel_flag
+
+let over_one t = cancelled t || expired t
+
+let over = function None -> false | Some t -> over_one t
+
+let check = function
+  | None -> ()
+  | Some t -> if over_one t then raise Expired
+
+let remaining_s t =
+  if Atomic.get t.cancel_flag then 0.
+  else if t.expires_at_ns = no_expiry then Float.infinity
+  else
+    Float.max 0. (Int64.to_float (Int64.sub t.expires_at_ns (now_ns ())) /. 1e9)

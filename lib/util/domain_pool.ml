@@ -12,6 +12,7 @@ type job = {
   n : int;
   nchunks : int;
   next : int Atomic.t;  (* next chunk index to hand out *)
+  deadline : Deadline.t option;  (* tripped -> remaining chunks are skipped *)
   mutable remaining : int;  (* chunks not yet finished; under [lock] *)
   mutable failed : exn option;  (* first chunk exception; under [lock] *)
 }
@@ -35,7 +36,10 @@ let chunk_bounds job c =
   (c * job.n / job.nchunks, (c + 1) * job.n / job.nchunks)
 
 (* Drain chunks of [job] until the counter runs out. Called without the
-   lock held. *)
+   lock held. Once the job's deadline trips, the remaining chunks are
+   claimed and retired as no-ops under a recorded [Deadline.Expired], so
+   the job still drains fully and the pool stays reusable — the caller
+   gets the exception, never a half-written result. *)
 let run_chunks t job =
   let continue = ref true in
   while !continue do
@@ -43,7 +47,10 @@ let run_chunks t job =
     if c >= job.nchunks then continue := false
     else begin
       let lo, hi = chunk_bounds job c in
-      let outcome = match job.f lo hi with () -> None | exception e -> Some e in
+      let outcome =
+        if Deadline.over job.deadline then Some Deadline.Expired
+        else match job.f lo hi with () -> None | exception e -> Some e
+      in
       Mutex.lock t.lock;
       (match outcome with
       | Some e when job.failed = None -> job.failed <- Some e
@@ -101,10 +108,15 @@ let shutdown t =
    that the per-chunk lock round-trip shows up. *)
 let chunks_per_domain = 4
 
-let parallel_for t ~n ~chunk =
+let parallel_for ?deadline t ~n ~chunk =
   if n > 0 then
-    if t.domains = 1 then chunk 0 n
+    if t.domains = 1 then begin
+      Deadline.check deadline;
+      chunk 0 n
+    end
     else begin
+      Failpoint.hit "pool.submit";
+      Deadline.check deadline;
       (* Callers may race in from several systhreads (e.g. xsact-serve
          worker threads); [submit] upholds the one-job-in-flight
          invariant by serializing whole jobs per pool. *)
@@ -114,7 +126,7 @@ let parallel_for t ~n ~chunk =
         (fun () ->
           let nchunks = min n (t.domains * chunks_per_domain) in
           let job =
-            { f = chunk; n; nchunks; next = Atomic.make 0;
+            { f = chunk; n; nchunks; next = Atomic.make 0; deadline;
               remaining = nchunks; failed = None }
           in
           Mutex.lock t.lock;
@@ -132,15 +144,18 @@ let parallel_for t ~n ~chunk =
           match job.failed with Some e -> raise e | None -> ())
     end
 
-let map_reduce t ~n ~map ~reduce ~init =
+let map_reduce ?deadline t ~n ~map ~reduce ~init =
   if n <= 0 then init
-  else if t.domains = 1 then reduce init (map 0 n)
+  else if t.domains = 1 then begin
+    Deadline.check deadline;
+    reduce init (map 0 n)
+  end
   else begin
     (* Fix the map ranges up front so the fold order (ascending range
        index) is independent of which domain computed what. *)
     let nranges = min n (t.domains * chunks_per_domain) in
     let results = Array.make nranges None in
-    parallel_for t ~n:nranges ~chunk:(fun lo hi ->
+    parallel_for ?deadline t ~n:nranges ~chunk:(fun lo hi ->
         for r = lo to hi - 1 do
           let rlo = r * n / nranges and rhi = (r + 1) * n / nranges in
           results.(r) <- Some (map rlo rhi)

@@ -45,15 +45,25 @@ val max_default_domains : int
     workloads stop scaling before the synchronization cost does. Explicit
     [~domains] arguments may exceed it. *)
 
-val parallel_for : t -> n:int -> chunk:(int -> int -> unit) -> unit
+val parallel_for :
+  ?deadline:Deadline.t -> t -> n:int -> chunk:(int -> int -> unit) -> unit
 (** [parallel_for pool ~n ~chunk] runs [chunk lo hi] over contiguous
     sub-ranges covering [0, n) ([lo] inclusive, [hi] exclusive), in
     parallel across the pool. Chunks are disjoint, so [chunk] may write to
     per-index slots of a shared array without synchronization; any other
     shared mutation is the caller's responsibility. Re-raises the first
-    chunk exception after the job drains. [n <= 0] is a no-op. *)
+    chunk exception after the job drains. [n <= 0] is a no-op.
+
+    [deadline] makes the job cancellable: it is polled before submission
+    and before each chunk, and once it trips the remaining chunks are
+    skipped, the job drains, and {!Deadline.Expired} is raised in the
+    caller — the pool itself stays clean and immediately reusable. A
+    partial result array must be treated as garbage (that is why this
+    raises instead of returning). Carries the ["pool.submit"]
+    {!Failpoint}. *)
 
 val map_reduce :
+  ?deadline:Deadline.t ->
   t -> n:int -> map:(int -> int -> 'a) -> reduce:('a -> 'a -> 'a) -> init:'a -> 'a
 (** [map_reduce pool ~n ~map ~reduce ~init] folds [reduce] over the chunk
     results of [map lo hi], starting from [init]. The reduction is applied

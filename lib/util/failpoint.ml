@@ -1,0 +1,130 @@
+(* Test-only fault injection.
+
+   Production code marks interesting spots with [Failpoint.hit "name"];
+   tests arm those spots with delays or injected exceptions, either
+   programmatically ([enable]) or through the XSACT_FAILPOINTS environment
+   variable, and then assert that the system degrades the way the design
+   says it should. When nothing is armed — every production run — [hit] is
+   a single relaxed atomic load and nothing else, so the marks are free to
+   leave in. *)
+
+exception Injected of string
+
+type action =
+  | Sleep of float
+  | Fail
+  | Fail_n of int
+
+type state = {
+  action : action;
+  mutable remaining : int;  (* Fail_n budget; ignored otherwise *)
+  mutable hits : int;
+}
+
+(* [armed] is true iff the table is non-empty; it is the only thing the
+   fast path reads. *)
+let armed = Atomic.make false
+let mutex = Mutex.create ()
+let table : (string, state) Hashtbl.t = Hashtbl.create 8
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let enable name action =
+  locked (fun () ->
+      let remaining = match action with Fail_n n -> n | _ -> 0 in
+      Hashtbl.replace table name { action; remaining; hits = 0 };
+      Atomic.set armed true)
+
+let disable name =
+  locked (fun () ->
+      Hashtbl.remove table name;
+      if Hashtbl.length table = 0 then Atomic.set armed false)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Atomic.set armed false)
+
+let hits name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some s -> s.hits
+      | None -> 0)
+
+(* Decide under the lock, act (sleep / raise) outside it. *)
+let slow_hit name =
+  let decision =
+    locked (fun () ->
+        match Hashtbl.find_opt table name with
+        | None -> `Pass
+        | Some s -> (
+          s.hits <- s.hits + 1;
+          match s.action with
+          | Sleep d -> `Sleep d
+          | Fail -> `Fail
+          | Fail_n _ ->
+            if s.remaining > 0 then begin
+              s.remaining <- s.remaining - 1;
+              `Fail
+            end
+            else `Pass))
+  in
+  match decision with
+  | `Pass -> ()
+  | `Sleep d -> Unix.sleepf d
+  | `Fail -> raise (Injected name)
+
+let hit name = if Atomic.get armed then slow_hit name
+
+(* ---- XSACT_FAILPOINTS=point=action[,point=action...] ------------------- *)
+
+let parse_action s =
+  match String.split_on_char ':' s with
+  | [ "fail" ] -> Ok Fail
+  | [ "fail"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (Fail_n n)
+    | _ -> Error (Printf.sprintf "bad fail count %S" n))
+  | [ "sleep"; d ] -> (
+    match float_of_string_opt d with
+    | Some d when d >= 0. -> Ok (Sleep d)
+    | _ -> Error (Printf.sprintf "bad sleep duration %S" d))
+  | _ -> Error (Printf.sprintf "unknown action %S (want fail, fail:N, sleep:S)" s)
+
+let configure spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.concat_map (String.split_on_char ';')
+    |> List.map String.trim
+    |> List.filter (fun e -> e <> "")
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | entry :: rest -> (
+      match String.index_opt entry '=' with
+      | None | Some 0 ->
+        Error (Printf.sprintf "malformed failpoint entry %S" entry)
+      | Some i -> (
+        let name = String.sub entry 0 i in
+        let action = String.sub entry (i + 1) (String.length entry - i - 1) in
+        match parse_action action with
+        | Error e -> Error (Printf.sprintf "failpoint %S: %s" name e)
+        | Ok action ->
+          enable name action;
+          go rest))
+  in
+  go entries
+
+(* Arm from the environment at load time, so any binary (the daemon, the
+   benches) can run under injected faults without code changes. A
+   malformed spec fails loudly: silently running a fault-injection job
+   with no faults armed would pass vacuously. *)
+let () =
+  match Sys.getenv_opt "XSACT_FAILPOINTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match configure spec with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("XSACT_FAILPOINTS: " ^ msg))

@@ -1,0 +1,46 @@
+(** Test-only fault injection (env- or programmatically armed, free when
+    off).
+
+    Production code marks failure-interesting spots with [hit "name"];
+    when nothing is armed (every production run) that is one atomic load.
+    Tests arm points to delay ([Sleep]) or raise ([Fail] / [Fail_n])
+    and assert the system degrades as designed.
+
+    Current catalog (see DESIGN.md §9 for the semantics each exercises):
+    - ["compare.round"] — start of every optimization round in
+      single-swap, multi-swap and greedy generation (slow computations,
+      deadline expiry mid-compare);
+    - ["pool.submit"] — {!Domain_pool.parallel_for} job submission
+      (failures while fanning out across domains);
+    - ["socket.write"] — before each HTTP response write in the server
+      (client gone mid-response). *)
+
+exception Injected of string
+(** Raised by a [Fail]-armed point; carries the point name. *)
+
+type action =
+  | Sleep of float  (** delay this many seconds, then continue *)
+  | Fail  (** raise {!Injected} on every hit *)
+  | Fail_n of int  (** raise {!Injected} on the first [n] hits, then pass *)
+
+val hit : string -> unit
+(** Trigger the named point's armed action, if any. One atomic load when
+    nothing is armed at all. *)
+
+val enable : string -> action -> unit
+val disable : string -> unit
+
+val reset : unit -> unit
+(** Disarm everything and zero the hit counts. *)
+
+val hits : string -> int
+(** Times the named point fired while armed (any action). *)
+
+val configure : string -> (unit, string) result
+(** Parse and arm a spec like
+    ["compare.round=sleep:0.05,socket.write=fail:2"] — comma- or
+    semicolon-separated [point=action] entries where action is [fail],
+    [fail:N] or [sleep:SECONDS]. This is the grammar of the
+    [XSACT_FAILPOINTS] environment variable, which is applied at module
+    load (a malformed value raises [Invalid_argument], so a fault
+    injection run can never silently arm nothing). *)
