@@ -783,6 +783,196 @@ let serve_bench () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ---- E13: durable sessions ------------------------------------------------- *)
+
+module Journal = Xsact_persist.Journal
+
+(* Quantifies what durability costs: raw journal append rates per fsync
+   policy, session-mutation throughput with and without a state dir, warm
+   /compare throughput with journaling enabled (must stay within 10% of
+   the BENCH_serve.json baseline — the hot read path never touches the
+   journal), and recovery time. Writes BENCH_persist.json. *)
+let persist_bench () =
+  section
+    (Printf.sprintf "PERSIST -- journal cost, mutation overhead, recovery%s"
+       (if !quick then " (quick)" else ""));
+  let tmp_dir tag =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xsact_bench_persist_%d_%s" (Unix.getpid ()) tag)
+    in
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+    dir
+  in
+  (* raw journal appends per second, by policy *)
+  let payload =
+    {|{"op":"set","id":"s42","t":1.5,"entry":{"v":1,"dataset":"product-reviews","request":{"dataset":"product-reviews","q":"gps","top":4},"ranks":[1,2,3,4],"size_bound":8}}|}
+  in
+  let appends = if !quick then 500 else 5000 in
+  let journal_rates =
+    List.map
+      (fun (tag, policy) ->
+        let dir = tmp_dir ("journal_" ^ tag) in
+        Unix.mkdir dir 0o755;
+        let j = Journal.open_append ~fsync:policy (Filename.concat dir "j") in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to appends do
+          Journal.append j payload
+        done;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Journal.close j;
+        ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+        let rate = float_of_int appends /. elapsed in
+        Printf.printf "journal append (%-13s) %9.0f ops/s\n" tag rate;
+        (tag, rate))
+      [ ("never", Journal.Never); ("interval:0.1", Journal.Interval 0.1);
+        ("always", Journal.Always) ]
+  in
+  hr ();
+  (* session mutations and warm compares over HTTP, with and without a
+     state dir behind the store *)
+  let mutations = if !quick then 40 else 200 in
+  let compares = if !quick then 200 else 4000 in
+  let compare_body =
+    {|{"dataset":"product-reviews","q":"gps","top":4,"size_bound":8}|}
+  in
+  let run_config tag state_dir =
+    let t =
+      Server.create ~datasets:[ "product-reviews" ] ~cache_capacity:64
+        ?state_dir ()
+    in
+    Server.recover t;
+    let running = Server.start ~threads:4 ~port:0 t in
+    let host = "127.0.0.1" and port = Server.port running in
+    let mut_rate, create_id =
+      Http.with_connection ~host ~port (fun call ->
+          let _, _, body =
+            call ~meth:"POST"
+              ~body:{|{"dataset":"product-reviews","q":"gps","top":3}|}
+              "/session"
+          in
+          let id =
+            match Xsact_server.Json.of_string body with
+            | Ok j -> (
+              match Xsact_server.Json.member "id" j with
+              | Some (Xsact_server.Json.String id) -> id
+              | _ -> failwith "no session id")
+            | Error e -> failwith e
+          in
+          let t0 = Unix.gettimeofday () in
+          for k = 1 to mutations do
+            let body =
+              Printf.sprintf {|{"size_bound":%d}|} (4 + (k mod 5))
+            in
+            let status, _, _ = call ~body ("/session/" ^ id ^ "/size") in
+            if status <> 200 then failwith "size op failed"
+          done;
+          (float_of_int mutations /. (Unix.gettimeofday () -. t0), id))
+    in
+    ignore create_id;
+    (* best-of-3 damps scheduler noise: both configs are cache-hit bound,
+       so the best run is the one least perturbed by the machine *)
+    let warm_once () =
+      Http.with_connection ~host ~port (fun call ->
+          let _ = call ~body:compare_body "/compare" in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to compares do
+            let status, _, _ = call ~body:compare_body "/compare" in
+            if status <> 200 then failwith "compare failed"
+          done;
+          float_of_int compares /. (Unix.gettimeofday () -. t0))
+    in
+    let warm_rate =
+      List.fold_left max 0. (List.init 3 (fun _ -> warm_once ()))
+    in
+    Server.stop running;
+    Printf.printf "%-22s %8.0f mutations/s   %8.0f warm compare/s\n" tag
+      mut_rate warm_rate;
+    (mut_rate, warm_rate)
+  in
+  (* one discarded pass warms the CPU, allocator and page cache so the
+     in-memory-vs-journaled comparison isn't skewed by run order *)
+  let _ = run_config "(warm-up)" None in
+  let base_mut, base_cmp = run_config "in-memory" None in
+  let state = tmp_dir "server" in
+  let dur_mut, dur_cmp =
+    run_config "state-dir (interval)" (Some state)
+  in
+  let compare_overhead_pct = 100. *. (1. -. (dur_cmp /. base_cmp)) in
+  Printf.printf
+    "\nwarm /compare overhead with journaling: %+.1f%% (bound: <10%%)\n"
+    compare_overhead_pct;
+  hr ();
+  (* recovery time for a populated store *)
+  let sessions = if !quick then 20 else 100 in
+  let recovery_ms =
+    let dir = tmp_dir "recover" in
+    let t =
+      Server.create ~datasets:[ "product-reviews" ] ~cache_capacity:64
+        ~state_dir:dir ()
+    in
+    Server.recover t;
+    let req body =
+      let path, query = Http.split_target "/session" in
+      { Http.meth = "POST"; target = "/session"; path; query; headers = [];
+        body }
+    in
+    for _ = 1 to sessions do
+      let resp =
+        Server.handle t
+          (req {|{"dataset":"product-reviews","q":"gps","top":3}|})
+      in
+      if resp.Http.status <> 201 then failwith "populate failed"
+    done;
+    let t2 =
+      Server.create ~datasets:[ "product-reviews" ] ~cache_capacity:64
+        ~state_dir:dir ()
+    in
+    let t0 = Unix.gettimeofday () in
+    Server.recover t2;
+    let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+    Printf.printf "recovery of %d sessions: %.1f ms\n" sessions ms;
+    ms
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote state)));
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\n";
+  Buffer.add_string json
+    (Printf.sprintf "  \"bench\": \"persist\",\n  \"quick\": %b,\n" !quick);
+  Buffer.add_string json
+    (Printf.sprintf "  \"journal_appends\": %d,\n" appends);
+  Buffer.add_string json "  \"journal_append_rates\": {";
+  List.iteri
+    (fun k (tag, rate) ->
+      Buffer.add_string json
+        (Printf.sprintf "%s\"%s\": %.1f" (if k = 0 then "" else ", ") tag rate))
+    journal_rates;
+  Buffer.add_string json "},\n";
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"mutations_per_s\": {\"in_memory\": %.1f, \"state_dir\": %.1f},\n"
+       base_mut dur_mut);
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"warm_compare_per_s\": {\"in_memory\": %.1f, \"state_dir\": \
+        %.1f},\n"
+       base_cmp dur_cmp);
+  Buffer.add_string json
+    (Printf.sprintf "  \"warm_compare_overhead_pct\": %.2f,\n"
+       compare_overhead_pct);
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"recovery\": {\"sessions\": %d, \"recovery_ms\": %.2f}\n" sessions
+       recovery_ms);
+  Buffer.add_string json "}\n";
+  let path = "BENCH_persist.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* ---- Registry ------------------------------------------------------------------------------ *)
 
 let targets =
@@ -804,6 +994,7 @@ let targets =
     ("ext_spread", ext_spread);
     ("scale", scale);
     ("serve", serve_bench);
+    ("persist", persist_bench);
     ("micro", micro);
   ]
 

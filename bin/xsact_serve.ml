@@ -7,13 +7,21 @@ open Cmdliner
 module Server = Xsact_server.Server
 
 let serve port threads cache domains datasets deadline_ms max_pending
-    session_ttl max_sessions =
+    session_ttl max_sessions state_dir fsync snapshot_every =
   let datasets = match datasets with [] -> None | names -> Some names in
+  let fsync =
+    match Xsact_persist.Journal.policy_of_string fsync with
+    | Ok p -> p
+    | Error msg ->
+      prerr_endline ("xsact-serve: --fsync: " ^ msg);
+      exit 1
+  in
   let server =
     try
       Ok
         (Server.create ?datasets ~cache_capacity:cache ?domains ?deadline_ms
-           ?session_ttl_s:session_ttl ?max_sessions ())
+           ?session_ttl_s:session_ttl ?max_sessions ?state_dir ~fsync
+           ~snapshot_every ())
     with Invalid_argument msg -> Error msg
   in
   match server with
@@ -44,6 +52,12 @@ let serve port threads cache domains datasets deadline_ms max_pending
       | Some ms -> Printf.sprintf "%dms" ms
       | None -> "none")
       (String.concat ", " (Server.dataset_names server));
+    (* Recover after the listening line so supervisors can already probe
+       GET /ready (503 until the replay below finishes). *)
+    Server.recover server;
+    (match state_dir with
+    | None -> ()
+    | Some dir -> Printf.printf "  state: %s (durable sessions)\n%!" dir);
     let stop_requested = ref false in
     let request_stop _ = stop_requested := true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -122,6 +136,34 @@ let max_sessions_arg =
           "Cap on live sessions; adding past it evicts the \
            least-recently-used. Default: unbounded.")
 
+let state_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist sessions to $(docv) (journal + snapshot) and recover \
+           them on boot; GET /ready answers 503 until recovery completes. \
+           Default: in-memory only.")
+
+let fsync_arg =
+  Arg.(
+    value & opt string "interval"
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:
+          "Journal fsync policy: $(b,always) (fsync every append), \
+           $(b,interval) or $(b,interval:SECONDS) (batch fsyncs, default \
+           0.1s), or $(b,never) (leave it to the OS). Only meaningful with \
+           --state-dir.")
+
+let snapshot_every_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Compact the journal into a snapshot after every $(docv) appends \
+           (0 disables automatic compaction). Only meaningful with \
+           --state-dir.")
+
 let cmd =
   let doc = "serve XSACT comparisons over a JSON HTTP API" in
   Cmd.v
@@ -129,6 +171,6 @@ let cmd =
     Term.(
       const serve $ port_arg $ threads_arg $ cache_arg $ domains_arg
       $ datasets_arg $ deadline_arg $ max_pending_arg $ session_ttl_arg
-      $ max_sessions_arg)
+      $ max_sessions_arg $ state_dir_arg $ fsync_arg $ snapshot_every_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding every
+    journal and snapshot record.
+
+    Implemented from scratch over a precomputed 256-entry table — the
+    container ships no checksum library, and 4 bytes per record is cheap
+    insurance against torn writes and bit rot. The standard reflected
+    algorithm: matches [zlib.crc32], Go's [hash/crc32] and POSIX cksum
+    tooling, so journal files can be audited with stock tools. *)
+
+val string : ?off:int -> ?len:int -> string -> int32
+(** Checksum of a substring (default: the whole string). *)
+
+val bytes : ?off:int -> ?len:int -> bytes -> int32

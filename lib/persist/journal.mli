@@ -1,0 +1,89 @@
+(** Append-only journal of length-prefixed, CRC-checksummed records.
+
+    The on-disk unit of durability. Each record is framed as
+
+    {v
+      +----------------+----------------+=================+
+      | length (u32 LE)| CRC-32 (u32 LE)| payload bytes   |
+      +----------------+----------------+=================+
+    v}
+
+    where the CRC covers the payload only. Payloads are opaque byte
+    strings — op encoding belongs to the caller (the serve layer journals
+    JSON session ops). A write that dies partway — process killed between
+    the header and payload writes, disk full, machine off — leaves a
+    {e torn tail}: {!read} detects it at the first record whose header is
+    short, whose length is implausible, whose payload is cut off, or
+    whose checksum disagrees, returns every record before it, and (by
+    default) repairs the file by truncating the tail away, so a second
+    read of the same file is byte-identical and reports nothing torn.
+
+    Durability is policy-driven: [Always] fsyncs after every append (an
+    acknowledged op survives even an OS crash), [Interval s] fsyncs at
+    most every [s] seconds (bounded loss on OS crash, near-zero overhead;
+    a process-only crash — the common case — loses nothing either way,
+    the page cache survives), [Never] leaves flushing to the OS.
+
+    Failpoints (test-only, {!Xsact_util.Failpoint}): [persist.append] at
+    append entry, [persist.append.tear] between the header and payload
+    writes (park a victim process there and [kill -9] it to manufacture a
+    torn record), [persist.fsync] before each fsync. *)
+
+type policy = Always | Interval of float | Never
+
+val policy_of_string : string -> (policy, string) result
+(** ["always"], ["never"], ["interval"] (default 0.1 s) or
+    ["interval:SECONDS"]. *)
+
+val policy_to_string : policy -> string
+
+(** {1 Writing} *)
+
+type t
+
+val open_append : ?fsync:policy -> string -> t
+(** Open (creating if absent) for appending. Default policy
+    [Interval 0.1]. @raise Unix.Unix_error on I/O failure. *)
+
+val append : t -> string -> unit
+(** Write one record and apply the fsync policy. The record is durable
+    against process death once [append] returns; durable against OS death
+    per the policy. @raise Invalid_argument beyond {!max_payload_bytes}. *)
+
+val sync : t -> unit
+(** Explicit fsync barrier, regardless of policy (no-op under [Never]). *)
+
+val truncate : t -> unit
+(** Drop every record (compaction has folded them into a snapshot). *)
+
+val close : t -> unit
+
+val appends : t -> int
+(** Records appended through this handle. *)
+
+val bytes_written : t -> int
+(** Bytes (headers + payloads) appended through this handle. *)
+
+(** {1 Reading} *)
+
+type read_result = {
+  payloads : string list;  (** good records, in append order *)
+  truncated_records : int;  (** 0, or 1 when a torn tail was cut *)
+  truncated_bytes : int;  (** bytes dropped with the torn tail *)
+}
+
+val read : ?repair:bool -> string -> read_result
+(** Read every intact record. A missing file is an empty journal. With
+    [repair] (the default) a torn tail is also truncated off the file on
+    disk, making recovery idempotent. Framing is lost at the first bad
+    record, so everything after it is part of the tail and
+    [truncated_records] is at most 1 per file. *)
+
+(** {1 Framing} *)
+
+val max_payload_bytes : int
+(** Sanity bound (64 MiB) — a parsed length beyond it marks a torn tail. *)
+
+val add_record : Buffer.t -> string -> unit
+(** Append one framed record to a buffer — snapshots reuse the journal's
+    record framing. *)

@@ -1,0 +1,112 @@
+module Failpoint = Xsact_util.Failpoint
+
+type recovery = {
+  snapshot : string list;
+  journal : string list;
+  truncated_records : int;
+  truncated_bytes : int;
+}
+
+type t = {
+  dir : string;
+  policy : Journal.policy;
+  mutable journal : Journal.t;
+  (* cumulative across journal truncations, for metrics *)
+  mutable appends_before : int;
+  mutable bytes_before : int;
+  mutable snapshots_total : int;
+}
+
+let snapshot_path dir = Filename.concat dir "snapshot"
+let tmp_path dir = Filename.concat dir "snapshot.tmp"
+let journal_path dir = Filename.concat dir "journal"
+
+let rec mkdir_p dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+    mkdir_p (Filename.dirname dir);
+    mkdir_p dir
+
+let fsync_path path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let remove_quietly path =
+  try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let open_dir ?(fsync = Journal.Interval 0.1) dir =
+  mkdir_p dir;
+  (* A leftover tmp is an interrupted checkpoint that never committed —
+     the pre-crash snapshot + journal are the truth. *)
+  remove_quietly (tmp_path dir);
+  let snap = Journal.read (snapshot_path dir) in
+  let jour = Journal.read (journal_path dir) in
+  let journal = Journal.open_append ~fsync (journal_path dir) in
+  ( {
+      dir;
+      policy = fsync;
+      journal;
+      appends_before = 0;
+      bytes_before = 0;
+      snapshots_total = 0;
+    },
+    {
+      snapshot = snap.Journal.payloads;
+      journal = jour.Journal.payloads;
+      truncated_records =
+        snap.Journal.truncated_records + jour.Journal.truncated_records;
+      truncated_bytes =
+        snap.Journal.truncated_bytes + jour.Journal.truncated_bytes;
+    } )
+
+let append t payload = Journal.append t.journal payload
+let sync t = Journal.sync t.journal
+
+let compact t payloads =
+  let buf = Buffer.create 4096 in
+  List.iter (Journal.add_record buf) payloads;
+  let tmp = tmp_path t.dir in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  (match
+     let data = Buffer.to_bytes buf in
+     let len = Bytes.length data in
+     let rec go off =
+       if off < len then go (off + Unix.write fd data off (len - off))
+     in
+     go 0;
+     match t.policy with
+     | Journal.Never -> ()
+     | _ -> Unix.fsync fd
+   with
+  | () -> Unix.close fd
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  Failpoint.hit "persist.snapshot.rename";
+  Unix.rename tmp (snapshot_path t.dir);
+  (* The rename is durable only once the directory entry is — without this
+     an OS crash could resurrect the old snapshot after the journal below
+     is truncated. *)
+  (match t.policy with Journal.Never -> () | _ -> fsync_path t.dir);
+  Failpoint.hit "persist.snapshot.truncate";
+  t.appends_before <- t.appends_before + Journal.appends t.journal;
+  t.bytes_before <- t.bytes_before + Journal.bytes_written t.journal;
+  Journal.truncate t.journal;
+  Journal.close t.journal;
+  t.journal <- Journal.open_append ~fsync:t.policy (journal_path t.dir);
+  t.snapshots_total <- t.snapshots_total + 1
+
+let close t = Journal.close t.journal
+let dir t = t.dir
+let policy t = t.policy
+let journal_appends t = t.appends_before + Journal.appends t.journal
+let journal_bytes t = t.bytes_before + Journal.bytes_written t.journal
+let snapshots_total t = t.snapshots_total

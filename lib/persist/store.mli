@@ -1,0 +1,59 @@
+(** Crash-safe state directory: one snapshot + one journal.
+
+    Layout under the directory:
+    - [snapshot] — full-state checkpoint, a stream of {!Journal} records
+    - [snapshot.tmp] — checkpoint in progress (ignored and deleted by
+      recovery: it only becomes the snapshot via atomic rename)
+    - [journal] — ops appended since the snapshot
+
+    {!open_dir} is recovery: it drops any leftover [snapshot.tmp], reads
+    the snapshot then the journal (each repaired of torn tails), and
+    returns their payloads for the caller to fold. {!compact} writes the
+    caller's full state to [snapshot.tmp], fsyncs it, atomically renames
+    it over [snapshot], fsyncs the directory, and truncates the journal.
+
+    Crash-ordering argument: the rename is the commit point. Die before
+    it and recovery sees the old snapshot plus the full journal; die
+    between rename and truncate and recovery sees the new snapshot plus a
+    stale journal whose every op is already folded into it — safe exactly
+    when ops are full-state upserts/deletes, which replay idempotently
+    (the serve layer's are). Ops are therefore never lost and never
+    double-applied with observable effect.
+
+    Not thread-safe: the caller (the serve layer's durability glue)
+    serializes access behind its own mutex.
+
+    Failpoints: [persist.snapshot.rename] just before the rename,
+    [persist.snapshot.truncate] between the rename and the journal
+    truncation, plus the {!Journal} points. *)
+
+type t
+
+type recovery = {
+  snapshot : string list;  (** checkpoint payloads, write order *)
+  journal : string list;  (** op payloads appended since, append order *)
+  truncated_records : int;  (** torn tails cut (0–2: snapshot, journal) *)
+  truncated_bytes : int;
+}
+
+val open_dir : ?fsync:Journal.policy -> string -> t * recovery
+(** Create the directory if needed (parents included), recover, and open
+    the journal for appending. @raise Unix.Unix_error on I/O failure. *)
+
+val append : t -> string -> unit
+(** Journal one op (see {!Journal.append} for durability semantics). *)
+
+val compact : t -> string list -> unit
+(** Checkpoint the given full-state payloads and truncate the journal. *)
+
+val sync : t -> unit
+(** Fsync the journal regardless of interval policy ([Never] stays a
+    no-op) — the drain barrier the server's stop path uses. *)
+
+val close : t -> unit
+
+val dir : t -> string
+val policy : t -> Journal.policy
+val journal_appends : t -> int
+val journal_bytes : t -> int
+val snapshots_total : t -> int

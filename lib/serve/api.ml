@@ -92,6 +92,36 @@ let decode_compare json =
       domains;
     }
 
+(* The durable inverse of [decode_compare]: a request round-trips through
+   [json_of_compare] ∘ [decode_compare] unchanged (keyword normalization is
+   idempotent), which is what lets the journal store requests as plain
+   request bodies. Fields always present — defaults are re-applied on
+   decode anyway, and explicit is easier to audit in a journal dump. *)
+let json_of_compare r =
+  Json.Obj
+    ([
+       ("dataset", Json.String r.dataset);
+       ("q", Json.String r.keywords);
+     ]
+    @ (match r.select with
+      | None -> []
+      | Some ranks ->
+        [ ("select", Json.List (List.map (fun i -> Json.Int i) ranks)) ])
+    @ [
+        ("top", Json.Int r.top);
+        ("size_bound", Json.Int r.size_bound);
+        ("algorithm", Json.String (Algorithm.to_string r.algorithm));
+        ("threshold_pct", Json.Float r.threshold_pct);
+        ( "measure",
+          Json.String
+            (match r.measure with Dod.Raw -> "raw" | Dod.Rate -> "rate") );
+        ( "weights",
+          Json.Obj (List.map (fun (pat, w) -> (pat, Json.Int w)) r.weights) );
+      ]
+    @ match r.domains with
+      | None -> []
+      | Some d -> [ ("domains", Json.Int d) ])
+
 (* ---- Cache key --------------------------------------------------------- *)
 
 let cache_key r =

@@ -31,6 +31,11 @@ val normalize_keywords : string -> string
 (** The keyword normalization used by {!decode_compare} — exposed so
     [GET /search] agrees with the cache key. *)
 
+val json_of_compare : compare_request -> Json.t
+(** Inverse of {!decode_compare}: [decode_compare (json_of_compare r) =
+    Ok r]. The durability journal stores session requests in exactly the
+    request-body format, so journal dumps read like curl transcripts. *)
+
 val cache_key : compare_request -> string
 (** Canonical string over every field that affects the response body.
     Equal requests (after normalization) have equal keys. *)

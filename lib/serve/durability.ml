@@ -1,0 +1,176 @@
+module Store = Xsact_persist.Store
+module Journal = Xsact_persist.Journal
+
+type t = {
+  mutex : Mutex.t;
+  store : Store.t;
+  (* id -> (last mutation stamp, entry json): the replay fold, maintained
+     live so compaction never needs the session store's lock *)
+  mirror : (string, float * Json.t) Hashtbl.t;
+  snapshot_every : int;
+  mutable since_snapshot : int;
+  (* monotone over the directory's whole history (snapshot meta carries
+     it), so ids are never reused even after every session is deleted *)
+  mutable max_id : int;
+  mutable recovery_ms : float;
+  recovery_truncated : int;
+  mutable recovered_sessions : int;
+  mutable dropped : int;
+}
+
+type recovered = {
+  entries : (string * float * Json.t) list;
+  next_id : int;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let id_number id =
+  if String.length id > 1 && id.[0] = 's' then
+    int_of_string_opt (String.sub id 1 (String.length id - 1))
+  else None
+
+(* ---- Payload codec ------------------------------------------------------ *)
+
+let meta_payload ~next =
+  Json.to_string (Json.Obj [ ("meta", Json.Int 1); ("next", Json.Int next) ])
+
+let entry_payload ~id ~at entry =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.String id); ("t", Json.Float at); ("entry", entry) ])
+
+let op_payload ~op ~id ?at ?entry () =
+  Json.to_string
+    (Json.Obj
+       ([ ("op", Json.String op); ("id", Json.String id) ]
+       @ (match at with Some at -> [ ("t", Json.Float at) ] | None -> [])
+       @ match entry with Some e -> [ ("entry", e) ] | None -> []))
+
+(* ---- Replay fold -------------------------------------------------------- *)
+
+let upsert_ops = [ "create"; "add"; "remove"; "size"; "set" ]
+let delete_ops = [ "delete"; "expire"; "evict" ]
+
+let fold_payload t payload =
+  match Json.of_string payload with
+  | Error _ -> t.dropped <- t.dropped + 1
+  | Ok json -> (
+    let mem name = Json.member name json in
+    let track_id id =
+      match id_number id with
+      | Some n -> t.max_id <- max t.max_id n
+      | None -> ()
+    in
+    match Option.bind (mem "next") Json.to_int with
+    | Some next -> t.max_id <- max t.max_id (next - 1)  (* snapshot meta *)
+    | None -> (
+      match
+        ( Option.bind (mem "id") Json.to_str,
+          Option.bind (mem "t") Json.to_float,
+          mem "entry",
+          Option.bind (mem "op") Json.to_str )
+      with
+      | Some id, Some at, Some entry, None ->
+        (* snapshot entry record *)
+        track_id id;
+        Hashtbl.replace t.mirror id (at, entry)
+      | Some id, at, entry, Some op when List.mem op upsert_ops -> (
+        track_id id;
+        match (at, entry) with
+        | Some at, Some entry -> Hashtbl.replace t.mirror id (at, entry)
+        | _ -> t.dropped <- t.dropped + 1)
+      | Some id, _, _, Some op when List.mem op delete_ops ->
+        track_id id;
+        Hashtbl.remove t.mirror id
+      | _ -> t.dropped <- t.dropped + 1))
+
+(* ---- Compaction ---------------------------------------------------------- *)
+
+(* Callers hold [t.mutex]. Mirror entries are sorted by session number so
+   the snapshot — and therefore recovery — is deterministic. *)
+let sorted_entries t =
+  Hashtbl.fold (fun id (at, e) acc -> (id, at, e) :: acc) t.mirror []
+  |> List.sort (fun (a, _, _) (b, _, _) ->
+         compare
+           (Option.value ~default:max_int (id_number a), a)
+           (Option.value ~default:max_int (id_number b), b))
+
+let compact_locked t =
+  let payloads =
+    meta_payload ~next:(t.max_id + 1)
+    :: List.map (fun (id, at, e) -> entry_payload ~id ~at e) (sorted_entries t)
+  in
+  Store.compact t.store payloads;
+  t.since_snapshot <- 0
+
+let after_append t =
+  t.since_snapshot <- t.since_snapshot + 1;
+  if t.snapshot_every > 0 && t.since_snapshot >= t.snapshot_every then
+    compact_locked t
+
+(* ---- Public -------------------------------------------------------------- *)
+
+let recover ~dir ~fsync ~snapshot_every =
+  let t0 = Unix.gettimeofday () in
+  let store, rec_ = Store.open_dir ~fsync dir in
+  let t =
+    {
+      mutex = Mutex.create ();
+      store;
+      mirror = Hashtbl.create 16;
+      snapshot_every;
+      since_snapshot = List.length rec_.Store.journal;
+      max_id = 0;
+      recovery_ms = 0.;
+      recovery_truncated = rec_.Store.truncated_records;
+      recovered_sessions = 0;
+      dropped = 0;
+    }
+  in
+  List.iter (fold_payload t) rec_.Store.snapshot;
+  List.iter (fold_payload t) rec_.Store.journal;
+  t.recovered_sessions <- Hashtbl.length t.mirror;
+  t.recovery_ms <- 1000. *. (Unix.gettimeofday () -. t0);
+  (t, { entries = sorted_entries t; next_id = t.max_id + 1 })
+
+let log_upsert t ~op ~id ~at ~entry =
+  locked t (fun () ->
+      Store.append t.store (op_payload ~op ~id ~at ~entry ());
+      (match id_number id with
+      | Some n -> t.max_id <- max t.max_id n
+      | None -> ());
+      Hashtbl.replace t.mirror id (at, entry);
+      after_append t)
+
+let log_delete t ~op ~id =
+  locked t (fun () ->
+      Store.append t.store (op_payload ~op ~id ());
+      Hashtbl.remove t.mirror id;
+      after_append t)
+
+let mark_dropped t = locked t (fun () -> t.dropped <- t.dropped + 1)
+
+let snapshot_now t =
+  locked t (fun () ->
+      compact_locked t;
+      Store.sync t.store)
+
+let stats_json t =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("state_dir", Json.String (Store.dir t.store));
+          ( "fsync_policy",
+            Json.String (Journal.policy_to_string (Store.policy t.store)) );
+          ("journal_appends", Json.Int (Store.journal_appends t.store));
+          ("journal_bytes", Json.Int (Store.journal_bytes t.store));
+          ("snapshots_total", Json.Int (Store.snapshots_total t.store));
+          ("since_snapshot", Json.Int t.since_snapshot);
+          ("recovery_ms", Json.Float t.recovery_ms);
+          ("recovery_truncated_records", Json.Int t.recovery_truncated);
+          ("recovered_sessions", Json.Int t.recovered_sessions);
+          ("recovery_dropped", Json.Int t.dropped);
+        ])

@@ -1,0 +1,71 @@
+(** The serve-side durability glue: session mutations → journal ops →
+    snapshots, and their replay on boot.
+
+    Sits between {!Session_store} (which fires a typed event per
+    mutation) and {!Xsact_persist.Store} (which frames, checksums and
+    fsyncs opaque payloads). Ops are JSON one-liners:
+
+    {v
+      {"op":"create","id":"s1","t":1723.4,"entry":{ ...session... }}
+      {"op":"add",   "id":"s1","t":1724.0,"entry":{ ...session... }}
+      {"op":"remove" | "size" | "set", ... same shape ... }
+      {"op":"delete","id":"s1"}      explicit DELETE /session/:id
+      {"op":"expire","id":"s1"}      TTL expiry
+      {"op":"evict", "id":"s1"}      LRU capacity eviction
+    v}
+
+    Every state-carrying op embeds the session's {e full} durable state
+    (dataset, originating request, current ranks and size bound), so
+    replay is a trivial last-writer-wins fold over upserts and deletes —
+    idempotent by construction, which is what makes the
+    snapshot-then-truncate compaction ordering safe (see
+    {!Xsact_persist.Store}).
+
+    The module keeps an in-memory mirror of that fold. Compaction
+    serializes the mirror instead of re-reading the session store, so it
+    can run inline inside the store's event hook (which holds the store
+    lock) without lock-order inversion. Lock order is strictly
+    [Session_store.mutex → Durability.mutex]; nothing here calls back
+    into the session store. *)
+
+type t
+
+type recovered = {
+  entries : (string * float * Json.t) list;
+      (** live sessions after the fold: id, last-mutated stamp, entry
+          JSON — sorted by id for deterministic replay *)
+  next_id : int;  (** first session number safe to mint *)
+}
+
+val recover :
+  dir:string ->
+  fsync:Xsact_persist.Journal.policy ->
+  snapshot_every:int ->
+  t * recovered
+(** Open (creating if needed) the state directory, cut any torn tails,
+    fold snapshot + journal, and start accepting ops. [snapshot_every]
+    compacts after that many journal appends (0 disables auto-compaction;
+    explicit {!snapshot_now} still works). *)
+
+val log_upsert : t -> op:string -> id:string -> at:float -> entry:Json.t -> unit
+(** Journal a state-carrying op (["create"], ["add"], ["remove"],
+    ["size"], ["set"]) and update the mirror; may compact inline. Raises
+    whatever the underlying append raises (disk full, injected fault) —
+    the caller's mutation then fails visibly rather than silently losing
+    durability. *)
+
+val log_delete : t -> op:string -> id:string -> unit
+(** Journal a deleting op (["delete"], ["expire"], ["evict"]). *)
+
+val mark_dropped : t -> unit
+(** Count a recovered entry the server could not rebuild (e.g. its
+    dataset is no longer loaded). *)
+
+val snapshot_now : t -> unit
+(** Compact unconditionally and fsync — the drain-then-snapshot barrier
+    [Server.stop] runs after the last worker exits. *)
+
+val stats_json : t -> Json.t
+(** The [/metrics] durability section: journal_appends, journal_bytes,
+    snapshots_total, since_snapshot, recovery_ms,
+    recovery_truncated_records, recovered_sessions, recovery_dropped. *)

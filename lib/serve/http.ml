@@ -15,6 +15,8 @@ type response = {
 }
 
 let max_body_bytes = 8 * 1024 * 1024
+let max_headers = 64
+let max_header_line_bytes = 8 * 1024
 
 let reason_phrase = function
   | 200 -> "OK"
@@ -25,6 +27,7 @@ let reason_phrase = function
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
   | 413 -> "Content Too Large"
+  | 431 -> "Request Header Fields Too Large"
   | 422 -> "Unprocessable Content"
   | 500 -> "Internal Server Error"
   | 501 -> "Not Implemented"
@@ -132,24 +135,57 @@ let read_line_opt ic =
     if n > 0 && line.[n - 1] = '\r' then Some (String.sub line 0 (n - 1))
     else Some line
 
+(* Like {!read_line_opt}, but stops buffering at [max_header_line_bytes]:
+   a client streaming an endless header line costs at most one line's
+   bound of memory before it is refused. *)
+let read_line_bounded ic =
+  let buf = Buffer.create 128 in
+  let rec go () =
+    match In_channel.input_char ic with
+    | None -> if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+    | Some '\n' ->
+      let line = Buffer.contents buf in
+      let n = String.length line in
+      `Line (if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+             else line)
+    | Some c ->
+      if Buffer.length buf >= max_header_line_bytes then `Overflow
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+  in
+  go ()
+
 let read_request ic =
-  match read_line_opt ic with
-  | None -> Error `Eof
-  | Some "" -> Error (`Bad "empty request line")
-  | Some line -> (
+  match read_line_bounded ic with
+  | `Eof -> Error `Eof
+  | `Overflow -> Error (`Refuse (431, "request line too long"))
+  | `Line "" -> Error (`Bad "empty request line")
+  | `Line line -> (
     match parse_request_line line with
     | Error e -> Error (`Bad e)
     | Ok (meth, target) ->
-      let rec read_headers acc =
-        match read_line_opt ic with
-        | None -> Error (`Bad "eof in headers")
-        | Some "" -> Ok (List.rev acc)
-        | Some line -> (
+      let rec read_headers n acc =
+        match read_line_bounded ic with
+        | `Eof -> Error (`Bad "eof in headers")
+        | `Overflow ->
+          Error
+            (`Refuse
+              ( 431,
+                Printf.sprintf "header line exceeds %d bytes"
+                  max_header_line_bytes ))
+        | `Line "" -> Ok (List.rev acc)
+        | `Line _ when n >= max_headers ->
+          Error
+            (`Refuse
+              (431, Printf.sprintf "too many headers (max %d)" max_headers))
+        | `Line line -> (
           match parse_header_line line with
-          | Ok h -> read_headers (h :: acc)
+          | Ok h -> read_headers (n + 1) (h :: acc)
           | Error e -> Error (`Bad e))
       in
-      match read_headers [] with
+      match read_headers 0 [] with
       | Error e -> Error e
       | Ok headers -> (
         let content_length =
@@ -158,6 +194,12 @@ let read_request ic =
           | Some v -> (
             match int_of_string_opt (String.trim v) with
             | Some n when n >= 0 && n <= max_body_bytes -> Ok n
+            | Some n when n > max_body_bytes ->
+              Error
+                (`Refuse
+                  ( 413,
+                    Printf.sprintf "body of %d bytes exceeds limit %d" n
+                      max_body_bytes ))
             | Some _ -> Error (`Bad "content-length out of bounds")
             | None -> Error (`Bad "malformed content-length"))
         in

@@ -38,11 +38,26 @@ val reason_phrase : int -> string
 
 (** {1 Wire functions} *)
 
+val max_body_bytes : int
+(** Largest accepted [Content-Length] (8 MiB); larger is refused 413. *)
+
+val max_headers : int
+(** Most header lines accepted per request (64); more is refused 431. *)
+
+val max_header_line_bytes : int
+(** Longest accepted request/header line (8 KiB). A longer line is
+    refused 431 after buffering at most this bound — a client streaming
+    megabytes of header never gets them read into memory. *)
+
 val read_request :
-  Stdlib.in_channel -> (request, [ `Eof | `Bad of string ]) result
+  Stdlib.in_channel ->
+  (request, [ `Eof | `Bad of string | `Refuse of int * string ]) result
 (** Read one request. [`Eof] when the peer closed before a request line
-    (normal keep-alive shutdown); [`Bad] on a malformed request or a body
-    larger than 8 MiB. *)
+    (normal keep-alive shutdown); [`Bad] (answer 400) on a malformed
+    request; [`Refuse (status, msg)] when a well-formed request exceeds a
+    protocol bound — 431 past {!max_headers}/{!max_header_line_bytes},
+    413 past {!max_body_bytes}. After either error the connection must be
+    closed: request framing is lost. *)
 
 val write_response :
   Stdlib.out_channel -> ?keep_alive:bool -> response -> unit

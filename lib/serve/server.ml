@@ -22,6 +22,14 @@ type t = {
   max_deadline_ms : int;  (* cap on the X-Deadline-Ms override *)
   inflight_now : int Atomic.t;  (* requests currently inside [handle] *)
   mutable threads : int;  (* worker-pool size, recorded for /metrics *)
+  (* Durable sessions (DESIGN.md §10). [persist] holds the configuration
+     from [create]; [recover] opens the state directory, replays it, fills
+     [durability] (from then on the session store's event hook journals
+     every mutation) and flips [ready]. Without a state dir the server is
+     born ready and the hook stays [None] — the hot path is unchanged. *)
+  persist : (string * Xsact_persist.Journal.policy * int) option;
+  durability : Durability.t option ref;
+  ready : bool Atomic.t;
   mutable routes : Router.route list;
   (* Wired up by [start]: depth of the pending-connection queue and the
      overload predicate driving the degradation ladder. Inert (0 / false)
@@ -73,6 +81,7 @@ let handle_root t _req _params =
                 (fun e -> Json.String e)
                 [
                   "GET /health";
+                  "GET /ready";
                   "GET /datasets";
                   "GET /search?dataset=&q=";
                   "POST /compare";
@@ -87,8 +96,20 @@ let handle_root t _req _params =
                 ]) );
        ])
 
+(* Liveness: the process is up and serving its event loop. Deliberately
+   ignores recovery state — a crash-looping recovery must not get the
+   process killed by a liveness probe while it replays. *)
 let handle_health _t _req _params =
   json_response ~status:200 (Json.Obj [ ("status", Json.String "ok") ])
+
+(* Readiness: route traffic here only once recovered state is live. *)
+let handle_ready t _req _params =
+  if Atomic.get t.ready then
+    json_response ~status:200 (Json.Obj [ ("status", Json.String "ready") ])
+  else
+    json_response ~status:503
+      ~headers:[ ("Retry-After", "1") ]
+      (Json.Obj [ ("status", Json.String "recovering") ])
 
 let handle_datasets t _req _params =
   json_response ~status:200
@@ -300,64 +321,75 @@ let session_summary id se =
 let result_with_rank results rank =
   List.find_opt (fun r -> r.Search.rank = rank) results
 
+(* Build the resident state for a session over [creq] with [ranks]
+   selected ([None] → the first [top]) at [size_bound]. Shared by
+   POST /session and recovery replay, so a recovered session is exactly
+   what creating it fresh from its journaled request would produce. *)
+let build_session_entry t creq ~ranks ~size_bound =
+  match find_entry t creq.Api.dataset with
+  | None ->
+    Error (error_response ~status:404 ("unknown dataset " ^ creq.Api.dataset))
+  | Some entry -> (
+    let keywords = creq.Api.keywords in
+    let results = Pipeline.search entry.pipeline keywords in
+    if results = [] then Error (core_error (Error.No_results keywords))
+    else
+      let available = List.length results in
+      let ranks =
+        match ranks with
+        | Some ranks -> ranks
+        | None -> List.init (min creq.Api.top available) (fun i -> i + 1)
+      in
+      let rec first_dup seen = function
+        | [] -> None
+        | r :: rest ->
+          if List.mem r seen then Some r else first_dup (r :: seen) rest
+      in
+      match first_dup [] ranks with
+      | Some dup ->
+        (* same invariant POST /session/:id/add enforces *)
+        Error
+          (error_response ~status:422
+             (Printf.sprintf "duplicate rank %d in \"select\"" dup))
+      | None -> (
+        match
+          List.find_opt (fun r -> result_with_rank results r = None) ranks
+        with
+        | Some bad ->
+          Error (core_error (Error.Rank_out_of_range { rank = bad; available }))
+        | None -> (
+          let profiles =
+            List.map
+              (fun rank ->
+                let r = Option.get (result_with_rank results rank) in
+                Pipeline.profile_of ~keywords entry.pipeline r)
+              ranks
+          in
+          let config = request_config t creq in
+          match Session.create ~config ~size_bound profiles with
+          | Error e -> Error (core_error e)
+          | Ok session ->
+            Ok
+              {
+                s_dataset = creq.Api.dataset;
+                s_request = creq;
+                s_results = results;
+                s_ranks = ranks;
+                s_session = session;
+              })))
+
 let handle_session_create t req _params =
   match decode_compare_body req with
   | Error resp -> resp
   | Ok creq -> (
-    match find_entry t creq.Api.dataset with
-    | None -> error_response ~status:404 ("unknown dataset " ^ creq.Api.dataset)
-    | Some entry -> (
-      let keywords = creq.Api.keywords in
-      let results = Pipeline.search entry.pipeline keywords in
-      if results = [] then core_error (Error.No_results keywords)
-      else
-        let available = List.length results in
-        let ranks =
-          match creq.Api.select with
-          | Some ranks -> ranks
-          | None -> List.init (min creq.Api.top available) (fun i -> i + 1)
-        in
-        let rec first_dup seen = function
-          | [] -> None
-          | r :: rest ->
-            if List.mem r seen then Some r else first_dup (r :: seen) rest
-        in
-        match first_dup [] ranks with
-        | Some dup ->
-          (* same invariant POST /session/:id/add enforces *)
-          error_response ~status:422
-            (Printf.sprintf "duplicate rank %d in \"select\"" dup)
-        | None -> (
-          match
-            List.find_opt (fun r -> result_with_rank results r = None) ranks
-          with
-          | Some bad ->
-            core_error (Error.Rank_out_of_range { rank = bad; available })
-          | None -> (
-            let profiles =
-              List.map
-                (fun rank ->
-                  let r = Option.get (result_with_rank results rank) in
-                  Pipeline.profile_of ~keywords entry.pipeline r)
-                ranks
-            in
-            let config = request_config t creq in
-            match
-              Session.create ~config ~size_bound:creq.Api.size_bound profiles
-            with
-            | Error e -> core_error e
-            | Ok session ->
-              let se =
-                {
-                  s_dataset = creq.Api.dataset;
-                  s_request = creq;
-                  s_results = results;
-                  s_ranks = ranks;
-                  s_session = session;
-                }
-              in
-              let id = Session_store.add t.sessions se in
-              json_response ~status:201 (session_summary id se)))))
+    match
+      build_session_entry t creq ~ranks:creq.Api.select
+        ~size_bound:creq.Api.size_bound
+    with
+    | Error resp -> resp
+    | Ok se ->
+      let id = Session_store.add t.sessions se in
+      json_response ~status:201 (session_summary id se))
 
 let handle_session_list t _req _params =
   json_response ~status:200
@@ -425,7 +457,7 @@ let handle_session_add t req params =
                   { se with s_ranks = se.s_ranks @ [ rank ];
                             s_session = session }
                 in
-                Session_store.set t.sessions id se;
+                Session_store.set ~origin:"add" t.sessions id se;
                 json_response ~status:200 (session_summary id se)))
 
 let handle_session_remove t req params =
@@ -454,7 +486,7 @@ let handle_session_remove t req params =
                     s_session = session;
                   }
                 in
-                Session_store.set t.sessions id se;
+                Session_store.set ~origin:"remove" t.sessions id se;
                 json_response ~status:200 (session_summary id se))))
 
 let handle_session_size t req params =
@@ -467,7 +499,7 @@ let handle_session_size t req params =
             | Error e -> core_error e
             | Ok session ->
               let se = { se with s_session = session } in
-              Session_store.set t.sessions id se;
+              Session_store.set ~origin:"size" t.sessions id se;
               json_response ~status:200 (session_summary id se)))
 
 let handle_session_delete t _req params =
@@ -509,6 +541,11 @@ let handle_metrics t _req _params =
            ("worker_threads", Json.Int t.threads);
            ("inflight_requests", Json.Int (Atomic.get t.inflight_now));
            ("queue_pending", Json.Int (t.queue_depth ()));
+           ("ready", Json.Bool (Atomic.get t.ready));
+           ( "durability",
+             match !(t.durability) with
+             | None -> Json.Null
+             | Some d -> Durability.stats_json d );
          ])
 
 (* ---- Construction and dispatch ----------------------------------------- *)
@@ -520,6 +557,7 @@ let routes_of t =
   [
     r "GET" "" handle_root;
     r "GET" "health" handle_health;
+    r "GET" "ready" handle_ready;
     r "GET" "datasets" handle_datasets;
     r "GET" "search" handle_search;
     r "POST" "compare" handle_compare;
@@ -533,14 +571,43 @@ let routes_of t =
     r "DELETE" "session/:id" handle_session_delete;
   ]
 
+(* The session entry's durable representation: everything needed to
+   rebuild it through [build_session_entry] — the originating request (in
+   request-body format), the current selection and the current size bound.
+   Derived state (search results, profiles, the warm DFSs) is recomputed
+   on replay; the "runs" diagnostic restarts from zero. *)
+let json_of_session_entry se =
+  Json.Obj
+    [
+      ("v", Json.Int 1);
+      ("dataset", Json.String se.s_dataset);
+      ("request", Api.json_of_compare se.s_request);
+      ("ranks", Json.List (List.map (fun r -> Json.Int r) se.s_ranks));
+      ("size_bound", Json.Int (Session.size_bound se.s_session));
+    ]
+
+let log_event d = function
+  | Session_store.Created { id; value; at } ->
+    Durability.log_upsert d ~op:"create" ~id ~at
+      ~entry:(json_of_session_entry value)
+  | Session_store.Updated { id; origin; value; at } ->
+    Durability.log_upsert d ~op:origin ~id ~at
+      ~entry:(json_of_session_entry value)
+  | Session_store.Removed { id } -> Durability.log_delete d ~op:"delete" ~id
+  | Session_store.Expired { id } -> Durability.log_delete d ~op:"expire" ~id
+  | Session_store.Evicted { id } -> Durability.log_delete d ~op:"evict" ~id
+
 let create ?datasets ?(cache_capacity = 128) ?domains ?deadline_ms
-    ?(max_deadline_ms = 60_000) ?session_ttl_s ?max_sessions () =
+    ?(max_deadline_ms = 60_000) ?session_ttl_s ?max_sessions ?state_dir
+    ?(fsync = Xsact_persist.Journal.Interval 0.1) ?(snapshot_every = 256) () =
   (match deadline_ms with
   | Some ms when ms < 1 ->
     invalid_arg "Server.create: deadline_ms must be positive"
   | _ -> ());
   if max_deadline_ms < 1 then
     invalid_arg "Server.create: max_deadline_ms must be positive";
+  if snapshot_every < 0 then
+    invalid_arg "Server.create: snapshot_every must be non-negative";
   let names = Option.value datasets ~default:Dataset.names in
   let entries =
     List.map
@@ -550,6 +617,19 @@ let create ?datasets ?(cache_capacity = 128) ?domains ?deadline_ms
         | Some ds ->
           (name, { dataset = ds; pipeline = Pipeline.create ds.Dataset.document }))
       names
+  in
+  (* The hook closure outlives this function, so it reads the durability
+     cell that [recover] fills — until then (and always, without a state
+     dir) it journals nothing. Recovery itself restores entries without
+     events, so replay never re-journals. *)
+  let durability = ref None in
+  let on_event =
+    match state_dir with
+    | None -> None
+    | Some _ ->
+      Some
+        (fun ev ->
+          match !durability with None -> () | Some d -> log_event d ev)
   in
   let t =
     {
@@ -561,12 +641,16 @@ let create ?datasets ?(cache_capacity = 128) ?domains ?deadline_ms
       session_update = Mutex.create ();
       metrics = Metrics.create ();
       sessions = Session_store.create ?ttl_s:session_ttl_s
-                   ?capacity:max_sessions ();
+                   ?capacity:max_sessions ?on_event ();
       default_domains = domains;
       default_deadline_ms = deadline_ms;
       max_deadline_ms;
       inflight_now = Atomic.make 0;
       threads = 0;
+      persist =
+        Option.map (fun dir -> (dir, fsync, snapshot_every)) state_dir;
+      durability;
+      ready = Atomic.make (state_dir = None);
       routes = [];
       queue_depth = (fun () -> 0);
       overloaded = (fun () -> false);
@@ -575,9 +659,72 @@ let create ?datasets ?(cache_capacity = 128) ?domains ?deadline_ms
   t.routes <- routes_of t;
   t
 
+(* ---- Recovery ----------------------------------------------------------- *)
+
+let rebuild_session t entry_json =
+  match Json.member "request" entry_json with
+  | None -> Error "missing \"request\""
+  | Some rj -> (
+    match Api.decode_compare rj with
+    | Error e -> Error e
+    | Ok creq -> (
+      let ranks =
+        match Option.bind (Json.member "ranks" entry_json) Json.to_list with
+        | None -> None
+        | Some items ->
+          let ints = List.filter_map Json.to_int items in
+          if List.length ints = List.length items then Some ints else None
+      in
+      let size_bound =
+        Option.bind (Json.member "size_bound" entry_json) Json.to_int
+      in
+      match (ranks, size_bound) with
+      | Some ranks, Some size_bound -> (
+        match build_session_entry t creq ~ranks:(Some ranks) ~size_bound with
+        | Ok se -> Ok se
+        | Error resp -> Error resp.Http.resp_body)
+      | _ -> Error "malformed entry (ranks/size_bound)"))
+
+let recover t =
+  match (t.persist, !(t.durability)) with
+  | None, _ -> Atomic.set t.ready true
+  | Some _, Some _ -> ()  (* already recovered *)
+  | Some (dir, fsync, snapshot_every), None ->
+    let d, recovered = Durability.recover ~dir ~fsync ~snapshot_every in
+    List.iter
+      (fun (id, at, entry_json) ->
+        match rebuild_session t entry_json with
+        | Ok se -> Session_store.restore t.sessions ~id ~last_used:at se
+        | Error msg ->
+          (* A journal from a differently-configured deployment (dataset
+             no longer loaded, say): keep serving, count the loss. *)
+          Durability.mark_dropped d;
+          Printf.eprintf "xsact-serve: dropped unrecoverable session %s: %s\n%!"
+            id msg)
+      recovered.Durability.entries;
+    Session_store.ensure_next t.sessions recovered.Durability.next_id;
+    t.durability := Some d;
+    Atomic.set t.ready true
+
 let handle t req =
   Atomic.incr t.inflight_now;
   Fun.protect ~finally:(fun () -> Atomic.decr t.inflight_now) @@ fun () ->
+  (* Readiness gate: until recovery completes, only the probes answer —
+     serving (or worse, mutating) session state mid-replay would race the
+     restore. One atomic load when ready; no cost without a state dir. *)
+  if
+    (not (Atomic.get t.ready))
+    && (match req.Http.path with
+       | [ "health" ] | [ "ready" ] -> false
+       | _ -> true)
+  then begin
+    Metrics.record t.metrics ~route:"unready" ~status:503 ~elapsed_s:0.;
+    Http.response
+      ~headers:[ ("Retry-After", "1") ]
+      ~status:503
+      (Api.error_body "unavailable: state recovery in progress")
+  end
+  else
   let started = Unix.gettimeofday () in
   let route, resp =
     match Router.dispatch t.routes req with
@@ -664,6 +811,10 @@ let serve_connection t fd =
     | Error (`Bad msg) ->
       Http.write_response oc ~keep_alive:false
         (Http.response ~status:400 (Api.error_body msg))
+    | Error (`Refuse (status, msg)) ->
+      Metrics.record t.metrics ~route:"refused" ~status ~elapsed_s:0.;
+      Http.write_response oc ~keep_alive:false
+        (Http.response ~status (Api.error_body msg))
     | Ok req ->
       let resp = handle t req in
       let keep_alive = not (Http.wants_close req) in
@@ -860,4 +1011,10 @@ let stop r =
       try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     r.conns;
   Mutex.unlock r.conns_mutex;
-  List.iter Thread.join r.workers
+  List.iter Thread.join r.workers;
+  (* Drain-then-snapshot: every worker has exited, so the state is quiet —
+     checkpoint it and fsync, leaving a restart with an empty journal to
+     replay and the fastest possible recovery. *)
+  match !(r.server.durability) with
+  | None -> ()
+  | Some d -> Durability.snapshot_now d

@@ -17,18 +17,28 @@
     (absorbed per-connection), and every accepted socket carries an idle
     read timeout so stalled keep-alive connections release their worker.
 
-    Endpoints: [GET /], [GET /health], [GET /datasets],
+    Endpoints: [GET /], [GET /health] (liveness), [GET /ready]
+    (readiness: 503 until {!recover} completes), [GET /datasets],
     [GET /search?dataset=&q=], [POST /compare], [GET /metrics],
     [POST /session], [GET /session], [GET /session/:id],
     [POST /session/:id/add], [POST /session/:id/remove],
-    [POST /session/:id/size], [DELETE /session/:id]. *)
+    [POST /session/:id/size], [DELETE /session/:id].
+
+    Durable sessions (DESIGN.md §10): with [state_dir], every session
+    mutation is journaled (length-prefixed, CRC-checksummed,
+    fsync-policied) before the response is written, snapshots compact the
+    journal, and {!recover} replays snapshot + journal on boot — so a
+    [kill -9] loses nothing acknowledged and a restart resumes where the
+    crash left off. Without [state_dir], behavior and hot path are
+    unchanged. *)
 
 type t
 
 val create :
   ?datasets:string list -> ?cache_capacity:int -> ?domains:int ->
   ?deadline_ms:int -> ?max_deadline_ms:int -> ?session_ttl_s:float ->
-  ?max_sessions:int -> unit -> t
+  ?max_sessions:int -> ?state_dir:string ->
+  ?fsync:Xsact_persist.Journal.policy -> ?snapshot_every:int -> unit -> t
 (** Load and index [datasets] (default: the whole {!Xsact_dataset.Dataset}
     registry). [cache_capacity] sizes the comparison LRU (default 128).
     [domains] sets the domain-pool parallelism used for requests that
@@ -44,8 +54,26 @@ val create :
     - [session_ttl_s] / [max_sessions]: idle expiry and LRU capacity of
       the session store (both unbounded by default).
 
+    Durability knobs (DESIGN.md §10):
+    - [state_dir]: directory for the session journal + snapshot. Omitted
+      (the default), persistence is fully disabled — no hooks fire and no
+      file is ever opened.
+    - [fsync]: journal fsync policy (default [Interval 0.1]).
+    - [snapshot_every]: compact the journal into a snapshot after this
+      many appends (default 256; [0] disables automatic compaction).
+
     @raise Invalid_argument on an unknown dataset name or a non-positive
     knob. *)
+
+val recover : t -> unit
+(** Replay [state_dir]'s snapshot + journal, rebuild the recovered
+    sessions, and flip the server ready. Until this returns, [GET /ready]
+    answers 503 and every non-probe route is refused with
+    [503 + Retry-After: 1]; [GET /health] stays 200 throughout (liveness).
+    Torn journal tails (a crash mid-append) are truncated at the first bad
+    checksum and counted under [recovery_truncated_records] in [/metrics];
+    a second recovery of the same directory is byte-identical. Idempotent;
+    immediate no-op when the server has no [state_dir]. *)
 
 val dataset_names : t -> string list
 
@@ -88,4 +116,6 @@ val port : running -> int
 val stop : running -> unit
 (** Close the listener, shut down live connections, drain the workers and
     join every thread. Returns promptly even when clients still hold open
-    keep-alive connections. *)
+    keep-alive connections. With a [state_dir], takes a final snapshot
+    after the workers drain so a clean shutdown restarts from a compact
+    snapshot with an empty journal. *)

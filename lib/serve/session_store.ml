@@ -1,5 +1,12 @@
 type 'a entry = { value : 'a; mutable last_used : float }
 
+type 'a event =
+  | Created of { id : string; value : 'a; at : float }
+  | Updated of { id : string; origin : string; value : 'a; at : float }
+  | Removed of { id : string }
+  | Expired of { id : string }
+  | Evicted of { id : string }
+
 type 'a t = {
   mutex : Mutex.t;
   table : (string, 'a entry) Hashtbl.t;
@@ -7,11 +14,12 @@ type 'a t = {
   ttl_s : float option;
   capacity : int option;
   now : unit -> float;
+  on_event : ('a event -> unit) option;
   mutable expired_total : int;
   mutable evicted_total : int;
 }
 
-let create ?ttl_s ?capacity ?(now = Unix.gettimeofday) () =
+let create ?ttl_s ?capacity ?(now = Unix.gettimeofday) ?on_event () =
   (match ttl_s with
   | Some ttl when not (ttl > 0.) ->
     invalid_arg "Session_store.create: ttl_s must be positive"
@@ -27,6 +35,7 @@ let create ?ttl_s ?capacity ?(now = Unix.gettimeofday) () =
     ttl_s;
     capacity;
     now;
+    on_event;
     expired_total = 0;
     evicted_total = 0;
   }
@@ -34,6 +43,11 @@ let create ?ttl_s ?capacity ?(now = Unix.gettimeofday) () =
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Fired with the lock held, immediately after the table change — the
+   durability hook sees mutations in effect order, and a mutating call
+   returns only after its event was handled (journaled). *)
+let emit t ev = match t.on_event with None -> () | Some f -> f ev
 
 (* Hygiene on every access (all call sites hold the lock): first drop
    entries idle past the TTL, then — only when about to insert — evict the
@@ -52,7 +66,8 @@ let purge_expired t =
     List.iter
       (fun id ->
         Hashtbl.remove t.table id;
-        t.expired_total <- t.expired_total + 1)
+        t.expired_total <- t.expired_total + 1;
+        emit t (Expired { id }))
       dead
 
 let evict_to_capacity t ~incoming =
@@ -79,7 +94,8 @@ let evict_to_capacity t ~incoming =
       | None -> assert false (* empty yet over capacity: impossible *)
       | Some (id, _) ->
         Hashtbl.remove t.table id;
-        t.evicted_total <- t.evicted_total + 1
+        t.evicted_total <- t.evicted_total + 1;
+        emit t (Evicted { id })
     done
 
 let add t value =
@@ -88,7 +104,9 @@ let add t value =
       evict_to_capacity t ~incoming:1;
       let id = Printf.sprintf "s%d" t.next in
       t.next <- t.next + 1;
-      Hashtbl.replace t.table id { value; last_used = t.now () };
+      let at = t.now () in
+      Hashtbl.replace t.table id { value; last_used = at };
+      emit t (Created { id; value; at });
       id)
 
 let find t id =
@@ -100,16 +118,35 @@ let find t id =
         e.last_used <- t.now ();
         Some e.value)
 
-let set t id value =
+let set ?(origin = "set") t id value =
   locked t (fun () ->
       purge_expired t;
-      Hashtbl.replace t.table id { value; last_used = t.now () })
+      let at = t.now () in
+      Hashtbl.replace t.table id { value; last_used = at };
+      emit t (Updated { id; origin; value; at }))
 
 let remove t id =
   locked t (fun () ->
       let present = Hashtbl.mem t.table id in
       Hashtbl.remove t.table id;
+      if present then emit t (Removed { id });
       present)
+
+(* Numeric suffix of "sN" ids, for collision-free id allocation after
+   recovery; foreign ids (never minted by [add]) don't constrain it. *)
+let id_number id =
+  if String.length id > 1 && id.[0] = 's' then
+    int_of_string_opt (String.sub id 1 (String.length id - 1))
+  else None
+
+let ensure_next t n = locked t (fun () -> t.next <- max t.next n)
+
+let restore t ~id ~last_used value =
+  locked t (fun () ->
+      Hashtbl.replace t.table id { value; last_used };
+      match id_number id with
+      | Some n -> t.next <- max t.next (n + 1)
+      | None -> ())
 
 let count t =
   locked t (fun () ->

@@ -1,5 +1,6 @@
 (** A thread-safe id → value store for server-resident sessions, with
-    optional idle-TTL expiry and LRU capacity eviction.
+    optional idle-TTL expiry, LRU capacity eviction, and mutation events
+    for the durability layer.
 
     Ids are deterministic ("s1", "s2", ...) so tests and curl transcripts
     are reproducible. Values are replaced wholesale with [set] — session
@@ -8,18 +9,44 @@
     Expiry is lazy: entries idle longer than the TTL are dropped on the
     next access (no background thread), and [add] additionally evicts the
     least-recently-used entries when the store is at capacity. [find] and
-    [set] refresh an entry's idle clock. *)
+    [set] refresh an entry's idle clock.
+
+    Every mutation — insert, replace, remove, TTL expiry, LRU eviction —
+    fires the [on_event] hook {e while holding the store lock and after
+    the table change}, so a journaling hook observes events in exactly
+    the order the mutations took effect, and a mutation is acknowledged
+    to the caller only once its event handler returned (a hook that
+    raises fails the mutating call after the in-memory change applied —
+    the caller surfaces the error and the next successful full-state
+    event or snapshot heals the journal). The hook must not call back
+    into this store. Reads ([find], [count], [ids]) never fire events:
+    recency refreshes are not durable state. *)
 
 type 'a t
 
+type 'a event =
+  | Created of { id : string; value : 'a; at : float }
+  | Updated of { id : string; origin : string; value : 'a; at : float }
+      (** [origin] labels the mutation for the journal ("add", "remove",
+          "size", or "set" when unlabelled). *)
+  | Removed of { id : string }
+  | Expired of { id : string }
+  | Evicted of { id : string }
+
 val create :
-  ?ttl_s:float -> ?capacity:int -> ?now:(unit -> float) -> unit -> 'a t
+  ?ttl_s:float ->
+  ?capacity:int ->
+  ?now:(unit -> float) ->
+  ?on_event:('a event -> unit) ->
+  unit ->
+  'a t
 (** [ttl_s]: drop entries idle (not accessed) longer than this many
     seconds; omit for no expiry. [capacity]: maximum live entries — adding
     past it evicts the least-recently-used; omit for unbounded. [now]
     (default [Unix.gettimeofday]) injects the clock for deterministic
-    tests. @raise Invalid_argument on a non-positive [ttl_s] or
-    [capacity]. *)
+    tests. [on_event] observes mutations (see above); omitting it keeps
+    every operation hook-free and allocation-identical to a plain store.
+    @raise Invalid_argument on a non-positive [ttl_s] or [capacity]. *)
 
 val add : 'a t -> 'a -> string
 (** Store a fresh value and return its id, evicting expired/LRU entries
@@ -29,11 +56,24 @@ val find : 'a t -> string -> 'a option
 (** Refreshes the entry's idle clock. An entry past its TTL is gone —
     [find] never resurrects it. *)
 
-val set : 'a t -> string -> 'a -> unit
-(** Replace (or re-create) the value under [id], refreshing its clock. *)
+val set : ?origin:string -> 'a t -> string -> 'a -> unit
+(** Replace (or re-create) the value under [id], refreshing its clock.
+    [origin] (default ["set"]) tags the resulting [Updated] event. *)
 
 val remove : 'a t -> string -> bool
 (** [true] if the id was present. *)
+
+val restore : 'a t -> id:string -> last_used:float -> 'a -> unit
+(** Recovery-only: install an entry under its pre-crash id with its
+    pre-crash idle clock, firing no event, and bump the id counter past
+    it so future [add]s never collide. Skips TTL/LRU hygiene — recovery
+    decides liveness by replaying expire/evict ops, not by re-judging
+    timestamps against a clock that kept running while the process was
+    down. *)
+
+val ensure_next : 'a t -> int -> unit
+(** Raise the id counter to at least [n] (recovery: ids must never be
+    reused even when every recovered session was deleted). *)
 
 val count : 'a t -> int
 (** Live (unexpired) entries. *)

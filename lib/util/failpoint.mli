@@ -13,7 +13,14 @@
     - ["pool.submit"] — {!Domain_pool.parallel_for} job submission
       (failures while fanning out across domains);
     - ["socket.write"] — before each HTTP response write in the server
-      (client gone mid-response). *)
+      (client gone mid-response);
+    - ["persist.append"] — before a journal record is written;
+    - ["persist.append.tear"] — between a journal record's header and
+      payload writes (a [kill -9] of a sleeper here leaves a torn tail);
+    - ["persist.fsync"] — before each journal fsync;
+    - ["persist.snapshot.rename"] / ["persist.snapshot.truncate"] —
+      before the snapshot's atomic rename / before the journal truncation
+      that follows it (crash windows of compaction). *)
 
 exception Injected of string
 (** Raised by a [Fail]-armed point; carries the point name. *)

@@ -20,8 +20,15 @@ type frame = {
 
 type builder = {
   mutable stack : frame list;
+  mutable depth : int;
+  max_depth : int;
   mutable root : Xml.element option;
 }
+
+let default_max_depth = 512
+
+(* Escapes [on_event] only; [parse_string] maps it to an [error]. *)
+exception Too_deep
 
 let flush_ws frame =
   match frame.pending_ws with
@@ -40,11 +47,14 @@ let add_child b node =
 let on_event b (event : Xml_sax.event) =
   match event with
   | Xml_sax.Start_element (tag, attrs) ->
+    if b.depth >= b.max_depth then raise Too_deep;
+    b.depth <- b.depth + 1;
     (match b.stack with frame :: _ -> drop_ws frame | [] -> ());
     b.stack <- { tag; attrs; children = []; pending_ws = None } :: b.stack
   | Xml_sax.End_element _ ->
     (match b.stack with
     | frame :: rest ->
+      b.depth <- b.depth - 1;
       drop_ws frame;
       let element =
         { Xml.tag = frame.tag; attrs = frame.attrs;
@@ -80,9 +90,16 @@ let on_event b (event : Xml_sax.event) =
     (match b.stack with frame :: _ -> drop_ws frame | [] -> ());
     add_child b (Xml.Pi (target, body))
 
-let parse_string src =
-  let b = { stack = []; root = None } in
+let parse_string ?(max_depth = default_max_depth) src =
+  if max_depth < 1 then invalid_arg "Xml_parse.parse_string: max_depth < 1";
+  let b = { stack = []; depth = 0; max_depth; root = None } in
   match Xml_sax.fold src ~init:() ~f:(fun () e -> on_event b e) with
+  | exception Too_deep ->
+    Error
+      { position = { line = 0; col = 0 };
+        message =
+          Printf.sprintf "element nesting deeper than %d (max_depth)"
+            max_depth }
   | Error e -> Error e
   | Ok () ->
     (match b.root with
@@ -91,7 +108,7 @@ let parse_string src =
       (* The scanner guarantees a root element on success. *)
       assert false)
 
-let parse_file path =
+let parse_file ?max_depth path =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -100,4 +117,4 @@ let parse_file path =
   with
   | exception Sys_error msg ->
     Error { position = { line = 0; col = 0 }; message = msg }
-  | src -> parse_string src
+  | src -> parse_string ?max_depth src

@@ -22,10 +22,17 @@ type error = Xml_sax.error = { position : position; message : string }
 val error_to_string : error -> string
 (** ["line L, column C: message"]. *)
 
-val parse_string : string -> (Xml.document, error) result
-(** Parse a complete document (exactly one root element; trailing content
-    other than whitespace, comments and PIs is an error). *)
+val default_max_depth : int
+(** 512 — deep enough for any real dataset, shallow enough that a hostile
+    document can't provoke unbounded recursion downstream. *)
 
-val parse_file : string -> (Xml.document, error) result
+val parse_string : ?max_depth:int -> string -> (Xml.document, error) result
+(** Parse a complete document (exactly one root element; trailing content
+    other than whitespace, comments and PIs is an error). Element nesting
+    deeper than [max_depth] (default {!default_max_depth}) is an [error]
+    (reported at position 0,0 — the document is rejected, not truncated).
+    @raise Invalid_argument if [max_depth < 1]. *)
+
+val parse_file : ?max_depth:int -> string -> (Xml.document, error) result
 (** [parse_file path] reads the file and parses it. I/O failures are mapped
     to an [error] at position 0,0. *)

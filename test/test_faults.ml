@@ -281,6 +281,47 @@ let test_session_capacity () =
   check Alcotest.int "eviction counted" 1 (Session_store.evicted_total store);
   check Alcotest.int "capacity held" 2 (Session_store.count store)
 
+(* Eviction order under mixed add/find/set traffic: both [find] and [set]
+   count as touches, so the victim is always the session idle longest —
+   not the one created earliest. *)
+let test_session_recency () =
+  let now = ref 0. in
+  let evicted = ref [] in
+  let on_event = function
+    | Session_store.Evicted { id } -> evicted := !evicted @ [ id ]
+    | _ -> ()
+  in
+  let store =
+    Session_store.create ~capacity:3 ~now:(fun () -> !now) ~on_event ()
+  in
+  let a = Session_store.add store "a" in
+  now := 1.;
+  let b = Session_store.add store "b" in
+  now := 2.;
+  let c = Session_store.add store "c" in
+  now := 3.;
+  ignore (Session_store.find store a);
+  (* a refreshed by the read *)
+  now := 4.;
+  Session_store.set store c "c2" (* c refreshed by the write *);
+  now := 5.;
+  let d = Session_store.add store "d" in
+  (* b — created second but idle longest — is the victim, not a *)
+  check Alcotest.(list string) "find and set both refresh" [ b ] !evicted;
+  check Alcotest.(option string) "victim gone" None
+    (Session_store.find store b);
+  check Alcotest.(option string) "read-refreshed survivor" (Some "a")
+    (Session_store.find store a);
+  (* that find just touched a at t=5; c (t=4) is now the LRU *)
+  now := 6.;
+  let _e = Session_store.add store "e" in
+  check Alcotest.(list string) "second victim is c" [ b; c ] !evicted;
+  check
+    Alcotest.(list string)
+    "survivors" (List.sort compare [ a; d; _e ])
+    (Session_store.ids store);
+  check Alcotest.int "evictions counted" 2 (Session_store.evicted_total store)
+
 (* ---- Server: deadlines, degradation, 504s (no sockets) ----------------------- *)
 
 let compare_body =
@@ -502,6 +543,8 @@ let () =
         [
           Alcotest.test_case "ttl expiry" `Quick test_session_ttl;
           Alcotest.test_case "lru capacity" `Quick test_session_capacity;
+          Alcotest.test_case "lru recency under mixed traffic" `Quick
+            test_session_recency;
         ] );
       ( "server",
         [

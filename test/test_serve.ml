@@ -506,6 +506,120 @@ let test_stop_with_idle_connections () =
     (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
     [ keep_alive; silent ]
 
+(* ---- Request limits: 431 on oversized headers, 413 on oversized body ---- *)
+
+let with_limits_server f =
+  let t = Server.create ~datasets:[ "product-reviews" ] ~cache_capacity:4 () in
+  let running = Server.start ~threads:2 ~port:0 t in
+  Fun.protect
+    ~finally:(fun () -> Server.stop running)
+    (fun () -> f (Server.port running))
+
+let with_raw_socket port f =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock addr;
+      f sock (Unix.in_channel_of_descr sock) (Unix.out_channel_of_descr sock))
+
+let test_header_limits () =
+  with_limits_server (fun port ->
+      (* 64 headers pass; the 65th is refused *)
+      with_raw_socket port (fun _ ic oc ->
+          Out_channel.output_string oc "GET /health HTTP/1.1\r\n";
+          for i = 1 to Http.max_headers do
+            Out_channel.output_string oc (Printf.sprintf "X-H%d: v\r\n" i)
+          done;
+          Out_channel.output_string oc "\r\n";
+          Out_channel.flush oc;
+          let status, _, _ = Http.read_response ic in
+          check Alcotest.int "max_headers exactly is fine" 200 status);
+      with_raw_socket port (fun _ ic oc ->
+          Out_channel.output_string oc "GET /health HTTP/1.1\r\n";
+          for i = 1 to Http.max_headers + 1 do
+            Out_channel.output_string oc (Printf.sprintf "X-H%d: v\r\n" i)
+          done;
+          Out_channel.output_string oc "\r\n";
+          Out_channel.flush oc;
+          let status, _, body = Http.read_response ic in
+          check Alcotest.int "too many headers" 431 status;
+          check Alcotest.bool "names the limit" true
+            (Xsact_util.Textutil.contains_substring body "64"));
+      (* one header line past the byte bound *)
+      with_raw_socket port (fun _ ic oc ->
+          Out_channel.output_string oc "GET /health HTTP/1.1\r\n";
+          Out_channel.output_string oc
+            ("X-Big: " ^ String.make Http.max_header_line_bytes 'a' ^ "\r\n\r\n");
+          Out_channel.flush oc;
+          let status, _, _ = Http.read_response ic in
+          check Alcotest.int "oversized header line" 431 status);
+      (* server still healthy afterwards *)
+      let status, _, _ = Http.request ~host:"127.0.0.1" ~port "/health" in
+      check Alcotest.int "still serving" 200 status)
+
+(* Regression: a client streaming 10 MiB of header must be refused after
+   ~8 KiB, with the response arriving long before the stream completes —
+   the server never buffers the flood. *)
+let test_header_stream_10mib () =
+  with_limits_server (fun port ->
+      with_raw_socket port (fun sock ic oc ->
+          Out_channel.output_string oc "GET /health HTTP/1.1\r\nX-Flood: ";
+          Out_channel.flush oc;
+          let chunk = String.make 65536 'z' in
+          let total = 10 * 1024 * 1024 in
+          let sent = ref 0 in
+          let refused_early = ref false in
+          (try
+             while !sent < total && not !refused_early do
+               (* stop flooding the moment the server has answered *)
+               let readable, _, _ = Unix.select [ sock ] [] [] 0. in
+               if readable <> [] then refused_early := true
+               else begin
+                 Out_channel.output_string oc chunk;
+                 Out_channel.flush oc;
+                 sent := !sent + String.length chunk
+               end
+             done
+           with Sys_error _ | Unix.Unix_error _ ->
+             (* server already closed on us: also an early refusal *)
+             refused_early := true);
+          check Alcotest.bool
+            (Printf.sprintf "refused before 10 MiB (sent %d)" !sent)
+            true
+            (!refused_early && !sent < total);
+          let status, _, _ = Http.read_response ic in
+          check Alcotest.int "431 on header flood" 431 status))
+
+let test_body_limits () =
+  with_limits_server (fun port ->
+      (* exactly max_body_bytes is read and dispatched (bad JSON, not 413) *)
+      with_raw_socket port (fun _ ic oc ->
+          Out_channel.output_string oc
+            (Printf.sprintf
+               "POST /compare HTTP/1.1\r\nContent-Length: %d\r\n\r\n"
+               Http.max_body_bytes);
+          Out_channel.output_string oc (String.make Http.max_body_bytes 'x');
+          Out_channel.flush oc;
+          let status, _, _ = Http.read_response ic in
+          check Alcotest.int "boundary body accepted" 400 status);
+      (* one byte past: refused up front, before any body is sent *)
+      with_raw_socket port (fun _ ic oc ->
+          Out_channel.output_string oc
+            (Printf.sprintf
+               "POST /compare HTTP/1.1\r\nContent-Length: %d\r\n\r\n"
+               (Http.max_body_bytes + 1));
+          Out_channel.flush oc;
+          let status, headers, body = Http.read_response ic in
+          check Alcotest.int "oversized body" 413 status;
+          check Alcotest.(option string) "closes the connection"
+            (Some "close")
+            (List.assoc_opt "connection" headers);
+          check Alcotest.bool "names the limit" true
+            (Xsact_util.Textutil.contains_substring body
+               (string_of_int Http.max_body_bytes))))
+
 let () =
   Alcotest.run "xsact_serve"
     [
@@ -546,5 +660,13 @@ let () =
           Alcotest.test_case "concurrent clients" `Quick test_e2e_concurrent;
           Alcotest.test_case "stop with idle connections" `Quick
             test_stop_with_idle_connections;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "header count and line bounds" `Quick
+            test_header_limits;
+          Alcotest.test_case "10 MiB header stream" `Quick
+            test_header_stream_10mib;
+          Alcotest.test_case "body size boundary" `Quick test_body_limits;
         ] );
     ]

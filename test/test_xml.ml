@@ -136,6 +136,37 @@ let test_parse_file_missing () =
   | Ok _ -> Alcotest.fail "expected error"
   | Error e -> check Alcotest.int "line 0 marker" 0 e.Xml_parse.position.line
 
+(* A hostile 10k-deep document must be rejected by the depth cap, not
+   crash anything downstream. *)
+let nested depth =
+  let buf = Buffer.create (depth * 7) in
+  for _ = 1 to depth do Buffer.add_string buf "<d>" done;
+  Buffer.add_string buf "x";
+  for _ = 1 to depth do Buffer.add_string buf "</d>" done;
+  Buffer.contents buf
+
+let test_err_too_deep () =
+  check Alcotest.int "cap is 512" 512 Xml_parse.default_max_depth;
+  let e = parse_err (nested 10_000) in
+  check Alcotest.bool "mentions depth" true
+    (contains e.Xml_parse.message "nesting deeper than 512");
+  (* exactly at the cap parses; one past fails *)
+  (match Xml_parse.parse_string (nested Xml_parse.default_max_depth) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth = cap rejected: %s" e.Xml_parse.message);
+  (match Xml_parse.parse_string (nested (Xml_parse.default_max_depth + 1)) with
+  | Ok _ -> Alcotest.fail "depth = cap + 1 accepted"
+  | Error _ -> ());
+  (* the knob is honored *)
+  (match Xml_parse.parse_string ~max_depth:3 (nested 4) with
+  | Ok _ -> Alcotest.fail "max_depth:3 accepted depth 4"
+  | Error e ->
+    check Alcotest.bool "mentions custom cap" true
+      (contains e.Xml_parse.message "deeper than 3"));
+  match Xml_parse.parse_string ~max_depth:10_001 (nested 10_000) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "raised cap rejected: %s" e.Xml_parse.message
+
 (* ---- Printer ------------------------------------------------------------- *)
 
 let test_print_escaping () =
@@ -520,6 +551,7 @@ let () =
           Alcotest.test_case "positions" `Quick test_err_positions;
           Alcotest.test_case "< in attr" `Quick test_err_lt_in_attr;
           Alcotest.test_case "missing file" `Quick test_parse_file_missing;
+          Alcotest.test_case "nesting depth cap" `Quick test_err_too_deep;
         ] );
       ( "print",
         [
