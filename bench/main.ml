@@ -973,6 +973,98 @@ let persist_bench () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ---- Incremental maintenance: delta operations vs full rebuild ----------------------------- *)
+
+(* E14: single add/remove latency, delta-maintained context vs batch
+   make_context, over growing result sets. Writes BENCH_incremental.json;
+   EXPERIMENTS.md E14 records the crossover and the asymptotics (the add
+   delta computes n pairs against the batch's n(n+1)/2; the remove delta
+   computes none). *)
+let incremental_bench () =
+  section
+    (Printf.sprintf "incremental -- context delta ops vs full rebuild%s"
+       (if !quick then " (quick)" else ""));
+  let ns = if !quick then [ 8; 16; 64 ] else [ 8; 16; 32; 64; 128; 256 ] in
+  let runs = if !quick then 3 else 5 in
+  Printf.printf "%5s | %12s %12s %8s | %12s %12s %8s\n" "n" "add delta"
+    "add full" "speedup" "rm delta" "rm full" "speedup";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let profiles =
+        Workload.synthetic_profiles ~seed:7 ~results:(n + 1) ~entities:3
+          ~types_per_entity:8 ~values_per_type:6 ~max_count:12
+      in
+      let base = Array.sub profiles 0 n in
+      let ctx_base = Dod.make_context ~domains:1 base in
+      let ctx_full = Dod.make_context ~domains:1 profiles in
+      (* sanity: the timed deltas really are the batch results *)
+      if not (Dod.equal_context ctx_full (Dod.add_result ~domains:1 ctx_base profiles.(n)))
+      then failwith "incremental bench: add delta diverged";
+      if not (Dod.equal_context ctx_base (Dod.remove_result ctx_full n)) then
+        failwith "incremental bench: remove delta diverged";
+      let _, add_delta =
+        Timing.time ~warmup:1 ~runs (fun () ->
+            Dod.add_result ~domains:1 ctx_base profiles.(n))
+      in
+      let _, add_full =
+        Timing.time ~warmup:1 ~runs (fun () ->
+            Dod.make_context ~domains:1 profiles)
+      in
+      let _, rm_delta =
+        Timing.time ~warmup:1 ~runs (fun () -> Dod.remove_result ctx_full n)
+      in
+      let _, rm_full =
+        Timing.time ~warmup:1 ~runs (fun () ->
+            Dod.make_context ~domains:1 base)
+      in
+      let speedup full delta =
+        if delta.Timing.median_s > 0. then
+          full.Timing.median_s /. delta.Timing.median_s
+        else Float.infinity
+      in
+      let add_x = speedup add_full add_delta
+      and rm_x = speedup rm_full rm_delta in
+      Printf.printf "%5d | %11.6fs %11.6fs %7.1fx | %11.6fs %11.6fs %7.1fx\n"
+        n add_delta.Timing.median_s add_full.Timing.median_s add_x
+        rm_delta.Timing.median_s rm_full.Timing.median_s rm_x;
+      rows :=
+        (n, add_delta.Timing.median_s, add_full.Timing.median_s, add_x,
+         rm_delta.Timing.median_s, rm_full.Timing.median_s, rm_x)
+        :: !rows)
+    ns;
+  let rows = List.rev !rows in
+  (match
+     List.find_opt (fun (_, _, _, add_x, _, _, rm_x) -> add_x >= 1. && rm_x >= 1.) rows
+   with
+  | Some (n, _, _, _, _, _, _) ->
+    Printf.printf
+      "\ncrossover: delta wins from n = %d up (below it the per-op \
+       bookkeeping rivals the tiny rebuild)\n"
+      n
+  | None -> print_endline "\ncrossover: delta never won in this sweep");
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\n";
+  Buffer.add_string json
+    (Printf.sprintf "  \"bench\": \"incremental\",\n  \"quick\": %b,\n" !quick);
+  Buffer.add_string json "  \"sweep\": [\n";
+  List.iteri
+    (fun k (n, ad, af, ax, rd, rf, rx) ->
+      Buffer.add_string json
+        (Printf.sprintf
+           "    {\"n\": %d, \"add_delta_s\": %.9f, \"add_full_s\": %.9f, \
+            \"add_speedup\": %.2f, \"remove_delta_s\": %.9f, \
+            \"remove_full_s\": %.9f, \"remove_speedup\": %.2f}%s\n"
+           n ad af ax rd rf rx
+           (if k = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string json "  ]\n}\n";
+  let path = "BENCH_incremental.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* ---- Registry ------------------------------------------------------------------------------ *)
 
 let targets =
@@ -993,6 +1085,7 @@ let targets =
     ("ext_weighting", ext_weighting);
     ("ext_spread", ext_spread);
     ("scale", scale);
+    ("incremental", incremental_bench);
     ("serve", serve_bench);
     ("persist", persist_bench);
     ("micro", micro);

@@ -7,7 +7,8 @@ open Cmdliner
 module Server = Xsact_server.Server
 
 let serve port threads cache domains datasets deadline_ms max_pending
-    session_ttl max_sessions state_dir fsync snapshot_every =
+    session_ttl max_sessions state_dir fsync snapshot_every no_incremental
+    context_cache max_context_mb =
   let datasets = match datasets with [] -> None | names -> Some names in
   let fsync =
     match Xsact_persist.Journal.policy_of_string fsync with
@@ -16,12 +17,19 @@ let serve port threads cache domains datasets deadline_ms max_pending
       prerr_endline ("xsact-serve: --fsync: " ^ msg);
       exit 1
   in
+  let max_context_bytes =
+    Option.map
+      (fun mb -> int_of_float (mb *. 1024. *. 1024.))
+      max_context_mb
+  in
   let server =
     try
       Ok
-        (Server.create ?datasets ~cache_capacity:cache ?domains ?deadline_ms
-           ?session_ttl_s:session_ttl ?max_sessions ?state_dir ~fsync
-           ~snapshot_every ())
+        (Server.create ?datasets ~cache_capacity:cache
+           ~context_cache_capacity:context_cache
+           ~incremental:(not no_incremental) ?max_context_bytes ?domains
+           ?deadline_ms ?session_ttl_s:session_ttl ?max_sessions ?state_dir
+           ~fsync ~snapshot_every ())
     with Invalid_argument msg -> Error msg
   in
   match server with
@@ -164,6 +172,34 @@ let snapshot_every_arg =
            (0 disables automatic compaction). Only meaningful with \
            --state-dir.")
 
+let no_incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Disable delta maintenance of session contexts and the \
+           warm-context cache behind POST /compare — every mutation \
+           rebuilds the pair tables from scratch. Responses are \
+           byte-identical either way; this is the ablation/baseline \
+           configuration.")
+
+let context_cache_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "context-cache" ] ~docv:"N"
+        ~doc:
+          "Warm-context LRU capacity for POST /compare (contexts reused \
+           across size bounds and algorithms over the same result set).")
+
+let max_context_mb_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "max-context-mb" ] ~docv:"MB"
+        ~doc:
+          "Byte budget for session-resident warm contexts; past it, \
+           least-recently-used sessions are demoted to cold (context \
+           dropped, rebuilt on next touch). Default: unbounded.")
+
 let cmd =
   let doc = "serve XSACT comparisons over a JSON HTTP API" in
   Cmd.v
@@ -171,6 +207,7 @@ let cmd =
     Term.(
       const serve $ port_arg $ threads_arg $ cache_arg $ domains_arg
       $ datasets_arg $ deadline_arg $ max_pending_arg $ session_ttl_arg
-      $ max_sessions_arg $ state_dir_arg $ fsync_arg $ snapshot_every_arg)
+      $ max_sessions_arg $ state_dir_arg $ fsync_arg $ snapshot_every_arg
+      $ no_incremental_arg $ context_cache_arg $ max_context_mb_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -3,6 +3,7 @@ type t = {
   weight : Feature.ftype -> int;
   algorithm : Algorithm.t;
   domains : int option;
+  incremental : bool;
 }
 
 let default =
@@ -11,6 +12,7 @@ let default =
     weight = Weighting.uniform;
     algorithm = Algorithm.Multi_swap;
     domains = None;
+    incremental = true;
   }
 
 let with_params params t = { t with params }
@@ -23,3 +25,4 @@ let with_domains domains t =
   { t with domains = Some domains }
 
 let with_default_domains t = { t with domains = None }
+let with_incremental incremental t = { t with incremental }

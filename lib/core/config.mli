@@ -20,6 +20,11 @@ type t = {
   domains : int option;
       (** domain-pool parallelism; [None] defers to
           {!Xsact_util.Domain_pool.default_domains} *)
+  incremental : bool;
+      (** maintain session contexts by delta ({!Dod.add_result} /
+          {!Dod.remove_result}) instead of full rebuilds. Output is
+          bit-identical either way — this is a cost knob (and the
+          ablation lever for benchmarks), not a semantics knob. *)
 }
 
 val default : t
@@ -35,3 +40,6 @@ val with_domains : int -> t -> t
 
 val with_default_domains : t -> t
 (** Back to the hardware-default parallelism ([domains = None]). *)
+
+val with_incremental : bool -> t -> t
+(** Toggle delta maintenance of session contexts (default [true]). *)

@@ -12,8 +12,22 @@ type link = {
   gap_other : int;
 }
 
+(* A pair's link table, before orientation: the shared types of results
+   (i, j), i < j, as (gi_i, gi_j, gap_i, gap_j) in the iteration order of
+   result i's type map. Pure data — a function of the two profiles and the
+   params only — which is what makes pairs independently computable and
+   cacheable across context mutations. *)
+module Pair_map = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
 type context = {
   params : params;
+  (* the weighting the context was built with, kept so delta operations
+     can weight types of results added later *)
+  weight_fn : Feature.ftype -> int;
   results : Result_profile.t array;
   (* links_table.(i).(gi) = all pair links of type gi of result i *)
   links_table : link list array array;
@@ -21,6 +35,19 @@ type context = {
   weights : int array array;
   (* per-result feature -> count, kept for witness explanations *)
   counts : int Feature.Map.t array;
+  (* per-result ftype -> global index, cached for delta recomputation *)
+  fmaps : int Feature.Ftype_map.t array;
+  (* ids.(i) = stable identity of result i. Contexts mutate only by
+     appending (add) and order-preserving filtering (remove), so ids are
+     strictly increasing with position — (ids.(i), ids.(j)) for i < j is
+     always (lo, hi), and a cached pair entry list never needs
+     re-orienting. *)
+  ids : int array;
+  next_id : int;
+  (* (id_lo, id_hi) -> that pair's entries. The links_table is a pure
+     fold of this map in canonical pair order, so deltas rebuild it by
+     replay instead of recomputing first-gap scans. *)
+  pairs : (int * int * int * int) list Pair_map.t;
 }
 
 let params c = c.params
@@ -87,41 +114,141 @@ let ftype_map (profile : Result_profile.t) =
    than the first_gap work it distributes. *)
 let min_pairs_per_domain = 8
 
-let make_context ?(params = default_params) ?(weight = fun _ -> 1) ?domains
-    ?deadline results =
-  if Array.length results < 2 then
-    invalid_arg "Dod.make_context: need at least two results";
-  Deadline.check deadline;
-  let domains =
-    match domains with
-    | Some d -> max 1 d
-    | None -> Domain_pool.default_domains ()
-  in
-  let weights =
-    Array.map
-      (fun profile ->
-        Array.init (Result_profile.num_types profile) (fun gi ->
-            let w = weight (Result_profile.type_info profile gi).ftype in
-            if w < 0 then invalid_arg "Dod.make_context: negative weight";
-            w))
-      results
-  in
+let resolve_domains = function
+  | Some d -> max 1 d
+  | None -> Domain_pool.default_domains ()
+
+let weights_row weight profile =
+  Array.init (Result_profile.num_types profile) (fun gi ->
+      let w = weight (Result_profile.type_info profile gi).Result_profile.ftype in
+      if w < 0 then invalid_arg "Dod.make_context: negative weight";
+      w)
+
+(* Shared types of pair (i, j) with both first-gap indices, in the
+   iteration order of result i's type map. Reads only immutable data, so
+   pairs are computed independently (and in parallel) in any order. *)
+let compute_pair params results counts fmaps i j =
+  let acc = ref [] in
+  Feature.Ftype_map.iter
+    (fun ftype gi_i ->
+      match Feature.Ftype_map.find_opt ftype fmaps.(j) with
+      | None -> ()
+      | Some gi_j ->
+        let ti = Result_profile.type_info results.(i) gi_i in
+        let tj = Result_profile.type_info results.(j) gi_j in
+        let gap_i = first_gap params results.(i) ti results.(j) counts.(j) in
+        let gap_j = first_gap params results.(j) tj results.(i) counts.(i) in
+        acc := (gi_i, gi_j, gap_i, gap_j) :: !acc)
+    fmaps.(i);
+  List.rev !acc
+
+(* Replay the cached pair entries into a fresh links_table, visiting the
+   unordered pairs (i, j), i < j, in row-major order and prepending each
+   entry's two oriented links — exactly the merge order of the original
+   batch build, so a table derived from any mix of cached and
+   freshly-computed pairs is bit-identical to a from-scratch one. O(total
+   links): no first-gap scans, no feature-map lookups. *)
+let derive_links_table results ids pairs =
   let n = Array.length results in
-  let counts = Array.map counts_map results in
-  let fmaps = Array.map ftype_map results in
   let links_table =
     Array.map
       (fun profile ->
         Array.make (Result_profile.num_types profile) ([] : link list))
       results
   in
-  (* The unordered pairs (i, j), i < j, flattened in the order the
-     sequential double loop visits them. Pair work (first_gap scans over the
-     shared types) is independent across pairs, so the pairs partition
-     across domains; each pair's links land in a private slot and a
-     sequential merge replays them in pair order, making the resulting
-     links_table bit-identical to the sequential build for every domain
-     count. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let entries =
+        match Pair_map.find_opt (ids.(i), ids.(j)) pairs with
+        | Some e -> e
+        | None -> invalid_arg "Dod: missing pair table"
+      in
+      List.iter
+        (fun (gi_i, gi_j, gap_i, gap_j) ->
+          links_table.(i).(gi_i) <-
+            { other = j; gi_other = gi_j; gap_self = gap_i; gap_other = gap_j }
+            :: links_table.(i).(gi_i);
+          links_table.(j).(gi_j) <-
+            { other = i; gi_other = gi_i; gap_self = gap_j; gap_other = gap_i }
+            :: links_table.(j).(gi_j))
+        entries
+    done
+  done;
+  links_table
+
+(* Extend a links_table for one appended result, bit-identically to a
+   batch rebuild over the extended array. In the batch's row-major merge,
+   every new pair (k, n) is the last pair of row k, so for an existing
+   result k the new links are the final prepends to its lists — they sit
+   at the head, with the old links behind them in their old order
+   (physically shared; [equal_context] and the tests compare
+   structurally). The appended result's own lists see pairs (0, n) …
+   (n−1, n) in that order, exactly the batch order. O(n × types), not the
+   O(n²) of a full replay. *)
+let extend_links_table links_table results new_buffers =
+  let n = Array.length links_table in
+  let table =
+    Array.init (n + 1) (fun k ->
+        if k < n then Array.copy links_table.(k)
+        else
+          Array.make (Result_profile.num_types results.(n)) ([] : link list))
+  in
+  for k = 0 to n - 1 do
+    List.iter
+      (fun (gi_k, gi_n, gap_k, gap_n) ->
+        table.(k).(gi_k) <-
+          { other = n; gi_other = gi_n; gap_self = gap_k; gap_other = gap_n }
+          :: table.(k).(gi_k);
+        table.(n).(gi_n) <-
+          { other = k; gi_other = gi_k; gap_self = gap_n; gap_other = gap_k }
+          :: table.(n).(gi_n))
+      new_buffers.(k)
+  done;
+  table
+
+(* Shrink a links_table past a removed result: drop its links from every
+   survivor and shift the indices above it down. Filtering preserves the
+   survivors' relative order, and reindexing is monotone, so each list is
+   exactly what the batch merge over the survivor array produces — no
+   first-gap scans, no pair replays, and links below the removed index are
+   reused physically. *)
+let shrink_links_table links_table index =
+  let n = Array.length links_table in
+  Array.init (n - 1) (fun k' ->
+      let k = if k' < index then k' else k' + 1 in
+      Array.map
+        (List.filter_map (fun l ->
+             if l.other = index then None
+             else if l.other > index then Some { l with other = l.other - 1 }
+             else Some l))
+        links_table.(k))
+
+(* Compute the entry lists for an explicit worklist of pairs, sequentially
+   or on the domain pool. A context is all-or-nothing — a partially linked
+   table would silently change the objective — so a tripped deadline raises
+   Deadline.Expired (between pairs, or inside parallel_for between chunks)
+   instead of returning something degraded. *)
+let compute_pairs ~domains ?deadline params results counts fmaps pair_i pair_j =
+  let npairs = Array.length pair_i in
+  let buffers = Array.make npairs [] in
+  if domains = 1 || npairs < min_pairs_per_domain * domains then
+    for p = 0 to npairs - 1 do
+      Deadline.check deadline;
+      buffers.(p) <-
+        compute_pair params results counts fmaps pair_i.(p) pair_j.(p)
+    done
+  else begin
+    let pool = Domain_pool.get ~domains in
+    Domain_pool.parallel_for ?deadline pool ~n:npairs ~chunk:(fun lo hi ->
+        for p = lo to hi - 1 do
+          buffers.(p) <-
+            compute_pair params results counts fmaps pair_i.(p) pair_j.(p)
+        done)
+  end;
+  buffers
+
+(* All unordered pairs (i, j), i < j, flattened in row-major order. *)
+let all_pairs n =
   let npairs = n * (n - 1) / 2 in
   let pair_i = Array.make npairs 0 and pair_j = Array.make npairs 0 in
   let p = ref 0 in
@@ -132,55 +259,172 @@ let make_context ?(params = default_params) ?(weight = fun _ -> 1) ?domains
       incr p
     done
   done;
-  (* Shared types of pair [p], with both first-gap indices, in the
-     iteration order of result i's type map. Reads only immutable data. *)
-  let compute_pair p =
-    let i = pair_i.(p) and j = pair_j.(p) in
-    let acc = ref [] in
-    Feature.Ftype_map.iter
-      (fun ftype gi_i ->
-        match Feature.Ftype_map.find_opt ftype fmaps.(j) with
-        | None -> ()
-        | Some gi_j ->
-          let ti = Result_profile.type_info results.(i) gi_i in
-          let tj = Result_profile.type_info results.(j) gi_j in
-          let gap_i = first_gap params results.(i) ti results.(j) counts.(j) in
-          let gap_j = first_gap params results.(j) tj results.(i) counts.(i) in
-          acc := (gi_i, gi_j, gap_i, gap_j) :: !acc)
-      fmaps.(i);
-    List.rev !acc
+  (pair_i, pair_j)
+
+let make_context ?(params = default_params) ?(weight = fun _ -> 1) ?domains
+    ?deadline results =
+  if Array.length results < 2 then
+    invalid_arg "Dod.make_context: need at least two results";
+  Deadline.check deadline;
+  let domains = resolve_domains domains in
+  let weights = Array.map (weights_row weight) results in
+  let n = Array.length results in
+  let counts = Array.map counts_map results in
+  let fmaps = Array.map ftype_map results in
+  let pair_i, pair_j = all_pairs n in
+  let buffers =
+    compute_pairs ~domains ?deadline params results counts fmaps pair_i pair_j
   in
-  let merge_pair p entries =
-    let i = pair_i.(p) and j = pair_j.(p) in
-    List.iter
-      (fun (gi_i, gi_j, gap_i, gap_j) ->
-        links_table.(i).(gi_i) <-
-          { other = j; gi_other = gi_j; gap_self = gap_i; gap_other = gap_j }
-          :: links_table.(i).(gi_i);
-        links_table.(j).(gi_j) <-
-          { other = i; gi_other = gi_i; gap_self = gap_j; gap_other = gap_i }
-          :: links_table.(j).(gi_j))
-      entries
+  let ids = Array.init n (fun i -> i) in
+  let pairs = ref Pair_map.empty in
+  Array.iteri
+    (fun p entries ->
+      pairs := Pair_map.add (pair_i.(p), pair_j.(p)) entries !pairs)
+    buffers;
+  let links_table = derive_links_table results ids !pairs in
+  {
+    params;
+    weight_fn = weight;
+    results;
+    links_table;
+    weights;
+    counts;
+    fmaps;
+    ids;
+    next_id = n;
+    pairs = !pairs;
+  }
+
+(* {2 Delta operations}
+
+   All three return a fresh context sharing the surviving pair entry lists
+   with the input — the input context stays fully usable (sessions keep
+   their history, and a deadline tripping mid-delta leaves it intact).
+   Because [compute_pair] is a pure function of the two profiles and the
+   params, and the table surgery ([extend_links_table] /
+   [shrink_links_table]) reproduces the canonical batch merge order,
+   every delta result is bit-identical to [make_context] over the same
+   result array. *)
+
+let add_result ?domains ?deadline c profile =
+  Deadline.check deadline;
+  let domains = resolve_domains domains in
+  let n = Array.length c.results in
+  let results = Array.append c.results [| profile |] in
+  let weights = Array.append c.weights [| weights_row c.weight_fn profile |] in
+  let counts = Array.append c.counts [| counts_map profile |] in
+  let fmaps = Array.append c.fmaps [| ftype_map profile |] in
+  let ids = Array.append c.ids [| c.next_id |] in
+  (* only the n new pairs (i, n), i < n — the surviving O(n²) are cached *)
+  let pair_i = Array.init n (fun i -> i) in
+  let pair_j = Array.make n n in
+  let buffers =
+    compute_pairs ~domains ?deadline c.params results counts fmaps pair_i
+      pair_j
   in
-  (* A context is all-or-nothing — a partially linked table would silently
-     change the objective — so a tripped deadline raises Deadline.Expired
-     (here between pairs, or inside parallel_for between chunks) instead
-     of returning something degraded. *)
-  if domains = 1 || npairs < min_pairs_per_domain * domains then
-    for p = 0 to npairs - 1 do
-      Deadline.check deadline;
-      merge_pair p (compute_pair p)
-    done
+  let pairs = ref c.pairs in
+  Array.iteri
+    (fun i entries -> pairs := Pair_map.add (c.ids.(i), c.next_id) entries !pairs)
+    buffers;
+  let links_table = extend_links_table c.links_table results buffers in
+  {
+    c with
+    results;
+    weights;
+    counts;
+    fmaps;
+    ids;
+    next_id = c.next_id + 1;
+    pairs = !pairs;
+    links_table;
+  }
+
+let remove_result c index =
+  let n = Array.length c.results in
+  if index < 0 || index >= n then
+    invalid_arg "Dod.remove_result: index out of range";
+  if n <= 2 then invalid_arg "Dod.remove_result: need at least two results";
+  let removed = c.ids.(index) in
+  let keep = Array.init (n - 1) (fun i -> if i < index then i else i + 1) in
+  let take a = Array.map (fun i -> a.(i)) keep in
+  let results = take c.results in
+  let weights = take c.weights in
+  let counts = take c.counts in
+  let fmaps = take c.fmaps in
+  let ids = take c.ids in
+  let pairs =
+    Pair_map.filter (fun (a, b) _ -> a <> removed && b <> removed) c.pairs
+  in
+  let links_table = shrink_links_table c.links_table index in
+  { c with results; weights; counts; fmaps; ids; pairs; links_table }
+
+let reparams ?params ?weight ?domains ?deadline c =
+  Deadline.check deadline;
+  let weight_fn = match weight with Some w -> w | None -> c.weight_fn in
+  let weights =
+    match weight with
+    | Some _ -> Array.map (weights_row weight_fn) c.results
+    | None -> c.weights
+  in
+  let params_changed =
+    match params with Some p -> p <> c.params | None -> false
+  in
+  if not params_changed then { c with weight_fn; weights }
   else begin
-    let pool = Domain_pool.get ~domains in
-    let buffers = Array.make npairs [] in
-    Domain_pool.parallel_for ?deadline pool ~n:npairs ~chunk:(fun lo hi ->
-        for p = lo to hi - 1 do
-          buffers.(p) <- compute_pair p
-        done);
-    Array.iteri merge_pair buffers
-  end;
-  { params; results; links_table; weights; counts }
+    (* threshold/measure feed the first-gap scans, so every pair entry is
+       stale — recompute them all (still reusing counts and type maps) *)
+    let params = Option.get params in
+    let domains = resolve_domains domains in
+    let n = Array.length c.results in
+    let pair_i, pair_j = all_pairs n in
+    let buffers =
+      compute_pairs ~domains ?deadline params c.results c.counts c.fmaps
+        pair_i pair_j
+    in
+    let pairs = ref Pair_map.empty in
+    Array.iteri
+      (fun p entries ->
+        pairs :=
+          Pair_map.add (c.ids.(pair_i.(p)), c.ids.(pair_j.(p))) entries !pairs)
+      buffers;
+    let links_table = derive_links_table c.results c.ids !pairs in
+    { c with params; weight_fn; weights; pairs = !pairs; links_table }
+  end
+
+(* {2 Observation helpers for the serve layer and tests} *)
+
+let equal_context a b =
+  a.params = b.params
+  && Array.length a.results = Array.length b.results
+  && Array.for_all2 (fun (x : Result_profile.t) y -> x == y) a.results b.results
+  && a.links_table = b.links_table
+  && a.weights = b.weights
+  && Array.for_all2 (Feature.Map.equal ( = )) a.counts b.counts
+
+let num_pair_tables c = Pair_map.cardinal c.pairs
+
+let approx_bytes c =
+  (* rough heap words: links (record of 4 + header + cons = 8 words each),
+     cached pair entries (4-tuple + cons = 8), map/array spines, and the
+     per-result count and type maps (~6 words per AVL binding; keys are
+     shared with the profiles and not charged here) *)
+  let words = ref 64 in
+  Array.iter
+    (fun per_type ->
+      words := !words + Array.length per_type + 2;
+      Array.iter
+        (fun links -> words := !words + (8 * List.length links))
+        per_type)
+    c.links_table;
+  Pair_map.iter
+    (fun _ entries -> words := !words + 8 + (8 * List.length entries))
+    c.pairs;
+  Array.iter (fun m -> words := !words + (6 * Feature.Map.cardinal m)) c.counts;
+  Array.iter
+    (fun m -> words := !words + (6 * Feature.Ftype_map.cardinal m))
+    c.fmaps;
+  Array.iter (fun w -> words := !words + Array.length w + 2) c.weights;
+  !words * (Sys.word_size / 8)
 
 let links c ~i ~gi = c.links_table.(i).(gi)
 

@@ -62,6 +62,71 @@ val make_context :
 val weight_of : context -> i:int -> gi:int -> int
 (** The weight of a type of result [i] under the context's weighting. *)
 
+(** {1 Delta operations}
+
+    A context caches each pair's precomputed table independently, keyed by
+    stable result identities, so mutations recompute only the pairs they
+    touch and replay the rest. All three operations return a {e new}
+    context — the input stays fully usable, which is what lets sessions
+    keep history and lets a deadline tripping mid-delta leave the live
+    context intact — and the result is {e bit-identical} to a fresh
+    {!make_context} over the same result array (same params, weighting and
+    domain-count independence as the batch build). *)
+
+val add_result :
+  ?domains:int ->
+  ?deadline:Xsact_util.Deadline.t ->
+  context ->
+  Result_profile.t ->
+  context
+(** Append one result: computes only the [n] new pairs against the
+    existing results (on the domain pool when the worklist is large
+    enough) and splices their links onto the live table — the untouched
+    lists are shared, not replayed. O(n × shared types × features)
+    instead of the batch O(n² × …).
+    @raise Xsact_util.Deadline.Expired on a tripped deadline (the input
+    context is untouched).
+    @raise Invalid_argument if the context's weighting is negative on one
+    of the new result's types. *)
+
+val remove_result : context -> int -> context
+(** Drop the result at an index: discards its [n - 1] pair tables and
+    filters its links out of the survivors' lists — no first-gap scan,
+    no pair replay.
+    @raise Invalid_argument if the index is out of range or the context
+    has only two results (a context needs at least two). *)
+
+val reparams :
+  ?params:params ->
+  ?weight:(Feature.ftype -> int) ->
+  ?domains:int ->
+  ?deadline:Xsact_util.Deadline.t ->
+  context ->
+  context
+(** Re-derive the context under new parameters and/or weighting without
+    re-extracting profiles. A weighting change alone rebuilds just the
+    weight rows (the pair tables don't depend on weights); a [params]
+    change invalidates the first-gap data and recomputes every pair, but
+    still reuses the per-result count and type maps.
+    @raise Xsact_util.Deadline.Expired on a tripped deadline.
+    @raise Invalid_argument on a negative weight. *)
+
+val equal_context : context -> context -> bool
+(** Observable equality: same params, the same result profiles
+    (physically), and structurally identical link tables, weight rows and
+    count maps — the bit-identity contract the delta operations promise
+    against {!make_context}. Internal cache bookkeeping (stable ids) is
+    deliberately ignored. *)
+
+val num_pair_tables : context -> int
+(** Cached per-pair tables currently held — [n (n - 1) / 2]. *)
+
+val approx_bytes : context -> int
+(** Rough heap footprint of the context (link tables, cached pair
+    entries, count/type maps) in bytes — the currency of the serve
+    layer's warm-context memory budget. An estimate from heap-word
+    accounting, not a measurement. *)
+
 val params : context -> params
 val results : context -> Result_profile.t array
 val num_results : context -> int

@@ -29,6 +29,7 @@ let profile_of ?(prune = Result_builder.Full) ?(keywords = "") t
 type comparison = {
   keywords : string;
   profiles : Result_profile.t array;
+  context : Dod.context;
   dfss : Dfs.t array;
   dod : int;
   table : Table.t;
@@ -38,20 +39,30 @@ type comparison = {
   degraded : bool;
 }
 
-let compare_profiles ?(config = Config.default) ?deadline ~keywords
+let compare_profiles ?(config = Config.default) ?deadline ?context ~keywords
     ~size_bound profiles =
-  let { Config.params; weight; algorithm; domains } = config in
+  let { Config.params; weight; algorithm; domains; incremental = _ } =
+    config
+  in
   if Array.length profiles < 2 then
     Error (Error.Too_few_selected (Array.length profiles))
   else if size_bound < 1 then Error (Error.Bound_too_small size_bound)
   else if Xsact_util.Deadline.over deadline then Error Error.Timeout
   else begin
+    (match context with
+    | Some c when Dod.num_results c <> Array.length profiles ->
+      invalid_arg "Pipeline.compare_profiles: context arity mismatch"
+    | _ -> ());
     (* The context build is all-or-nothing: a deadline tripping inside it
        raises Expired, and with no complete round of anything there is no
        best-so-far to degrade to — that is the one Timeout error path.
-       Past the context, generation is anytime and only ever degrades. *)
+       Past the context, generation is anytime and only ever degrades. A
+       caller-supplied warm [context] (the server's context cache) skips
+       the build entirely. *)
     match
-      Dod.make_context ~params ~weight ?domains ?deadline profiles
+      match context with
+      | Some c -> c
+      | None -> Dod.make_context ~params ~weight ?domains ?deadline profiles
     with
     | exception Xsact_util.Deadline.Expired -> Error Error.Timeout
     | context ->
@@ -75,6 +86,7 @@ let compare_profiles ?(config = Config.default) ?deadline ~keywords
         {
           keywords;
           profiles;
+          context;
           dfss;
           dod = Dod.total context dfss;
           table;

@@ -22,6 +22,10 @@ val profile_of :
 type comparison = {
   keywords : string;
   profiles : Result_profile.t array;  (** the compared results, in order *)
+  context : Dod.context;
+      (** the precomputed pair tables the DFSs were generated from —
+          returned so callers (the server's context cache) can reuse them
+          for later requests over the same result set *)
   dfss : Dfs.t array;
   dod : int;  (** total DoD of the generated DFSs *)
   table : Table.t;
@@ -65,9 +69,14 @@ val compare :
 val compare_profiles :
   ?config:Config.t ->
   ?deadline:Xsact_util.Deadline.t ->
+  ?context:Dod.context ->
   keywords:string ->
   size_bound:int ->
   Result_profile.t array ->
   (comparison, Error.t) result
 (** Same, starting from already-extracted profiles (used by benches and by
-    callers that assemble results by hand). *)
+    callers that assemble results by hand). A warm [context] — e.g. one a
+    previous comparison over the same profiles returned — skips the pair
+    table build entirely; it must have been built over exactly these
+    profiles with the same params/weighting ([Invalid_argument] on an
+    arity mismatch; the rest is the caller's contract). *)

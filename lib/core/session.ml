@@ -18,12 +18,14 @@ let generate ?init session context =
   | alg, _ ->
     Algorithm.generate ?domains alg context ~limit:session.size_bound
 
-let make_context config profiles =
+let make_context ?deadline config profiles =
   Dod.make_context ~params:config.Config.params
-    ~weight:config.Config.weight ?domains:config.Config.domains profiles
+    ~weight:config.Config.weight ?domains:config.Config.domains ?deadline
+    profiles
 
-let rebuild ?init session profiles =
-  let context = make_context session.config profiles in
+(* Adopt an already-maintained context (delta-updated or rebuilt) and
+   regenerate the DFSs from it, warm-started when [init] is given. *)
+let regenerate ?init session context profiles =
   let session = { session with profiles; context } in
   let dfss = generate ?init session context in
   { session with dfss }
@@ -56,24 +58,33 @@ let profiles s = s.profiles
 let dfss s = s.dfss
 let dod s = Dod.total s.context s.dfss
 let size_bound s = s.size_bound
+let context s = s.context
 let table s = Table.build ~size_bound:s.size_bound s.context s.dfss
 let stats s = !(s.runs)
 
-let add s profile =
+let add ?deadline s profile =
+  Deadline.check deadline;
   let profiles = Array.append s.profiles [| profile |] in
   (* Warm start: every existing DFS (its profile is unchanged) plus a top-k
      seed for the newcomer. *)
   let init =
     Array.append s.dfss [| Topk.generate_one ~limit:s.size_bound profile |]
   in
-  rebuild ~init s profiles
+  let context =
+    if s.config.Config.incremental then
+      Dod.add_result ?domains:s.config.Config.domains ?deadline s.context
+        profile
+    else make_context ?deadline s.config profiles
+  in
+  regenerate ~init s context profiles
 
-let remove s index =
+let remove ?deadline s index =
   let n = Array.length s.profiles in
   if index < 0 || index >= n then
     Error (Error.Index_out_of_range { index; length = n })
   else if n <= 2 then Error (Error.Too_few_selected (n - 1))
   else begin
+    Deadline.check deadline;
     let keep i = i <> index in
     let profiles =
       Array.of_list
@@ -82,17 +93,53 @@ let remove s index =
     let init =
       Array.of_list (List.filteri (fun i _ -> keep i) (Array.to_list s.dfss))
     in
-    Ok (rebuild ~init s profiles)
+    let context =
+      if s.config.Config.incremental then Dod.remove_result s.context index
+      else make_context ?deadline s.config profiles
+    in
+    Ok (regenerate ~init s context profiles)
   end
 
-let set_size_bound s size_bound =
+(* Shrink a DFS to the bound by repeatedly unselecting one feature of its
+   globally least significant selected type. Entity type ranges are
+   contiguous and significance-descending, so the largest selected global
+   index never has a strictly less significant selected type in its entity
+   — closing it is always legal (Desideratum 2), and every intermediate
+   vector stays downward-closed. Deterministic: no search, no ties. *)
+let truncate ~limit d =
+  if Dfs.size d <= limit then d
+  else begin
+    let q = Dfs.to_q_array d in
+    let size = ref (Dfs.size d) in
+    let gi = ref (Array.length q - 1) in
+    while !size > limit do
+      if q.(!gi) > 0 then begin
+        q.(!gi) <- q.(!gi) - 1;
+        decr size
+      end
+      else decr gi
+    done;
+    Dfs.of_q_array (Dfs.profile d) q
+  end
+
+let set_size_bound ?deadline s size_bound =
   if size_bound < 1 then Error (Error.Bound_too_small size_bound)
   else if size_bound = s.size_bound then Ok s
-  else
+  else begin
+    Deadline.check deadline;
     let s' = { s with size_bound } in
-    if size_bound > s.size_bound then
-      (* Growing keeps every current DFS valid: warm start. *)
-      Ok (rebuild ~init:s.dfss s' s.profiles)
-    else
-      (* Shrinking may invalidate selections: restart from scratch. *)
-      Ok (rebuild s' s.profiles)
+    (* Growing keeps every current DFS valid; shrinking warm-starts from
+       the truncated prefix, valid by the Validity ordering. The context
+       does not depend on the bound at all, so the live one is reused
+       verbatim (non-incremental mode rebuilds it, as the ablation
+       baseline). *)
+    let init =
+      if size_bound > s.size_bound then s.dfss
+      else Array.map (truncate ~limit:size_bound) s.dfss
+    in
+    let context =
+      if s.config.Config.incremental then s.context
+      else make_context ?deadline s.config s.profiles
+    in
+    Ok (regenerate ~init s' context s.profiles)
+  end

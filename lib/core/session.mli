@@ -9,8 +9,15 @@
     applies to the two swap algorithms; the other methods recompute - they
     are cheap or stochastic by nature.)
 
+    The precomputed {!Dod.context} is maintained the same way: mutations
+    update it by delta ({!Dod.add_result} / {!Dod.remove_result}) instead
+    of rebuilding the O(n²) pair tables, and resizing reuses it verbatim —
+    bit-identical to a fresh build in every case. [Config.incremental =
+    false] restores full rebuilds as an ablation baseline.
+
     Sessions are immutable: every operation returns a new session, so the
-    UI's undo is free. *)
+    UI's undo is free — and a deadline tripping mid-mutation leaves the
+    input session (context included) fully usable. *)
 
 type t
 
@@ -32,21 +39,37 @@ val profiles : t -> Result_profile.t array
 val dfss : t -> Dfs.t array
 val dod : t -> int
 val size_bound : t -> int
+
+val context : t -> Dod.context
+(** The live precomputed pair tables — what the serve layer keeps warm
+    across requests and accounts for in its memory budget. *)
+
 val table : t -> Table.t
 (** Built on demand from the current state. *)
 
-(** {1 Operations} *)
+(** {1 Operations}
 
-val add : t -> Result_profile.t -> t
-(** Add one result to the comparison (appended last). *)
+    Each operation takes an optional [deadline] bounding the context
+    maintenance (the anytime DFS regeneration that follows is not
+    deadline-bound — warm-started, it is cheap). A tripped deadline raises
+    {!Xsact_util.Deadline.Expired} and leaves the input session intact. *)
 
-val remove : t -> int -> (t, Error.t) result
-(** Remove the result at 0-based index; fails with [Index_out_of_range]
+val add : ?deadline:Xsact_util.Deadline.t -> t -> Result_profile.t -> t
+(** Add one result to the comparison (appended last). Computes only the
+    n−1 new context pairs (delta), then warm-starts generation. *)
+
+val remove : ?deadline:Xsact_util.Deadline.t -> t -> int -> (t, Error.t) result
+(** Remove the result at 0-based index; drops that result's pair tables
+    without recomputing the survivors. Fails with [Index_out_of_range]
     when out of range, [Too_few_selected] when only two results remain. *)
 
-val set_size_bound : t -> int -> (t, Error.t) result
-(** Change L. Shrinking restarts from scratch (old selections may violate
-    the bound); growing warm-starts. Fails with [Bound_too_small]. *)
+val set_size_bound : ?deadline:Xsact_util.Deadline.t -> t -> int -> (t, Error.t) result
+(** Change L, reusing the live context (it does not depend on the bound).
+    Growing warm-starts from the current DFSs; shrinking warm-starts from
+    their truncated prefixes — dropping features from the least
+    significant selected types keeps every intermediate DFS valid
+    (Desideratum 2), so no cold restart is needed. Fails with
+    [Bound_too_small]. *)
 
 val stats : t -> int
 (** Number of algorithm invocations performed by this session so far

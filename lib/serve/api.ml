@@ -143,6 +143,25 @@ let cache_key r =
     weights
     (match r.domains with Some d -> string_of_int d | None -> "default")
 
+let context_key r =
+  let select =
+    match r.select with
+    | Some ranks -> String.concat "," (List.map string_of_int ranks)
+    | None -> Printf.sprintf "top%d" r.top
+  in
+  let weights =
+    String.concat ","
+      (List.map (fun (pat, w) -> Printf.sprintf "%s:%d" pat w) r.weights)
+  in
+  (* No size_bound, algorithm or domains: the pair tables depend on none
+     of them (the parallel build is bit-identical across domain counts),
+     so one warm context serves every resize and algorithm switch over the
+     same result set. *)
+  Printf.sprintf "ds=%s&q=%s&sel=%s&thr=%g&measure=%s&w=%s" r.dataset
+    r.keywords select r.threshold_pct
+    (match r.measure with Dod.Raw -> "raw" | Dod.Rate -> "rate")
+    weights
+
 let to_config r =
   let weight =
     match r.weights with

@@ -40,6 +40,14 @@ val cache_key : compare_request -> string
 (** Canonical string over every field that affects the response body.
     Equal requests (after normalization) have equal keys. *)
 
+val context_key : compare_request -> string
+(** Canonical string over the fields that determine the {!Dod.context}:
+    dataset, keywords, selection, threshold, measure and weights — {e not}
+    [size_bound], [algorithm] or [domains], none of which the pair tables
+    depend on (the parallel build is bit-identical across domain counts).
+    Requests sharing a context key can reuse one warm context across
+    resizes and algorithm switches. *)
+
 val to_config : compare_request -> Config.t
 
 val status_of_error : Error.t -> int

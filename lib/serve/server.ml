@@ -8,15 +8,47 @@ type session_entry = {
   s_session : Session.t;
 }
 
+(* A stored session is either warm — the resident [Session.t] with its
+   live pair-table context — or cold: just the deterministic recipe
+   (originating request, current selection, current bound) that
+   [build_session_entry] rebuilds the same bytes from. Recovery restores
+   cold cells and the first touch rewarms them (so recovery latency no
+   longer pays for sessions nobody asks for), and the warm-context memory
+   budget demotes least-recently-used cells back to cold. The [state]
+   field is only ever mutated under [session_update]; concurrent readers
+   observe one atomic word. *)
+type cold_session = {
+  c_request : Api.compare_request;
+  c_ranks : int list;
+  c_size_bound : int;
+}
+
+type session_state = Warm of session_entry | Cold of cold_session
+
+type stored_session = { mutable state : session_state }
+
+let cold_of_entry se =
+  {
+    c_request = se.s_request;
+    c_ranks = se.s_ranks;
+    c_size_bound = Session.size_bound se.s_session;
+  }
+
 type t = {
   entries : (string * entry) list;
   cache : string Lru.t;  (* cache_key -> response body; under [lock] *)
-  lock : Mutex.t;  (* guards [cache] and [inflight] — O(1) sections only *)
+  ctx_cache : (Result_profile.t array * Dod.context) Lru.t;
+      (* context_key -> warm pair tables for /compare; under [lock] *)
+  lock : Mutex.t;  (* guards [cache], [ctx_cache] and [inflight] — O(1)
+                      sections only *)
   inflight : (string, unit) Hashtbl.t;  (* compare keys being computed *)
   inflight_done : Condition.t;  (* signalled when an inflight key retires *)
-  session_update : Mutex.t;  (* serializes session read-modify-write *)
+  session_update : Mutex.t;  (* serializes session read-modify-write,
+                                including Warm/Cold state transitions *)
   metrics : Metrics.t;
-  sessions : session_entry Session_store.t;
+  sessions : stored_session Session_store.t;
+  incremental : bool;  (* delta context maintenance (false = ablation) *)
+  max_context_bytes : int option;  (* warm-context memory budget *)
   default_domains : int option;
   default_deadline_ms : int option;  (* per-request compare budget *)
   max_deadline_ms : int;  (* cap on the X-Deadline-Ms override *)
@@ -183,6 +215,9 @@ let decode_compare_body req =
 
 let request_config t (creq : Api.compare_request) =
   let config = Api.to_config creq in
+  let config =
+    if t.incremental then config else Config.with_incremental false config
+  in
   match (creq.Api.domains, t.default_domains) with
   | None, Some d -> Config.with_domains d config
   | _ -> config
@@ -267,11 +302,33 @@ let handle_compare t req _params =
         in
         Fun.protect ~finally:retire (fun () ->
             let config = request_config t creq in
-            match
-              Pipeline.compare ~config ?deadline ?select:creq.Api.select
-                ~top:creq.Api.top entry.pipeline ~keywords:creq.Api.keywords
-                ~size_bound:creq.Api.size_bound
-            with
+            (* Warm-context fast path: a previous comparison over the same
+               result set (any size bound, any algorithm — the pair tables
+               depend on neither) left its context and profiles in
+               [ctx_cache]; reuse skips search, extraction and the O(n²)
+               pair-table build, and is byte-identical because the cached
+               context is bit-identical to the one a fresh build would
+               produce. *)
+            let ctx_key = Api.context_key creq in
+            let warm_ctx =
+              if t.incremental then
+                locked t (fun () -> Lru.find t.ctx_cache ctx_key)
+              else None
+            in
+            let outcome =
+              match warm_ctx with
+              | Some (profiles, context) ->
+                Metrics.incr_counter t.metrics "context_builds_reused";
+                Pipeline.compare_profiles ~config ?deadline ~context
+                  ~keywords:creq.Api.keywords
+                  ~size_bound:creq.Api.size_bound profiles
+              | None ->
+                Pipeline.compare ~config ?deadline ?select:creq.Api.select
+                  ~top:creq.Api.top entry.pipeline
+                  ~keywords:creq.Api.keywords
+                  ~size_bound:creq.Api.size_bound
+            in
+            match outcome with
             | Error Error.Timeout ->
               (* A waiter can land here too: if its deadline expired while
                  parked on the condition variable and the claimant left no
@@ -280,6 +337,17 @@ let handle_compare t req _params =
               core_error Error.Timeout
             | Error e -> core_error e
             | Ok comparison ->
+              if Option.is_none warm_ctx then begin
+                Metrics.incr_counter t.metrics "context_builds_full";
+                (* The context is complete even when generation degraded —
+                   cache it either way (the body cache below stays
+                   degraded-free as before). *)
+                if t.incremental then
+                  locked t (fun () ->
+                      Lru.add t.ctx_cache ctx_key
+                        ( comparison.Pipeline.profiles,
+                          comparison.Pipeline.context ))
+              end;
               let body = Json.to_string (Api.json_of_comparison comparison) in
               if comparison.Pipeline.degraded then
                 (* Anytime best-so-far, not the converged answer: serve it
@@ -369,6 +437,10 @@ let build_session_entry t creq ~ranks ~size_bound =
           match Session.create ~config ~size_bound profiles with
           | Error e -> Error (core_error e)
           | Ok session ->
+            (* the one place a session context is built from scratch —
+               creation, lazy recovery rewarming, budget re-promotion all
+               come through here *)
+            Metrics.incr_counter t.metrics "context_builds_full";
             Ok
               {
                 s_dataset = creq.Api.dataset;
@@ -377,6 +449,65 @@ let build_session_entry t creq ~ranks ~size_bound =
                 s_ranks = ranks;
                 s_session = session;
               })))
+
+(* Demote least-recently-used warm sessions to cold until the live
+   contexts fit the byte budget, sparing [keep] (the session the current
+   request is touching). In-place cell mutation, no store event: hot/cold
+   residency is not durable state, and the journal entry for a cold cell
+   is identical anyway. Called under [session_update]. *)
+let enforce_context_budget t ~keep =
+  match t.max_context_bytes with
+  | None -> ()
+  | Some budget ->
+    let warm =
+      Session_store.fold t.sessions ~init:[] ~f:(fun id st ~last_used acc ->
+          match st.state with
+          | Warm se ->
+            (id, st, last_used, Dod.approx_bytes (Session.context se.s_session))
+            :: acc
+          | Cold _ -> acc)
+    in
+    let total = List.fold_left (fun a (_, _, _, b) -> a + b) 0 warm in
+    if total > budget then begin
+      let oldest_first =
+        List.sort
+          (fun (ida, _, la, _) (idb, _, lb, _) ->
+            match Float.compare la lb with 0 -> compare ida idb | c -> c)
+          warm
+      in
+      let excess = ref (total - budget) in
+      List.iter
+        (fun (id, st, _, bytes) ->
+          if !excess > 0 && id <> keep then
+            match st.state with
+            | Warm se ->
+              st.state <- Cold (cold_of_entry se);
+              Metrics.incr_counter t.metrics "contexts_demoted";
+              excess := !excess - bytes
+            | Cold _ -> ())
+        oldest_first
+    end
+
+(* Rebuild a cold session's resident state on first touch — the exact
+   [build_session_entry] path POST /session took, so the rewarmed session
+   is deterministically what was journaled (durability semantics are
+   unchanged by laziness). An unrecoverable cold cell (e.g. its dataset is
+   no longer loaded) surfaces its error and stays cold: a later restart
+   with the dataset back still serves it. Called under [session_update]. *)
+let warm_session t id st =
+  match st.state with
+  | Warm se -> Ok se
+  | Cold c -> (
+    match
+      build_session_entry t c.c_request ~ranks:(Some c.c_ranks)
+        ~size_bound:c.c_size_bound
+    with
+    | Ok se ->
+      st.state <- Warm se;
+      Metrics.incr_counter t.metrics "sessions_rewarmed";
+      enforce_context_budget t ~keep:id;
+      Ok se
+    | Error resp -> Error resp)
 
 let handle_session_create t req _params =
   match decode_compare_body req with
@@ -388,7 +519,8 @@ let handle_session_create t req _params =
     with
     | Error resp -> resp
     | Ok se ->
-      let id = Session_store.add t.sessions se in
+      let id = Session_store.add t.sessions { state = Warm se } in
+      with_session_update t (fun () -> enforce_context_budget t ~keep:id);
       json_response ~status:201 (session_summary id se))
 
 let handle_session_list t _req _params =
@@ -402,21 +534,31 @@ let handle_session_list t _req _params =
                 (Session_store.ids t.sessions)) );
        ])
 
+(* Every per-id session handler — reads included — runs under
+   [session_update]: a touch may rewarm a cold cell, and serializing the
+   state transitions keeps them single-writer. The table render under the
+   lock is cheap next to the mutations it shares the lock with. *)
 let with_session t params f =
   let id = Option.value ~default:"" (List.assoc_opt "id" params) in
   match Session_store.find t.sessions id with
   | None -> error_response ~status:404 ("unknown session " ^ id)
-  | Some se -> f id se
+  | Some st -> (
+    match warm_session t id st with
+    | Error resp -> resp
+    | Ok se -> f id se)
 
 let handle_session_get t _req params =
-  with_session t params (fun id se ->
-      let fields =
-        match session_summary id se with Json.Obj fields -> fields | _ -> []
-      in
-      json_response ~status:200
-        (Json.Obj
-           (fields
-           @ [ ("table", Api.json_of_table (Session.table se.s_session)) ])))
+  with_session_update t (fun () ->
+      with_session t params (fun id se ->
+          let fields =
+            match session_summary id se with
+            | Json.Obj fields -> fields
+            | _ -> []
+          in
+          json_response ~status:200
+            (Json.Obj
+               (fields
+               @ [ ("table", Api.json_of_table (Session.table se.s_session)) ]))))
 
 let body_int req name =
   match decode_body req with
@@ -429,10 +571,27 @@ let body_int req name =
         (error_response ~status:400
            (Printf.sprintf "missing integer field %S" name)))
 
+(* Session mutations maintain the context by delta (ISSUE: the add pays
+   for n−1 new pairs, the remove for none); the ablation server
+   (incremental = false) rebuilds in full and books the cost honestly. *)
+let count_mutation_build t =
+  Metrics.incr_counter t.metrics
+    (if t.incremental then "context_builds_delta" else "context_builds_full")
+
+let timed_out_response t =
+  Metrics.incr_counter t.metrics "requests_timed_out";
+  core_error Error.Timeout
+
+let store_mutated t ~origin id se =
+  Session_store.set ~origin t.sessions id { state = Warm se };
+  enforce_context_budget t ~keep:id;
+  json_response ~status:200 (session_summary id se)
+
 let handle_session_add t req params =
   match body_int req "rank" with
   | Error resp -> resp
   | Ok rank ->
+    let deadline = deadline_of_req t req in
     with_session_update t (fun () ->
         with_session t params (fun id se ->
             if List.mem rank se.s_ranks then
@@ -444,7 +603,7 @@ let handle_session_add t req params =
                 core_error
                   (Error.Rank_out_of_range
                      { rank; available = List.length se.s_results })
-              | Some r ->
+              | Some r -> (
                 let entry =
                   Option.get (find_entry t se.s_dataset)
                 in
@@ -452,18 +611,24 @@ let handle_session_add t req params =
                   Pipeline.profile_of ~keywords:se.s_request.Api.keywords
                     entry.pipeline r
                 in
-                let session = Session.add se.s_session profile in
-                let se =
-                  { se with s_ranks = se.s_ranks @ [ rank ];
-                            s_session = session }
-                in
-                Session_store.set ~origin:"add" t.sessions id se;
-                json_response ~status:200 (session_summary id se)))
+                match Session.add ?deadline se.s_session profile with
+                | exception Xsact_util.Deadline.Expired ->
+                  (* the delta never landed; the stored session (and its
+                     context) is exactly as before *)
+                  timed_out_response t
+                | session ->
+                  count_mutation_build t;
+                  let se =
+                    { se with s_ranks = se.s_ranks @ [ rank ];
+                              s_session = session }
+                  in
+                  store_mutated t ~origin:"add" id se)))
 
 let handle_session_remove t req params =
   match body_int req "rank" with
   | Error resp -> resp
   | Ok rank ->
+    let deadline = deadline_of_req t req in
     with_session_update t (fun () ->
         with_session t params (fun id se ->
             let rec index_of i = function
@@ -476,9 +641,11 @@ let handle_session_remove t req params =
               error_response ~status:422
                 (Printf.sprintf "rank %d is not in the comparison" rank)
             | Some idx -> (
-              match Session.remove se.s_session idx with
+              match Session.remove ?deadline se.s_session idx with
+              | exception Xsact_util.Deadline.Expired -> timed_out_response t
               | Error e -> core_error e
               | Ok session ->
+                count_mutation_build t;
                 let se =
                   {
                     se with
@@ -486,21 +653,25 @@ let handle_session_remove t req params =
                     s_session = session;
                   }
                 in
-                Session_store.set ~origin:"remove" t.sessions id se;
-                json_response ~status:200 (session_summary id se))))
+                store_mutated t ~origin:"remove" id se)))
 
 let handle_session_size t req params =
   match body_int req "size_bound" with
   | Error resp -> resp
   | Ok size_bound ->
+    let deadline = deadline_of_req t req in
     with_session_update t (fun () ->
         with_session t params (fun id se ->
-            match Session.set_size_bound se.s_session size_bound with
+            match Session.set_size_bound ?deadline se.s_session size_bound with
+            | exception Xsact_util.Deadline.Expired -> timed_out_response t
             | Error e -> core_error e
             | Ok session ->
+              (* incremental resize reuses the live context outright — no
+                 build to count; the ablation rebuilds in full *)
+              if not t.incremental then
+                Metrics.incr_counter t.metrics "context_builds_full";
               let se = { se with s_session = session } in
-              Session_store.set ~origin:"size" t.sessions id se;
-              json_response ~status:200 (session_summary id se)))
+              store_mutated t ~origin:"size" id se))
 
 let handle_session_delete t _req params =
   let id = Option.value ~default:"" (List.assoc_opt "id" params) in
@@ -511,13 +682,32 @@ let handle_session_delete t _req params =
 (* ---- /metrics ---------------------------------------------------------- *)
 
 let handle_metrics t _req _params =
-  let hits, misses, cache_len =
+  let hits, misses, cache_len, ctx_hits, ctx_misses, ctx_len =
     locked t (fun () ->
-        (Lru.hits t.cache, Lru.misses t.cache, Lru.length t.cache))
+        ( Lru.hits t.cache,
+          Lru.misses t.cache,
+          Lru.length t.cache,
+          Lru.hits t.ctx_cache,
+          Lru.misses t.ctx_cache,
+          Lru.length t.ctx_cache ))
   in
   let lookups = hits + misses in
   let hit_rate =
     if lookups = 0 then 0. else float_of_int hits /. float_of_int lookups
+  in
+  (* Racy-but-atomic observation of the warm/cold split: each cell's
+     state is one word, and the gauges are diagnostics, not invariants. *)
+  let ctx_tables, ctx_bytes, warm_n, cold_n =
+    Session_store.fold t.sessions ~init:(0, 0, 0, 0)
+      ~f:(fun _ st ~last_used:_ (tables, bytes, w, c) ->
+        match st.state with
+        | Warm se ->
+          let ctx = Session.context se.s_session in
+          ( tables + Dod.num_pair_tables ctx,
+            bytes + Dod.approx_bytes ctx,
+            w + 1,
+            c )
+        | Cold _ -> (tables, bytes, w, c + 1))
   in
   json_response ~status:200
     (Metrics.snapshot t.metrics
@@ -531,6 +721,32 @@ let handle_metrics t _req _params =
                  ("hits", Json.Int hits);
                  ("misses", Json.Int misses);
                  ("hit_rate", Json.Float hit_rate);
+               ] );
+           ( "context_builds_full",
+             Json.Int (Metrics.counter t.metrics "context_builds_full") );
+           ( "context_builds_delta",
+             Json.Int (Metrics.counter t.metrics "context_builds_delta") );
+           ( "context_builds_reused",
+             Json.Int (Metrics.counter t.metrics "context_builds_reused") );
+           ("context_pair_tables_live", Json.Int ctx_tables);
+           ("context_bytes_live", Json.Int ctx_bytes);
+           ( "context_budget_bytes",
+             match t.max_context_bytes with
+             | None -> Json.Null
+             | Some b -> Json.Int b );
+           ( "contexts_demoted",
+             Json.Int (Metrics.counter t.metrics "contexts_demoted") );
+           ( "sessions_rewarmed",
+             Json.Int (Metrics.counter t.metrics "sessions_rewarmed") );
+           ("sessions_warm", Json.Int warm_n);
+           ("sessions_cold", Json.Int cold_n);
+           ( "context_cache",
+             Json.Obj
+               [
+                 ("capacity", Json.Int (Lru.capacity t.ctx_cache));
+                 ("entries", Json.Int ctx_len);
+                 ("hits", Json.Int ctx_hits);
+                 ("misses", Json.Int ctx_misses);
                ] );
            ("sessions_live", Json.Int (Session_store.count t.sessions));
            ( "sessions_expired",
@@ -571,33 +787,43 @@ let routes_of t =
     r "DELETE" "session/:id" handle_session_delete;
   ]
 
-(* The session entry's durable representation: everything needed to
-   rebuild it through [build_session_entry] — the originating request (in
+(* The session's durable representation: everything needed to rebuild it
+   through [build_session_entry] — the originating request (in
    request-body format), the current selection and the current size bound.
-   Derived state (search results, profiles, the warm DFSs) is recomputed
-   on replay; the "runs" diagnostic restarts from zero. *)
-let json_of_session_entry se =
+   Warm and cold cells journal identically (residency is not durable
+   state); derived state (search results, profiles, the warm DFSs and
+   context) is recomputed on rewarm, and the "runs" diagnostic restarts
+   from zero. *)
+let json_of_stored st =
+  let dataset, request, ranks, size_bound =
+    match st.state with
+    | Warm se ->
+      ( se.s_dataset,
+        se.s_request,
+        se.s_ranks,
+        Session.size_bound se.s_session )
+    | Cold c -> (c.c_request.Api.dataset, c.c_request, c.c_ranks, c.c_size_bound)
+  in
   Json.Obj
     [
       ("v", Json.Int 1);
-      ("dataset", Json.String se.s_dataset);
-      ("request", Api.json_of_compare se.s_request);
-      ("ranks", Json.List (List.map (fun r -> Json.Int r) se.s_ranks));
-      ("size_bound", Json.Int (Session.size_bound se.s_session));
+      ("dataset", Json.String dataset);
+      ("request", Api.json_of_compare request);
+      ("ranks", Json.List (List.map (fun r -> Json.Int r) ranks));
+      ("size_bound", Json.Int size_bound);
     ]
 
 let log_event d = function
   | Session_store.Created { id; value; at } ->
-    Durability.log_upsert d ~op:"create" ~id ~at
-      ~entry:(json_of_session_entry value)
+    Durability.log_upsert d ~op:"create" ~id ~at ~entry:(json_of_stored value)
   | Session_store.Updated { id; origin; value; at } ->
-    Durability.log_upsert d ~op:origin ~id ~at
-      ~entry:(json_of_session_entry value)
+    Durability.log_upsert d ~op:origin ~id ~at ~entry:(json_of_stored value)
   | Session_store.Removed { id } -> Durability.log_delete d ~op:"delete" ~id
   | Session_store.Expired { id } -> Durability.log_delete d ~op:"expire" ~id
   | Session_store.Evicted { id } -> Durability.log_delete d ~op:"evict" ~id
 
-let create ?datasets ?(cache_capacity = 128) ?domains ?deadline_ms
+let create ?datasets ?(cache_capacity = 128) ?(context_cache_capacity = 32)
+    ?(incremental = true) ?max_context_bytes ?domains ?deadline_ms
     ?(max_deadline_ms = 60_000) ?session_ttl_s ?max_sessions ?state_dir
     ?(fsync = Xsact_persist.Journal.Interval 0.1) ?(snapshot_every = 256) () =
   (match deadline_ms with
@@ -608,6 +834,10 @@ let create ?datasets ?(cache_capacity = 128) ?domains ?deadline_ms
     invalid_arg "Server.create: max_deadline_ms must be positive";
   if snapshot_every < 0 then
     invalid_arg "Server.create: snapshot_every must be non-negative";
+  (match max_context_bytes with
+  | Some b when b < 1 ->
+    invalid_arg "Server.create: max_context_bytes must be positive"
+  | _ -> ());
   let names = Option.value datasets ~default:Dataset.names in
   let entries =
     List.map
@@ -635,6 +865,7 @@ let create ?datasets ?(cache_capacity = 128) ?domains ?deadline_ms
     {
       entries;
       cache = Lru.create ~capacity:cache_capacity;
+      ctx_cache = Lru.create ~capacity:context_cache_capacity;
       lock = Mutex.create ();
       inflight = Hashtbl.create 8;
       inflight_done = Condition.create ();
@@ -642,6 +873,8 @@ let create ?datasets ?(cache_capacity = 128) ?domains ?deadline_ms
       metrics = Metrics.create ();
       sessions = Session_store.create ?ttl_s:session_ttl_s
                    ?capacity:max_sessions ?on_event ();
+      incremental;
+      max_context_bytes;
       default_domains = domains;
       default_deadline_ms = deadline_ms;
       max_deadline_ms;
@@ -661,7 +894,13 @@ let create ?datasets ?(cache_capacity = 128) ?domains ?deadline_ms
 
 (* ---- Recovery ----------------------------------------------------------- *)
 
-let rebuild_session t entry_json =
+(* Decode a journal entry into the cold recipe. Pure parsing — no search,
+   no extraction, no context build: recovery restores every session cold
+   and the first touch rewarms it through [build_session_entry], so boot
+   time is O(journal) instead of O(sessions × n²) and the durability
+   contract (a recovered session serves exactly what was acknowledged) is
+   discharged lazily by the same deterministic build path. *)
+let cold_of_journal entry_json =
   match Json.member "request" entry_json with
   | None -> Error "missing \"request\""
   | Some rj -> (
@@ -679,10 +918,8 @@ let rebuild_session t entry_json =
         Option.bind (Json.member "size_bound" entry_json) Json.to_int
       in
       match (ranks, size_bound) with
-      | Some ranks, Some size_bound -> (
-        match build_session_entry t creq ~ranks:(Some ranks) ~size_bound with
-        | Ok se -> Ok se
-        | Error resp -> Error resp.Http.resp_body)
+      | Some ranks, Some size_bound ->
+        Ok { c_request = creq; c_ranks = ranks; c_size_bound = size_bound }
       | _ -> Error "malformed entry (ranks/size_bound)"))
 
 let recover t =
@@ -693,11 +930,14 @@ let recover t =
     let d, recovered = Durability.recover ~dir ~fsync ~snapshot_every in
     List.iter
       (fun (id, at, entry_json) ->
-        match rebuild_session t entry_json with
-        | Ok se -> Session_store.restore t.sessions ~id ~last_used:at se
+        match cold_of_journal entry_json with
+        | Ok cold ->
+          Session_store.restore t.sessions ~id ~last_used:at
+            { state = Cold cold }
         | Error msg ->
-          (* A journal from a differently-configured deployment (dataset
-             no longer loaded, say): keep serving, count the loss. *)
+          (* A journal this build cannot even parse: keep serving, count
+             the loss. (A parseable entry whose dataset is missing stays
+             cold and surfaces its error on first touch instead.) *)
           Durability.mark_dropped d;
           Printf.eprintf "xsact-serve: dropped unrecoverable session %s: %s\n%!"
             id msg)

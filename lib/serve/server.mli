@@ -35,7 +35,9 @@
 type t
 
 val create :
-  ?datasets:string list -> ?cache_capacity:int -> ?domains:int ->
+  ?datasets:string list -> ?cache_capacity:int ->
+  ?context_cache_capacity:int -> ?incremental:bool ->
+  ?max_context_bytes:int -> ?domains:int ->
   ?deadline_ms:int -> ?max_deadline_ms:int -> ?session_ttl_s:float ->
   ?max_sessions:int -> ?state_dir:string ->
   ?fsync:Xsact_persist.Journal.policy -> ?snapshot_every:int -> unit -> t
@@ -43,6 +45,19 @@ val create :
     registry). [cache_capacity] sizes the comparison LRU (default 128).
     [domains] sets the domain-pool parallelism used for requests that
     don't pin their own.
+
+    Incremental-engine knobs (DESIGN.md §11):
+    - [context_cache_capacity] (default 32): entries in the warm-context
+      LRU behind [POST /compare] — requests over the same result set
+      (any size bound or algorithm) reuse one precomputed context.
+    - [incremental] (default [true]): maintain session contexts by delta
+      and serve [/compare] from the context cache. [false] restores full
+      rebuilds everywhere — the ablation/baseline configuration; response
+      bodies are byte-identical either way.
+    - [max_context_bytes]: total budget for session-resident warm
+      contexts; exceeding it demotes least-recently-used sessions to cold
+      (dropping their contexts — they rebuild on next touch). Omit for
+      unbounded.
 
     Overload/robustness knobs (DESIGN.md §9):
     - [deadline_ms]: default cooperative budget for each [/compare]
@@ -66,14 +81,19 @@ val create :
     knob. *)
 
 val recover : t -> unit
-(** Replay [state_dir]'s snapshot + journal, rebuild the recovered
-    sessions, and flip the server ready. Until this returns, [GET /ready]
-    answers 503 and every non-probe route is refused with
-    [503 + Retry-After: 1]; [GET /health] stays 200 throughout (liveness).
-    Torn journal tails (a crash mid-append) are truncated at the first bad
-    checksum and counted under [recovery_truncated_records] in [/metrics];
-    a second recovery of the same directory is byte-identical. Idempotent;
-    immediate no-op when the server has no [state_dir]. *)
+(** Replay [state_dir]'s snapshot + journal, restore the recovered
+    sessions {e cold} (parsed recipes — request, selection, bound — with
+    no search, extraction or context build), and flip the server ready.
+    Each cold session is rebuilt deterministically on its first touch by
+    the same path that created it, so what it serves is unchanged by the
+    laziness — but boot no longer pays O(sessions × n²) for sessions
+    nobody asks for. Until this returns, [GET /ready] answers 503 and
+    every non-probe route is refused with [503 + Retry-After: 1];
+    [GET /health] stays 200 throughout (liveness). Torn journal tails (a
+    crash mid-append) are truncated at the first bad checksum and counted
+    under [recovery_truncated_records] in [/metrics]; a second recovery of
+    the same directory is byte-identical. Idempotent; immediate no-op when
+    the server has no [state_dir]. *)
 
 val dataset_names : t -> string list
 

@@ -161,3 +161,9 @@ let ids t =
 
 let expired_total t = locked t (fun () -> t.expired_total)
 let evicted_total t = locked t (fun () -> t.evicted_total)
+
+let fold t ~init ~f =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun id e acc -> f id e.value ~last_used:e.last_used acc)
+        t.table init)

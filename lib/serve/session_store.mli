@@ -86,3 +86,12 @@ val expired_total : 'a t -> int
 
 val evicted_total : 'a t -> int
 (** Entries dropped by LRU capacity eviction since creation. *)
+
+val fold :
+  'a t -> init:'b -> f:(string -> 'a -> last_used:float -> 'b -> 'b) -> 'b
+(** Read-only fold over the live entries under the store lock, in
+    unspecified order. Unlike {!find} it neither purges expired entries
+    nor refreshes idle clocks — it is an observation, not an access —
+    which is what the serve layer's memory accounting needs (ranking
+    warm contexts by [last_used] without perturbing the ranking). [f]
+    must not call back into the store. *)

@@ -1,0 +1,508 @@
+(* The incremental comparison engine: Dod delta operations
+   (add_result / remove_result / reparams), their threading through
+   Session mutations, and the serve layer's warm-context machinery.
+
+   The contract under test everywhere is *bit-identity*: a context
+   maintained by deltas, and the DFSs regenerated from it, must equal a
+   fresh batch rebuild — and a server running incremental must produce
+   byte-identical response bodies to an ablation server running with
+   full rebuilds (--no-incremental). *)
+
+module Http = Xsact_server.Http
+module Json = Xsact_server.Json
+module Server = Xsact_server.Server
+
+open Xsact_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let synthetic seed results =
+  Xsact_workload.Workload.synthetic_profiles ~seed ~results ~entities:3
+    ~types_per_entity:5 ~values_per_type:4 ~max_count:8
+
+let ctx : Dod.context Alcotest.testable =
+  Alcotest.testable
+    (fun ppf _ -> Format.pp_print_string ppf "<context>")
+    Dod.equal_context
+
+let drop idx a =
+  Array.of_list (List.filteri (fun i _ -> i <> idx) (Array.to_list a))
+
+(* ---- Dod delta operations ---------------------------------------------- *)
+
+let test_add_equals_fresh () =
+  let profiles = synthetic 3 7 in
+  let base = Array.sub profiles 0 6 in
+  let c = Dod.make_context base in
+  let c' = Dod.add_result c profiles.(6) in
+  check ctx "add = fresh rebuild" (Dod.make_context profiles) c';
+  check Alcotest.int "pair tables after add" (7 * 6 / 2)
+    (Dod.num_pair_tables c');
+  (* functional delta: the input context is untouched *)
+  check ctx "input context intact" (Dod.make_context base) c;
+  check Alcotest.int "input pair tables" (6 * 5 / 2) (Dod.num_pair_tables c)
+
+let test_remove_equals_fresh () =
+  let profiles = synthetic 5 6 in
+  let c = Dod.make_context profiles in
+  List.iter
+    (fun idx ->
+      check ctx
+        (Printf.sprintf "remove %d = fresh rebuild" idx)
+        (Dod.make_context (drop idx profiles))
+        (Dod.remove_result c idx))
+    [ 0; 3; 5 ];
+  check ctx "input context intact" (Dod.make_context profiles) c
+
+let test_add_remove_roundtrip () =
+  let profiles = synthetic 17 5 in
+  let extra = (synthetic 18 3).(2) in
+  let c = Dod.make_context profiles in
+  let roundtrip = Dod.remove_result (Dod.add_result c extra) 5 in
+  check ctx "add then remove = original" c roundtrip
+
+let test_parallel_delta_identical () =
+  let profiles = synthetic 23 8 in
+  let base = Array.sub profiles 0 7 in
+  let seq = Dod.add_result ~domains:1 (Dod.make_context ~domains:1 base)
+      profiles.(7) in
+  let par = Dod.add_result ~domains:2 (Dod.make_context ~domains:2 base)
+      profiles.(7) in
+  check ctx "parallel add = sequential add" seq par;
+  check ctx "parallel add = fresh" (Dod.make_context profiles) par
+
+let test_reparams_equals_fresh () =
+  let profiles = synthetic 9 5 in
+  let c = Dod.make_context profiles in
+  let params = { Dod.threshold_pct = 25.0; measure = Dod.Rate } in
+  check ctx "params change = fresh"
+    (Dod.make_context ~params profiles)
+    (Dod.reparams ~params c);
+  let weight _ = 3 in
+  check ctx "weight change = fresh"
+    (Dod.make_context ~weight profiles)
+    (Dod.reparams ~weight c);
+  check ctx "both = fresh"
+    (Dod.make_context ~params ~weight profiles)
+    (Dod.reparams ~params ~weight c);
+  check ctx "input context intact" (Dod.make_context profiles) c
+
+let test_delta_errors () =
+  let profiles = synthetic 2 4 in
+  let c = Dod.make_context profiles in
+  Alcotest.check_raises "remove out of range"
+    (Invalid_argument "Dod.remove_result: index out of range") (fun () ->
+      ignore (Dod.remove_result c 4));
+  Alcotest.check_raises "remove below two"
+    (Invalid_argument "Dod.remove_result: need at least two results")
+    (fun () ->
+      ignore (Dod.remove_result (Dod.make_context (Array.sub profiles 0 2)) 0))
+
+let test_deadline_mid_delta () =
+  let profiles = synthetic 7 6 in
+  let base = Array.sub profiles 0 5 in
+  let c = Dod.make_context ~domains:1 base in
+  Alcotest.check_raises "expired add raises" Deadline.Expired (fun () ->
+      ignore
+        (Dod.add_result ~domains:1 ~deadline:(Deadline.of_ms 0.) c
+           profiles.(5)));
+  Alcotest.check_raises "expired reparams raises" Deadline.Expired (fun () ->
+      ignore
+        (Dod.reparams ~domains:1 ~deadline:(Deadline.of_ms 0.)
+           ~params:{ Dod.threshold_pct = 50.0; measure = Dod.Raw }
+           c));
+  (* the failed deltas left the input context fully intact *)
+  check ctx "context intact after expiry" (Dod.make_context base) c
+
+let test_approx_bytes_sane () =
+  let small = Dod.make_context (synthetic 4 3) in
+  let large = Dod.make_context (synthetic 4 12) in
+  if Dod.approx_bytes small <= 0 then Alcotest.fail "non-positive footprint";
+  if Dod.approx_bytes large <= Dod.approx_bytes small then
+    Alcotest.fail "footprint does not grow with the result set"
+
+(* ---- Session threading -------------------------------------------------- *)
+
+let session_of config profiles ~size_bound =
+  match Session.create ~config ~size_bound profiles with
+  | Ok s -> s
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+let shrink s bound =
+  match Session.set_size_bound s bound with
+  | Ok s -> s
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+let qs s = Array.map Dfs.to_q_array (Session.dfss s)
+
+(* Regression: shrinking the bound warm-starts from the truncated DFS
+   prefix and must be deterministic — two identical shrinks agree, every
+   truncated DFS is valid at the new bound, and the result matches the
+   non-incremental cold rebuild byte for byte. *)
+let test_shrink_deterministic () =
+  let profiles = Array.to_list (synthetic 11 5) in
+  let warm = session_of Config.default profiles ~size_bound:10 in
+  let a = shrink warm 4 and b = shrink warm 4 in
+  if qs a <> qs b then Alcotest.fail "identical shrinks diverge";
+  Array.iter
+    (fun d ->
+      if not (Dfs.is_valid ~limit:4 d) then
+        Alcotest.fail "shrunk DFS exceeds the bound or breaks closure")
+    (Session.dfss a);
+  let cold =
+    shrink
+      (session_of
+         (Config.with_incremental false Config.default)
+         profiles ~size_bound:10)
+      4
+  in
+  if qs a <> qs cold then Alcotest.fail "warm shrink differs from cold run";
+  check Alcotest.int "dod matches cold run" (Session.dod cold) (Session.dod a);
+  check ctx "context reused verbatim = cold rebuild" (Session.context cold)
+    (Session.context a);
+  (* growing back keeps everything valid too *)
+  let regrown = shrink a 10 in
+  Array.iter
+    (fun d ->
+      if not (Dfs.is_valid ~limit:10 d) then Alcotest.fail "regrow invalid")
+    (Session.dfss regrown)
+
+let test_session_deadline_intact () =
+  let profiles = Array.to_list (synthetic 13 4) in
+  let extra = (synthetic 14 3).(1) in
+  let s = session_of (Config.with_domains 1 Config.default) profiles
+      ~size_bound:6 in
+  let expired = Deadline.of_ms 0. in
+  Alcotest.check_raises "expired add raises" Deadline.Expired (fun () ->
+      ignore (Session.add ~deadline:expired s extra));
+  Alcotest.check_raises "expired remove raises" Deadline.Expired (fun () ->
+      ignore (Session.remove ~deadline:expired s 0));
+  Alcotest.check_raises "expired resize raises" Deadline.Expired (fun () ->
+      ignore (Session.set_size_bound ~deadline:expired s 3));
+  (* the session survives: its context still equals a fresh build and the
+     same mutations succeed without a deadline *)
+  let cfg = Session.config s in
+  check ctx "context intact"
+    (Dod.make_context ~params:cfg.Config.params ~weight:cfg.Config.weight
+       ?domains:cfg.Config.domains (Session.profiles s))
+    (Session.context s);
+  let s' = Session.add s extra in
+  check Alcotest.int "undeadlined add lands" 5
+    (Array.length (Session.profiles s'))
+
+(* ---- Random mutation sequences (property) ------------------------------- *)
+
+type op = Add | Remove of int | Resize of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Add);
+        (2, map (fun i -> Remove i) (int_range 0 31));
+        (2, map (fun k -> Resize k) (int_range 3 12));
+      ])
+
+let show_op = function
+  | Add -> "add"
+  | Remove i -> Printf.sprintf "remove %d" i
+  | Resize k -> Printf.sprintf "resize %d" k
+
+let show_case (seed, alg, domains, ops) =
+  Printf.sprintf "seed=%d alg=%d domains=%d [%s]" seed alg domains
+    (String.concat "; " (List.map show_op ops))
+
+let algorithms = [| Algorithm.Single_swap; Algorithm.Multi_swap;
+                    Algorithm.Greedy |]
+
+(* After every step of a random mutation sequence, the delta-maintained
+   session must agree with (a) a fresh batch make_context over its
+   current profiles and (b) a mirror session running the identical ops
+   with incremental = false — context, DFSs and DoD all bit-identical.
+   Expired deadlines are injected along the way; they must raise and
+   leave both replicas untouched. *)
+let prop_mutations_bit_identical =
+  QCheck.Test.make
+    ~name:"random mutation sequences: delta = fresh rebuild at every step"
+    ~count:30
+    QCheck.(
+      make
+        ~print:show_case
+        Gen.(
+          quad (int_range 0 1_000_000)
+            (int_range 0 (Array.length algorithms - 1))
+            (int_range 1 2)
+            (list_size (int_range 1 10) op_gen)))
+    (fun (seed, alg_i, domains, ops) ->
+      let pool = synthetic seed 16 in
+      let initial = Array.to_list (Array.sub pool 0 4) in
+      let next = ref 4 in
+      let config =
+        Config.default
+        |> Config.with_algorithm algorithms.(alg_i)
+        |> Config.with_domains domains
+      in
+      let s = ref (session_of config initial ~size_bound:6) in
+      let m =
+        ref
+          (session_of (Config.with_incremental false config) initial
+             ~size_bound:6)
+      in
+      let agree step =
+        let s = !s and m = !m in
+        let cfg = Session.config s in
+        let fresh =
+          Dod.make_context ~params:cfg.Config.params
+            ~weight:cfg.Config.weight ?domains:cfg.Config.domains
+            (Session.profiles s)
+        in
+        if not (Dod.equal_context fresh (Session.context s)) then
+          QCheck.Test.fail_reportf "step %d: context <> fresh rebuild" step;
+        if not (Dod.equal_context (Session.context m) (Session.context s))
+        then
+          QCheck.Test.fail_reportf "step %d: context <> ablation mirror" step;
+        if qs s <> qs m then
+          QCheck.Test.fail_reportf "step %d: DFSs diverge from mirror" step;
+        if Session.dod s <> Session.dod m then
+          QCheck.Test.fail_reportf "step %d: DoD diverges from mirror" step
+      in
+      agree 0;
+      List.iteri
+        (fun step op ->
+          let step = step + 1 in
+          (match op with
+          | Add when !next < Array.length pool ->
+            let p = pool.(!next) in
+            incr next;
+            (* mid-sequence expiry: must raise, not corrupt *)
+            (try
+               ignore (Session.add ~deadline:(Deadline.of_ms 0.) !s p);
+               QCheck.Test.fail_reportf "step %d: expired add did not raise"
+                 step
+             with Deadline.Expired -> ());
+            s := Session.add !s p;
+            m := Session.add !m p
+          | Add -> () (* pool exhausted *)
+          | Remove i ->
+            let n = Array.length (Session.profiles !s) in
+            if n > 2 then begin
+              let i = i mod n in
+              match (Session.remove !s i, Session.remove !m i) with
+              | Ok a, Ok b ->
+                s := a;
+                m := b
+              | (Error e, _ | _, Error e) ->
+                QCheck.Test.fail_reportf "step %d: remove: %s" step
+                  (Error.to_string e)
+            end
+          | Resize k -> (
+            match
+              (Session.set_size_bound !s k, Session.set_size_bound !m k)
+            with
+            | Ok a, Ok b ->
+              s := a;
+              m := b
+            | (Error e, _ | _, Error e) ->
+              QCheck.Test.fail_reportf "step %d: resize: %s" step
+                (Error.to_string e)));
+          agree step)
+        ops;
+      true)
+
+(* ---- Serve layer -------------------------------------------------------- *)
+
+let request ?(meth = "GET") ?(headers = []) ?(body = "") target =
+  let path, query = Http.split_target target in
+  { Http.meth; target; path; query; headers; body }
+
+let member_exn name body =
+  match Json.of_string body with
+  | Ok j -> (
+    match Json.member name j with
+    | Some v -> v
+    | None -> Alcotest.failf "no field %S in %s" name body)
+  | Error e -> Alcotest.failf "bad response JSON %s: %s" body e
+
+let int_exn name body =
+  match member_exn name body with
+  | Json.Int i -> i
+  | v -> Alcotest.failf "field %S is %s, not an int" name (Json.to_string v)
+
+let compare_body k =
+  Printf.sprintf
+    {|{"dataset":"product-reviews","q":"gps","top":3,"size_bound":%d}|} k
+
+type handler = ?meth:string -> ?body:string -> string -> Http.response
+
+let session_server ?incremental ?max_context_bytes () =
+  let t =
+    Server.create ~datasets:[ "product-reviews" ] ?incremental
+      ?max_context_bytes ()
+  in
+  let handle ?meth ?body target =
+    Server.handle t (request ?meth ?body target)
+  in
+  (t, handle)
+
+let create_session (handle : handler) =
+  let created = handle ~meth:"POST" ~body:(compare_body 6) "/session" in
+  check Alcotest.int "created" 201 created.Http.status;
+  match member_exn "id" created.Http.resp_body with
+  | Json.String id -> id
+  | _ -> Alcotest.fail "no session id"
+
+(* One add + one remove + two resizes: the incremental server books two
+   delta builds and only the creation-time full build; the ablation
+   server rebuilds in full on every mutation. *)
+let test_server_mutation_accounting () =
+  let mutate (handle : handler) id =
+    List.iter
+      (fun (suffix, body) ->
+        check Alcotest.int (suffix ^ " ok") 200
+          (handle ~meth:"POST" ~body ("/session/" ^ id ^ "/" ^ suffix))
+            .Http.status)
+      [
+        ("add", {|{"rank":4}|});
+        ("remove", {|{"rank":2}|});
+        ("size", {|{"size_bound":9}|});
+        ("size", {|{"size_bound":5}|});
+      ]
+  in
+  let _, handle = session_server () in
+  mutate handle (create_session handle);
+  let metrics = (handle "/metrics").Http.resp_body in
+  check Alcotest.int "incremental: one full build (creation)" 1
+    (int_exn "context_builds_full" metrics);
+  check Alcotest.int "incremental: two delta builds" 2
+    (int_exn "context_builds_delta" metrics);
+  let live = int_exn "context_pair_tables_live" metrics in
+  check Alcotest.int "pair tables live for 3 warm results" 3 live;
+  let _, cold_handle = session_server ~incremental:false () in
+  mutate cold_handle (create_session cold_handle);
+  let cold_metrics = (cold_handle "/metrics").Http.resp_body in
+  check Alcotest.int "ablation: every mutation a full build" 5
+    (int_exn "context_builds_full" cold_metrics);
+  check Alcotest.int "ablation: no delta builds" 0
+    (int_exn "context_builds_delta" cold_metrics)
+
+(* Sessions and mutation responses must be byte-identical between the
+   incremental server and the --no-incremental ablation. *)
+let test_server_ablation_identical () =
+  let _, warm = session_server () in
+  let _, cold = session_server ~incremental:false () in
+  let drive (handle : handler) =
+    let id = create_session handle in
+    let bodies =
+      List.map
+        (fun (suffix, body) ->
+          (handle ~meth:"POST" ~body ("/session/" ^ id ^ "/" ^ suffix))
+            .Http.resp_body)
+        [
+          ("add", {|{"rank":4}|});
+          ("size", {|{"size_bound":9}|});
+          ("remove", {|{"rank":1}|});
+          ("size", {|{"size_bound":4}|});
+        ]
+    in
+    bodies @ [ (handle ("/session/" ^ id)).Http.resp_body ]
+  in
+  List.iteri
+    (fun i (w, c) ->
+      check Alcotest.string (Printf.sprintf "response %d identical" i) c w)
+    (List.combine (drive warm) (drive cold))
+
+(* POST /compare reuses one warm context across size bounds: the second
+   request is a response-cache miss but a context-cache hit. *)
+let test_compare_context_reuse () =
+  let _, handle = session_server () in
+  let r6 = handle ~meth:"POST" ~body:(compare_body 6) "/compare" in
+  let r7 = handle ~meth:"POST" ~body:(compare_body 7) "/compare" in
+  check Alcotest.int "first ok" 200 r6.Http.status;
+  check Alcotest.int "second ok" 200 r7.Http.status;
+  let metrics = (handle "/metrics").Http.resp_body in
+  check Alcotest.int "one full build" 1 (int_exn "context_builds_full" metrics);
+  check Alcotest.int "one reuse" 1 (int_exn "context_builds_reused" metrics);
+  (* the reused-context response is identical to a cold server's, modulo
+     the wall-clock elapsed_s field *)
+  let timeless body =
+    match Json.of_string body with
+    | Ok (Json.Obj fields) ->
+      Json.to_string
+        (Json.Obj (List.filter (fun (k, _) -> k <> "elapsed_s") fields))
+    | _ -> Alcotest.failf "bad compare body %s" body
+  in
+  let _, cold = session_server ~incremental:false () in
+  let c6 = cold ~meth:"POST" ~body:(compare_body 6) "/compare" in
+  let c7 = cold ~meth:"POST" ~body:(compare_body 7) "/compare" in
+  check Alcotest.string "bound 6 identical" (timeless c6.Http.resp_body)
+    (timeless r6.Http.resp_body);
+  check Alcotest.string "bound 7 identical" (timeless c7.Http.resp_body)
+    (timeless r7.Http.resp_body);
+  let cold_metrics = (cold "/metrics").Http.resp_body in
+  check Alcotest.int "ablation never reuses" 0
+    (int_exn "context_builds_reused" cold_metrics)
+
+(* A 1-byte context budget forces demotion of every session but the one
+   just touched; a demoted session rewarms transparently on GET with a
+   byte-identical body. *)
+let test_server_demote_rewarm () =
+  let _, handle = session_server ~max_context_bytes:1 () in
+  let a = create_session handle in
+  let before = (handle ("/session/" ^ a)).Http.resp_body in
+  let b = create_session handle in
+  let metrics = (handle "/metrics").Http.resp_body in
+  check Alcotest.int "one demoted" 1 (int_exn "contexts_demoted" metrics);
+  check Alcotest.int "one cold" 1 (int_exn "sessions_cold" metrics);
+  let after = (handle ("/session/" ^ a)).Http.resp_body in
+  check Alcotest.string "rewarmed GET byte-identical" before after;
+  let metrics = (handle "/metrics").Http.resp_body in
+  if int_exn "sessions_rewarmed" metrics < 1 then
+    Alcotest.fail "rewarm not counted";
+  (* both sessions still mutate fine after bouncing warm/cold *)
+  List.iter
+    (fun id ->
+      check Alcotest.int "post-demotion add ok" 200
+        (handle ~meth:"POST" ~body:{|{"rank":4}|}
+           ("/session/" ^ id ^ "/add"))
+          .Http.status)
+    [ a; b ]
+
+let () =
+  Alcotest.run "xsact_incremental"
+    [
+      ( "dod_delta",
+        [
+          Alcotest.test_case "add = fresh" `Quick test_add_equals_fresh;
+          Alcotest.test_case "remove = fresh" `Quick test_remove_equals_fresh;
+          Alcotest.test_case "add/remove roundtrip" `Quick
+            test_add_remove_roundtrip;
+          Alcotest.test_case "parallel delta identical" `Quick
+            test_parallel_delta_identical;
+          Alcotest.test_case "reparams = fresh" `Quick
+            test_reparams_equals_fresh;
+          Alcotest.test_case "delta errors" `Quick test_delta_errors;
+          Alcotest.test_case "deadline mid-delta" `Quick
+            test_deadline_mid_delta;
+          Alcotest.test_case "approx_bytes sane" `Quick test_approx_bytes_sane;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "shrink deterministic vs cold run" `Quick
+            test_shrink_deterministic;
+          Alcotest.test_case "deadline leaves session intact" `Quick
+            test_session_deadline_intact;
+          qtest prop_mutations_bit_identical;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "mutation accounting" `Quick
+            test_server_mutation_accounting;
+          Alcotest.test_case "ablation byte-identical" `Quick
+            test_server_ablation_identical;
+          Alcotest.test_case "compare context reuse" `Quick
+            test_compare_context_reuse;
+          Alcotest.test_case "demote and rewarm" `Quick
+            test_server_demote_rewarm;
+        ] );
+    ]
