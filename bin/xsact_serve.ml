@@ -179,9 +179,9 @@ let no_incremental_arg =
         ~doc:
           "Disable delta maintenance of session contexts and the \
            warm-context cache behind POST /compare — every mutation \
-           rebuilds the pair tables from scratch. Responses are \
-           byte-identical either way; this is the ablation/baseline \
-           configuration.")
+           (single-op, batched via /apply, or a /params patch) rebuilds \
+           the pair tables from scratch. Responses are byte-identical \
+           either way; this is the ablation/baseline configuration.")
 
 let context_cache_arg =
   Arg.(

@@ -21,10 +21,11 @@ type t = {
       (** domain-pool parallelism; [None] defers to
           {!Xsact_util.Domain_pool.default_domains} *)
   incremental : bool;
-      (** maintain session contexts by delta ({!Dod.add_result} /
-          {!Dod.remove_result}) instead of full rebuilds. Output is
-          bit-identical either way — this is a cost knob (and the
-          ablation lever for benchmarks), not a semantics knob. *)
+      (** maintain session contexts by delta ({!Dod.apply} — surgical
+          add/remove, coalesced op batches, and in-place reparams)
+          instead of full rebuilds. Output is bit-identical either way —
+          this is a cost knob (and the ablation lever for benchmarks),
+          not a semantics knob. *)
 }
 
 val default : t

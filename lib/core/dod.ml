@@ -206,22 +206,63 @@ let extend_links_table links_table results new_buffers =
   done;
   table
 
-(* Shrink a links_table past a removed result: drop its links from every
-   survivor and shift the indices above it down. Filtering preserves the
-   survivors' relative order, and reindexing is monotone, so each list is
-   exactly what the batch merge over the survivor array produces — no
-   first-gap scans, no pair replays, and links below the removed index are
-   reused physically. *)
+(* Shrink a links_table past a removed result. The batch merge order makes
+   every list strictly descending in [other] (row k's prepends run (0,k) …
+   (k−1,k) then (k,k+1) … (k,n−1), so the head holds the largest index),
+   which turns the old full filter+reindex into prefix surgery: rebuild
+   the head links with [other >= index] (drop the removed one, shift the
+   rest down) and stop at the first link below — the whole remaining tail
+   is reused {e physically}, cons cells and all. Cost O(links above the
+   removed index), not O(total links); lists (and whole per-result rows)
+   the removed result never reached are shared untouched. *)
+let shrink_list index l =
+  let rec go = function
+    | link :: tl when link.other > index ->
+      { link with other = link.other - 1 } :: go tl
+    | link :: tl when link.other = index -> tl (* shared tail *)
+    | rest -> rest (* every remaining [other] < index: shared physically *)
+  in
+  go l
+
+let shrink_row index row =
+  let changed = ref false in
+  let row' =
+    Array.map
+      (fun l ->
+        let l' = shrink_list index l in
+        if l' != l then changed := true;
+        l')
+      row
+  in
+  if !changed then row' else row
+
 let shrink_links_table links_table index =
   let n = Array.length links_table in
   Array.init (n - 1) (fun k' ->
       let k = if k' < index then k' else k' + 1 in
-      Array.map
-        (List.filter_map (fun l ->
-             if l.other = index then None
-             else if l.other > index then Some { l with other = l.other - 1 }
-             else Some l))
-        links_table.(k))
+      shrink_row index links_table.(k))
+
+(* Fast path for removing the {e newest} result (the interactive undo):
+   its links were the final prepends of every row, so they sit at the list
+   heads and no surviving index shifts — the new table is the old one
+   minus those heads. The pairs map doubles as a per-result membership
+   index: the entries of pair (id_k, removed_id) name exactly the lists of
+   survivor k that link to the removed result, so the surgery touches
+   nothing else — untouched lists, tails, and whole rows (when the pair
+   shares no types) are the input's own, physically. *)
+let remove_last_links_table c ~index ~removed =
+  Array.init index (fun k ->
+      match Pair_map.find_opt (c.ids.(k), removed) c.pairs with
+      | None | Some [] -> c.links_table.(k)
+      | Some entries ->
+        let row = Array.copy c.links_table.(k) in
+        List.iter
+          (fun (gi_k, _, _, _) ->
+            match row.(gi_k) with
+            | { other; _ } :: tail when other = index -> row.(gi_k) <- tail
+            | _ -> assert false (* membership index out of sync *))
+          entries;
+        row)
 
 (* Compute the entry lists for an explicit worklist of pairs, sequentially
    or on the domain pool. A context is all-or-nothing — a partially linked
@@ -355,7 +396,10 @@ let remove_result c index =
   let pairs =
     Pair_map.filter (fun (a, b) _ -> a <> removed && b <> removed) c.pairs
   in
-  let links_table = shrink_links_table c.links_table index in
+  let links_table =
+    if index = n - 1 then remove_last_links_table c ~index ~removed
+    else shrink_links_table c.links_table index
+  in
   { c with results; weights; counts; fmaps; ids; pairs; links_table }
 
 let reparams ?params ?weight ?domains ?deadline c =
@@ -391,6 +435,135 @@ let reparams ?params ?weight ?domains ?deadline c =
     { c with params; weight_fn; weights; pairs = !pairs; links_table }
   end
 
+type op =
+  | Add of Result_profile.t
+  | Remove of int
+  | Reparams of {
+      params : params option;
+      weight : (Feature.ftype -> int) option;
+    }
+
+(* A slot of the batch's final arrangement: a survivor of the input
+   context, or a result added (and not re-removed) along the way. *)
+type slot = Old of int | New of int * Result_profile.t
+
+(* Coalesce a whole op list into one delta. The sequence is simulated over
+   slot descriptors first — O(ops × n) bookkeeping, no pair work — which
+   is where the dedup falls out: a result added and later removed within
+   the batch never becomes a slot, so its pairs are never computed, and
+   only the last params/weight matter. Then one pair worklist (everything
+   not cached: pairs touching new results, or all of them after a params
+   change) and one link-table replay produce the final context.
+
+   The arrangement invariant holds throughout: removes preserve relative
+   order and adds append with fresh (larger) ids, so ids stay strictly
+   increasing with position and every cached entry list keeps its
+   orientation. *)
+let apply_batch ~domains ?deadline c ops =
+  let slots =
+    ref (List.init (Array.length c.results) (fun i -> Old i))
+  in
+  let next_id = ref c.next_id in
+  let final_params = ref c.params in
+  let weight_fn = ref c.weight_fn in
+  let weight_dirty = ref false in
+  List.iter
+    (function
+      | Add p ->
+        slots := !slots @ [ New (!next_id, p) ];
+        incr next_id
+      | Remove i ->
+        let len = List.length !slots in
+        if i < 0 || i >= len then
+          invalid_arg "Dod.apply: remove index out of range";
+        if len <= 2 then invalid_arg "Dod.apply: need at least two results";
+        slots := List.filteri (fun j _ -> j <> i) !slots
+      | Reparams { params; weight } ->
+        (match params with Some p -> final_params := p | None -> ());
+        (match weight with
+        | Some w ->
+          weight_fn := w;
+          weight_dirty := true
+        | None -> ()))
+    ops;
+  let slots = Array.of_list !slots in
+  let params = !final_params in
+  let params_changed = params <> c.params in
+  let results =
+    Array.map (function Old i -> c.results.(i) | New (_, p) -> p) slots
+  in
+  let counts =
+    Array.map (function Old i -> c.counts.(i) | New (_, p) -> counts_map p)
+      slots
+  in
+  let fmaps =
+    Array.map (function Old i -> c.fmaps.(i) | New (_, p) -> ftype_map p)
+      slots
+  in
+  let ids =
+    Array.map (function Old i -> c.ids.(i) | New (id, _) -> id) slots
+  in
+  let weights =
+    if !weight_dirty then Array.map (weights_row !weight_fn) results
+    else
+      Array.map
+        (function
+          | Old i -> c.weights.(i) | New (_, p) -> weights_row !weight_fn p)
+        slots
+  in
+  let n = Array.length results in
+  (* One worklist of every pair not served by the cache, in row-major
+     order (the order is irrelevant to the result — entries are keyed —
+     but keeps chunking deterministic). *)
+  let pairs = ref Pair_map.empty in
+  let missing = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let key = (ids.(i), ids.(j)) in
+      match
+        if params_changed then None else Pair_map.find_opt key c.pairs
+      with
+      | Some entries -> pairs := Pair_map.add key entries !pairs
+      | None -> missing := (i, j) :: !missing
+    done
+  done;
+  let missing = Array.of_list (List.rev !missing) in
+  let pair_i = Array.map fst missing and pair_j = Array.map snd missing in
+  let buffers =
+    compute_pairs ~domains ?deadline params results counts fmaps pair_i pair_j
+  in
+  Array.iteri
+    (fun p entries ->
+      pairs := Pair_map.add (ids.(pair_i.(p)), ids.(pair_j.(p))) entries !pairs)
+    buffers;
+  let links_table = derive_links_table results ids !pairs in
+  {
+    params;
+    weight_fn = !weight_fn;
+    results;
+    links_table;
+    weights;
+    counts;
+    fmaps;
+    ids;
+    next_id = !next_id;
+    pairs = !pairs;
+  }
+
+let apply ?domains ?deadline c ops =
+  Deadline.check deadline;
+  match ops with
+  | [] -> c
+  (* Single ops keep their dedicated surgical paths — an appended result
+     splices links instead of replaying the table, a removed one shares
+     every untouched tail — so routing session history through [apply]
+     costs nothing over calling the specific operation. *)
+  | [ Add p ] -> add_result ?domains ?deadline c p
+  | [ Remove i ] -> remove_result c i
+  | [ Reparams { params; weight } ] ->
+    reparams ?params ?weight ?domains ?deadline c
+  | ops -> apply_batch ~domains:(resolve_domains domains) ?deadline c ops
+
 (* {2 Observation helpers for the serve layer and tests} *)
 
 let equal_context a b =
@@ -405,9 +578,14 @@ let num_pair_tables c = Pair_map.cardinal c.pairs
 
 let approx_bytes c =
   (* rough heap words: links (record of 4 + header + cons = 8 words each),
-     cached pair entries (4-tuple + cons = 8), map/array spines, and the
-     per-result count and type maps (~6 words per AVL binding; keys are
-     shared with the profiles and not charged here) *)
+     map/array spines, and the per-result count and type maps (~6 words
+     per AVL binding; keys are shared with the profiles and not charged
+     here). Each cached pair entry is the same four ints its two oriented
+     links already charge, merged into the links table at derivation —
+     billing the tuples again on top of the links double-counted every
+     pair's payload, inflating the estimate (and the --max-context-mb
+     demotion pressure) by a third. The Pair_map contributes only its
+     spine: ~8 words per tree node. *)
   let words = ref 64 in
   Array.iter
     (fun per_type ->
@@ -416,9 +594,7 @@ let approx_bytes c =
         (fun links -> words := !words + (8 * List.length links))
         per_type)
     c.links_table;
-  Pair_map.iter
-    (fun _ entries -> words := !words + 8 + (8 * List.length entries))
-    c.pairs;
+  Pair_map.iter (fun _ _ -> words := !words + 8) c.pairs;
   Array.iter (fun m -> words := !words + (6 * Feature.Map.cardinal m)) c.counts;
   Array.iter
     (fun m -> words := !words + (6 * Feature.Ftype_map.cardinal m))

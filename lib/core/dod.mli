@@ -90,9 +90,16 @@ val add_result :
     of the new result's types. *)
 
 val remove_result : context -> int -> context
-(** Drop the result at an index: discards its [n - 1] pair tables and
-    filters its links out of the survivors' lists — no first-gap scan,
-    no pair replay.
+(** Drop the result at an index — no first-gap scan, no pair replay, and
+    O(what changed) list surgery instead of a full filter+reindex. Link
+    lists are strictly descending in the partner index (a consequence of
+    the batch merge order), so only the prefix of each list at or above
+    the removed index is rebuilt; the rest is reused {e physically}.
+    Removing the {e newest} result (the interactive undo) is the extreme
+    case: nothing shifts, the pairs map serves as a per-result membership
+    index naming exactly the lists that link to the removed result, and
+    every untouched list, tail and row of the new table is the input's
+    own allocation ([==], which the tests assert).
     @raise Invalid_argument if the index is out of range or the context
     has only two results (a context needs at least two). *)
 
@@ -111,6 +118,39 @@ val reparams :
     @raise Xsact_util.Deadline.Expired on a tripped deadline.
     @raise Invalid_argument on a negative weight. *)
 
+(** One step of a batched mutation, consumed by {!apply}. *)
+type op =
+  | Add of Result_profile.t
+  | Remove of int
+      (** Index into the array as it stands {e at that point of the op
+          list} — the same convention as folding the single-op deltas. *)
+  | Reparams of {
+      params : params option;
+      weight : (Feature.ftype -> int) option;
+    }
+
+val apply :
+  ?domains:int ->
+  ?deadline:Xsact_util.Deadline.t ->
+  context ->
+  op list ->
+  context
+(** Coalesce a batch of mutations into one delta. Semantically the
+    sequential fold of the single-op operations, and bit-identical to a
+    fresh {!make_context} over the final result array — but the work is
+    O(final change): the batch is first simulated symbolically, so a
+    cancelling add/remove pair costs nothing, k adds share one pair
+    worklist, and the link table is replayed exactly once at the end
+    regardless of k. The last [Reparams] in the batch wins; when it
+    changes [params], surviving pair tables are recomputed as part of the
+    same single pass. [[]] returns the input context itself ([==]);
+    singleton batches route to the surgical single-op deltas.
+    @raise Invalid_argument if a [Remove] index is out of range at its
+    point in the sequence, if the batch would leave fewer than two
+    results, or on a negative weight.
+    @raise Xsact_util.Deadline.Expired on a tripped deadline (the input
+    context is untouched — all-or-nothing, like every delta). *)
+
 val equal_context : context -> context -> bool
 (** Observable equality: same params, the same result profiles
     (physically), and structurally identical link tables, weight rows and
@@ -125,7 +165,10 @@ val approx_bytes : context -> int
 (** Rough heap footprint of the context (link tables, cached pair
     entries, count/type maps) in bytes — the currency of the serve
     layer's warm-context memory budget. An estimate from heap-word
-    accounting, not a measurement. *)
+    accounting, not a measurement. Each cached pair entry is charged
+    once, through the two links it is merged into — the map itself adds
+    only its node spine — so the budget is not inflated by
+    double-counting the cache against the live table. *)
 
 val params : context -> params
 val results : context -> Result_profile.t array

@@ -62,44 +62,6 @@ let context s = s.context
 let table s = Table.build ~size_bound:s.size_bound s.context s.dfss
 let stats s = !(s.runs)
 
-let add ?deadline s profile =
-  Deadline.check deadline;
-  let profiles = Array.append s.profiles [| profile |] in
-  (* Warm start: every existing DFS (its profile is unchanged) plus a top-k
-     seed for the newcomer. *)
-  let init =
-    Array.append s.dfss [| Topk.generate_one ~limit:s.size_bound profile |]
-  in
-  let context =
-    if s.config.Config.incremental then
-      Dod.add_result ?domains:s.config.Config.domains ?deadline s.context
-        profile
-    else make_context ?deadline s.config profiles
-  in
-  regenerate ~init s context profiles
-
-let remove ?deadline s index =
-  let n = Array.length s.profiles in
-  if index < 0 || index >= n then
-    Error (Error.Index_out_of_range { index; length = n })
-  else if n <= 2 then Error (Error.Too_few_selected (n - 1))
-  else begin
-    Deadline.check deadline;
-    let keep i = i <> index in
-    let profiles =
-      Array.of_list
-        (List.filteri (fun i _ -> keep i) (Array.to_list s.profiles))
-    in
-    let init =
-      Array.of_list (List.filteri (fun i _ -> keep i) (Array.to_list s.dfss))
-    in
-    let context =
-      if s.config.Config.incremental then Dod.remove_result s.context index
-      else make_context ?deadline s.config profiles
-    in
-    Ok (regenerate ~init s context profiles)
-  end
-
 (* Shrink a DFS to the bound by repeatedly unselecting one feature of its
    globally least significant selected type. Entity type ranges are
    contiguous and significance-descending, so the largest selected global
@@ -122,24 +84,116 @@ let truncate ~limit d =
     Dfs.of_q_array (Dfs.profile d) q
   end
 
+type op =
+  | Add of Result_profile.t
+  | Remove of int
+  | Set_size_bound of int
+  | Reparams of {
+      params : Dod.params option;
+      weight : (Feature.ftype -> int) option;
+    }
+
+let apply ?deadline s ops =
+  let n0 = Array.length s.profiles in
+  (* Simulate the batch symbolically before touching anything: validation
+     and the final arrangement are O(ops × n) bookkeeping, so an invalid
+     op — or a batch that cancels itself out — is decided before any pair
+     work or DFS generation. *)
+  let rec validate n = function
+    | [] -> Ok ()
+    | Add _ :: tl -> validate (n + 1) tl
+    | Remove index :: tl ->
+      if index < 0 || index >= n then
+        Error (Error.Index_out_of_range { index; length = n })
+      else if n <= 2 then Error (Error.Too_few_selected (n - 1))
+      else validate (n - 1) tl
+    | Set_size_bound b :: tl ->
+      if b < 1 then Error (Error.Bound_too_small b) else validate n tl
+    | Reparams _ :: tl -> validate n tl
+  in
+  match validate n0 ops with
+  | Error _ as e -> e
+  | Ok () ->
+    let slots = ref (List.init n0 (fun i -> `Old i)) in
+    let bound = ref s.size_bound in
+    let config = ref s.config in
+    let cfg_dirty = ref false in
+    List.iter
+      (function
+        | Add p -> slots := !slots @ [ `New p ]
+        | Remove i -> slots := List.filteri (fun j _ -> j <> i) !slots
+        | Set_size_bound b -> bound := b
+        | Reparams { params; weight } ->
+          (match params with
+          | Some p ->
+            config := Config.with_params p !config;
+            cfg_dirty := true
+          | None -> ());
+          (match weight with
+          | Some w ->
+            config := Config.with_weight w !config;
+            cfg_dirty := true
+          | None -> ()))
+      ops;
+    (* Removes preserve relative order, so [n0] surviving [`Old] slots can
+       only be 0..n0-1 in place: the arrangement is untouched. *)
+    let arrangement_kept =
+      List.length !slots = n0
+      && List.for_all (function `Old _ -> true | `New _ -> false) !slots
+    in
+    if arrangement_kept && !bound = s.size_bound && not !cfg_dirty then Ok s
+    else begin
+      Deadline.check deadline;
+      let config = !config and bound = !bound in
+      let profiles =
+        Array.of_list
+          (List.map (function `Old i -> s.profiles.(i) | `New p -> p) !slots)
+      in
+      (* Uniform warm start: survivors resume from their current DFS
+         (truncated when the final bound shrank — the identity otherwise,
+         physically), newcomers seed from top-k at the final bound. A
+         singleton batch reproduces the op's historical warm start
+         exactly. *)
+      let init =
+        Array.of_list
+          (List.map
+             (function
+               | `Old i -> truncate ~limit:bound s.dfss.(i)
+               | `New p -> Topk.generate_one ~limit:bound p)
+             !slots)
+      in
+      let context =
+        if config.Config.incremental then
+          let dod_ops =
+            List.filter_map
+              (function
+                | Add p -> Some (Dod.Add p)
+                | Remove i -> Some (Dod.Remove i)
+                | Set_size_bound _ -> None
+                | Reparams { params; weight } ->
+                  Some (Dod.Reparams { params; weight }))
+              ops
+          in
+          Dod.apply ?domains:config.Config.domains ?deadline s.context dod_ops
+        else make_context ?deadline config profiles
+      in
+      Ok
+        (regenerate ~init
+           { s with config; size_bound = bound }
+           context profiles)
+    end
+
+let add ?deadline s profile =
+  match apply ?deadline s [ Add profile ] with
+  | Ok s' -> s'
+  | Error _ -> assert false (* Add validates nothing *)
+
+let remove ?deadline s index = apply ?deadline s [ Remove index ]
+
 let set_size_bound ?deadline s size_bound =
-  if size_bound < 1 then Error (Error.Bound_too_small size_bound)
-  else if size_bound = s.size_bound then Ok s
-  else begin
-    Deadline.check deadline;
-    let s' = { s with size_bound } in
-    (* Growing keeps every current DFS valid; shrinking warm-starts from
-       the truncated prefix, valid by the Validity ordering. The context
-       does not depend on the bound at all, so the live one is reused
-       verbatim (non-incremental mode rebuilds it, as the ablation
-       baseline). *)
-    let init =
-      if size_bound > s.size_bound then s.dfss
-      else Array.map (truncate ~limit:size_bound) s.dfss
-    in
-    let context =
-      if s.config.Config.incremental then s.context
-      else make_context ?deadline s.config s.profiles
-    in
-    Ok (regenerate ~init s' context s.profiles)
-  end
+  apply ?deadline s [ Set_size_bound size_bound ]
+
+let reparams ?deadline ?params ?weight s =
+  match apply ?deadline s [ Reparams { params; weight } ] with
+  | Ok s' -> s'
+  | Error _ -> assert false (* Reparams validates nothing *)

@@ -9,11 +9,14 @@
     applies to the two swap algorithms; the other methods recompute - they
     are cheap or stochastic by nature.)
 
-    The precomputed {!Dod.context} is maintained the same way: mutations
-    update it by delta ({!Dod.add_result} / {!Dod.remove_result}) instead
-    of rebuilding the O(n²) pair tables, and resizing reuses it verbatim —
-    bit-identical to a fresh build in every case. [Config.incremental =
-    false] restores full rebuilds as an ablation baseline.
+    The precomputed {!Dod.context} is maintained the same way: every
+    mutation routes through the batched delta path ({!Dod.apply}), so a
+    single op costs its surgical delta, a batch of k ops coalesces into
+    one context pass and one DFS regeneration, resizing reuses the
+    context verbatim, and a parameter or weighting change ({!Reparams})
+    never re-extracts profiles — bit-identical to a fresh build in every
+    case. [Config.incremental = false] restores full rebuilds as an
+    ablation baseline.
 
     Sessions are immutable: every operation returns a new session, so the
     UI's undo is free — and a deadline tripping mid-mutation leaves the
@@ -54,14 +57,45 @@ val table : t -> Table.t
     deadline-bound — warm-started, it is cheap). A tripped deadline raises
     {!Xsact_util.Deadline.Expired} and leaves the input session intact. *)
 
+(** One step of a session mutation, consumed by {!apply}. [Remove]
+    indexes the profile array as it stands at that point of the op list
+    (resizes do not shift indices). *)
+type op =
+  | Add of Result_profile.t
+  | Remove of int
+  | Set_size_bound of int
+  | Reparams of {
+      params : Dod.params option;
+      weight : (Feature.ftype -> int) option;
+    }
+
+val apply : ?deadline:Xsact_util.Deadline.t -> t -> op list -> (t, Error.t) result
+(** Apply a batch of mutations as one step: the ops are simulated
+    symbolically first (so validation, and a batch that cancels itself
+    out, cost no pair work), the context is updated by a single
+    {!Dod.apply} delta — or one rebuild under the ablation config — and
+    the DFSs regenerate {e exactly once}, warm-started uniformly:
+    surviving results resume from their current DFS (truncated if the
+    final bound shrank), added ones seed from top-k at the final bound.
+    The last [Reparams] values win and are kept in the session's config
+    for all later operations. A singleton batch is observably identical
+    to the corresponding single operation; a batch whose net effect is
+    nothing (e.g. only cancelling add/remove pairs, or a resize to the
+    current bound) returns the input session itself. Errors mirror the
+    single ops: [Index_out_of_range], [Too_few_selected],
+    [Bound_too_small] — checked against the {e sequential} state, before
+    any work. *)
+
 val add : ?deadline:Xsact_util.Deadline.t -> t -> Result_profile.t -> t
 (** Add one result to the comparison (appended last). Computes only the
     n−1 new context pairs (delta), then warm-starts generation. *)
 
 val remove : ?deadline:Xsact_util.Deadline.t -> t -> int -> (t, Error.t) result
 (** Remove the result at 0-based index; drops that result's pair tables
-    without recomputing the survivors. Fails with [Index_out_of_range]
-    when out of range, [Too_few_selected] when only two results remain. *)
+    and surgically unlinks it from the survivors' lists (sharing every
+    untouched tail) without recomputing any pair. Fails with
+    [Index_out_of_range] when out of range, [Too_few_selected] when only
+    two results remain. *)
 
 val set_size_bound : ?deadline:Xsact_util.Deadline.t -> t -> int -> (t, Error.t) result
 (** Change L, reusing the live context (it does not depend on the bound).
@@ -70,6 +104,19 @@ val set_size_bound : ?deadline:Xsact_util.Deadline.t -> t -> int -> (t, Error.t)
     significant selected types keeps every intermediate DFS valid
     (Desideratum 2), so no cold restart is needed. Fails with
     [Bound_too_small]. *)
+
+val reparams :
+  ?deadline:Xsact_util.Deadline.t ->
+  ?params:Dod.params ->
+  ?weight:(Feature.ftype -> int) ->
+  t ->
+  t
+(** Change the differentiation parameters and/or weighting of a live
+    session without re-extracting profiles: the context re-derives by
+    delta ({!Dod.reparams} — a weighting change alone rebuilds just the
+    weight rows) and the DFSs regenerate once, warm-started from the
+    current selections. The new values persist in the session's config.
+    @raise Invalid_argument on a negative weight. *)
 
 val stats : t -> int
 (** Number of algorithm invocations performed by this session so far

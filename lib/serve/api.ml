@@ -122,6 +122,121 @@ let json_of_compare r =
       | None -> []
       | Some d -> [ ("domains", Json.Int d) ])
 
+(* ---- Session mutations: op batches and params patches ------------------ *)
+
+type params_patch = {
+  p_threshold : float option;
+  p_measure : Dod.measure option;
+  p_weights : (string * int) list option;
+}
+
+type session_op =
+  | Op_add of int  (* rank *)
+  | Op_remove of int  (* rank *)
+  | Op_size of int
+  | Op_params of params_patch
+
+(* Mutation-endpoint decode errors split by blame, the same way the
+   single-op endpoints do: a body we cannot make sense of is malformed
+   (400); a well-formed body asking for something the service rejects —
+   an unknown measure, a negative weight, an unknown op — is
+   unprocessable (422, like the duplicate-rank rejection). *)
+type op_error = Malformed of string | Unprocessable of string
+
+let status_of_op_error = function Malformed _ -> 400 | Unprocessable _ -> 422
+let message_of_op_error = function Malformed m | Unprocessable m -> m
+
+let decode_params_patch json =
+  let* p_threshold =
+    match Json.member "threshold_pct" json with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+      match Json.to_float v with
+      | None -> Error (Malformed "field \"threshold_pct\" has the wrong type")
+      | Some thr ->
+        if thr < 0. then
+          Error (Unprocessable "field \"threshold_pct\" must be non-negative")
+        else Ok (Some thr))
+  in
+  let* p_measure =
+    match Json.member "measure" json with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+      match Json.to_str v with
+      | None -> Error (Malformed "field \"measure\" has the wrong type")
+      | Some "raw" -> Ok (Some Dod.Raw)
+      | Some "rate" -> Ok (Some Dod.Rate)
+      | Some other ->
+        Error (Unprocessable (Printf.sprintf "unknown measure %S" other)))
+  in
+  let* p_weights =
+    match Json.member "weights" json with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+      match weight_rules v with
+      | None -> Error (Malformed "field \"weights\" has the wrong type")
+      | Some rules -> (
+        match List.find_opt (fun (_, w) -> w < 0) rules with
+        | Some (pat, w) ->
+          Error
+            (Unprocessable
+               (Printf.sprintf "negative weight %d for pattern %S" w pat))
+        | None -> Ok (Some rules)))
+  in
+  if p_threshold = None && p_measure = None && p_weights = None then
+    Error
+      (Malformed
+         "empty params patch: provide \"threshold_pct\", \"measure\" or \
+          \"weights\"")
+  else Ok { p_threshold; p_measure; p_weights }
+
+let apply_patch r patch =
+  {
+    r with
+    threshold_pct = Option.value patch.p_threshold ~default:r.threshold_pct;
+    measure = Option.value patch.p_measure ~default:r.measure;
+    weights = Option.value patch.p_weights ~default:r.weights;
+  }
+
+let decode_op json =
+  let op_int op name =
+    match Option.bind (Json.member name json) Json.to_int with
+    | Some v -> Ok v
+    | None ->
+      Error
+        (Malformed
+           (Printf.sprintf "op %S needs an integer field %S" op name))
+  in
+  match Option.bind (Json.member "op" json) Json.to_str with
+  | None -> Error (Malformed "each op needs a string field \"op\"")
+  | Some "add" ->
+    let* rank = op_int "add" "rank" in
+    Ok (Op_add rank)
+  | Some "remove" ->
+    let* rank = op_int "remove" "rank" in
+    Ok (Op_remove rank)
+  | Some "size" ->
+    let* size_bound = op_int "size" "size_bound" in
+    Ok (Op_size size_bound)
+  | Some "params" ->
+    (* inline patch: the params fields sit next to "op" *)
+    let* patch = decode_params_patch json in
+    Ok (Op_params patch)
+  | Some other -> Error (Unprocessable (Printf.sprintf "unknown op %S" other))
+
+let decode_ops json =
+  match Option.bind (Json.member "ops" json) Json.to_list with
+  | None -> Error (Malformed "missing list field \"ops\"")
+  | Some [] -> Error (Malformed "\"ops\" must not be empty")
+  | Some items ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: tl ->
+        let* op = decode_op item in
+        go (op :: acc) tl
+    in
+    go [] items
+
 (* ---- Cache key --------------------------------------------------------- *)
 
 let cache_key r =

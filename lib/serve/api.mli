@@ -50,6 +50,53 @@ val context_key : compare_request -> string
 
 val to_config : compare_request -> Config.t
 
+(** {1 Session mutation bodies}
+
+    [POST /session/:id/apply] carries an op batch; [PATCH
+    /session/:id/params] carries a bare {!params_patch}. Both decode here
+    so handlers stay JSON-free. *)
+
+type params_patch = {
+  p_threshold : float option;
+  p_measure : Dod.measure option;
+  p_weights : (string * int) list option;
+}
+(** A partial update of the differentiation parameters: absent fields
+    keep their current values. At least one field is always present
+    (an empty patch fails to decode). *)
+
+type session_op =
+  | Op_add of int  (** rank to add *)
+  | Op_remove of int  (** rank to remove *)
+  | Op_size of int  (** new size bound *)
+  | Op_params of params_patch
+
+(** Decode failures split by blame: [Malformed] (HTTP 400) means the body
+    itself is broken — wrong types, missing fields, an empty patch;
+    [Unprocessable] (422) means a well-formed body asks for something the
+    service rejects — an unknown measure or op name, a negative weight or
+    threshold. *)
+type op_error = Malformed of string | Unprocessable of string
+
+val status_of_op_error : op_error -> int
+val message_of_op_error : op_error -> string
+
+val decode_params_patch : Json.t -> (params_patch, op_error) result
+(** Decode ["threshold_pct"] / ["measure"] / ["weights"] — each optional,
+    at least one required. Rejects negative thresholds, unknown measures
+    and negative weights as [Unprocessable]. *)
+
+val decode_ops : Json.t -> (session_op list, op_error) result
+(** Decode the ["ops"] list of an apply body. Each element carries a
+    string ["op"] of ["add"] (with ["rank"]), ["remove"] (with ["rank"]),
+    ["size"] (with ["size_bound"]) or ["params"] (patch fields inline,
+    next to ["op"]). The list must be non-empty. *)
+
+val apply_patch : compare_request -> params_patch -> compare_request
+(** Fold a patch into the request a session was created from, so the
+    journaled recipe, the cache keys and the rebuilt config stay honest
+    after a params change. *)
+
 val status_of_error : Error.t -> int
 (** [No_results] → 404; everything else (a well-formed request the corpus
     can't satisfy) → 422. Malformed JSON is the caller's 400. *)

@@ -51,7 +51,7 @@ let op_payload ~op ~id ?at ?entry () =
 
 (* ---- Replay fold -------------------------------------------------------- *)
 
-let upsert_ops = [ "create"; "add"; "remove"; "size"; "set" ]
+let upsert_ops = [ "create"; "add"; "remove"; "size"; "apply"; "params"; "set" ]
 let delete_ops = [ "delete"; "expire"; "evict" ]
 
 let fold_payload t payload =

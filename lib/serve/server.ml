@@ -124,6 +124,8 @@ let handle_root t _req _params =
                   "POST /session/:id/add";
                   "POST /session/:id/remove";
                   "POST /session/:id/size";
+                  "POST /session/:id/apply";
+                  "PATCH /session/:id/params";
                   "DELETE /session/:id";
                 ]) );
        ])
@@ -646,6 +648,10 @@ let handle_session_remove t req params =
               | Error e -> core_error e
               | Ok session ->
                 count_mutation_build t;
+                (* removing the newest result takes the structure-sharing
+                   fast path in [Dod.remove_result] *)
+                if t.incremental && idx = List.length se.s_ranks - 1 then
+                  Metrics.incr_counter t.metrics "remove_tail_shared";
                 let se =
                   {
                     se with
@@ -672,6 +678,165 @@ let handle_session_size t req params =
                 Metrics.incr_counter t.metrics "context_builds_full";
               let se = { se with s_session = session } in
               store_mutated t ~origin:"size" id se))
+
+(* PATCH /session/:id/params — the interactive "drag the threshold /
+   weight slider" loop: re-derive the live context under the patched
+   parameters without re-extracting profiles ([Session.reparams] delta;
+   the ablation rebuilds in full), and fold the patch into the stored
+   request so the journaled recipe — and any cold rebuild from it — uses
+   the new parameters. One store event, one journal record. *)
+let handle_session_params t req params =
+  match decode_body req with
+  | Error resp -> resp
+  | Ok json -> (
+    match Api.decode_params_patch json with
+    | Error e ->
+      error_response ~status:(Api.status_of_op_error e)
+        (Api.message_of_op_error e)
+    | Ok patch ->
+      let deadline = deadline_of_req t req in
+      with_session_update t (fun () ->
+          with_session t params (fun id se ->
+              let creq = Api.apply_patch se.s_request patch in
+              let config = request_config t creq in
+              match
+                Session.reparams ?deadline ~params:config.Config.params
+                  ~weight:config.Config.weight se.s_session
+              with
+              | exception Xsact_util.Deadline.Expired -> timed_out_response t
+              | session ->
+                count_mutation_build t;
+                if t.incremental then
+                  Metrics.incr_counter t.metrics "reparams_delta";
+                let se = { se with s_request = creq; s_session = session } in
+                store_mutated t ~origin:"params" id se)))
+
+(* POST /session/:id/apply — a batch of mutations as one unit: one
+   request, one [Session.apply] (one context delta, one DFS
+   regeneration), one store event, one journal record, one response.
+   Rank-addressed ops are translated to index-addressed session ops
+   against the evolving selection, with exactly the single-op endpoints'
+   checks at each step; any invalid op fails the whole batch before any
+   work, leaving the stored session untouched. *)
+let handle_session_apply t req params =
+  match decode_body req with
+  | Error resp -> resp
+  | Ok json -> (
+    match Api.decode_ops json with
+    | Error e ->
+      error_response ~status:(Api.status_of_op_error e)
+        (Api.message_of_op_error e)
+    | Ok ops ->
+      let deadline = deadline_of_req t req in
+      with_session_update t (fun () ->
+          with_session t params (fun id se ->
+              let entry = Option.get (find_entry t se.s_dataset) in
+              let keywords = se.s_request.Api.keywords in
+              let rec translate ranks creq acc = function
+                | [] -> Ok (List.rev acc, ranks, creq)
+                | Api.Op_add rank :: tl ->
+                  if List.mem rank ranks then
+                    Error
+                      (error_response ~status:422
+                         (Printf.sprintf
+                            "rank %d is already in the comparison" rank))
+                  else (
+                    match result_with_rank se.s_results rank with
+                    | None ->
+                      Error
+                        (core_error
+                           (Error.Rank_out_of_range
+                              {
+                                rank;
+                                available = List.length se.s_results;
+                              }))
+                    | Some r ->
+                      let profile =
+                        Pipeline.profile_of ~keywords entry.pipeline r
+                      in
+                      translate (ranks @ [ rank ]) creq
+                        (Session.Add profile :: acc)
+                        tl)
+                | Api.Op_remove rank :: tl ->
+                  let rec index_of i = function
+                    | [] -> None
+                    | r :: _ when r = rank -> Some i
+                    | _ :: rest -> index_of (i + 1) rest
+                  in
+                  (match index_of 0 ranks with
+                  | None ->
+                    Error
+                      (error_response ~status:422
+                         (Printf.sprintf "rank %d is not in the comparison"
+                            rank))
+                  | Some idx ->
+                    translate
+                      (List.filter (fun r -> r <> rank) ranks)
+                      creq
+                      (Session.Remove idx :: acc)
+                      tl)
+                | Api.Op_size size_bound :: tl ->
+                  translate ranks creq (Session.Set_size_bound size_bound :: acc) tl
+                | Api.Op_params patch :: tl ->
+                  let creq = Api.apply_patch creq patch in
+                  let config = request_config t creq in
+                  translate ranks creq
+                    (Session.Reparams
+                       {
+                         params = Some config.Config.params;
+                         weight = Some config.Config.weight;
+                       }
+                    :: acc)
+                    tl
+              in
+              match translate se.s_ranks se.s_request [] ops with
+              | Error resp -> resp
+              | Ok (sops, ranks, creq) -> (
+                match Session.apply ?deadline se.s_session sops with
+                | exception Xsact_util.Deadline.Expired ->
+                  timed_out_response t
+                | Error e -> core_error e
+                | Ok session ->
+                  Metrics.incr_counter ~by:(List.length ops) t.metrics
+                    "ops_batched";
+                  (* A physically-unchanged session means the batch
+                     cancelled out: no context work happened, so nothing
+                     to book. Otherwise the whole batch cost one build —
+                     delta (unless it was resizes only, which reuse the
+                     context outright) or one full ablation rebuild. *)
+                  if session != se.s_session then
+                    if t.incremental then begin
+                      let ctx_op =
+                        List.exists
+                          (function
+                            | Session.Set_size_bound _ -> false | _ -> true)
+                          sops
+                      in
+                      if ctx_op then begin
+                        Metrics.incr_counter t.metrics "context_builds_delta";
+                        let reparams_n =
+                          List.length
+                            (List.filter
+                               (function
+                                 | Session.Reparams _ -> true | _ -> false)
+                               sops)
+                        in
+                        if reparams_n > 0 then
+                          Metrics.incr_counter ~by:reparams_n t.metrics
+                            "reparams_delta";
+                        match sops with
+                        | [ Session.Remove idx ]
+                          when idx = List.length se.s_ranks - 1 ->
+                          Metrics.incr_counter t.metrics "remove_tail_shared"
+                        | _ -> ()
+                      end
+                    end
+                    else Metrics.incr_counter t.metrics "context_builds_full";
+                  let se =
+                    { se with s_request = creq; s_ranks = ranks;
+                              s_session = session }
+                  in
+                  store_mutated t ~origin:"apply" id se))))
 
 let handle_session_delete t _req params =
   let id = Option.value ~default:"" (List.assoc_opt "id" params) in
@@ -734,6 +899,12 @@ let handle_metrics t _req _params =
              match t.max_context_bytes with
              | None -> Json.Null
              | Some b -> Json.Int b );
+           ( "ops_batched",
+             Json.Int (Metrics.counter t.metrics "ops_batched") );
+           ( "reparams_delta",
+             Json.Int (Metrics.counter t.metrics "reparams_delta") );
+           ( "remove_tail_shared",
+             Json.Int (Metrics.counter t.metrics "remove_tail_shared") );
            ( "contexts_demoted",
              Json.Int (Metrics.counter t.metrics "contexts_demoted") );
            ( "sessions_rewarmed",
@@ -784,6 +955,8 @@ let routes_of t =
     r "POST" "session/:id/add" handle_session_add;
     r "POST" "session/:id/remove" handle_session_remove;
     r "POST" "session/:id/size" handle_session_size;
+    r "POST" "session/:id/apply" handle_session_apply;
+    r "PATCH" "session/:id/params" handle_session_params;
     r "DELETE" "session/:id" handle_session_delete;
   ]
 

@@ -28,7 +28,8 @@ type 'a event =
   | Created of { id : string; value : 'a; at : float }
   | Updated of { id : string; origin : string; value : 'a; at : float }
       (** [origin] labels the mutation for the journal ("add", "remove",
-          "size", or "set" when unlabelled). *)
+          "size", "apply" for an op batch, "params" for a parameter
+          patch, or "set" when unlabelled). *)
   | Removed of { id : string }
   | Expired of { id : string }
   | Evicted of { id : string }

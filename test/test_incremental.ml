@@ -115,12 +115,180 @@ let test_deadline_mid_delta () =
   (* the failed deltas left the input context fully intact *)
   check ctx "context intact after expiry" (Dod.make_context base) c
 
+(* [l'] ends with the physical list node [suffix] (not a structural
+   copy): the O(change) remove really shares the untouched tails. *)
+let physically_ends_with suffix l =
+  match suffix with
+  | [] -> true
+  | _ ->
+    let rec go l =
+      l == suffix || match l with [] -> false | _ :: tl -> go tl
+    in
+    go l
+
+let test_remove_last_shares_tails () =
+  let profiles = synthetic 21 8 in
+  let c = Dod.make_context profiles in
+  let last = 7 in
+  let c' = Dod.remove_result c last in
+  check ctx "remove last = fresh"
+    (Dod.make_context (Array.sub profiles 0 last))
+    c';
+  (* every link list either loses its head (the one link to the removed
+     newest result — always at the head, by the descending-partner
+     invariant) keeping the whole tail physically, or is untouched and
+     physically identical *)
+  let shared = ref 0 and dropped = ref 0 in
+  for i = 0 to last - 1 do
+    for gi = 0 to Result_profile.num_types profiles.(i) - 1 do
+      let l = Dod.links c ~i ~gi and l' = Dod.links c' ~i ~gi in
+      match l with
+      | hd :: tl when hd.Dod.other = last ->
+        incr dropped;
+        if not (l' == tl) then
+          Alcotest.failf "result %d type %d: tail not physically shared" i gi
+      | _ ->
+        incr shared;
+        if not (l' == l) then
+          Alcotest.failf "result %d type %d: untouched list was copied" i gi
+    done
+  done;
+  if !dropped = 0 then Alcotest.fail "degenerate: no list linked the removed result";
+  if !shared = 0 then Alcotest.fail "degenerate: every list linked the removed result"
+
+let test_remove_general_shares_suffix () =
+  let profiles = synthetic 22 8 in
+  let index = 3 in
+  let c = Dod.make_context profiles in
+  let c' = Dod.remove_result c index in
+  check ctx "general remove = fresh"
+    (Dod.make_context (drop index profiles))
+    c';
+  (* links below the removed index sit in each list's tail (descending
+     partners) and need no reindexing: that suffix is shared physically *)
+  let rec suffix_below l =
+    match l with
+    | [] -> []
+    | hd :: tl ->
+      if hd.Dod.other > index then suffix_below tl
+      else if hd.Dod.other = index then tl
+      else l
+  in
+  let shared_nonempty = ref 0 in
+  for i = 0 to Array.length profiles - 1 do
+    if i <> index then begin
+      let i' = if i < index then i else i - 1 in
+      for gi = 0 to Result_profile.num_types profiles.(i) - 1 do
+        let l = Dod.links c ~i ~gi in
+        let l' = Dod.links c' ~i:i' ~gi in
+        let suffix = suffix_below l in
+        if suffix != [] then incr shared_nonempty;
+        if not (physically_ends_with suffix l') then
+          Alcotest.failf "result %d type %d: below-index suffix was copied" i
+            gi
+      done
+    end
+  done;
+  if !shared_nonempty = 0 then
+    Alcotest.fail "degenerate: no list had a shareable suffix"
+
+(* ---- Dod.apply: coalesced op batches ------------------------------------ *)
+
+let test_apply_batch_equals_fresh () =
+  let profiles = synthetic 31 8 in
+  let base = Array.sub profiles 0 5 in
+  let c = Dod.make_context base in
+  (* two adds, one remove of an original, an interleaved params change
+     that loses to the final one: bit-identical to the fresh build over
+     the final arrangement under the final params *)
+  let p1 = { Dod.threshold_pct = 50.0; measure = Dod.Raw } in
+  let p2 = { Dod.threshold_pct = 25.0; measure = Dod.Rate } in
+  let ops =
+    [
+      Dod.Reparams { params = Some p1; weight = None };
+      Dod.Add profiles.(5);
+      Dod.Remove 1;
+      Dod.Add profiles.(6);
+      Dod.Reparams { params = Some p2; weight = None };
+    ]
+  in
+  let final =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> 1)
+         (Array.to_list (Array.sub profiles 0 6))
+      @ [ profiles.(6) ])
+  in
+  check ctx "batch = fresh over final arrangement"
+    (Dod.make_context ~params:p2 final)
+    (Dod.apply c ops);
+  check ctx "input context intact" (Dod.make_context base) c;
+  (* fold equivalence: the batch equals applying the ops one at a time *)
+  let folded =
+    List.fold_left (fun c op -> Dod.apply c [ op ]) c ops
+  in
+  check ctx "batch = sequential fold" folded (Dod.apply c ops)
+
+let test_apply_cancelling_pairs () =
+  let profiles = synthetic 33 6 in
+  let base = Array.sub profiles 0 4 in
+  let c = Dod.make_context base in
+  (* an add immediately re-removed never costs a pair computation; the
+     batch lands back on the original bytes *)
+  let cancelling = [ Dod.Add profiles.(4); Dod.Remove 4 ] in
+  check ctx "cancelling pair = original" (Dod.make_context base)
+    (Dod.apply c cancelling);
+  (* same with a second op riding along *)
+  let ops = [ Dod.Add profiles.(4); Dod.Remove 4; Dod.Add profiles.(5) ] in
+  check ctx "cancelling pair + survivor = fresh"
+    (Dod.make_context (Array.append base [| profiles.(5) |]))
+    (Dod.apply c ops);
+  (* the empty batch is the context itself, physically *)
+  if not (Dod.apply c [] == c) then Alcotest.fail "empty batch copied"
+
+let test_apply_errors () =
+  let profiles = synthetic 34 4 in
+  let c = Dod.make_context profiles in
+  Alcotest.check_raises "batch remove out of range"
+    (Invalid_argument "Dod.apply: remove index out of range") (fun () ->
+      ignore (Dod.apply c [ Dod.Add profiles.(0); Dod.Remove 9 ]));
+  Alcotest.check_raises "batch remove below two"
+    (Invalid_argument "Dod.apply: need at least two results") (fun () ->
+      ignore (Dod.apply c [ Dod.Remove 0; Dod.Remove 0; Dod.Remove 0 ]));
+  (* singleton batches route to the surgical ops and keep their errors *)
+  Alcotest.check_raises "singleton remove keeps its message"
+    (Invalid_argument "Dod.remove_result: index out of range") (fun () ->
+      ignore (Dod.apply c [ Dod.Remove 9 ]));
+  Alcotest.check_raises "expired batch raises" Deadline.Expired (fun () ->
+      ignore
+        (Dod.apply ~domains:1 ~deadline:(Deadline.of_ms 0.) c
+           [ Dod.Add profiles.(0); Dod.Remove 0 ]));
+  check ctx "context intact after failures" (Dod.make_context profiles) c
+
 let test_approx_bytes_sane () =
   let small = Dod.make_context (synthetic 4 3) in
   let large = Dod.make_context (synthetic 4 12) in
   if Dod.approx_bytes small <= 0 then Alcotest.fail "non-positive footprint";
   if Dod.approx_bytes large <= Dod.approx_bytes small then
     Alcotest.fail "footprint does not grow with the result set"
+
+(* Pin the corrected accounting: pair entries are charged once (through
+   the two links each merges into), the cache map adds only its node
+   spine. The golden value is over a deterministic synthetic context; a
+   change here means the accounting changed and --max-context-mb moved —
+   review it, then update the value. Re-introducing the old per-entry
+   double charge inflates it by ~a third and fails loudly. *)
+let test_approx_bytes_accounting () =
+  if Sys.word_size = 64 then begin
+    let c = Dod.make_context (synthetic 4 6) in
+    check Alcotest.int "64-bit golden footprint" 27584 (Dod.approx_bytes c);
+    (* delta maintenance must account like a fresh build: bit-identical
+       contexts have identical footprints *)
+    let profiles = synthetic 4 7 in
+    let grown = Dod.add_result c profiles.(6) in
+    check Alcotest.int "delta footprint = fresh footprint"
+      (Dod.approx_bytes (Dod.make_context profiles))
+      (Dod.approx_bytes grown)
+  end
 
 (* ---- Session threading -------------------------------------------------- *)
 
@@ -310,6 +478,163 @@ let prop_mutations_bit_identical =
         ops;
       true)
 
+(* ---- Random op batches through Session.apply (property) ----------------- *)
+
+type bop = BAdd | BRemove of int | BResize of int | BReparams of int | BCancel
+
+let bop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return BAdd);
+        (2, map (fun i -> BRemove i) (int_range 0 31));
+        (2, map (fun k -> BResize k) (int_range 3 12));
+        (2, map (fun t -> BReparams t) (int_range 0 2));
+        (1, return BCancel);
+      ])
+
+let show_bop = function
+  | BAdd -> "add"
+  | BRemove i -> Printf.sprintf "remove %d" i
+  | BResize k -> Printf.sprintf "resize %d" k
+  | BReparams t -> Printf.sprintf "reparams %d" t
+  | BCancel -> "cancel-pair"
+
+let show_batch_case (seed, alg_i, batches) =
+  Printf.sprintf "seed=%d alg=%d [%s]" seed alg_i
+    (String.concat " | "
+       (List.map
+          (fun b -> String.concat "; " (List.map show_bop b))
+          batches))
+
+(* Random op *batches* — with cancelling add/remove pairs and interleaved
+   reparams — through Session.apply: after every batch the coalesced
+   context must equal a fresh make_context under the session's (possibly
+   re-parametrized) config, and the whole session must stay in lockstep
+   with a --no-incremental mirror applying the identical batches. A
+   tripped deadline on a non-trivial batch must raise and leave both
+   replicas untouched. *)
+let prop_batches_bit_identical =
+  QCheck.Test.make
+    ~name:"random op batches: one coalesced delta = fresh rebuild" ~count:30
+    QCheck.(
+      make ~print:show_batch_case
+        Gen.(
+          triple (int_range 0 1_000_000)
+            (int_range 0 (Array.length algorithms - 1))
+            (list_size (int_range 1 4)
+               (list_size (int_range 1 6) bop_gen))))
+    (fun (seed, alg_i, batches) ->
+      let pool = synthetic seed 24 in
+      let next = ref 4 in
+      let thresholds = [| 10.0; 25.0; 40.0 |] in
+      let config =
+        Config.default
+        |> Config.with_algorithm algorithms.(alg_i)
+        |> Config.with_domains 1
+      in
+      let initial = Array.to_list (Array.sub pool 0 4) in
+      let s = ref (session_of config initial ~size_bound:6) in
+      let m =
+        ref
+          (session_of (Config.with_incremental false config) initial
+             ~size_bound:6)
+      in
+      let agree step =
+        let s = !s and m = !m in
+        let cfg = Session.config s in
+        let fresh =
+          Dod.make_context ~params:cfg.Config.params
+            ~weight:cfg.Config.weight ?domains:cfg.Config.domains
+            (Session.profiles s)
+        in
+        if not (Dod.equal_context fresh (Session.context s)) then
+          QCheck.Test.fail_reportf "batch %d: context <> fresh rebuild" step;
+        if not (Dod.equal_context (Session.context m) (Session.context s))
+        then
+          QCheck.Test.fail_reportf "batch %d: context <> ablation mirror"
+            step;
+        if qs s <> qs m then
+          QCheck.Test.fail_reportf "batch %d: DFSs diverge from mirror" step;
+        if Session.dod s <> Session.dod m then
+          QCheck.Test.fail_reportf "batch %d: DoD diverges from mirror" step
+      in
+      agree 0;
+      List.iteri
+        (fun step batch ->
+          let step = step + 1 in
+          (* translate to session ops against the running arrangement *)
+          let n = ref (Array.length (Session.profiles !s)) in
+          let grows = ref false in
+          let ops =
+            List.concat_map
+              (fun bop ->
+                match bop with
+                | BAdd when !next < Array.length pool ->
+                  let p = pool.(!next) in
+                  incr next;
+                  incr n;
+                  grows := true;
+                  [ Session.Add p ]
+                | BAdd -> []
+                | BRemove i when !n > 2 ->
+                  let i = i mod !n in
+                  decr n;
+                  [ Session.Remove i ]
+                | BRemove _ -> []
+                | BResize k -> [ Session.Set_size_bound k ]
+                | BReparams 2 ->
+                  [
+                    Session.Reparams
+                      {
+                        params = None;
+                        weight =
+                          Some
+                            (fun ft ->
+                              1 + (String.length ft.Feature.attribute land 1));
+                      };
+                  ]
+                | BReparams t ->
+                  [
+                    Session.Reparams
+                      {
+                        params =
+                          Some
+                            {
+                              Dod.threshold_pct = thresholds.(t);
+                              measure = Dod.Raw;
+                            };
+                        weight = None;
+                      };
+                  ]
+                | BCancel when !next < Array.length pool ->
+                  let p = pool.(!next) in
+                  incr next;
+                  [ Session.Add p; Session.Remove !n ]
+                | BCancel -> [])
+              batch
+          in
+          if ops <> [] then begin
+            (* a batch that grows the arrangement can never be a no-op, so
+               an expired deadline must raise without corrupting state *)
+            if !grows then
+              (try
+                 ignore (Session.apply ~deadline:(Deadline.of_ms 0.) !s ops);
+                 QCheck.Test.fail_reportf
+                   "batch %d: expired batch did not raise" step
+               with Deadline.Expired -> ());
+            match (Session.apply !s ops, Session.apply !m ops) with
+            | Ok a, Ok b ->
+              s := a;
+              m := b
+            | (Error e, _ | _, Error e) ->
+              QCheck.Test.fail_reportf "batch %d: apply: %s" step
+                (Error.to_string e)
+          end;
+          agree step)
+        batches;
+      true)
+
 (* ---- Serve layer -------------------------------------------------------- *)
 
 let request ?(meth = "GET") ?(headers = []) ?(body = "") target =
@@ -333,15 +658,17 @@ let compare_body k =
   Printf.sprintf
     {|{"dataset":"product-reviews","q":"gps","top":3,"size_bound":%d}|} k
 
-type handler = ?meth:string -> ?body:string -> string -> Http.response
+type handler =
+  ?meth:string -> ?headers:(string * string) list -> ?body:string -> string ->
+  Http.response
 
-let session_server ?incremental ?max_context_bytes () =
+let session_server ?incremental ?max_context_bytes ?state_dir () =
   let t =
     Server.create ~datasets:[ "product-reviews" ] ?incremental
-      ?max_context_bytes ()
+      ?max_context_bytes ?state_dir ()
   in
-  let handle ?meth ?body target =
-    Server.handle t (request ?meth ?body target)
+  let handle ?meth ?headers ?body target =
+    Server.handle t (request ?meth ?headers ?body target)
   in
   (t, handle)
 
@@ -468,6 +795,213 @@ let test_server_demote_rewarm () =
           .Http.status)
     [ a; b ]
 
+(* ---- Batched mutations and params patches over HTTP --------------------- *)
+
+(* GET /session bodies modulo the "runs" diagnostic (a batch regenerates
+   once where a sequential replay regenerates k times — everything else
+   must agree byte for byte). *)
+let without_runs body =
+  match Json.of_string body with
+  | Ok (Json.Obj fields) ->
+    Json.to_string (Json.Obj (List.filter (fun (k, _) -> k <> "runs") fields))
+  | _ -> Alcotest.failf "bad session body %s" body
+
+let batch_ops_body =
+  {|{"ops":[{"op":"add","rank":4},{"op":"size","size_bound":9},{"op":"remove","rank":2},{"op":"params","threshold_pct":25.0}]}|}
+
+let test_server_apply_batch () =
+  let _, warm = session_server () in
+  let _, cold = session_server ~incremental:false () in
+  let drive (handle : handler) =
+    let id = create_session handle in
+    let r =
+      handle ~meth:"POST" ~body:batch_ops_body ("/session/" ^ id ^ "/apply")
+    in
+    check Alcotest.int "apply ok" 200 r.Http.status;
+    (* the one response already reflects the whole batch *)
+    check Alcotest.int "size applied" 9 (int_exn "size_bound" r.Http.resp_body);
+    (match member_exn "ranks" r.Http.resp_body with
+    | Json.List ranks ->
+      check
+        Alcotest.(list int)
+        "ranks applied" [ 1; 3; 4 ]
+        (List.filter_map (function Json.Int i -> Some i | _ -> None) ranks)
+    | _ -> Alcotest.fail "no ranks");
+    (* a singleton batch removing the newest result rides the
+       tail-sharing fast path *)
+    let r2 =
+      handle ~meth:"POST" ~body:{|{"ops":[{"op":"remove","rank":4}]}|}
+        ("/session/" ^ id ^ "/apply")
+    in
+    check Alcotest.int "singleton apply ok" 200 r2.Http.status;
+    (handle ("/session/" ^ id)).Http.resp_body
+  in
+  let warm_body = drive warm and cold_body = drive cold in
+  check Alcotest.string "warm batch = ablation batch byte-identical"
+    cold_body warm_body;
+  let metrics = (warm "/metrics").Http.resp_body in
+  check Alcotest.int "ops_batched" 5 (int_exn "ops_batched" metrics);
+  check Alcotest.int "one full build (creation)" 1
+    (int_exn "context_builds_full" metrics);
+  check Alcotest.int "one delta build per apply" 2
+    (int_exn "context_builds_delta" metrics);
+  check Alcotest.int "params op maintained by delta" 1
+    (int_exn "reparams_delta" metrics);
+  check Alcotest.int "tail-sharing remove counted" 1
+    (int_exn "remove_tail_shared" metrics);
+  let cold_metrics = (cold "/metrics").Http.resp_body in
+  check Alcotest.int "ablation: applies rebuild in full" 3
+    (int_exn "context_builds_full" cold_metrics);
+  check Alcotest.int "ablation: no delta builds" 0
+    (int_exn "context_builds_delta" cold_metrics);
+  check Alcotest.int "ablation: no tail sharing" 0
+    (int_exn "remove_tail_shared" cold_metrics);
+  (* one batch = the same final state as the equivalent single-op replay,
+     modulo the runs diagnostic *)
+  let _, seq = session_server () in
+  let id = create_session seq in
+  List.iter
+    (fun (meth, suffix, body) ->
+      check Alcotest.int (suffix ^ " ok") 200
+        (seq ~meth ~body ("/session/" ^ id ^ "/" ^ suffix)).Http.status)
+    [
+      ("POST", "add", {|{"rank":4}|});
+      ("POST", "size", {|{"size_bound":9}|});
+      ("POST", "remove", {|{"rank":2}|});
+      ("PATCH", "params", {|{"threshold_pct":25.0}|});
+      ("POST", "remove", {|{"rank":4}|});
+    ];
+  check Alcotest.string "batch = sequential replay (modulo runs)"
+    (without_runs (seq ("/session/" ^ id)).Http.resp_body)
+    (without_runs warm_body)
+
+let test_server_apply_atomic () =
+  let _, handle = session_server () in
+  let id = create_session handle in
+  let before = (handle ("/session/" ^ id)).Http.resp_body in
+  let apply body = handle ~meth:"POST" ~body ("/session/" ^ id ^ "/apply") in
+  let expect what status body =
+    check Alcotest.int what status (apply body).Http.status;
+    check Alcotest.string (what ^ ": session untouched") before
+      ((handle ("/session/" ^ id)).Http.resp_body)
+  in
+  expect "empty ops" 400 {|{"ops":[]}|};
+  expect "missing ops" 400 {|{"nope":1}|};
+  expect "unknown op" 422 {|{"ops":[{"op":"frobnicate"}]}|};
+  expect "op without rank" 400 {|{"ops":[{"op":"add"}]}|};
+  expect "duplicate within batch" 422
+    {|{"ops":[{"op":"add","rank":4},{"op":"add","rank":4}]}|};
+  expect "already selected" 422 {|{"ops":[{"op":"add","rank":1}]}|};
+  expect "not selected" 422 {|{"ops":[{"op":"remove","rank":9}]}|};
+  (* a bad op deep in the batch fails the whole batch: the valid prefix
+     must not land *)
+  expect "late bad op keeps batch atomic" 422
+    {|{"ops":[{"op":"add","rank":4},{"op":"remove","rank":1},{"op":"size","size_bound":0}]}|};
+  (* injected deadline expiry: 504, nothing lands *)
+  let r =
+    handle ~meth:"POST"
+      ~headers:[ ("x-deadline-ms", "0") ]
+      ~body:batch_ops_body
+      ("/session/" ^ id ^ "/apply")
+  in
+  check Alcotest.int "expired apply is 504" 504 r.Http.status;
+  check Alcotest.string "expired apply: session untouched" before
+    ((handle ("/session/" ^ id)).Http.resp_body)
+
+let test_server_params_patch () =
+  let _, warm = session_server () in
+  let _, cold = session_server ~incremental:false () in
+  let drive (handle : handler) =
+    let id = create_session handle in
+    let patch body =
+      handle ~meth:"PATCH" ~body ("/session/" ^ id ^ "/params")
+    in
+    check Alcotest.int "threshold + weights patch ok" 200
+      (patch {|{"threshold_pct":25.0,"weights":{"review":2}}|}).Http.status;
+    (* boundary values: zero threshold and zero weight are legal *)
+    check Alcotest.int "zero threshold ok" 200
+      (patch {|{"threshold_pct":0}|}).Http.status;
+    check Alcotest.int "zero weight ok" 200
+      (patch {|{"weights":{"review":0}}|}).Http.status;
+    check Alcotest.int "measure patch ok" 200
+      (patch {|{"measure":"rate"}|}).Http.status;
+    (handle ("/session/" ^ id)).Http.resp_body
+  in
+  let warm_body = drive warm and cold_body = drive cold in
+  check Alcotest.string "patched warm = patched ablation byte-identical"
+    cold_body warm_body;
+  let metrics = (warm "/metrics").Http.resp_body in
+  check Alcotest.int "four reparams deltas" 4
+    (int_exn "reparams_delta" metrics);
+  check Alcotest.int "reparams by delta, creation aside" 1
+    (int_exn "context_builds_full" metrics);
+  check Alcotest.int "one delta build per patch" 4
+    (int_exn "context_builds_delta" metrics);
+  let cold_metrics = (cold "/metrics").Http.resp_body in
+  check Alcotest.int "ablation: patches rebuild in full" 5
+    (int_exn "context_builds_full" cold_metrics);
+  check Alcotest.int "ablation books no reparams delta" 0
+    (int_exn "reparams_delta" cold_metrics)
+
+let test_server_params_errors () =
+  let _, handle = session_server () in
+  let id = create_session handle in
+  let before = (handle ("/session/" ^ id)).Http.resp_body in
+  let expect what status body =
+    check Alcotest.int what status
+      (handle ~meth:"PATCH" ~body ("/session/" ^ id ^ "/params")).Http.status;
+    check Alcotest.string (what ^ ": session untouched") before
+      ((handle ("/session/" ^ id)).Http.resp_body)
+  in
+  expect "negative weight is 422" 422 {|{"weights":{"country":-1}}|};
+  expect "unknown measure is 422" 422 {|{"measure":"bogus"}|};
+  expect "negative threshold is 422" 422 {|{"threshold_pct":-5}|};
+  expect "wrong threshold type is 400" 400 {|{"threshold_pct":"high"}|};
+  expect "wrong weights type is 400" 400 {|{"weights":[1,2]}|};
+  expect "empty patch is 400" 400 {|{}|};
+  (* the error body is typed like the duplicate-rank 422s *)
+  let r =
+    handle ~meth:"PATCH" ~body:{|{"measure":"bogus"}|}
+      ("/session/" ^ id ^ "/params")
+  in
+  (match member_exn "error" r.Http.resp_body with
+  | Json.String msg ->
+    check Alcotest.string "unknown measure message" "unknown measure \"bogus\""
+      msg
+  | _ -> Alcotest.fail "no error message")
+
+(* The new origins journal one record per request and replay on boot:
+   a batch and a patch survive recovery with byte-identical session
+   state. *)
+let test_server_apply_durable () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xsact_incr_%d" (Unix.getpid ()))
+  in
+  let _ = Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)) in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      let t, handle = session_server ~state_dir:dir () in
+      Server.recover t;
+      let id = create_session handle in
+      check Alcotest.int "apply ok" 200
+        (handle ~meth:"POST" ~body:batch_ops_body
+           ("/session/" ^ id ^ "/apply"))
+          .Http.status;
+      check Alcotest.int "patch ok" 200
+        (handle ~meth:"PATCH" ~body:{|{"threshold_pct":30.0}|}
+           ("/session/" ^ id ^ "/params"))
+          .Http.status;
+      let before = (handle ("/session/" ^ id)).Http.resp_body in
+      let t2, handle2 = session_server ~state_dir:dir () in
+      Server.recover t2;
+      check Alcotest.string "recovered session byte-identical (modulo runs)"
+        (without_runs before)
+        (without_runs (handle2 ("/session/" ^ id)).Http.resp_body))
+
 let () =
   Alcotest.run "xsact_incremental"
     [
@@ -485,6 +1019,17 @@ let () =
           Alcotest.test_case "deadline mid-delta" `Quick
             test_deadline_mid_delta;
           Alcotest.test_case "approx_bytes sane" `Quick test_approx_bytes_sane;
+          Alcotest.test_case "remove-last shares tails" `Quick
+            test_remove_last_shares_tails;
+          Alcotest.test_case "general remove shares suffix" `Quick
+            test_remove_general_shares_suffix;
+          Alcotest.test_case "apply batch = fresh" `Quick
+            test_apply_batch_equals_fresh;
+          Alcotest.test_case "apply cancelling pairs" `Quick
+            test_apply_cancelling_pairs;
+          Alcotest.test_case "apply errors" `Quick test_apply_errors;
+          Alcotest.test_case "approx_bytes accounting" `Quick
+            test_approx_bytes_accounting;
         ] );
       ( "session",
         [
@@ -493,6 +1038,7 @@ let () =
           Alcotest.test_case "deadline leaves session intact" `Quick
             test_session_deadline_intact;
           qtest prop_mutations_bit_identical;
+          qtest prop_batches_bit_identical;
         ] );
       ( "serve",
         [
@@ -504,5 +1050,13 @@ let () =
             test_compare_context_reuse;
           Alcotest.test_case "demote and rewarm" `Quick
             test_server_demote_rewarm;
+          Alcotest.test_case "apply batch" `Quick test_server_apply_batch;
+          Alcotest.test_case "apply atomic on errors" `Quick
+            test_server_apply_atomic;
+          Alcotest.test_case "params patch" `Quick test_server_params_patch;
+          Alcotest.test_case "params patch errors" `Quick
+            test_server_params_errors;
+          Alcotest.test_case "apply and params durable" `Quick
+            test_server_apply_durable;
         ] );
     ]
