@@ -991,8 +991,8 @@ let incremental_bench () =
      monotonicity across that span *)
   let ns = if !quick then [ 8; 64; 256 ] else [ 8; 16; 32; 64; 128; 256 ] in
   let runs = if !quick then 3 else 5 in
-  Printf.printf "%5s | %8s | %8s %8s | %8s %8s\n" "n" "add" "rm last"
-    "rm gen" "reparams" "reweight";
+  Printf.printf "%5s | %8s | %8s %8s | %8s %8s | %9s %9s %6s\n" "n" "add"
+    "rm last" "rm gen" "reparams" "reweight" "flat B" "boxed B" "ratio";
   let rows = ref [] in
   List.iter
     (fun n ->
@@ -1079,11 +1079,18 @@ let incremental_bench () =
       let rmg_x = speedup rmg_full rmg_delta in
       let rp_x = speedup rp_full rp_delta in
       let rw_x = speedup rw_full rw_delta in
-      Printf.printf "%5d | %7.1fx | %7.1fx %7.1fx | %7.1fx %7.1fx\n" n add_x
-        rml_x rmg_x rp_x rw_x;
+      (* bytes per context: the flat packed-segment representation vs
+         what the same pair tables would cost as boxed entry lists *)
+      let bytes_flat = Dod.approx_bytes ctx_full in
+      let bytes_boxed = Dod.approx_bytes_boxed ctx_full in
+      let bytes_ratio = float_of_int bytes_boxed /. float_of_int bytes_flat in
+      Printf.printf
+        "%5d | %7.1fx | %7.1fx %7.1fx | %7.1fx %7.1fx | %9d %9d %5.2fx\n" n
+        add_x rml_x rmg_x rp_x rw_x bytes_flat bytes_boxed bytes_ratio;
       rows :=
         (n, (add_delta, add_full, add_x), (rml_delta, rml_full, rml_x),
-         (rmg_delta, rmg_full, rmg_x), (rp_delta, rp_full, rp_x), rw_x)
+         (rmg_delta, rmg_full, rmg_x), (rp_delta, rp_full, rp_x), rw_x,
+         (bytes_flat, bytes_boxed, bytes_ratio))
         :: !rows)
     ns;
   let rows = List.rev !rows in
@@ -1098,7 +1105,7 @@ let incremental_bench () =
   let remove_last_monotone =
     match
       List.filter_map
-        (fun (n, _, (_, _, x), _, _, _) -> if n >= 64 then Some x else None)
+        (fun (n, _, (_, _, x), _, _, _, _) -> if n >= 64 then Some x else None)
         rows
     with
     | [] -> true
@@ -1108,6 +1115,17 @@ let incremental_bench () =
   in
   Printf.printf "\nremove-last speedup non-decaying from n=64: %b\n"
     remove_last_monotone;
+  (* The flat representation must at least halve the boxed footprint at
+     the largest n — the per-entry overhead it removes (list cons cells,
+     boxed records) dominates as pair tables grow. *)
+  let bytes_halved =
+    match List.rev rows with
+    | (_, _, _, _, _, _, (_, _, ratio)) :: _ -> ratio >= 2.0
+    | [] -> true
+  in
+  Printf.printf "flat context >= 2x smaller than boxed at n=%d: %b\n"
+    (List.fold_left (fun _ (n, _, _, _, _, _, _) -> n) 0 rows)
+    bytes_halved;
   (* Batch of k session ops vs the same ops applied one at a time: the
      batch pays one context pass and one DFS regeneration, the sequential
      replay pays k of each. Session-level (Single_swap, one domain) so
@@ -1176,6 +1194,58 @@ let incremental_bench () =
   Printf.printf
     "batch: n=%d k=%d  batch %.6fs vs sequential %.6fs  (%.1fx)\n" batch_n
     batch_k batch_t.Timing.median_s seq_t.Timing.median_s batch_x;
+  (* Cross-session interning: k sessions over the same corpus and
+     parameters hold one physical context. Drive the serve layer's intern
+     table the way the session endpoints do — the first session builds
+     and publishes, the rest acquire the pinned entry — and compare the
+     table's ledger against the naive k-copies cost. *)
+  let module Intern = Xsact_server.Intern in
+  let share_k = 8 in
+  let share_table = Intern.create () in
+  let share_key = "bench-shared-corpus" in
+  let shared_sessions =
+    List.init share_k (fun _ ->
+        match Intern.acquire share_table share_key with
+        | Some (ps, ctx) -> (
+          match
+            Session.create ~config ~context:ctx ~size_bound:8
+              (Array.to_list ps)
+          with
+          | Ok s -> s
+          | Error _ -> failwith "incremental bench: shared session failed")
+        | None -> (
+          match
+            Session.create ~config ~size_bound:8
+              (Array.to_list (Array.sub profiles 0 batch_n))
+          with
+          | Ok s ->
+            let ps, ctx =
+              Intern.publish share_table share_key
+                ~profiles:(Session.profiles s)
+                ~context:(Session.context s)
+            in
+            if ctx == Session.context s then s
+            else Session.intern s ~profiles:ps ~context:ctx
+          | Error _ -> failwith "incremental bench: shared session failed"))
+  in
+  let one_physical_context =
+    match shared_sessions with
+    | s0 :: rest ->
+      List.for_all (fun s -> Session.context s == Session.context s0) rest
+    | [] -> false
+  in
+  if not one_physical_context then
+    failwith "incremental bench: interned sessions hold distinct contexts";
+  let interned_bytes = Intern.bytes_live share_table in
+  let naive_bytes =
+    share_k * Dod.approx_bytes (Session.context (List.hd shared_sessions))
+  in
+  Printf.printf
+    "sharing: %d sessions over one corpus  interned %d B vs naive %d B \
+     (%.1fx, one physical context: %b)\n"
+    share_k interned_bytes naive_bytes
+    (float_of_int naive_bytes /. float_of_int interned_bytes)
+    one_physical_context;
   let json = Buffer.create 1024 in
   Buffer.add_string json "{\n";
   Buffer.add_string json
@@ -1188,7 +1258,8 @@ let incremental_bench () =
            (rld, rlf, rlx),
            (rgd, rgf, rgx),
            (rpd, rpf, rpx),
-           rwx ) ->
+           rwx,
+           (bflat, bboxed, bratio) ) ->
       Buffer.add_string json
         (Printf.sprintf
            "    {\"n\": %d, \"add_delta_s\": %.9f, \"add_full_s\": %.9f, \
@@ -1197,10 +1268,12 @@ let incremental_bench () =
             \"remove_general_delta_s\": %.9f, \"remove_general_full_s\": \
             %.9f, \"remove_general_speedup\": %.2f, \"reparams_delta_s\": \
             %.9f, \"reparams_full_s\": %.9f, \"reparams_speedup\": %.2f, \
-            \"reparams_weight_speedup\": %.2f}%s\n"
+            \"reparams_weight_speedup\": %.2f, \"context_bytes_flat\": %d, \
+            \"context_bytes_boxed\": %d, \"context_bytes_ratio\": %.2f}%s\n"
            n ad.Timing.median_s af.Timing.median_s ax rld.Timing.median_s
            rlf.Timing.median_s rlx rgd.Timing.median_s rgf.Timing.median_s
-           rgx rpd.Timing.median_s rpf.Timing.median_s rpx rwx
+           rgx rpd.Timing.median_s rpf.Timing.median_s rpx rwx bflat bboxed
+           bratio
            (if k = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string json "  ],\n";
@@ -1209,6 +1282,13 @@ let incremental_bench () =
        "  \"batch\": {\"n\": %d, \"k\": %d, \"batch_s\": %.9f, \
         \"sequential_s\": %.9f, \"speedup\": %.2f},\n"
        batch_n batch_k batch_t.Timing.median_s seq_t.Timing.median_s batch_x);
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"sharing\": {\"sessions\": %d, \"interned_bytes\": %d, \
+        \"naive_bytes\": %d, \"one_physical_context\": %b},\n"
+       share_k interned_bytes naive_bytes one_physical_context);
+  Buffer.add_string json
+    (Printf.sprintf "  \"bytes_halved_at_max_n\": %b,\n" bytes_halved);
   Buffer.add_string json
     (Printf.sprintf "  \"remove_last_monotone\": %b\n" remove_last_monotone);
   Buffer.add_string json "}\n";

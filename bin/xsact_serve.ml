@@ -177,28 +177,34 @@ let no_incremental_arg =
     value & flag
     & info [ "no-incremental" ]
         ~doc:
-          "Disable delta maintenance of session contexts and the \
-           warm-context cache behind POST /compare — every mutation \
-           (single-op, batched via /apply, or a /params patch) rebuilds \
-           the pair tables from scratch. Responses are byte-identical \
-           either way; this is the ablation/baseline configuration.")
+          "Disable delta maintenance of session contexts, cross-session \
+           context interning, and the warm-context reuse behind POST \
+           /compare — every mutation (single-op, batched via /apply, or \
+           a /params patch) rebuilds the pair tables from scratch and \
+           every session holds a private copy. Responses are \
+           byte-identical either way; this is the ablation/baseline \
+           configuration.")
 
 let context_cache_arg =
   Arg.(
     value & opt int 32
     & info [ "context-cache" ] ~docv:"N"
         ~doc:
-          "Warm-context LRU capacity for POST /compare (contexts reused \
-           across size bounds and algorithms over the same result set).")
+          "Maximum unpinned entries the cross-session context intern \
+           table retains for reuse — contexts no warm session holds, \
+           kept so POST /compare and re-created sessions over the same \
+           result set skip the rebuild. Pinned entries don't count.")
 
 let max_context_mb_arg =
   Arg.(
     value & opt (some float) None
     & info [ "max-context-mb" ] ~docv:"MB"
         ~doc:
-          "Byte budget for session-resident warm contexts; past it, \
-           least-recently-used sessions are demoted to cold (context \
-           dropped, rebuilt on next touch). Default: unbounded.")
+          "One byte budget for all warm contexts: interned session \
+           contexts (counted once however many sessions share them) plus \
+           the unpinned reuse entries behind POST /compare. Past it, \
+           least-recently-used sessions are demoted to cold and the \
+           freed entries shed. Default: unbounded.")
 
 let cmd =
   let doc = "serve XSACT comparisons over a JSON HTTP API" in

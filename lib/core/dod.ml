@@ -3,7 +3,23 @@ type params = { threshold_pct : float; measure : measure }
 
 let default_params = { threshold_pct = 10.0; measure = Raw }
 
-let infinity_gap = max_int
+(* {2 Packed link storage}
+
+   A link is two unboxed ints in a flat [int array]:
+     word A = (other  lsl 20) lor gi_other
+     word B = (gap_self lsl 31) lor gap_other
+   so a list of links is a run of 2×len words. The sentinel first-gap
+   value fits the 31-bit field, which is why [infinity_gap] is
+   [2^31 - 1] rather than [max_int]; real gaps are 1-based prefix
+   indices and never approach it. [gi] indices are bounded by
+   [weights_row] at context construction, so the packing is checked,
+   not assumed. *)
+
+let gi_bits = 20
+let gi_mask = (1 lsl gi_bits) - 1
+let gap_bits = 31
+let gap_mask = (1 lsl gap_bits) - 1
+let infinity_gap = gap_mask
 
 type link = {
   other : int;
@@ -12,11 +28,28 @@ type link = {
   gap_other : int;
 }
 
-(* A pair's link table, before orientation: the shared types of results
-   (i, j), i < j, as (gi_i, gi_j, gap_i, gap_j) in the iteration order of
-   result i's type map. Pure data — a function of the two profiles and the
-   params only — which is what makes pairs independently computable and
-   cacheable across context mutations. *)
+(* A link list is a chain of segments aliasing shared buffers: a fresh
+   build is one contiguous segment per list into one context-wide buffer;
+   delta operations cons short fresh segments in front of (or alias
+   suffixes of) the input's segments instead of copying. [slen] counts
+   links; each link is 2 words at [sbuf.(soff + 2k)]. The nil sentinel is
+   its own tail so iteration needs one physical-equality test, no option
+   boxing. *)
+type seg = { sbuf : int array; soff : int; slen : int; snext : seg }
+
+let rec nil_seg = { sbuf = [||]; soff = 0; slen = 0; snext = nil_seg }
+
+let rec chain_len s acc =
+  if s == nil_seg then acc else chain_len s.snext (acc + s.slen)
+
+(* A pair's entry table, before orientation: the shared types of results
+   (i, j), i < j, packed two words per entry in the iteration order of
+   result i's type map:
+     word A = (gi_i lsl 20) lor gi_j
+     word B = (gap_i lsl 31) lor gap_j
+   Pure data — a function of the two profiles and the params only — which
+   is what makes pairs independently computable and cacheable across
+   context mutations. *)
 module Pair_map = Map.Make (struct
   type t = int * int
 
@@ -29,8 +62,9 @@ type context = {
      can weight types of results added later *)
   weight_fn : Feature.ftype -> int;
   results : Result_profile.t array;
-  (* links_table.(i).(gi) = all pair links of type gi of result i *)
-  links_table : link list array array;
+  (* links_table.(i).(gi) = all pair links of type gi of result i, as a
+     segment chain over packed buffers *)
+  links_table : seg array array;
   (* weights.(i).(gi) = interestingness weight of that type *)
   weights : int array array;
   (* per-result feature -> count, kept for witness explanations *)
@@ -40,14 +74,14 @@ type context = {
   (* ids.(i) = stable identity of result i. Contexts mutate only by
      appending (add) and order-preserving filtering (remove), so ids are
      strictly increasing with position — (ids.(i), ids.(j)) for i < j is
-     always (lo, hi), and a cached pair entry list never needs
+     always (lo, hi), and a cached pair entry table never needs
      re-orienting. *)
   ids : int array;
   next_id : int;
-  (* (id_lo, id_hi) -> that pair's entries. The links_table is a pure
-     fold of this map in canonical pair order, so deltas rebuild it by
-     replay instead of recomputing first-gap scans. *)
-  pairs : (int * int * int * int) list Pair_map.t;
+  (* (id_lo, id_hi) -> that pair's packed entries. The links_table is a
+     pure fold of this map in canonical pair order, so deltas rebuild it
+     by replay instead of recomputing first-gap scans. *)
+  pairs : int array Pair_map.t;
 }
 
 let params c = c.params
@@ -119,16 +153,25 @@ let resolve_domains = function
   | None -> Domain_pool.default_domains ()
 
 let weights_row weight profile =
-  Array.init (Result_profile.num_types profile) (fun gi ->
+  let nt = Result_profile.num_types profile in
+  if nt > gi_mask then
+    invalid_arg "Dod: too many feature types for the packed link encoding";
+  Array.init nt (fun gi ->
       let w = weight (Result_profile.type_info profile gi).Result_profile.ftype in
       if w < 0 then invalid_arg "Dod.make_context: negative weight";
       w)
 
-(* Shared types of pair (i, j) with both first-gap indices, in the
-   iteration order of result i's type map. Reads only immutable data, so
-   pairs are computed independently (and in parallel) in any order. *)
+(* Shared types of pair (i, j) packed as entry words, in the iteration
+   order of result i's type map. Reads only immutable data, so pairs are
+   computed independently (and in parallel) in any order. *)
 let compute_pair params results counts fmaps i j =
-  let acc = ref [] in
+  let shared = ref 0 in
+  Feature.Ftype_map.iter
+    (fun ftype _ ->
+      if Feature.Ftype_map.mem ftype fmaps.(j) then incr shared)
+    fmaps.(i);
+  let e = Array.make (2 * !shared) 0 in
+  let pos = ref 0 in
   Feature.Ftype_map.iter
     (fun ftype gi_i ->
       match Feature.Ftype_map.find_opt ftype fmaps.(j) with
@@ -138,100 +181,226 @@ let compute_pair params results counts fmaps i j =
         let tj = Result_profile.type_info results.(j) gi_j in
         let gap_i = first_gap params results.(i) ti results.(j) counts.(j) in
         let gap_j = first_gap params results.(j) tj results.(i) counts.(i) in
-        acc := (gi_i, gi_j, gap_i, gap_j) :: !acc)
+        e.(!pos) <- (gi_i lsl gi_bits) lor gi_j;
+        e.(!pos + 1) <- (gap_i lsl gap_bits) lor gap_j;
+        pos := !pos + 2)
     fmaps.(i);
-  List.rev !acc
+  e
 
 (* Replay the cached pair entries into a fresh links_table, visiting the
-   unordered pairs (i, j), i < j, in row-major order and prepending each
-   entry's two oriented links — exactly the merge order of the original
-   batch build, so a table derived from any mix of cached and
-   freshly-computed pairs is bit-identical to a from-scratch one. O(total
-   links): no first-gap scans, no feature-map lookups. *)
+   unordered pairs (i, j), i < j, in row-major order — exactly the merge
+   order of the original batch build, so a table derived from any mix of
+   cached and freshly-computed pairs is bit-identical to a from-scratch
+   one. Two passes: count per-list lengths, then fill one context-wide
+   packed buffer backward per list, so the last-merged link (the logical
+   head of the old prepend order) lands at each segment's start. Every
+   list is a single contiguous segment. O(total links): no first-gap
+   scans, no feature-map lookups. *)
 let derive_links_table results ids pairs =
   let n = Array.length results in
-  let links_table =
+  let find_entries i j =
+    match Pair_map.find_opt (ids.(i), ids.(j)) pairs with
+    | Some e -> e
+    | None -> invalid_arg "Dod: missing pair table"
+  in
+  let lens =
     Array.map
-      (fun profile ->
-        Array.make (Result_profile.num_types profile) ([] : link list))
+      (fun profile -> Array.make (Result_profile.num_types profile) 0)
       results
   in
+  let total = ref 0 in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      let entries =
-        match Pair_map.find_opt (ids.(i), ids.(j)) pairs with
-        | Some e -> e
-        | None -> invalid_arg "Dod: missing pair table"
-      in
-      List.iter
-        (fun (gi_i, gi_j, gap_i, gap_j) ->
-          links_table.(i).(gi_i) <-
-            { other = j; gi_other = gi_j; gap_self = gap_i; gap_other = gap_j }
-            :: links_table.(i).(gi_i);
-          links_table.(j).(gi_j) <-
-            { other = i; gi_other = gi_i; gap_self = gap_j; gap_other = gap_i }
-            :: links_table.(j).(gi_j))
-        entries
+      let e = find_entries i j in
+      let ne = Array.length e / 2 in
+      total := !total + (2 * ne);
+      for k = 0 to ne - 1 do
+        let a = e.(2 * k) in
+        let gi_i = a lsr gi_bits and gi_j = a land gi_mask in
+        lens.(i).(gi_i) <- lens.(i).(gi_i) + 1;
+        lens.(j).(gi_j) <- lens.(j).(gi_j) + 1
+      done
     done
   done;
-  links_table
+  let buf = Array.make (2 * !total) 0 in
+  let offs = Array.map (fun row -> Array.make (Array.length row) 0) lens in
+  let cur = Array.map (fun row -> Array.make (Array.length row) 0) lens in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun gi len ->
+          offs.(i).(gi) <- !pos;
+          cur.(i).(gi) <- !pos + (2 * len);
+          pos := !pos + (2 * len))
+        row)
+    lens;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let e = find_entries i j in
+      let ne = Array.length e / 2 in
+      for k = 0 to ne - 1 do
+        let a = e.(2 * k) and b = e.(2 * k + 1) in
+        let gi_i = a lsr gi_bits and gi_j = a land gi_mask in
+        let gap_i = b lsr gap_bits and gap_j = b land gap_mask in
+        let p = cur.(i).(gi_i) - 2 in
+        cur.(i).(gi_i) <- p;
+        buf.(p) <- (j lsl gi_bits) lor gi_j;
+        buf.(p + 1) <- b;
+        let p = cur.(j).(gi_j) - 2 in
+        cur.(j).(gi_j) <- p;
+        buf.(p) <- (i lsl gi_bits) lor gi_i;
+        buf.(p + 1) <- (gap_j lsl gap_bits) lor gap_i
+      done
+    done
+  done;
+  Array.init n (fun i ->
+      Array.mapi
+        (fun gi len ->
+          if len = 0 then nil_seg
+          else { sbuf = buf; soff = offs.(i).(gi); slen = len; snext = nil_seg })
+        lens.(i))
 
 (* Extend a links_table for one appended result, bit-identically to a
    batch rebuild over the extended array. In the batch's row-major merge,
    every new pair (k, n) is the last pair of row k, so for an existing
-   result k the new links are the final prepends to its lists — they sit
-   at the head, with the old links behind them in their old order
-   (physically shared; [equal_context] and the tests compare
-   structurally). The appended result's own lists see pairs (0, n) …
-   (n−1, n) in that order, exactly the batch order. O(n × types), not the
-   O(n²) of a full replay. *)
+   result k the new links are the final prepends to its lists — each
+   affected list gains a fresh 1-link segment at its head, with the old
+   chain behind it (physically shared; [equal_context] compares the
+   logical sequences). The appended result's own lists see pairs (0, n) …
+   (n−1, n) in that order, built contiguously into their own buffer.
+   O(n × types) fresh words, not the O(n²) of a full replay. *)
 let extend_links_table links_table results new_buffers =
   let n = Array.length links_table in
+  let n_entries =
+    Array.fold_left (fun acc e -> acc + (Array.length e / 2)) 0 new_buffers
+  in
+  let addbuf = Array.make (2 * n_entries) 0 in
+  let apos = ref 0 in
+  let nt = Result_profile.num_types results.(n) in
+  let lens_n = Array.make nt 0 in
+  Array.iter
+    (fun e ->
+      let ne = Array.length e / 2 in
+      for k = 0 to ne - 1 do
+        let gi_n = e.(2 * k) land gi_mask in
+        lens_n.(gi_n) <- lens_n.(gi_n) + 1
+      done)
+    new_buffers;
+  let nbuf = Array.make (2 * n_entries) 0 in
+  let offs_n = Array.make nt 0 and cur_n = Array.make nt 0 in
+  let pos = ref 0 in
+  for gi = 0 to nt - 1 do
+    offs_n.(gi) <- !pos;
+    cur_n.(gi) <- !pos + (2 * lens_n.(gi));
+    pos := !pos + (2 * lens_n.(gi))
+  done;
   let table =
     Array.init (n + 1) (fun k ->
         if k < n then Array.copy links_table.(k)
         else
-          Array.make (Result_profile.num_types results.(n)) ([] : link list))
+          Array.init nt (fun gi ->
+              if lens_n.(gi) = 0 then nil_seg
+              else
+                {
+                  sbuf = nbuf;
+                  soff = offs_n.(gi);
+                  slen = lens_n.(gi);
+                  snext = nil_seg;
+                }))
   in
   for k = 0 to n - 1 do
-    List.iter
-      (fun (gi_k, gi_n, gap_k, gap_n) ->
-        table.(k).(gi_k) <-
-          { other = n; gi_other = gi_n; gap_self = gap_k; gap_other = gap_n }
-          :: table.(k).(gi_k);
-        table.(n).(gi_n) <-
-          { other = k; gi_other = gi_k; gap_self = gap_n; gap_other = gap_k }
-          :: table.(n).(gi_n))
-      new_buffers.(k)
+    let e = new_buffers.(k) in
+    let ne = Array.length e / 2 in
+    for m = 0 to ne - 1 do
+      let a = e.(2 * m) and b = e.(2 * m + 1) in
+      let gi_k = a lsr gi_bits and gi_n = a land gi_mask in
+      let gap_k = b lsr gap_bits and gap_n = b land gap_mask in
+      let p = !apos in
+      apos := p + 2;
+      addbuf.(p) <- (n lsl gi_bits) lor gi_n;
+      addbuf.(p + 1) <- b;
+      table.(k).(gi_k) <-
+        { sbuf = addbuf; soff = p; slen = 1; snext = table.(k).(gi_k) };
+      let p = cur_n.(gi_n) - 2 in
+      cur_n.(gi_n) <- p;
+      nbuf.(p) <- (k lsl gi_bits) lor gi_k;
+      nbuf.(p + 1) <- (gap_n lsl gap_bits) lor gap_k
+    done
   done;
   table
 
-(* Shrink a links_table past a removed result. The batch merge order makes
-   every list strictly descending in [other] (row k's prepends run (0,k) …
-   (k−1,k) then (k,k+1) … (k,n−1), so the head holds the largest index),
-   which turns the old full filter+reindex into prefix surgery: rebuild
-   the head links with [other >= index] (drop the removed one, shift the
-   rest down) and stop at the first link below — the whole remaining tail
-   is reused {e physically}, cons cells and all. Cost O(links above the
-   removed index), not O(total links); lists (and whole per-result rows)
-   the removed result never reached are shared untouched. *)
-let shrink_list index l =
-  let rec go = function
-    | link :: tl when link.other > index ->
-      { link with other = link.other - 1 } :: go tl
-    | link :: tl when link.other = index -> tl (* shared tail *)
-    | rest -> rest (* every remaining [other] < index: shared physically *)
+(* Shrink a link chain past a removed result. The batch merge order makes
+   every chain strictly descending in the partner index (row k's prepends
+   run (0,k) … (k−1,k) then (k,k+1) … (k,n−1), so the head holds the
+   largest index), which turns the old full filter+reindex into prefix
+   surgery: locate the boundary, rewrite the links with [other > index]
+   (shift down) into one fresh segment and alias the whole remainder of
+   the chain — possibly mid-segment — physically. Cost O(links above the
+   removed index); chains the removed result never reached are returned
+   as-is ([==]). *)
+let locate_cut index chain =
+  (* (links above the removed index, the shared tail below it, whether a
+     link to the removed result itself was found and skipped) *)
+  let rec go s npre =
+    if s == nil_seg then (npre, nil_seg, false)
+    else begin
+      let rec scan k =
+        if k >= s.slen then None
+        else
+          let other = s.sbuf.(s.soff + (2 * k)) lsr gi_bits in
+          if other > index then scan (k + 1) else Some (k, other = index)
+      in
+      match scan 0 with
+      | None -> go s.snext (npre + s.slen)
+      | Some (k, hit) ->
+        let cut = if hit then k + 1 else k in
+        let tail =
+          if cut >= s.slen then s.snext
+          else if cut = 0 then s
+          else
+            {
+              sbuf = s.sbuf;
+              soff = s.soff + (2 * cut);
+              slen = s.slen - cut;
+              snext = s.snext;
+            }
+        in
+        (npre + k, tail, hit)
+    end
   in
-  go l
+  go chain 0
+
+let shrink_chain index chain =
+  let npre, tail, hit = locate_cut index chain in
+  if npre = 0 && not hit then chain (* every [other] < index: shared *)
+  else if npre = 0 then tail (* head drop: shared tail *)
+  else begin
+    let buf = Array.make (2 * npre) 0 in
+    let pos = ref 0 in
+    let rec copy s =
+      if !pos < 2 * npre then begin
+        let take = min s.slen ((2 * npre - !pos) / 2) in
+        for k = 0 to take - 1 do
+          buf.(!pos) <- s.sbuf.(s.soff + (2 * k)) - (1 lsl gi_bits);
+          buf.(!pos + 1) <- s.sbuf.(s.soff + (2 * k) + 1);
+          pos := !pos + 2
+        done;
+        copy s.snext
+      end
+    in
+    copy chain;
+    { sbuf = buf; soff = 0; slen = npre; snext = tail }
+  end
 
 let shrink_row index row =
   let changed = ref false in
   let row' =
     Array.map
-      (fun l ->
-        let l' = shrink_list index l in
-        if l' != l then changed := true;
-        l')
+      (fun s ->
+        let s' = shrink_chain index s in
+        if s' != s then changed := true;
+        s')
       row
   in
   if !changed then row' else row
@@ -243,35 +412,45 @@ let shrink_links_table links_table index =
       shrink_row index links_table.(k))
 
 (* Fast path for removing the {e newest} result (the interactive undo):
-   its links were the final prepends of every row, so they sit at the list
-   heads and no surviving index shifts — the new table is the old one
-   minus those heads. The pairs map doubles as a per-result membership
-   index: the entries of pair (id_k, removed_id) name exactly the lists of
-   survivor k that link to the removed result, so the surgery touches
-   nothing else — untouched lists, tails, and whole rows (when the pair
-   shares no types) are the input's own, physically. *)
+   its links were the final prepends of every row, so they sit at the
+   chain heads and no surviving index shifts — the new table is the old
+   one minus those heads, and dropping a head is pure offset arithmetic
+   (or stepping to the next segment), zero fresh link words. The pairs
+   map doubles as a per-result membership index: the entries of pair
+   (id_k, removed_id) name exactly the lists of survivor k that link to
+   the removed result, so the surgery touches nothing else — untouched
+   chains, tails, and whole rows (when the pair shares no types) are the
+   input's own, physically. *)
+let drop_head s =
+  if s.slen > 1 then { s with soff = s.soff + 2; slen = s.slen - 1 }
+  else s.snext
+
 let remove_last_links_table c ~index ~removed =
   Array.init index (fun k ->
       match Pair_map.find_opt (c.ids.(k), removed) c.pairs with
-      | None | Some [] -> c.links_table.(k)
-      | Some entries ->
+      | None -> c.links_table.(k)
+      | Some e when Array.length e = 0 -> c.links_table.(k)
+      | Some e ->
         let row = Array.copy c.links_table.(k) in
-        List.iter
-          (fun (gi_k, _, _, _) ->
-            match row.(gi_k) with
-            | { other; _ } :: tail when other = index -> row.(gi_k) <- tail
-            | _ -> assert false (* membership index out of sync *))
-          entries;
+        let ne = Array.length e / 2 in
+        for m = 0 to ne - 1 do
+          let gi_k = e.(2 * m) lsr gi_bits in
+          let s = row.(gi_k) in
+          (* membership index out of sync if the head is not the removed
+             result's link *)
+          assert (s != nil_seg && s.sbuf.(s.soff) lsr gi_bits = index);
+          row.(gi_k) <- drop_head s
+        done;
         row)
 
-(* Compute the entry lists for an explicit worklist of pairs, sequentially
+(* Compute the entry tables for an explicit worklist of pairs, sequentially
    or on the domain pool. A context is all-or-nothing — a partially linked
    table would silently change the objective — so a tripped deadline raises
    Deadline.Expired (between pairs, or inside parallel_for between chunks)
    instead of returning something degraded. *)
 let compute_pairs ~domains ?deadline params results counts fmaps pair_i pair_j =
   let npairs = Array.length pair_i in
-  let buffers = Array.make npairs [] in
+  let buffers = Array.make npairs [||] in
   if domains = 1 || npairs < min_pairs_per_domain * domains then
     for p = 0 to npairs - 1 do
       Deadline.check deadline;
@@ -338,14 +517,14 @@ let make_context ?(params = default_params) ?(weight = fun _ -> 1) ?domains
 
 (* {2 Delta operations}
 
-   All three return a fresh context sharing the surviving pair entry lists
-   with the input — the input context stays fully usable (sessions keep
-   their history, and a deadline tripping mid-delta leaves it intact).
-   Because [compute_pair] is a pure function of the two profiles and the
-   params, and the table surgery ([extend_links_table] /
-   [shrink_links_table]) reproduces the canonical batch merge order,
-   every delta result is bit-identical to [make_context] over the same
-   result array. *)
+   All three return a fresh context sharing the surviving pair entry
+   tables and link buffers with the input — the input context stays fully
+   usable (sessions keep their history, and a deadline tripping mid-delta
+   leaves it intact). Because [compute_pair] is a pure function of the
+   two profiles and the params, and the table surgery
+   ([extend_links_table] / [shrink_links_table]) reproduces the canonical
+   batch merge order, every delta result is bit-identical to
+   [make_context] over the same result array. *)
 
 let add_result ?domains ?deadline c profile =
   Deadline.check deadline;
@@ -457,7 +636,7 @@ type slot = Old of int | New of int * Result_profile.t
 
    The arrangement invariant holds throughout: removes preserve relative
    order and adds append with fresh (larger) ids, so ids stay strictly
-   increasing with position and every cached entry list keeps its
+   increasing with position and every cached entry table keeps its
    orientation. *)
 let apply_batch ~domains ?deadline c ops =
   let slots =
@@ -566,33 +745,84 @@ let apply ?domains ?deadline c ops =
 
 (* {2 Observation helpers for the serve layer and tests} *)
 
+(* Logical link-sequence equality across differently-segmented chains:
+   the bit-identity contract is over the packed words, not the
+   segmentation, which is an artifact of the mutation history. *)
+let equal_chain a b =
+  let rec norm s k = if s != nil_seg && k >= s.slen then norm s.snext 0 else (s, k) in
+  let rec go sa ka sb kb =
+    let sa, ka = norm sa ka in
+    let sb, kb = norm sb kb in
+    if sa == nil_seg then sb == nil_seg
+    else if sb == nil_seg then false
+    else
+      sa.sbuf.(sa.soff + (2 * ka)) = sb.sbuf.(sb.soff + (2 * kb))
+      && sa.sbuf.(sa.soff + (2 * ka) + 1) = sb.sbuf.(sb.soff + (2 * kb) + 1)
+      && go sa (ka + 1) sb (kb + 1)
+  in
+  go a 0 b 0
+
+let equal_links_table a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ra rb ->
+         Array.length ra = Array.length rb && Array.for_all2 equal_chain ra rb)
+       a b
+
 let equal_context a b =
   a.params = b.params
   && Array.length a.results = Array.length b.results
   && Array.for_all2 (fun (x : Result_profile.t) y -> x == y) a.results b.results
-  && a.links_table = b.links_table
+  && equal_links_table a.links_table b.links_table
   && a.weights = b.weights
   && Array.for_all2 (Feature.Map.equal ( = )) a.counts b.counts
 
 let num_pair_tables c = Pair_map.cardinal c.pairs
 
 let approx_bytes c =
-  (* rough heap words: links (record of 4 + header + cons = 8 words each),
-     map/array spines, and the per-result count and type maps (~6 words
-     per AVL binding; keys are shared with the profiles and not charged
-     here). Each cached pair entry is the same four ints its two oriented
-     links already charge, merged into the links table at derivation —
-     billing the tuples again on top of the links double-counted every
-     pair's payload, inflating the estimate (and the --max-context-mb
-     demotion pressure) by a third. The Pair_map contributes only its
-     spine: ~8 words per tree node. *)
+  (* rough heap words of the flat representation, charged as a function
+     of the logical content only: a delta-built context and a fresh build
+     of the same results report the same footprint even when their
+     physical segmentation differs (segmentation is a mutation-history
+     artifact; billing it would make footprints drift under churn while
+     the data stays the same). Links are 2 packed words; a non-empty list
+     is charged one segment header (5 words) and its buffer words. Cached
+     pair entries are separate packed storage in this representation (the
+     boxed one merged the tuples into the links at derivation), so they
+     are billed: 2 words per entry plus array header, plus ~8 words of
+     map spine per node. Count/type maps: ~6 words per AVL binding; keys
+     are shared with the profiles and not charged here. *)
   let words = ref 64 in
   Array.iter
-    (fun per_type ->
-      words := !words + Array.length per_type + 2;
+    (fun row ->
+      words := !words + Array.length row + 2;
       Array.iter
-        (fun links -> words := !words + (8 * List.length links))
-        per_type)
+        (fun s ->
+          let len = chain_len s 0 in
+          if len > 0 then words := !words + 5 + (2 * len))
+        row)
+    c.links_table;
+  Pair_map.iter
+    (fun _ e -> words := !words + 8 + Array.length e + 1)
+    c.pairs;
+  Array.iter (fun m -> words := !words + (6 * Feature.Map.cardinal m)) c.counts;
+  Array.iter
+    (fun m -> words := !words + (6 * Feature.Ftype_map.cardinal m))
+    c.fmaps;
+  Array.iter (fun w -> words := !words + Array.length w + 2) c.weights;
+  !words * (Sys.word_size / 8)
+
+let approx_bytes_boxed c =
+  (* what the same logical content cost under the boxed representation
+     (one 4-field record + cons cell = 8 words per oriented link; pair
+     tuples not billed — they were merged into the links at derivation;
+     ~8 words of map spine per pair node): the baseline the flat layout
+     is measured against in BENCH_incremental and the CI memory smoke. *)
+  let words = ref 64 in
+  Array.iter
+    (fun row ->
+      words := !words + Array.length row + 2;
+      Array.iter (fun s -> words := !words + (8 * chain_len s 0)) row)
     c.links_table;
   Pair_map.iter (fun _ _ -> words := !words + 8) c.pairs;
   Array.iter (fun m -> words := !words + (6 * Feature.Map.cardinal m)) c.counts;
@@ -602,7 +832,49 @@ let approx_bytes c =
   Array.iter (fun w -> words := !words + Array.length w + 2) c.weights;
   !words * (Sys.word_size / 8)
 
-let links c ~i ~gi = c.links_table.(i).(gi)
+let link_buffers c =
+  let bufs = ref [] in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun s ->
+          let rec go s =
+            if s != nil_seg then begin
+              if not (List.memq s.sbuf !bufs) then bufs := s.sbuf :: !bufs;
+              go s.snext
+            end
+          in
+          go s)
+        row)
+    c.links_table;
+  !bufs
+
+let fresh_link_words ~parent c =
+  let pb = link_buffers parent in
+  List.fold_left
+    (fun acc b -> if List.memq b pb then acc else acc + Array.length b)
+    0 (link_buffers c)
+
+let iter_links c ~i ~gi f =
+  let rec go s =
+    if s != nil_seg then begin
+      for k = 0 to s.slen - 1 do
+        let a = s.sbuf.(s.soff + (2 * k)) and b = s.sbuf.(s.soff + (2 * k) + 1) in
+        f ~other:(a lsr gi_bits) ~gi_other:(a land gi_mask)
+          ~gap_self:(b lsr gap_bits) ~gap_other:(b land gap_mask)
+      done;
+      go s.snext
+    end
+  in
+  go c.links_table.(i).(gi)
+
+let num_links c ~i ~gi = chain_len c.links_table.(i).(gi) 0
+
+let links c ~i ~gi =
+  let acc = ref [] in
+  iter_links c ~i ~gi (fun ~other ~gi_other ~gap_self ~gap_other ->
+      acc := { other; gi_other; gap_self; gap_other } :: !acc);
+  List.rev !acc
 
 let weight_of c ~i ~gi = c.weights.(i).(gi)
 
@@ -617,18 +889,29 @@ let threshold_q link ~q_other =
 
 let dod_pair c ~i ~j di dj =
   let count = ref 0 in
-  Array.iteri
-    (fun gi link_list ->
-      let q_self = Dfs.q di gi in
-      if q_self > 0 then
-        List.iter
-          (fun link ->
-            if link.other = j then
-              let q_other = Dfs.q dj link.gi_other in
-              if differentiable link ~q_self ~q_other then
-                count := !count + c.weights.(i).(gi))
-          link_list)
-    c.links_table.(i);
+  let row = c.links_table.(i) in
+  for gi = 0 to Array.length row - 1 do
+    let q_self = Dfs.q di gi in
+    if q_self >= 1 then begin
+      let rec go s =
+        if s != nil_seg then begin
+          for k = 0 to s.slen - 1 do
+            let a = s.sbuf.(s.soff + (2 * k)) in
+            if a lsr gi_bits = j then begin
+              let q_other = Dfs.q dj (a land gi_mask) in
+              if q_other >= 1 then begin
+                let b = s.sbuf.(s.soff + (2 * k) + 1) in
+                if b lsr gap_bits <= q_self || b land gap_mask <= q_other then
+                  count := !count + c.weights.(i).(gi)
+              end
+            end
+          done;
+          go s.snext
+        end
+      in
+      go row.(gi)
+    end
+  done;
   !count
 
 let total c dfss =
@@ -637,33 +920,60 @@ let total c dfss =
   let sum = ref 0 in
   let n = Array.length c.results in
   for i = 0 to n - 1 do
-    Array.iteri
-      (fun gi link_list ->
-        let q_self = Dfs.q dfss.(i) gi in
-        if q_self > 0 then
-          List.iter
-            (fun link ->
+    let row = c.links_table.(i) in
+    for gi = 0 to Array.length row - 1 do
+      let q_self = Dfs.q dfss.(i) gi in
+      if q_self >= 1 then begin
+        let w = c.weights.(i).(gi) in
+        let rec go s =
+          if s != nil_seg then begin
+            for k = 0 to s.slen - 1 do
+              let a = s.sbuf.(s.soff + (2 * k)) in
+              let other = a lsr gi_bits in
               (* Count each unordered pair once, from the lower index. *)
-              if link.other > i then
-                let q_other = Dfs.q dfss.(link.other) link.gi_other in
-                if differentiable link ~q_self ~q_other then
-                  sum := !sum + c.weights.(i).(gi))
-            link_list)
-      c.links_table.(i)
+              if other > i then begin
+                let q_other = Dfs.q dfss.(other) (a land gi_mask) in
+                if q_other >= 1 then begin
+                  let b = s.sbuf.(s.soff + (2 * k) + 1) in
+                  if b lsr gap_bits <= q_self || b land gap_mask <= q_other
+                  then sum := !sum + w
+                end
+              end
+            done;
+            go s.snext
+          end
+        in
+        go row.(gi)
+      end
+    done
   done;
   !sum
 
 let delta_for_type c ~dfss ~i ~gi ~old_q ~new_q =
   let delta = ref 0 in
   let w = c.weights.(i).(gi) in
-  List.iter
-    (fun link ->
-      let q_other = Dfs.q dfss.(link.other) link.gi_other in
-      let before = differentiable link ~q_self:old_q ~q_other in
-      let after = differentiable link ~q_self:new_q ~q_other in
-      if before && not after then delta := !delta - w
-      else if (not before) && after then delta := !delta + w)
-    c.links_table.(i).(gi);
+  let rec go s =
+    if s != nil_seg then begin
+      for k = 0 to s.slen - 1 do
+        let a = s.sbuf.(s.soff + (2 * k)) in
+        let q_other = Dfs.q dfss.(a lsr gi_bits) (a land gi_mask) in
+        if q_other >= 1 then begin
+          let b = s.sbuf.(s.soff + (2 * k) + 1) in
+          let gap_self = b lsr gap_bits and gap_other = b land gap_mask in
+          let before =
+            old_q >= 1 && (gap_self <= old_q || gap_other <= q_other)
+          in
+          let after =
+            new_q >= 1 && (gap_self <= new_q || gap_other <= q_other)
+          in
+          if before && not after then delta := !delta - w
+          else if (not before) && after then delta := !delta + w
+        end
+      done;
+      go s.snext
+    end
+  in
+  go c.links_table.(i).(gi);
   !delta
 
 type witness = {
@@ -679,11 +989,32 @@ let measures_of c ~i ~j f =
   ( measure_of c.params c.results.(i) f (count_in i),
     measure_of c.params c.results.(j) f (count_in j) )
 
-let witness c ~i ~j di dj ~gi =
-  let link_opt =
-    List.find_opt (fun l -> l.other = j) (links c ~i ~gi)
+let find_link c ~i ~gi ~j =
+  let rec go s =
+    if s == nil_seg then None
+    else begin
+      let rec scan k =
+        if k >= s.slen then go s.snext
+        else
+          let a = s.sbuf.(s.soff + (2 * k)) in
+          if a lsr gi_bits = j then
+            let b = s.sbuf.(s.soff + (2 * k) + 1) in
+            Some
+              {
+                other = j;
+                gi_other = a land gi_mask;
+                gap_self = b lsr gap_bits;
+                gap_other = b land gap_mask;
+              }
+          else scan (k + 1)
+      in
+      scan 0
+    end
   in
-  match link_opt with
+  go c.links_table.(i).(gi)
+
+let witness c ~i ~j di dj ~gi =
+  match find_link c ~i ~gi ~j with
   | None -> None
   | Some link ->
     let q_self = Dfs.q di gi and q_other = Dfs.q dj link.gi_other in
@@ -713,16 +1044,24 @@ let explain_pair c ~i ~j di dj =
     c.links_table.(i);
   List.rev !acc
 
+(* Both gap fields at the sentinel: the packed word of a never-
+   differentiable link. *)
+let inf_both = (infinity_gap lsl gap_bits) lor infinity_gap
+
 let upper_bound_pair c ~i ~j =
   let sum = ref 0 in
-  Array.iteri
-    (fun gi link_list ->
-      List.iter
-        (fun link ->
-          if
-            link.other = j
-            && (link.gap_self < infinity_gap || link.gap_other < infinity_gap)
-          then sum := !sum + c.weights.(i).(gi))
-        link_list)
-    c.links_table.(i);
+  let row = c.links_table.(i) in
+  for gi = 0 to Array.length row - 1 do
+    let rec go s =
+      if s != nil_seg then begin
+        for k = 0 to s.slen - 1 do
+          let a = s.sbuf.(s.soff + (2 * k)) in
+          if a lsr gi_bits = j && s.sbuf.(s.soff + (2 * k) + 1) <> inf_both
+          then sum := !sum + c.weights.(i).(gi)
+        done;
+        go s.snext
+      end
+    in
+    go row.(gi)
+  done;
   !sum

@@ -153,8 +153,10 @@ val apply :
 
 val equal_context : context -> context -> bool
 (** Observable equality: same params, the same result profiles
-    (physically), and structurally identical link tables, weight rows and
-    count maps — the bit-identity contract the delta operations promise
+    (physically), and logically identical link tables (the packed link
+    sequences, compared across segment boundaries — physical
+    segmentation is a mutation-history artifact), weight rows and count
+    maps — the bit-identity contract the delta operations promise
     against {!make_context}. Internal cache bookkeeping (stable ids) is
     deliberately ignored. *)
 
@@ -162,13 +164,26 @@ val num_pair_tables : context -> int
 (** Cached per-pair tables currently held — [n (n - 1) / 2]. *)
 
 val approx_bytes : context -> int
-(** Rough heap footprint of the context (link tables, cached pair
-    entries, count/type maps) in bytes — the currency of the serve
-    layer's warm-context memory budget. An estimate from heap-word
-    accounting, not a measurement. Each cached pair entry is charged
-    once, through the two links it is merged into — the map itself adds
-    only its node spine — so the budget is not inflated by
-    double-counting the cache against the live table. *)
+(** Rough heap footprint of the context (flat link buffers, cached pair
+    entry tables, count/type maps) in bytes — the currency of the serve
+    layer's unified warm-context memory budget. An estimate from
+    heap-word accounting, not a measurement, and a function of the
+    {e logical} content only: a delta-built context reports the same
+    footprint as a fresh build of the same results, regardless of how
+    its link storage happens to be segmented by the mutation history. *)
+
+val approx_bytes_boxed : context -> int
+(** What the same logical content would cost under the pre-flat boxed
+    representation (a 4-field record plus a cons cell per oriented
+    link). The baseline the flat layout is measured against in
+    BENCH_incremental's bytes-per-context column and the CI memory
+    smoke; not used for budgeting. *)
+
+val fresh_link_words : parent:context -> context -> int
+(** Diagnostic for the sharing tests: heap words of link-buffer storage
+    in the second context that are {e not} physically shared with
+    [parent]. Removing the newest result allocates zero fresh words;
+    a general remove allocates only the rewritten prefixes. *)
 
 val params : context -> params
 val results : context -> Result_profile.t array
@@ -188,7 +203,22 @@ type link = {
 
 val links : context -> i:int -> gi:int -> link list
 (** All results sharing type [gi] of result [i], with gap data oriented from
-    [i]'s point of view. *)
+    [i]'s point of view. A materialized view of the packed storage —
+    convenient for tests and cold paths; hot loops should use
+    {!iter_links} or {!num_links}, which allocate nothing. *)
+
+val iter_links :
+  context ->
+  i:int ->
+  gi:int ->
+  (other:int -> gi_other:int -> gap_self:int -> gap_other:int -> unit) ->
+  unit
+(** Iterate the links of type [gi] of result [i] in list order
+    (strictly descending [other]) without materializing records. *)
+
+val num_links : context -> i:int -> gi:int -> int
+(** Number of links of type [gi] of result [i] — [List.length] of
+    {!links} without building it. *)
 
 val differentiable : link -> q_self:int -> q_other:int -> bool
 

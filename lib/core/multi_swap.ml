@@ -22,13 +22,20 @@ let type_tie_base = 4096
    differentiable on this type, infinite thresholds dropped. The gain of
    selecting a q-prefix is the number of thresholds <= q. *)
 let thresholds_for context dfss i gi =
-  Dod.links context ~i ~gi
-  |> List.filter_map (fun link ->
-         let q_other = Dfs.q dfss.(link.Dod.other) link.Dod.gi_other in
-         let a = Dod.threshold_q link ~q_other in
-         if a = Dod.infinity_gap then None else Some a)
-  |> List.sort Int.compare
-  |> Array.of_list
+  let acc = ref [] in
+  Dod.iter_links context ~i ~gi
+    (fun ~other ~gi_other ~gap_self ~gap_other ->
+      let q_other = Dfs.q dfss.(other) gi_other in
+      (* Dod.threshold_q over the unpacked fields, without the record *)
+      let a =
+        if q_other < 1 then Dod.infinity_gap
+        else if gap_other <= q_other then 1
+        else gap_self
+      in
+      if a <> Dod.infinity_gap then acc := a :: !acc);
+  let thresholds = Array.of_list !acc in
+  Array.sort Int.compare thresholds;
+  thresholds
 
 let gain_at thresholds q =
   (* thresholds is sorted ascending; count entries <= q. *)
@@ -210,8 +217,7 @@ let reconstruct_entity ~gain_for plan budget =
    share the type, so zero-gain spreading prefers types the others can align
    on. Static per (result, type), which keeps the potential argument above
    valid. *)
-let spread_bonus context ~i ~gi =
-  1 + List.length (Dod.links context ~i ~gi)
+let spread_bonus context ~i ~gi = 1 + Dod.num_links context ~i ~gi
 
 let best_response ?(spread = true) ?thresholds context ~limit dfss i =
   let profile = (Dod.results context).(i) in

@@ -30,7 +30,7 @@ let regenerate ?init session context profiles =
   let dfss = generate ?init session context in
   { session with dfss }
 
-let create ?(config = Config.default) ~size_bound profiles =
+let create ?(config = Config.default) ?context ~size_bound profiles =
   if config.Config.algorithm = Algorithm.Exhaustive then
     Error
       (Error.Unsupported_algorithm (Algorithm.to_string Algorithm.Exhaustive))
@@ -39,7 +39,14 @@ let create ?(config = Config.default) ~size_bound profiles =
   else if size_bound < 1 then Error (Error.Bound_too_small size_bound)
   else
     let profiles = Array.of_list profiles in
-    let context = make_context config profiles in
+    let context =
+      match context with
+      | Some c ->
+        if Dod.num_results c <> Array.length profiles then
+          invalid_arg "Session.create: context arity mismatch";
+        c
+      | None -> make_context config profiles
+    in
     let skeleton =
       {
         config;
@@ -52,6 +59,18 @@ let create ?(config = Config.default) ~size_bound profiles =
     in
     let dfss = generate skeleton context in
     Ok { skeleton with dfss }
+
+(* Swap in a canonical, physically shared (profiles, context) pair that
+   is structurally identical to the session's own — the intern table's
+   adoption hook. The DFSs are untouched: they reference the old profile
+   objects, which carry the same data, and every consumer reads them by
+   value. *)
+let intern s ~profiles ~context =
+  if
+    Array.length profiles <> Array.length s.profiles
+    || Dod.num_results context <> Array.length s.profiles
+  then invalid_arg "Session.intern: arity mismatch";
+  { s with profiles; context }
 
 let config s = s.config
 let profiles s = s.profiles

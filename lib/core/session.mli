@@ -26,6 +26,7 @@ type t
 
 val create :
   ?config:Config.t ->
+  ?context:Dod.context ->
   size_bound:int ->
   Result_profile.t list ->
   (t, Error.t) result
@@ -33,7 +34,20 @@ val create :
     (default {!Config.default}) for its whole lifetime: every rebuild —
     including warm-started ones — honors its parameters, weighting,
     algorithm {e and domain-pool parallelism}. [Exhaustive] is rejected
-    with [Unsupported_algorithm]. *)
+    with [Unsupported_algorithm].
+
+    [context], when given, is adopted instead of building one — the
+    caller (the serve layer's intern table) guarantees it is the context
+    a fresh build over [profiles] under [config] would produce, which the
+    delta operations' bit-identity contract makes checkable. @raise
+    Invalid_argument when its arity does not match [profiles]. *)
+
+val intern : t -> profiles:Result_profile.t array -> context:Dod.context -> t
+(** Swap in a canonical, physically shared (profiles, context) pair that
+    is structurally identical to the session's own — how a session adopts
+    the intern table's copy after publishing a context another session
+    already holds. Purely a sharing change: every observable output is
+    unchanged. @raise Invalid_argument on an arity mismatch. *)
 
 (** {1 State} *)
 

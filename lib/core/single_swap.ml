@@ -63,7 +63,7 @@ let best_move ?(spread = true) context ~limit dfss i =
      it, so zero-DoD moves align on comparable types (mirrors
      Multi_swap.spread_bonus). *)
   let type_bonus gi =
-    if spread then 1 + List.length (Dod.links context ~i ~gi) else 0
+    if spread then 1 + Dod.num_links context ~i ~gi else 0
   in
   let grow_delta gi =
     let old_q = Dfs.q dfs gi in

@@ -74,12 +74,12 @@ let build ?size_bound context dfss =
       | Some gi ->
         let q_self = Dfs.q dfss.(i) gi in
         if q_self > 0 then
-          List.iter
-            (fun (link : Dod.link) ->
-              if link.Dod.other > i then
-                let q_other = Dfs.q dfss.(link.Dod.other) link.Dod.gi_other in
-                if Dod.differentiable link ~q_self ~q_other then found := true)
-            (Dod.links context ~i ~gi)
+          Dod.iter_links context ~i ~gi
+            (fun ~other ~gi_other ~gap_self ~gap_other ->
+              if other > i then
+                let q_other = Dfs.q dfss.(other) gi_other in
+                if q_other >= 1 && (gap_self <= q_self || gap_other <= q_other)
+                then found := true)
     done;
     !found
   in

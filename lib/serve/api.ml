@@ -198,31 +198,37 @@ let apply_patch r patch =
     weights = Option.value patch.p_weights ~default:r.weights;
   }
 
-let decode_op json =
-  let op_int op name =
+(* One decoder per op kind, shared between the batch endpoint (where the
+   kind comes from the "op" member) and the single-op endpoints (where it
+   comes from the route) — the bodies are the same shape either way. *)
+let decode_single_op ~op json =
+  let op_int name =
     match Option.bind (Json.member name json) Json.to_int with
     | Some v -> Ok v
     | None ->
       Error
-        (Malformed
-           (Printf.sprintf "op %S needs an integer field %S" op name))
+        (Malformed (Printf.sprintf "op %S needs an integer field %S" op name))
   in
-  match Option.bind (Json.member "op" json) Json.to_str with
-  | None -> Error (Malformed "each op needs a string field \"op\"")
-  | Some "add" ->
-    let* rank = op_int "add" "rank" in
+  match op with
+  | "add" ->
+    let* rank = op_int "rank" in
     Ok (Op_add rank)
-  | Some "remove" ->
-    let* rank = op_int "remove" "rank" in
+  | "remove" ->
+    let* rank = op_int "rank" in
     Ok (Op_remove rank)
-  | Some "size" ->
-    let* size_bound = op_int "size" "size_bound" in
+  | "size" ->
+    let* size_bound = op_int "size_bound" in
     Ok (Op_size size_bound)
-  | Some "params" ->
+  | "params" ->
     (* inline patch: the params fields sit next to "op" *)
     let* patch = decode_params_patch json in
     Ok (Op_params patch)
-  | Some other -> Error (Unprocessable (Printf.sprintf "unknown op %S" other))
+  | other -> Error (Unprocessable (Printf.sprintf "unknown op %S" other))
+
+let decode_op json =
+  match Option.bind (Json.member "op" json) Json.to_str with
+  | None -> Error (Malformed "each op needs a string field \"op\"")
+  | Some op -> decode_single_op ~op json
 
 let decode_ops json =
   match Option.bind (Json.member "ops" json) Json.to_list with
@@ -237,45 +243,103 @@ let decode_ops json =
     in
     go [] items
 
-(* ---- Cache key --------------------------------------------------------- *)
+(* The one rank-addressing and validation routine behind every mutation
+   endpoint: the single-op endpoints are thin wrappers building singleton
+   batches through it, so the duplicate-rank / unknown-rank 422s and the
+   rank → index translation exist exactly once. Ranks are resolved against
+   the {e evolving} selection (an add earlier in the batch makes its rank
+   removable later), and a params op folds into the evolving request so
+   the returned [compare_request] is the session's post-batch recipe.
+   [profile_of] is called only for ranks already checked in range. *)
+let translate_ops ~request ~ranks ~available ~profile_of ~config_of ops =
+  let rec go ranks creq acc = function
+    | [] -> Ok (List.rev acc, ranks, creq)
+    | Op_add rank :: tl ->
+      if List.mem rank ranks then
+        Error
+          (`Op
+            (Unprocessable
+               (Printf.sprintf "rank %d is already in the comparison" rank)))
+      else if rank < 1 || rank > available then
+        Error (`Core (Error.Rank_out_of_range { rank; available }))
+      else
+        go (ranks @ [ rank ]) creq (Session.Add (profile_of rank) :: acc) tl
+    | Op_remove rank :: tl -> (
+      let rec index_of i = function
+        | [] -> None
+        | r :: _ when r = rank -> Some i
+        | _ :: rest -> index_of (i + 1) rest
+      in
+      match index_of 0 ranks with
+      | None ->
+        Error
+          (`Op
+            (Unprocessable
+               (Printf.sprintf "rank %d is not in the comparison" rank)))
+      | Some idx ->
+        go
+          (List.filter (fun r -> r <> rank) ranks)
+          creq
+          (Session.Remove idx :: acc)
+          tl)
+    | Op_size size_bound :: tl ->
+      go ranks creq (Session.Set_size_bound size_bound :: acc) tl
+    | Op_params patch :: tl ->
+      let creq = apply_patch creq patch in
+      let config = config_of creq in
+      go ranks creq
+        (Session.Reparams
+           {
+             params = Some config.Config.params;
+             weight = Some config.Config.weight;
+           }
+        :: acc)
+        tl
+  in
+  go ranks request [] ops
 
-let cache_key r =
+(* ---- Canonical request keys -------------------------------------------- *)
+
+type key_scope = Full | Context
+
+(* One normalization routine for every key the serve layer derives from a
+   request. Field order is fixed and pinned by a golden test:
+
+     ds, q, sel, [k, alg,] thr, measure, w [, &domains]
+
+   [Context] scope emits exactly the fields the Dod.context is a function
+   of — dataset, keywords, selection, threshold, measure, weights — and
+   omits size_bound, algorithm and domains, none of which the pair tables
+   depend on (the parallel build is bit-identical across domain counts).
+   Requests sharing a context key can share one physical context across
+   resizes and algorithm switches; [Full] scope adds the response-shaping
+   fields and keys the body cache. [sel] is the explicit rank list when
+   given ("1,3,4"), else "top<k>" — a session keys its context with its
+   {e resolved} ranks, so a session created from "top4" and one created
+   from select [1;2;3;4] intern to the same entry. *)
+let canonical_key ~scope r =
+  let buf = Buffer.create 96 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let select =
     match r.select with
     | Some ranks -> String.concat "," (List.map string_of_int ranks)
     | None -> Printf.sprintf "top%d" r.top
   in
-  let weights =
-    String.concat ","
-      (List.map (fun (pat, w) -> Printf.sprintf "%s:%d" pat w) r.weights)
-  in
-  Printf.sprintf
-    "ds=%s&q=%s&sel=%s&k=%d&alg=%s&thr=%g&measure=%s&w=%s&domains=%s"
-    r.dataset r.keywords select r.size_bound
-    (Algorithm.to_string r.algorithm)
-    r.threshold_pct
+  add "ds=%s&q=%s&sel=%s" r.dataset r.keywords select;
+  (match scope with
+  | Full ->
+    add "&k=%d&alg=%s" r.size_bound (Algorithm.to_string r.algorithm)
+  | Context -> ());
+  add "&thr=%g&measure=%s&w=%s" r.threshold_pct
     (match r.measure with Dod.Raw -> "raw" | Dod.Rate -> "rate")
-    weights
-    (match r.domains with Some d -> string_of_int d | None -> "default")
-
-let context_key r =
-  let select =
-    match r.select with
-    | Some ranks -> String.concat "," (List.map string_of_int ranks)
-    | None -> Printf.sprintf "top%d" r.top
-  in
-  let weights =
-    String.concat ","
-      (List.map (fun (pat, w) -> Printf.sprintf "%s:%d" pat w) r.weights)
-  in
-  (* No size_bound, algorithm or domains: the pair tables depend on none
-     of them (the parallel build is bit-identical across domain counts),
-     so one warm context serves every resize and algorithm switch over the
-     same result set. *)
-  Printf.sprintf "ds=%s&q=%s&sel=%s&thr=%g&measure=%s&w=%s" r.dataset
-    r.keywords select r.threshold_pct
-    (match r.measure with Dod.Raw -> "raw" | Dod.Rate -> "rate")
-    weights
+    (String.concat ","
+       (List.map (fun (pat, w) -> Printf.sprintf "%s:%d" pat w) r.weights));
+  (match scope with
+  | Full ->
+    add "&domains=%s"
+      (match r.domains with Some d -> string_of_int d | None -> "default")
+  | Context -> ());
+  Buffer.contents buf
 
 let to_config r =
   let weight =
@@ -302,9 +366,31 @@ let status_of_error = function
     422
   | Error.Timeout -> 504
 
+(* Stable machine-readable codes, one per variant — clients branch on
+   these, never on message text (messages may be reworded). *)
+let code_of_error = function
+  | Error.No_results _ -> "no_results"
+  | Error.Too_few_selected _ -> "too_few_selected"
+  | Error.Rank_out_of_range _ -> "rank_out_of_range"
+  | Error.Index_out_of_range _ -> "index_out_of_range"
+  | Error.Bound_too_small _ -> "bound_too_small"
+  | Error.Unsupported_algorithm _ -> "unsupported_algorithm"
+  | Error.Timeout -> "timeout"
+
+let code_of_op_error = function
+  | Malformed _ -> "malformed"
+  | Unprocessable _ -> "unprocessable"
+
 (* ---- Encoders ---------------------------------------------------------- *)
 
-let error_body msg = Json.to_string (Json.Obj [ ("error", Json.String msg) ])
+let error_body ~code msg =
+  Json.to_string
+    (Json.Obj
+       [
+         ( "error",
+           Json.Obj
+             [ ("code", Json.String code); ("message", Json.String msg) ] );
+       ])
 
 let json_of_results results =
   Json.List

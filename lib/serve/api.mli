@@ -1,8 +1,8 @@
 (** The typed request/response layer of the comparison service.
 
     [POST /compare] bodies decode into one {!compare_request} value — the
-    single source of truth for defaults, validation, the comparison
-    {!cache_key} and the {!to_config} mapping onto the core API. Handlers
+    single source of truth for defaults, validation, the {!canonical_key}
+    normalization and the {!to_config} mapping onto the core API. Handlers
     never look at raw JSON beyond this module. *)
 
 type compare_request = {
@@ -36,17 +36,23 @@ val json_of_compare : compare_request -> Json.t
     Ok r]. The durability journal stores session requests in exactly the
     request-body format, so journal dumps read like curl transcripts. *)
 
-val cache_key : compare_request -> string
-(** Canonical string over every field that affects the response body.
-    Equal requests (after normalization) have equal keys. *)
-
-val context_key : compare_request -> string
-(** Canonical string over the fields that determine the {!Dod.context}:
-    dataset, keywords, selection, threshold, measure and weights — {e not}
+(** Key scopes for {!canonical_key}: [Full] covers every field that
+    shapes the response body (the comparison cache); [Context] covers
+    exactly the fields the {!Dod.context} is a function of — dataset,
+    keywords, selection, threshold, measure, weights — and {e not}
     [size_bound], [algorithm] or [domains], none of which the pair tables
-    depend on (the parallel build is bit-identical across domain counts).
-    Requests sharing a context key can reuse one warm context across
-    resizes and algorithm switches. *)
+    depend on (the parallel build is bit-identical across domain counts). *)
+type key_scope = Full | Context
+
+val canonical_key : scope:key_scope -> compare_request -> string
+(** The one canonical request-normalization routine. Field order is fixed
+    and pinned by a golden test:
+    [ds, q, sel, [k, alg,] thr, measure, w [, domains]] — the bracketed
+    fields appear only at [Full] scope. [sel] is the explicit rank list
+    ("1,3,4") or ["top<k>"] when the request selects by prefix. Equal
+    requests (after keyword normalization and weight-rule sorting) have
+    equal keys; requests sharing a [Context] key can share one physical
+    warm context across resizes and algorithm switches. *)
 
 val to_config : compare_request -> Config.t
 
@@ -81,6 +87,10 @@ type op_error = Malformed of string | Unprocessable of string
 val status_of_op_error : op_error -> int
 val message_of_op_error : op_error -> string
 
+val code_of_op_error : op_error -> string
+(** ["malformed"] / ["unprocessable"] — the machine-readable code of the
+    uniform error envelope (see {!error_body}). *)
+
 val decode_params_patch : Json.t -> (params_patch, op_error) result
 (** Decode ["threshold_pct"] / ["measure"] / ["weights"] — each optional,
     at least one required. Rejects negative thresholds, unknown measures
@@ -92,6 +102,35 @@ val decode_ops : Json.t -> (session_op list, op_error) result
     ["size"] (with ["size_bound"]) or ["params"] (patch fields inline,
     next to ["op"]). The list must be non-empty. *)
 
+val decode_single_op : op:string -> Json.t -> (session_op, op_error) result
+(** Decode one op of the named kind from a bare body (no ["op"] member —
+    the kind comes from the route). [POST /session/:id/add] with
+    [{"rank": 4}] is exactly the ["ops"] element [{"op": "add", "rank": 4}];
+    the single-op endpoints are wrappers over the apply path. *)
+
+val translate_ops :
+  request:compare_request ->
+  ranks:int list ->
+  available:int ->
+  profile_of:(int -> Result_profile.t) ->
+  config_of:(compare_request -> Config.t) ->
+  session_op list ->
+  ( Session.op list * int list * compare_request,
+    [ `Op of op_error | `Core of Error.t ] )
+  result
+(** The single rank-addressing/validation routine behind every mutation
+    endpoint. Translates rank-addressed {!session_op}s into
+    index-addressed {!Session.op}s against the {e evolving} selection
+    [ranks] (of a comparison over [available] ranked results), folding
+    params patches into the evolving [request]. Returns the session ops,
+    the post-batch selection and the post-batch request. Rejects a
+    duplicate or absent rank as [`Op Unprocessable] (422) and an
+    out-of-range rank as [`Core Rank_out_of_range]; any rejection leaves
+    the caller's state untouched (nothing is applied here).
+    [profile_of rank] extracts the profile of a rank already checked to
+    be in range; [config_of] maps the evolving request to the config
+    whose params/weighting a [Reparams] op carries. *)
+
 val apply_patch : compare_request -> params_patch -> compare_request
 (** Fold a patch into the request a session was created from, so the
     journaled recipe, the cache keys and the rebuilt config stay honest
@@ -101,11 +140,24 @@ val status_of_error : Error.t -> int
 (** [No_results] → 404; everything else (a well-formed request the corpus
     can't satisfy) → 422. Malformed JSON is the caller's 400. *)
 
+val code_of_error : Error.t -> string
+(** The stable machine-readable code of each {!Error.t} variant:
+    ["no_results"], ["too_few_selected"], ["rank_out_of_range"],
+    ["index_out_of_range"], ["bound_too_small"],
+    ["unsupported_algorithm"], ["timeout"]. Clients branch on codes;
+    message text is free to change. *)
+
 (** {1 Response encoders} — deterministic field order, so cached bodies
     are byte-stable. *)
 
-val error_body : string -> string
-(** [{"error": msg}] *)
+val error_body : code:string -> string -> string
+(** The uniform error envelope every endpoint answers errors with:
+    [{"error": {"code": code, "message": msg}}]. Codes are
+    {!code_of_error} / {!code_of_op_error} values for typed errors, and a
+    fixed serve-level vocabulary otherwise ("bad_request",
+    "unknown_dataset", "unknown_session", "not_found",
+    "method_not_allowed", "unavailable", "overloaded", "refused",
+    "internal"). HTTP statuses are unchanged by the envelope. *)
 
 val json_of_results : (Search.result * string) list -> Json.t
 (** Ranked search results with their display titles. *)

@@ -25,7 +25,18 @@ type cold_session = {
 
 type session_state = Warm of session_entry | Cold of cold_session
 
-type stored_session = { mutable state : session_state }
+(* [owns] is the cell's claim on one intern-table reference for its
+   context key — set iff the cell is warm on an incremental server. It is
+   atomic because ownership is contended across two locks: every state
+   transition (create, rewarm, demote, mutate) happens under
+   [session_update], but the store's removal events (delete, TTL expiry,
+   LRU eviction) fire under the store lock — so giving up the reference
+   goes through a compare-and-set, and exactly one of the racing paths
+   performs the one [Intern.release]. *)
+type stored_session = {
+  mutable state : session_state;
+  owns : bool Atomic.t;
+}
 
 let cold_of_entry se =
   {
@@ -36,11 +47,12 @@ let cold_of_entry se =
 
 type t = {
   entries : (string * entry) list;
-  cache : string Lru.t;  (* cache_key -> response body; under [lock] *)
-  ctx_cache : (Result_profile.t array * Dod.context) Lru.t;
-      (* context_key -> warm pair tables for /compare; under [lock] *)
-  lock : Mutex.t;  (* guards [cache], [ctx_cache] and [inflight] — O(1)
-                      sections only *)
+  cache : string Lru.t;  (* full-scope key -> response body; under [lock] *)
+  intern : Intern.t;
+      (* context-scope key -> the one physical (profiles, context) pair:
+         warm sessions pin entries by refcount, /compare reads them
+         unpinned — one population under one byte budget. Own leaf lock. *)
+  lock : Mutex.t;  (* guards [cache] and [inflight] — O(1) sections only *)
   inflight : (string, unit) Hashtbl.t;  (* compare keys being computed *)
   inflight_done : Condition.t;  (* signalled when an inflight key retires *)
   session_update : Mutex.t;  (* serializes session read-modify-write,
@@ -48,7 +60,7 @@ type t = {
   metrics : Metrics.t;
   sessions : stored_session Session_store.t;
   incremental : bool;  (* delta context maintenance (false = ablation) *)
-  max_context_bytes : int option;  (* warm-context memory budget *)
+  max_context_bytes : int option;  (* unified live-context memory budget *)
   default_domains : int option;
   default_deadline_ms : int option;  (* per-request compare budget *)
   max_deadline_ms : int;  (* cap on the X-Deadline-Ms override *)
@@ -86,10 +98,21 @@ let with_session_update t f =
 let json_response ?headers ~status j =
   Http.response ?headers ~status (Json.to_string j)
 
-let error_response ~status msg = Http.response ~status (Api.error_body msg)
+(* Every failure, on every endpoint, is the one envelope
+   {"error": {"code", "message"}} — [code] is the stable machine-readable
+   name (Api.mli documents the vocabulary), the message stays free-form. *)
+let error_response ~status ~code msg =
+  Http.response ~status (Api.error_body ~code msg)
 
 let core_error e =
-  error_response ~status:(Api.status_of_error e) (Error.to_string e)
+  error_response ~status:(Api.status_of_error e) ~code:(Api.code_of_error e)
+    (Error.to_string e)
+
+let op_error_response e =
+  error_response
+    ~status:(Api.status_of_op_error e)
+    ~code:(Api.code_of_op_error e)
+    (Api.message_of_op_error e)
 
 let find_entry t name = List.assoc_opt name t.entries
 
@@ -173,11 +196,17 @@ let handle_datasets t _req _params =
 
 let handle_search t req _params =
   match (query_param req "dataset", query_param req "q") with
-  | None, _ -> error_response ~status:400 "missing query parameter \"dataset\""
-  | _, None -> error_response ~status:400 "missing query parameter \"q\""
+  | None, _ ->
+    error_response ~status:400 ~code:"bad_request"
+      "missing query parameter \"dataset\""
+  | _, None ->
+    error_response ~status:400 ~code:"bad_request"
+      "missing query parameter \"q\""
   | Some dataset, Some q -> (
     match find_entry t dataset with
-    | None -> error_response ~status:404 ("unknown dataset " ^ dataset)
+    | None ->
+      error_response ~status:404 ~code:"unknown_dataset"
+        ("unknown dataset " ^ dataset)
     | Some entry ->
       let limit =
         Option.bind (query_param req "limit") int_of_string_opt
@@ -201,7 +230,8 @@ let handle_search t req _params =
 
 let decode_body req =
   match Json.of_string req.Http.body with
-  | Error e -> Error (error_response ~status:400 ("invalid JSON: " ^ e))
+  | Error e ->
+    Error (error_response ~status:400 ~code:"bad_request" ("invalid JSON: " ^ e))
   | Ok json -> Ok json
 
 let decode_compare_body req =
@@ -209,7 +239,7 @@ let decode_compare_body req =
   | Error resp -> Error resp
   | Ok json -> (
     match Api.decode_compare json with
-    | Error e -> Error (error_response ~status:400 e)
+    | Error e -> Error (error_response ~status:400 ~code:"bad_request" e)
     | Ok creq ->
       if creq.Api.algorithm = Algorithm.Exhaustive then
         Error (core_error (Error.Unsupported_algorithm "exhaustive"))
@@ -255,7 +285,9 @@ let handle_compare t req _params =
   | Error resp -> resp
   | Ok creq -> (
     match find_entry t creq.Api.dataset with
-    | None -> error_response ~status:404 ("unknown dataset " ^ creq.Api.dataset)
+    | None ->
+      error_response ~status:404 ~code:"unknown_dataset"
+        ("unknown dataset " ^ creq.Api.dataset)
     | Some entry -> (
       let deadline = deadline_of_req t req in
       (* Overload degradation ladder (DESIGN.md §9): under queue pressure a
@@ -273,7 +305,7 @@ let handle_compare t req _params =
         if downgraded then { creq with Api.algorithm = Algorithm.Single_swap }
         else creq
       in
-      let key = Api.cache_key creq in
+      let key = Api.canonical_key ~scope:Api.Full creq in
       let claim =
         locked t (fun () ->
             let rec claim () =
@@ -306,16 +338,15 @@ let handle_compare t req _params =
             let config = request_config t creq in
             (* Warm-context fast path: a previous comparison over the same
                result set (any size bound, any algorithm — the pair tables
-               depend on neither) left its context and profiles in
-               [ctx_cache]; reuse skips search, extraction and the O(n²)
-               pair-table build, and is byte-identical because the cached
-               context is bit-identical to the one a fresh build would
-               produce. *)
-            let ctx_key = Api.context_key creq in
+               depend on neither) or a live session left its context and
+               profiles in the intern table; reuse skips search, extraction
+               and the O(n²) pair-table build, and is byte-identical
+               because an interned context is bit-identical to the one a
+               fresh build would produce. [peek]: /compare borrows for the
+               request, it takes no reference. *)
+            let ctx_key = Api.canonical_key ~scope:Api.Context creq in
             let warm_ctx =
-              if t.incremental then
-                locked t (fun () -> Lru.find t.ctx_cache ctx_key)
-              else None
+              if t.incremental then Intern.peek t.intern ctx_key else None
             in
             let outcome =
               match warm_ctx with
@@ -343,12 +374,12 @@ let handle_compare t req _params =
                 Metrics.incr_counter t.metrics "context_builds_full";
                 (* The context is complete even when generation degraded —
                    cache it either way (the body cache below stays
-                   degraded-free as before). *)
+                   degraded-free as before). Unpinned: it lives until the
+                   byte budget or the reuse-cache capacity evicts it. *)
                 if t.incremental then
-                  locked t (fun () ->
-                      Lru.add t.ctx_cache ctx_key
-                        ( comparison.Pipeline.profiles,
-                          comparison.Pipeline.context ))
+                  Intern.insert_cached t.intern ctx_key
+                    ~profiles:comparison.Pipeline.profiles
+                    ~context:comparison.Pipeline.context
               end;
               let body = Json.to_string (Api.json_of_comparison comparison) in
               if comparison.Pipeline.degraded then
@@ -391,14 +422,30 @@ let session_summary id se =
 let result_with_rank results rank =
   List.find_opt (fun r -> r.Search.rank = rank) results
 
+(* A session's canonical context key: its originating request with the
+   selection resolved to the explicit current ranks, at Context scope —
+   so a session created with [top: 3] and one created with
+   [select: [1,2,3]] intern the same entry, and /compare requests with an
+   explicit selection share it too. *)
+let session_ctx_key se =
+  Api.canonical_key ~scope:Api.Context
+    { se.s_request with Api.select = Some se.s_ranks }
+
 (* Build the resident state for a session over [creq] with [ranks]
    selected ([None] → the first [top]) at [size_bound]. Shared by
-   POST /session and recovery replay, so a recovered session is exactly
-   what creating it fresh from its journaled request would produce. *)
+   POST /session, lazy recovery rewarming and budget re-promotion, so a
+   recovered session is exactly what creating it fresh from its journaled
+   request would produce. Returns the entry plus whether it holds an
+   intern-table reference on its context key: on an incremental server a
+   hit adopts the interned (profiles, context) pair — skipping extraction
+   and the O(n²) pair-table build — and a miss publishes the fresh build;
+   the ablation server never interns. *)
 let build_session_entry t creq ~ranks ~size_bound =
   match find_entry t creq.Api.dataset with
   | None ->
-    Error (error_response ~status:404 ("unknown dataset " ^ creq.Api.dataset))
+    Error
+      (error_response ~status:404 ~code:"unknown_dataset"
+         ("unknown dataset " ^ creq.Api.dataset))
   | Some entry -> (
     let keywords = creq.Api.keywords in
     let results = Pipeline.search entry.pipeline keywords in
@@ -417,9 +464,9 @@ let build_session_entry t creq ~ranks ~size_bound =
       in
       match first_dup [] ranks with
       | Some dup ->
-        (* same invariant POST /session/:id/add enforces *)
+        (* same invariant the add op enforces *)
         Error
-          (error_response ~status:422
+          (error_response ~status:422 ~code:"unprocessable"
              (Printf.sprintf "duplicate rank %d in \"select\"" dup))
       | None -> (
         match
@@ -428,65 +475,111 @@ let build_session_entry t creq ~ranks ~size_bound =
         | Some bad ->
           Error (core_error (Error.Rank_out_of_range { rank = bad; available }))
         | None -> (
-          let profiles =
-            List.map
-              (fun rank ->
-                let r = Option.get (result_with_rank results rank) in
-                Pipeline.profile_of ~keywords entry.pipeline r)
-              ranks
-          in
           let config = request_config t creq in
-          match Session.create ~config ~size_bound profiles with
-          | Error e -> Error (core_error e)
-          | Ok session ->
-            (* the one place a session context is built from scratch —
-               creation, lazy recovery rewarming, budget re-promotion all
-               come through here *)
-            Metrics.incr_counter t.metrics "context_builds_full";
-            Ok
-              {
-                s_dataset = creq.Api.dataset;
-                s_request = creq;
-                s_results = results;
-                s_ranks = ranks;
-                s_session = session;
-              })))
+          let entry_of session =
+            {
+              s_dataset = creq.Api.dataset;
+              s_request = creq;
+              s_results = results;
+              s_ranks = ranks;
+              s_session = session;
+            }
+          in
+          let ctx_key =
+            Api.canonical_key ~scope:Api.Context
+              { creq with Api.select = Some ranks }
+          in
+          match
+            if t.incremental then Intern.acquire t.intern ctx_key else None
+          with
+          | Some (profiles, context) -> (
+            Metrics.incr_counter t.metrics "context_builds_reused";
+            match
+              Session.create ~config ~context ~size_bound
+                (Array.to_list profiles)
+            with
+            | Error e ->
+              Intern.release t.intern ctx_key;
+              Error (core_error e)
+            | Ok session -> Ok (entry_of session, true))
+          | None -> (
+            let profiles =
+              List.map
+                (fun rank ->
+                  let r = Option.get (result_with_rank results rank) in
+                  Pipeline.profile_of ~keywords entry.pipeline r)
+                ranks
+            in
+            match Session.create ~config ~size_bound profiles with
+            | Error e -> Error (core_error e)
+            | Ok session ->
+              (* the one place a session context is built from scratch *)
+              Metrics.incr_counter t.metrics "context_builds_full";
+              if not t.incremental then Ok (entry_of session, false)
+              else
+                (* Publish under the key; a racing builder may have won —
+                   adopt the canonical pair so both sessions share one
+                   physical context (bit-identical by construction). *)
+                let profiles, context =
+                  Intern.publish t.intern ctx_key
+                    ~profiles:(Session.profiles session)
+                    ~context:(Session.context session)
+                in
+                let session =
+                  if context == Session.context session then session
+                  else Session.intern session ~profiles ~context
+                in
+                Ok (entry_of session, true)))))
 
-(* Demote least-recently-used warm sessions to cold until the live
-   contexts fit the byte budget, sparing [keep] (the session the current
-   request is touching). In-place cell mutation, no store event: hot/cold
-   residency is not durable state, and the journal entry for a cold cell
-   is identical anyway. Called under [session_update]. *)
+(* The unified memory ledger (DESIGN.md §13): the intern table's bytes —
+   warm-session contexts and the /compare reuse cache are one
+   deduplicated population there — plus the contexts of warm sessions
+   holding no intern reference (the ablation server's). N sessions over
+   one corpus cost one context's bytes, and the ledger says so. *)
+let live_context_bytes t =
+  let unowned =
+    Session_store.fold t.sessions ~init:0 ~f:(fun _ st ~last_used:_ acc ->
+        match st.state with
+        | Warm se when not (Atomic.get st.owns) ->
+          acc + Dod.approx_bytes (Session.context se.s_session)
+        | Warm _ | Cold _ -> acc)
+  in
+  Intern.bytes_live t.intern + unowned
+
+(* Demote least-recently-used warm sessions to cold until the ledger fits
+   the byte budget, sparing [keep] (the session the current request is
+   touching). A demotion drops the cell's intern reference; the bytes
+   actually leave the ledger only when the last holder drops and the
+   now-unpinned entry is shed — so the loop re-reads the ledger rather
+   than assuming each demotion reclaims a context. In-place cell
+   mutation, no store event: hot/cold residency is not durable state, and
+   the journal entry for a cold cell is identical anyway. Called under
+   [session_update]. *)
 let enforce_context_budget t ~keep =
   match t.max_context_bytes with
   | None -> ()
   | Some budget ->
-    let warm =
-      Session_store.fold t.sessions ~init:[] ~f:(fun id st ~last_used acc ->
-          match st.state with
-          | Warm se ->
-            (id, st, last_used, Dod.approx_bytes (Session.context se.s_session))
-            :: acc
-          | Cold _ -> acc)
-    in
-    let total = List.fold_left (fun a (_, _, _, b) -> a + b) 0 warm in
-    if total > budget then begin
+    if live_context_bytes t > budget then begin
+      let warm =
+        Session_store.fold t.sessions ~init:[] ~f:(fun id st ~last_used acc ->
+            match st.state with
+            | Warm se -> (id, st, se, last_used) :: acc
+            | Cold _ -> acc)
+      in
       let oldest_first =
         List.sort
-          (fun (ida, _, la, _) (idb, _, lb, _) ->
+          (fun (ida, _, _, la) (idb, _, _, lb) ->
             match Float.compare la lb with 0 -> compare ida idb | c -> c)
           warm
       in
-      let excess = ref (total - budget) in
       List.iter
-        (fun (id, st, _, bytes) ->
-          if !excess > 0 && id <> keep then
-            match st.state with
-            | Warm se ->
-              st.state <- Cold (cold_of_entry se);
-              Metrics.incr_counter t.metrics "contexts_demoted";
-              excess := !excess - bytes
-            | Cold _ -> ())
+        (fun (id, st, se, _) ->
+          if id <> keep && live_context_bytes t > budget then begin
+            if Atomic.compare_and_set st.owns true false then
+              Intern.release t.intern (session_ctx_key se);
+            st.state <- Cold (cold_of_entry se);
+            Metrics.incr_counter t.metrics "contexts_demoted"
+          end)
         oldest_first
     end
 
@@ -504,8 +597,13 @@ let warm_session t id st =
       build_session_entry t c.c_request ~ranks:(Some c.c_ranks)
         ~size_bound:c.c_size_bound
     with
-    | Ok se ->
+    | Ok (se, owns) ->
+      (* state first, ownership second: a removal event racing into the
+         window between the two stores loses the CAS and skips the
+         release — leaking one reference to the reuse cache is the
+         accepted cost of never double-releasing (DESIGN.md §13). *)
       st.state <- Warm se;
+      Atomic.set st.owns owns;
       Metrics.incr_counter t.metrics "sessions_rewarmed";
       enforce_context_budget t ~keep:id;
       Ok se
@@ -520,8 +618,11 @@ let handle_session_create t req _params =
         ~size_bound:creq.Api.size_bound
     with
     | Error resp -> resp
-    | Ok se ->
-      let id = Session_store.add t.sessions { state = Warm se } in
+    | Ok (se, owns) ->
+      let id =
+        Session_store.add t.sessions
+          { state = Warm se; owns = Atomic.make owns }
+      in
       with_session_update t (fun () -> enforce_context_budget t ~keep:id);
       json_response ~status:201 (session_summary id se))
 
@@ -543,15 +644,16 @@ let handle_session_list t _req _params =
 let with_session t params f =
   let id = Option.value ~default:"" (List.assoc_opt "id" params) in
   match Session_store.find t.sessions id with
-  | None -> error_response ~status:404 ("unknown session " ^ id)
+  | None ->
+    error_response ~status:404 ~code:"unknown_session" ("unknown session " ^ id)
   | Some st -> (
     match warm_session t id st with
     | Error resp -> resp
-    | Ok se -> f id se)
+    | Ok se -> f id st se)
 
 let handle_session_get t _req params =
   with_session_update t (fun () ->
-      with_session t params (fun id se ->
+      with_session t params (fun id _st se ->
           let fields =
             match session_summary id se with
             | Json.Obj fields -> fields
@@ -562,318 +664,191 @@ let handle_session_get t _req params =
                (fields
                @ [ ("table", Api.json_of_table (Session.table se.s_session)) ]))))
 
-let body_int req name =
-  match decode_body req with
-  | Error resp -> Error resp
-  | Ok json -> (
-    match Option.bind (Json.member name json) Json.to_int with
-    | Some v -> Ok v
-    | None ->
-      Error
-        (error_response ~status:400
-           (Printf.sprintf "missing integer field %S" name)))
-
-(* Session mutations maintain the context by delta (ISSUE: the add pays
-   for n−1 new pairs, the remove for none); the ablation server
-   (incremental = false) rebuilds in full and books the cost honestly. *)
-let count_mutation_build t =
-  Metrics.incr_counter t.metrics
-    (if t.incremental then "context_builds_delta" else "context_builds_full")
-
 let timed_out_response t =
   Metrics.incr_counter t.metrics "requests_timed_out";
   core_error Error.Timeout
 
-let store_mutated t ~origin id se =
-  Session_store.set ~origin t.sessions id { state = Warm se };
+(* Book the context work a physically-changed session cost: one delta per
+   batch on the incremental server (unless the batch was resizes only,
+   which reuse the context outright), one full rebuild on the ablation
+   server. A physically-unchanged session means the batch cancelled out —
+   no context work happened, nothing to book. *)
+let book_mutation_build t se sops =
+  if t.incremental then begin
+    let ctx_op =
+      List.exists (function Session.Set_size_bound _ -> false | _ -> true) sops
+    in
+    if ctx_op then begin
+      Metrics.incr_counter t.metrics "context_builds_delta";
+      let reparams_n =
+        List.length
+          (List.filter (function Session.Reparams _ -> true | _ -> false) sops)
+      in
+      if reparams_n > 0 then
+        Metrics.incr_counter ~by:reparams_n t.metrics "reparams_delta";
+      match sops with
+      | [ Session.Remove idx ] when idx = List.length se.s_ranks - 1 ->
+        (* removing the newest result takes the structure-sharing fast
+           path in [Dod.remove_result] *)
+        Metrics.incr_counter t.metrics "remove_tail_shared"
+      | _ -> ()
+    end
+  end
+  else Metrics.incr_counter t.metrics "context_builds_full"
+
+(* Publish the mutated session back to the store, moving this cell's
+   intern reference from the old context key to the new one. The new
+   reference is taken {e before} the old one is dropped, so a key-
+   preserving mutation (a resize, a reparams to the same values) never
+   lets the entry go unpinned mid-handoff; adopting the canonical pair
+   that [publish] returns keeps every holder of a key on one physical
+   context. The CAS covers the race with a concurrent removal event: if
+   the event won, the old reference is already gone and only the new one
+   is taken. *)
+let store_mutated t ~origin id st old_se se =
+  let se, owns =
+    if not t.incremental then (se, false)
+    else begin
+      let old_key = session_ctx_key old_se in
+      let new_key = session_ctx_key se in
+      let owned = Atomic.compare_and_set st.owns true false in
+      let profiles, context =
+        Intern.publish t.intern new_key
+          ~profiles:(Session.profiles se.s_session)
+          ~context:(Session.context se.s_session)
+      in
+      if owned then Intern.release t.intern old_key;
+      let session =
+        if context == Session.context se.s_session then se.s_session
+        else Session.intern se.s_session ~profiles ~context
+      in
+      ({ se with s_session = session }, true)
+    end
+  in
+  Session_store.set ~origin t.sessions id
+    { state = Warm se; owns = Atomic.make owns };
   enforce_context_budget t ~keep:id;
   json_response ~status:200 (session_summary id se)
 
-let handle_session_add t req params =
-  match body_int req "rank" with
+(* The one mutation handler. Every endpoint — the single-op wrappers and
+   POST /session/:id/apply — decodes to an op list, rank-translates and
+   validates it through [Api.translate_ops] (so the duplicate-rank and
+   unknown-rank 422s exist exactly once), applies it as one
+   [Session.apply] batch (one context delta, one DFS regeneration), and
+   lands one store event / journal record. Any invalid op fails the whole
+   request before any pair work, leaving the stored session untouched. *)
+let mutate t req params ~origin decode =
+  match decode_body req with
   | Error resp -> resp
-  | Ok rank ->
-    let deadline = deadline_of_req t req in
-    with_session_update t (fun () ->
-        with_session t params (fun id se ->
-            if List.mem rank se.s_ranks then
-              error_response ~status:422
-                (Printf.sprintf "rank %d is already in the comparison" rank)
-            else
-              match result_with_rank se.s_results rank with
-              | None ->
-                core_error
-                  (Error.Rank_out_of_range
-                     { rank; available = List.length se.s_results })
-              | Some r -> (
-                let entry =
-                  Option.get (find_entry t se.s_dataset)
-                in
-                let profile =
-                  Pipeline.profile_of ~keywords:se.s_request.Api.keywords
-                    entry.pipeline r
-                in
-                match Session.add ?deadline se.s_session profile with
+  | Ok json -> (
+    match decode json with
+    | Error e -> op_error_response e
+    | Ok ops ->
+      let deadline = deadline_of_req t req in
+      with_session_update t (fun () ->
+          with_session t params (fun id st se ->
+              let entry = Option.get (find_entry t se.s_dataset) in
+              let keywords = se.s_request.Api.keywords in
+              match
+                Api.translate_ops ~request:se.s_request ~ranks:se.s_ranks
+                  ~available:(List.length se.s_results)
+                  ~profile_of:(fun rank ->
+                    let r = Option.get (result_with_rank se.s_results rank) in
+                    Pipeline.profile_of ~keywords entry.pipeline r)
+                  ~config_of:(request_config t) ops
+              with
+              | Error (`Op e) -> op_error_response e
+              | Error (`Core e) -> core_error e
+              | Ok (sops, ranks, creq) -> (
+                match Session.apply ?deadline se.s_session sops with
                 | exception Xsact_util.Deadline.Expired ->
                   (* the delta never landed; the stored session (and its
                      context) is exactly as before *)
                   timed_out_response t
-                | session ->
-                  count_mutation_build t;
-                  let se =
-                    { se with s_ranks = se.s_ranks @ [ rank ];
-                              s_session = session }
-                  in
-                  store_mutated t ~origin:"add" id se)))
-
-let handle_session_remove t req params =
-  match body_int req "rank" with
-  | Error resp -> resp
-  | Ok rank ->
-    let deadline = deadline_of_req t req in
-    with_session_update t (fun () ->
-        with_session t params (fun id se ->
-            let rec index_of i = function
-              | [] -> None
-              | r :: _ when r = rank -> Some i
-              | _ :: rest -> index_of (i + 1) rest
-            in
-            match index_of 0 se.s_ranks with
-            | None ->
-              error_response ~status:422
-                (Printf.sprintf "rank %d is not in the comparison" rank)
-            | Some idx -> (
-              match Session.remove ?deadline se.s_session idx with
-              | exception Xsact_util.Deadline.Expired -> timed_out_response t
-              | Error e -> core_error e
-              | Ok session ->
-                count_mutation_build t;
-                (* removing the newest result takes the structure-sharing
-                   fast path in [Dod.remove_result] *)
-                if t.incremental && idx = List.length se.s_ranks - 1 then
-                  Metrics.incr_counter t.metrics "remove_tail_shared";
-                let se =
-                  {
-                    se with
-                    s_ranks = List.filter (fun r -> r <> rank) se.s_ranks;
-                    s_session = session;
-                  }
-                in
-                store_mutated t ~origin:"remove" id se)))
-
-let handle_session_size t req params =
-  match body_int req "size_bound" with
-  | Error resp -> resp
-  | Ok size_bound ->
-    let deadline = deadline_of_req t req in
-    with_session_update t (fun () ->
-        with_session t params (fun id se ->
-            match Session.set_size_bound ?deadline se.s_session size_bound with
-            | exception Xsact_util.Deadline.Expired -> timed_out_response t
-            | Error e -> core_error e
-            | Ok session ->
-              (* incremental resize reuses the live context outright — no
-                 build to count; the ablation rebuilds in full *)
-              if not t.incremental then
-                Metrics.incr_counter t.metrics "context_builds_full";
-              let se = { se with s_session = session } in
-              store_mutated t ~origin:"size" id se))
-
-(* PATCH /session/:id/params — the interactive "drag the threshold /
-   weight slider" loop: re-derive the live context under the patched
-   parameters without re-extracting profiles ([Session.reparams] delta;
-   the ablation rebuilds in full), and fold the patch into the stored
-   request so the journaled recipe — and any cold rebuild from it — uses
-   the new parameters. One store event, one journal record. *)
-let handle_session_params t req params =
-  match decode_body req with
-  | Error resp -> resp
-  | Ok json -> (
-    match Api.decode_params_patch json with
-    | Error e ->
-      error_response ~status:(Api.status_of_op_error e)
-        (Api.message_of_op_error e)
-    | Ok patch ->
-      let deadline = deadline_of_req t req in
-      with_session_update t (fun () ->
-          with_session t params (fun id se ->
-              let creq = Api.apply_patch se.s_request patch in
-              let config = request_config t creq in
-              match
-                Session.reparams ?deadline ~params:config.Config.params
-                  ~weight:config.Config.weight se.s_session
-              with
-              | exception Xsact_util.Deadline.Expired -> timed_out_response t
-              | session ->
-                count_mutation_build t;
-                if t.incremental then
-                  Metrics.incr_counter t.metrics "reparams_delta";
-                let se = { se with s_request = creq; s_session = session } in
-                store_mutated t ~origin:"params" id se)))
-
-(* POST /session/:id/apply — a batch of mutations as one unit: one
-   request, one [Session.apply] (one context delta, one DFS
-   regeneration), one store event, one journal record, one response.
-   Rank-addressed ops are translated to index-addressed session ops
-   against the evolving selection, with exactly the single-op endpoints'
-   checks at each step; any invalid op fails the whole batch before any
-   work, leaving the stored session untouched. *)
-let handle_session_apply t req params =
-  match decode_body req with
-  | Error resp -> resp
-  | Ok json -> (
-    match Api.decode_ops json with
-    | Error e ->
-      error_response ~status:(Api.status_of_op_error e)
-        (Api.message_of_op_error e)
-    | Ok ops ->
-      let deadline = deadline_of_req t req in
-      with_session_update t (fun () ->
-          with_session t params (fun id se ->
-              let entry = Option.get (find_entry t se.s_dataset) in
-              let keywords = se.s_request.Api.keywords in
-              let rec translate ranks creq acc = function
-                | [] -> Ok (List.rev acc, ranks, creq)
-                | Api.Op_add rank :: tl ->
-                  if List.mem rank ranks then
-                    Error
-                      (error_response ~status:422
-                         (Printf.sprintf
-                            "rank %d is already in the comparison" rank))
-                  else (
-                    match result_with_rank se.s_results rank with
-                    | None ->
-                      Error
-                        (core_error
-                           (Error.Rank_out_of_range
-                              {
-                                rank;
-                                available = List.length se.s_results;
-                              }))
-                    | Some r ->
-                      let profile =
-                        Pipeline.profile_of ~keywords entry.pipeline r
-                      in
-                      translate (ranks @ [ rank ]) creq
-                        (Session.Add profile :: acc)
-                        tl)
-                | Api.Op_remove rank :: tl ->
-                  let rec index_of i = function
-                    | [] -> None
-                    | r :: _ when r = rank -> Some i
-                    | _ :: rest -> index_of (i + 1) rest
-                  in
-                  (match index_of 0 ranks with
-                  | None ->
-                    Error
-                      (error_response ~status:422
-                         (Printf.sprintf "rank %d is not in the comparison"
-                            rank))
-                  | Some idx ->
-                    translate
-                      (List.filter (fun r -> r <> rank) ranks)
-                      creq
-                      (Session.Remove idx :: acc)
-                      tl)
-                | Api.Op_size size_bound :: tl ->
-                  translate ranks creq (Session.Set_size_bound size_bound :: acc) tl
-                | Api.Op_params patch :: tl ->
-                  let creq = Api.apply_patch creq patch in
-                  let config = request_config t creq in
-                  translate ranks creq
-                    (Session.Reparams
-                       {
-                         params = Some config.Config.params;
-                         weight = Some config.Config.weight;
-                       }
-                    :: acc)
-                    tl
-              in
-              match translate se.s_ranks se.s_request [] ops with
-              | Error resp -> resp
-              | Ok (sops, ranks, creq) -> (
-                match Session.apply ?deadline se.s_session sops with
-                | exception Xsact_util.Deadline.Expired ->
-                  timed_out_response t
                 | Error e -> core_error e
                 | Ok session ->
-                  Metrics.incr_counter ~by:(List.length ops) t.metrics
-                    "ops_batched";
-                  (* A physically-unchanged session means the batch
-                     cancelled out: no context work happened, so nothing
-                     to book. Otherwise the whole batch cost one build —
-                     delta (unless it was resizes only, which reuse the
-                     context outright) or one full ablation rebuild. *)
+                  if String.equal origin "apply" then
+                    Metrics.incr_counter ~by:(List.length ops) t.metrics
+                      "ops_batched";
                   if session != se.s_session then
-                    if t.incremental then begin
-                      let ctx_op =
-                        List.exists
-                          (function
-                            | Session.Set_size_bound _ -> false | _ -> true)
-                          sops
-                      in
-                      if ctx_op then begin
-                        Metrics.incr_counter t.metrics "context_builds_delta";
-                        let reparams_n =
-                          List.length
-                            (List.filter
-                               (function
-                                 | Session.Reparams _ -> true | _ -> false)
-                               sops)
-                        in
-                        if reparams_n > 0 then
-                          Metrics.incr_counter ~by:reparams_n t.metrics
-                            "reparams_delta";
-                        match sops with
-                        | [ Session.Remove idx ]
-                          when idx = List.length se.s_ranks - 1 ->
-                          Metrics.incr_counter t.metrics "remove_tail_shared"
-                        | _ -> ()
-                      end
-                    end
-                    else Metrics.incr_counter t.metrics "context_builds_full";
-                  let se =
-                    { se with s_request = creq; s_ranks = ranks;
-                              s_session = session }
-                  in
-                  store_mutated t ~origin:"apply" id se))))
+                    book_mutation_build t se sops;
+                  store_mutated t ~origin id st se
+                    {
+                      se with
+                      s_request = creq;
+                      s_ranks = ranks;
+                      s_session = session;
+                    }))))
+
+(* POST /session/:id/add, /remove, /size — thin wrappers building a
+   singleton batch through the op path; observably identical to the
+   historical dedicated handlers (same checks, same warm starts, same
+   accounting) because [Session.apply] makes a singleton batch reproduce
+   the single operation exactly. *)
+let single_op op json =
+  Result.map (fun o -> [ o ]) (Api.decode_single_op ~op json)
+
+let handle_session_add t req params =
+  mutate t req params ~origin:"add" (single_op "add")
+
+let handle_session_remove t req params =
+  mutate t req params ~origin:"remove" (single_op "remove")
+
+let handle_session_size t req params =
+  mutate t req params ~origin:"size" (single_op "size")
+
+(* PATCH /session/:id/params — the interactive "drag the threshold /
+   weight slider" loop: a singleton params op re-derives the live context
+   by delta without re-extracting profiles, and the patch folds into the
+   stored request so the journaled recipe — and any cold rebuild from it
+   — uses the new parameters. *)
+let handle_session_params t req params =
+  mutate t req params ~origin:"params" (fun json ->
+      Result.map (fun patch -> [ Api.Op_params patch ])
+        (Api.decode_params_patch json))
+
+(* POST /session/:id/apply — a batch of mutations as one unit: one
+   request, one context delta, one DFS regeneration, one store event, one
+   journal record, one response. *)
+let handle_session_apply t req params =
+  mutate t req params ~origin:"apply" Api.decode_ops
 
 let handle_session_delete t _req params =
   let id = Option.value ~default:"" (List.assoc_opt "id" params) in
   if Session_store.remove t.sessions id then
     json_response ~status:200 (Json.Obj [ ("deleted", Json.String id) ])
-  else error_response ~status:404 ("unknown session " ^ id)
+  else
+    error_response ~status:404 ~code:"unknown_session" ("unknown session " ^ id)
 
 (* ---- /metrics ---------------------------------------------------------- *)
 
 let handle_metrics t _req _params =
-  let hits, misses, cache_len, ctx_hits, ctx_misses, ctx_len =
+  let hits, misses, cache_len =
     locked t (fun () ->
-        ( Lru.hits t.cache,
-          Lru.misses t.cache,
-          Lru.length t.cache,
-          Lru.hits t.ctx_cache,
-          Lru.misses t.ctx_cache,
-          Lru.length t.ctx_cache ))
+        (Lru.hits t.cache, Lru.misses t.cache, Lru.length t.cache))
   in
   let lookups = hits + misses in
   let hit_rate =
     if lookups = 0 then 0. else float_of_int hits /. float_of_int lookups
   in
+  let istats = Intern.stats t.intern in
   (* Racy-but-atomic observation of the warm/cold split: each cell's
-     state is one word, and the gauges are diagnostics, not invariants. *)
-  let ctx_tables, ctx_bytes, warm_n, cold_n =
-    Session_store.fold t.sessions ~init:(0, 0, 0, 0)
-      ~f:(fun _ st ~last_used:_ (tables, bytes, w, c) ->
+     state is one word, and the gauges are diagnostics, not invariants.
+     Pair tables are deduplicated by physical context, so k sessions
+     sharing one interned context report one context's tables. *)
+  let shared_ctxs, warm_n, cold_n =
+    Session_store.fold t.sessions ~init:([], 0, 0)
+      ~f:(fun _ st ~last_used:_ (ctxs, w, c) ->
         match st.state with
         | Warm se ->
           let ctx = Session.context se.s_session in
-          ( tables + Dod.num_pair_tables ctx,
-            bytes + Dod.approx_bytes ctx,
-            w + 1,
-            c )
-        | Cold _ -> (tables, bytes, w, c + 1))
+          ((if List.memq ctx ctxs then ctxs else ctx :: ctxs), w + 1, c)
+        | Cold _ -> (ctxs, w, c + 1))
   in
+  let ctx_tables =
+    List.fold_left (fun a ctx -> a + Dod.num_pair_tables ctx) 0 shared_ctxs
+  in
+  let ctx_bytes = live_context_bytes t in
   json_response ~status:200
     (Metrics.snapshot t.metrics
        ~extra:
@@ -911,13 +886,18 @@ let handle_metrics t _req _params =
              Json.Int (Metrics.counter t.metrics "sessions_rewarmed") );
            ("sessions_warm", Json.Int warm_n);
            ("sessions_cold", Json.Int cold_n);
-           ( "context_cache",
+           ("contexts_interned", Json.Int istats.Intern.entries);
+           ( "context_intern",
              Json.Obj
                [
-                 ("capacity", Json.Int (Lru.capacity t.ctx_cache));
-                 ("entries", Json.Int ctx_len);
-                 ("hits", Json.Int ctx_hits);
-                 ("misses", Json.Int ctx_misses);
+                 ("entries", Json.Int istats.Intern.entries);
+                 ("pinned", Json.Int istats.Intern.pinned);
+                 ("refs", Json.Int istats.Intern.refs_total);
+                 ( "cache_capacity",
+                   Json.Int (Intern.cache_capacity t.intern) );
+                 ("hits", Json.Int istats.Intern.hits);
+                 ("misses", Json.Int istats.Intern.misses);
+                 ("evictions", Json.Int istats.Intern.evictions);
                ] );
            ("sessions_live", Json.Int (Session_store.count t.sessions));
            ( "sessions_expired",
@@ -991,9 +971,30 @@ let log_event d = function
     Durability.log_upsert d ~op:"create" ~id ~at ~entry:(json_of_stored value)
   | Session_store.Updated { id; origin; value; at } ->
     Durability.log_upsert d ~op:origin ~id ~at ~entry:(json_of_stored value)
-  | Session_store.Removed { id } -> Durability.log_delete d ~op:"delete" ~id
-  | Session_store.Expired { id } -> Durability.log_delete d ~op:"expire" ~id
-  | Session_store.Evicted { id } -> Durability.log_delete d ~op:"evict" ~id
+  | Session_store.Removed { id; value = _ } ->
+    Durability.log_delete d ~op:"delete" ~id
+  | Session_store.Expired { id; value = _ } ->
+    Durability.log_delete d ~op:"expire" ~id
+  | Session_store.Evicted { id; value = _ } ->
+    Durability.log_delete d ~op:"evict" ~id
+
+(* Removal-event half of the ownership guard: a deleted / expired /
+   evicted cell gives up its intern reference. Runs under the store lock;
+   the intern mutex is a leaf, so no lock-order cycle. The CAS loses
+   against a concurrent mutation or demotion that already took the
+   reference — exactly one release either way. The key is recomputable
+   from either residency state (a cold recipe carries the same request
+   and ranks its warm form did). *)
+let stored_ctx_key st =
+  match st.state with
+  | Warm se -> session_ctx_key se
+  | Cold c ->
+    Api.canonical_key ~scope:Api.Context
+      { c.c_request with Api.select = Some c.c_ranks }
+
+let release_stored intern st =
+  if Atomic.compare_and_set st.owns true false then
+    Intern.release intern (stored_ctx_key st)
 
 let create ?datasets ?(cache_capacity = 128) ?(context_cache_capacity = 32)
     ?(incremental = true) ?max_context_bytes ?domains ?deadline_ms
@@ -1021,31 +1022,37 @@ let create ?datasets ?(cache_capacity = 128) ?(context_cache_capacity = 32)
           (name, { dataset = ds; pipeline = Pipeline.create ds.Dataset.document }))
       names
   in
-  (* The hook closure outlives this function, so it reads the durability
-     cell that [recover] fills — until then (and always, without a state
-     dir) it journals nothing. Recovery itself restores entries without
-     events, so replay never re-journals. *)
+  (* The store's event hook is always installed: removal events release
+     the departing cell's intern reference (which is why the intern table
+     exists before the store), and — once [recover] fills the durability
+     cell — journal the mutation. Until then (and always, without a state
+     dir) the durability half is inert. Recovery itself restores entries
+     without events, so replay never re-journals. *)
+  let intern =
+    Intern.create ?max_bytes:max_context_bytes
+      ~cache_capacity:context_cache_capacity ()
+  in
   let durability = ref None in
-  let on_event =
-    match state_dir with
-    | None -> None
-    | Some _ ->
-      Some
-        (fun ev ->
-          match !durability with None -> () | Some d -> log_event d ev)
+  let on_event ev =
+    (match ev with
+    | Session_store.Removed { value = st; _ }
+    | Session_store.Expired { value = st; _ }
+    | Session_store.Evicted { value = st; _ } -> release_stored intern st
+    | Session_store.Created _ | Session_store.Updated _ -> ());
+    match !durability with None -> () | Some d -> log_event d ev
   in
   let t =
     {
       entries;
       cache = Lru.create ~capacity:cache_capacity;
-      ctx_cache = Lru.create ~capacity:context_cache_capacity;
+      intern;
       lock = Mutex.create ();
       inflight = Hashtbl.create 8;
       inflight_done = Condition.create ();
       session_update = Mutex.create ();
       metrics = Metrics.create ();
       sessions = Session_store.create ?ttl_s:session_ttl_s
-                   ?capacity:max_sessions ?on_event ();
+                   ?capacity:max_sessions ~on_event ();
       incremental;
       max_context_bytes;
       default_domains = domains;
@@ -1106,7 +1113,7 @@ let recover t =
         match cold_of_journal entry_json with
         | Ok cold ->
           Session_store.restore t.sessions ~id ~last_used:at
-            { state = Cold cold }
+            { state = Cold cold; owns = Atomic.make false }
         | Error msg ->
           (* A journal this build cannot even parse: keep serving, count
              the loss. (A parseable entry whose dataset is missing stays
@@ -1135,7 +1142,8 @@ let handle t req =
     Http.response
       ~headers:[ ("Retry-After", "1") ]
       ~status:503
-      (Api.error_body "unavailable: state recovery in progress")
+      (Api.error_body ~code:"unavailable"
+         "unavailable: state recovery in progress")
   end
   else
   let started = Unix.gettimeofday () in
@@ -1145,7 +1153,7 @@ let handle t req =
       let resp =
         try handler req params
         with e ->
-          error_response ~status:500
+          error_response ~status:500 ~code:"internal"
             ("internal error: " ^ Printexc.to_string e)
       in
       (route, resp)
@@ -1154,8 +1162,9 @@ let handle t req =
         Http.response
           ~headers:[ ("Allow", String.concat ", " allowed) ]
           ~status:405
-          (Api.error_body "method not allowed") )
-    | `Not_found -> ("404", error_response ~status:404 "not found")
+          (Api.error_body ~code:"method_not_allowed" "method not allowed") )
+    | `Not_found ->
+      ("404", error_response ~status:404 ~code:"not_found" "not found")
   in
   Metrics.record t.metrics ~route ~status:resp.Http.status
     ~elapsed_s:(Unix.gettimeofday () -. started);
@@ -1223,11 +1232,11 @@ let serve_connection t fd =
     | Error `Eof -> ()
     | Error (`Bad msg) ->
       Http.write_response oc ~keep_alive:false
-        (Http.response ~status:400 (Api.error_body msg))
+        (Http.response ~status:400 (Api.error_body ~code:"bad_request" msg))
     | Error (`Refuse (status, msg)) ->
       Metrics.record t.metrics ~route:"refused" ~status ~elapsed_s:0.;
       Http.write_response oc ~keep_alive:false
-        (Http.response ~status (Api.error_body msg))
+        (Http.response ~status (Api.error_body ~code:"refused" msg))
     | Ok req ->
       let resp = handle t req in
       let keep_alive = not (Http.wants_close req) in
@@ -1295,7 +1304,8 @@ let shed_overload r fd =
          (Http.response
             ~headers:[ ("Retry-After", "1") ]
             ~status:503
-            (Api.error_body "server overloaded; retry shortly"));
+            (Api.error_body ~code:"overloaded"
+               "server overloaded; retry shortly"));
        (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
         with Unix.Unix_error _ | Invalid_argument _ -> ());

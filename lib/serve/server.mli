@@ -22,7 +22,13 @@
     [GET /search?dataset=&q=], [POST /compare], [GET /metrics],
     [POST /session], [GET /session], [GET /session/:id],
     [POST /session/:id/add], [POST /session/:id/remove],
-    [POST /session/:id/size], [DELETE /session/:id].
+    [POST /session/:id/size], [POST /session/:id/apply],
+    [PATCH /session/:id/params], [DELETE /session/:id]. The single-op
+    mutation endpoints are thin wrappers over the [/apply] op path
+    (DESIGN.md §13) — one validation routine, one error vocabulary —
+    and every error body is a uniform
+    [{"error": {"code", "message"}}] envelope with a stable
+    machine-readable code.
 
     Durable sessions (DESIGN.md §10): with [state_dir], every session
     mutation is journaled (length-prefixed, CRC-checksummed,
@@ -46,18 +52,23 @@ val create :
     [domains] sets the domain-pool parallelism used for requests that
     don't pin their own.
 
-    Incremental-engine knobs (DESIGN.md §11):
-    - [context_cache_capacity] (default 32): entries in the warm-context
-      LRU behind [POST /compare] — requests over the same result set
-      (any size bound or algorithm) reuse one precomputed context.
-    - [incremental] (default [true]): maintain session contexts by delta
-      and serve [/compare] from the context cache. [false] restores full
-      rebuilds everywhere — the ablation/baseline configuration; response
+    Incremental-engine knobs (DESIGN.md §11, §13):
+    - [context_cache_capacity] (default 32): maximum {e unpinned} entries
+      the cross-session intern table retains for reuse — contexts no warm
+      session currently pins, kept so [POST /compare] and re-created
+      sessions over the same corpus skip the rebuild. Pinned entries
+      (held by at least one warm session) are not counted against it.
+    - [incremental] (default [true]): maintain session contexts by delta,
+      intern them across sessions, and serve [/compare] from the intern
+      table. [false] restores full rebuilds and per-session private
+      contexts everywhere — the ablation/baseline configuration; response
       bodies are byte-identical either way.
-    - [max_context_bytes]: total budget for session-resident warm
-      contexts; exceeding it demotes least-recently-used sessions to cold
-      (dropping their contexts — they rebuild on next touch). Omit for
-      unbounded.
+    - [max_context_bytes]: one budget for {e all} warm context bytes —
+      interned session contexts (counted once however many sessions pin
+      them) plus the unpinned reuse entries behind [POST /compare].
+      Exceeding it demotes least-recently-used sessions to cold (their
+      releases unpin entries, which the table then sheds LRU-first).
+      Omit for unbounded.
 
     Overload/robustness knobs (DESIGN.md §9):
     - [deadline_ms]: default cooperative budget for each [/compare]

@@ -3,9 +3,9 @@ type 'a entry = { value : 'a; mutable last_used : float }
 type 'a event =
   | Created of { id : string; value : 'a; at : float }
   | Updated of { id : string; origin : string; value : 'a; at : float }
-  | Removed of { id : string }
-  | Expired of { id : string }
-  | Evicted of { id : string }
+  | Removed of { id : string; value : 'a }
+  | Expired of { id : string; value : 'a }
+  | Evicted of { id : string; value : 'a }
 
 type 'a t = {
   mutex : Mutex.t;
@@ -60,14 +60,15 @@ let purge_expired t =
     let now = t.now () in
     let dead =
       Hashtbl.fold
-        (fun id e acc -> if now -. e.last_used > ttl then id :: acc else acc)
+        (fun id e acc ->
+          if now -. e.last_used > ttl then (id, e.value) :: acc else acc)
         t.table []
     in
     List.iter
-      (fun id ->
+      (fun (id, value) ->
         Hashtbl.remove t.table id;
         t.expired_total <- t.expired_total + 1;
-        emit t (Expired { id }))
+        emit t (Expired { id; value }))
       dead
 
 let evict_to_capacity t ~incoming =
@@ -92,10 +93,10 @@ let evict_to_capacity t ~incoming =
       in
       match victim with
       | None -> assert false (* empty yet over capacity: impossible *)
-      | Some (id, _) ->
+      | Some (id, e) ->
         Hashtbl.remove t.table id;
         t.evicted_total <- t.evicted_total + 1;
-        emit t (Evicted { id })
+        emit t (Evicted { id; value = e.value })
     done
 
 let add t value =
@@ -127,10 +128,12 @@ let set ?(origin = "set") t id value =
 
 let remove t id =
   locked t (fun () ->
-      let present = Hashtbl.mem t.table id in
-      Hashtbl.remove t.table id;
-      if present then emit t (Removed { id });
-      present)
+      match Hashtbl.find_opt t.table id with
+      | Some e ->
+        Hashtbl.remove t.table id;
+        emit t (Removed { id; value = e.value });
+        true
+      | None -> false)
 
 (* Numeric suffix of "sN" ids, for collision-free id allocation after
    recovery; foreign ids (never minted by [add]) don't constrain it. *)

@@ -30,9 +30,13 @@ type 'a event =
       (** [origin] labels the mutation for the journal ("add", "remove",
           "size", "apply" for an op batch, "params" for a parameter
           patch, or "set" when unlabelled). *)
-  | Removed of { id : string }
-  | Expired of { id : string }
-  | Evicted of { id : string }
+  | Removed of { id : string; value : 'a }
+  | Expired of { id : string; value : 'a }
+  | Evicted of { id : string; value : 'a }
+      (** Removal events carry the dropped value so the serve layer can
+          release per-session resources (intern-table references) the
+          moment the entry leaves the store — the hook runs under the
+          store lock, so the release target must be a leaf lock. *)
 
 val create :
   ?ttl_s:float ->

@@ -288,7 +288,7 @@ let test_session_recency () =
   let now = ref 0. in
   let evicted = ref [] in
   let on_event = function
-    | Session_store.Evicted { id } -> evicted := !evicted @ [ id ]
+    | Session_store.Evicted { id; _ } -> evicted := !evicted @ [ id ]
     | _ -> ()
   in
   let store =

@@ -191,7 +191,7 @@ let test_lru_eviction () =
   check Alcotest.(list string) "replace bumps" [ "c"; "d"; "a" ] (Lru.keys_mru lru);
   check Alcotest.(option int) "replaced value" (Some 33) (Lru.find lru "c")
 
-(* ---- Typed request / cache key --------------------------------------------- *)
+(* ---- Typed request / canonical key ------------------------------------------ *)
 
 let decode_exn body =
   match Json.of_string body with
@@ -201,7 +201,11 @@ let decode_exn body =
     | Ok r -> r
     | Error e -> Alcotest.failf "decode failed: %s" e)
 
-let test_cache_key_normalization () =
+(* The canonical key format is a wire contract (journals and caches
+   compare keys across releases), so the goldens pin the exact rendering
+   — field order, separators, %g floats, sorted weight rules — not just
+   equality relations. *)
+let test_canonical_key_normalization () =
   let a =
     decode_exn
       {|{"dataset":"product-reviews","q":"  GPS ","weights":{"price":3,"battery":2}}|}
@@ -212,14 +216,44 @@ let test_cache_key_normalization () =
          "algorithm":"multi-swap","threshold_pct":10.0,"measure":"raw",
          "weights":{"battery":2,"price":3}}|}
   in
+  check Alcotest.string "golden full-scope key"
+    "ds=product-reviews&q=gps&sel=top4&k=8&alg=multi-swap&thr=10&measure=raw&w=battery:2,price:3&domains=default"
+    (Api.canonical_key ~scope:Api.Full a);
+  check Alcotest.string "golden context-scope key"
+    "ds=product-reviews&q=gps&sel=top4&thr=10&measure=raw&w=battery:2,price:3"
+    (Api.canonical_key ~scope:Api.Context a);
   check Alcotest.string "case/whitespace/rule-order insensitive"
-    (Api.cache_key a) (Api.cache_key b);
-  let c = decode_exn {|{"dataset":"product-reviews","q":"gps","algorithm":"greedy"}|} in
-  if Api.cache_key a = Api.cache_key c then
-    Alcotest.fail "different algorithm must change the cache key";
-  let d = decode_exn {|{"dataset":"product-reviews","q":"gps","select":[1,3]}|} in
-  if Api.cache_key a = Api.cache_key d then
-    Alcotest.fail "explicit selection must change the cache key"
+    (Api.canonical_key ~scope:Api.Full a)
+    (Api.canonical_key ~scope:Api.Full b);
+  let c =
+    decode_exn
+      {|{"dataset":"product-reviews","q":"gps","algorithm":"greedy",
+         "weights":{"price":3,"battery":2}}|}
+  in
+  if
+    Api.canonical_key ~scope:Api.Full a = Api.canonical_key ~scope:Api.Full c
+  then Alcotest.fail "different algorithm must change the full-scope key";
+  check Alcotest.string
+    "algorithm is outside context scope (pair tables don't depend on it)"
+    (Api.canonical_key ~scope:Api.Context a)
+    (Api.canonical_key ~scope:Api.Context c);
+  let d =
+    decode_exn {|{"dataset":"product-reviews","q":"gps","select":[1,3]}|}
+  in
+  check Alcotest.string "golden explicit-selection context key"
+    "ds=product-reviews&q=gps&sel=1,3&thr=10&measure=raw&w="
+    (Api.canonical_key ~scope:Api.Context d);
+  if
+    Api.canonical_key ~scope:Api.Full a = Api.canonical_key ~scope:Api.Full d
+  then Alcotest.fail "explicit selection must change the key";
+  (* the sessions' resolved-ranks convention: a top-form request whose
+     selection resolved to ranks keys identically to the explicit form *)
+  check Alcotest.string "resolved ranks == explicit select"
+    (Api.canonical_key ~scope:Api.Context d)
+    (Api.canonical_key ~scope:Api.Context
+       { (decode_exn {|{"dataset":"product-reviews","q":"gps","top":2}|}) with
+         Api.select = Some [ 1; 3 ];
+       })
 
 let test_decode_errors () =
   let bad body =
@@ -643,7 +677,7 @@ let () =
       ( "api",
         [
           Alcotest.test_case "cache-key normalization" `Quick
-            test_cache_key_normalization;
+            test_canonical_key_normalization;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
         ] );
       ( "handle",
