@@ -8,7 +8,8 @@ module Server = Xsact_server.Server
 
 let serve port threads cache domains datasets deadline_ms max_pending
     session_ttl max_sessions state_dir fsync snapshot_every no_incremental
-    context_cache max_context_mb =
+    context_cache max_context_mb replica_of takeover_after
+    no_context_snapshots =
   let datasets = match datasets with [] -> None | names -> Some names in
   let fsync =
     match Xsact_persist.Journal.policy_of_string fsync with
@@ -16,6 +17,30 @@ let serve port threads cache domains datasets deadline_ms max_pending
     | Error msg ->
       prerr_endline ("xsact-serve: --fsync: " ^ msg);
       exit 1
+  in
+  let replica_of =
+    match replica_of with
+    | None -> None
+    | Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i when i > 0 && i < String.length spec - 1 -> (
+        let host = String.sub spec 0 i in
+        let port_s = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt port_s with
+        | Some p when p > 0 && p < 65536 -> Some (host, p)
+        | _ ->
+          prerr_endline ("xsact-serve: --replica-of: bad port in " ^ spec);
+          exit 1)
+      | _ ->
+        prerr_endline
+          ("xsact-serve: --replica-of: expected HOST:PORT, got " ^ spec);
+        exit 1)
+  in
+  let takeover_after =
+    match takeover_after with
+    | None -> None
+    | Some s when s <= 0. -> None
+    | Some s -> Some s
   in
   let max_context_bytes =
     Option.map
@@ -29,7 +54,8 @@ let serve port threads cache domains datasets deadline_ms max_pending
            ~context_cache_capacity:context_cache
            ~incremental:(not no_incremental) ?max_context_bytes ?domains
            ?deadline_ms ?session_ttl_s:session_ttl ?max_sessions ?state_dir
-           ~fsync ~snapshot_every ())
+           ~fsync ~snapshot_every ?replica_of ?takeover_after
+           ~context_snapshots:(not no_context_snapshots) ())
     with Invalid_argument msg -> Error msg
   in
   match server with
@@ -66,6 +92,13 @@ let serve port threads cache domains datasets deadline_ms max_pending
     (match state_dir with
     | None -> ()
     | Some dir -> Printf.printf "  state: %s (durable sessions)\n%!" dir);
+    (match replica_of with
+    | None -> ()
+    | Some (h, p) ->
+      Printf.printf "  role: follower of %s:%d%s\n%!" h p
+        (match takeover_after with
+        | Some s -> Printf.sprintf " (takeover after %.1fs silent)" s
+        | None -> ""));
     let stop_requested = ref false in
     let request_stop _ = stop_requested := true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -206,6 +239,38 @@ let max_context_mb_arg =
            least-recently-used sessions are demoted to cold and the \
            freed entries shed. Default: unbounded.")
 
+let replica_of_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "replica-of" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Run as a live follower of the primary at $(docv): tail its \
+           journal over GET /v1/replicate, apply every acked record into \
+           warm state, serve reads and POST /compare while refusing \
+           mutations with 503, and flip to primary on POST /v1/promote \
+           (or automatically with --takeover-after). Requires \
+           --state-dir — the follower keeps its own always-recoverable \
+           copy.")
+
+let takeover_after_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "takeover-after" ] ~docv:"SECONDS"
+        ~doc:
+          "With --replica-of: self-promote after the primary has been \
+           unreachable for $(docv) seconds (capped-backoff reconnects \
+           keep probing until then). 0 or absent: manual promotion only.")
+
+let no_context_snapshots_arg =
+  Arg.(
+    value & flag
+    & info [ "no-context-snapshots" ]
+        ~doc:
+          "Skip writing the warm-boot context snapshot on clean shutdown \
+           and skip loading one on recovery — boot always restores \
+           sessions cold (rebuilt on first touch). Only meaningful with \
+           --state-dir.")
+
 let cmd =
   let doc = "serve XSACT comparisons over a JSON HTTP API" in
   Cmd.v
@@ -214,6 +279,7 @@ let cmd =
       const serve $ port_arg $ threads_arg $ cache_arg $ domains_arg
       $ datasets_arg $ deadline_arg $ max_pending_arg $ session_ttl_arg
       $ max_sessions_arg $ state_dir_arg $ fsync_arg $ snapshot_every_arg
-      $ no_incremental_arg $ context_cache_arg $ max_context_mb_arg)
+      $ no_incremental_arg $ context_cache_arg $ max_context_mb_arg
+      $ replica_of_arg $ takeover_after_arg $ no_context_snapshots_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -60,6 +60,33 @@ let create ?(config = Config.default) ?context ~size_bound profiles =
     let dfss = generate skeleton context in
     Ok { skeleton with dfss }
 
+(* Adopt fully-materialized state — deserialized context and DFSs — with
+   no search, extraction, context build or generation. The warm-boot
+   path: everything here was produced by [create]/[apply] in a previous
+   process, so validity is re-checked rather than re-derived. *)
+let restore ?(runs = 1) ~config ~size_bound ~profiles ~context ~dfss () =
+  if config.Config.algorithm = Algorithm.Exhaustive then
+    Error
+      (Error.Unsupported_algorithm (Algorithm.to_string Algorithm.Exhaustive))
+  else if Array.length profiles < 2 then
+    Error (Error.Too_few_selected (Array.length profiles))
+  else if size_bound < 1 then Error (Error.Bound_too_small size_bound)
+  else if
+    Dod.num_results context <> Array.length profiles
+    || Array.length dfss <> Array.length profiles
+  then invalid_arg "Session.restore: arity mismatch"
+  else if
+    not
+      (Array.for_all2
+         (fun d p -> Dfs.profile d == p && Dfs.is_valid ~limit:size_bound d)
+         dfss profiles)
+  then invalid_arg "Session.restore: invalid DFS"
+  else
+    (* [runs] defaults to 1 — what [create] leaves behind; a warm-boot
+       caller passes the run count it snapshotted so the restored session
+       is indistinguishable from the live one it resumes. *)
+    Ok { config; size_bound; profiles; context; dfss; runs = ref (max 1 runs) }
+
 (* Swap in a canonical, physically shared (profiles, context) pair that
    is structurally identical to the session's own — the intern table's
    adoption hook. The DFSs are untouched: they reference the old profile

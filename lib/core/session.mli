@@ -42,6 +42,29 @@ val create :
     delta operations' bit-identity contract makes checkable. @raise
     Invalid_argument when its arity does not match [profiles]. *)
 
+val restore :
+  ?runs:int ->
+  config:Config.t ->
+  size_bound:int ->
+  profiles:Result_profile.t array ->
+  context:Dod.context ->
+  dfss:Dfs.t array ->
+  unit ->
+  (t, Error.t) result
+(** Adopt fully-materialized state with {e no} search, extraction,
+    context build or DFS generation — the warm-boot path
+    (DESIGN.md §14): the caller deserialized [context]
+    ({!Dod.deserialize_context}) and the DFS q-vectors from a context
+    snapshot. The same request-level validations as {!create} apply
+    ([Exhaustive], arity, bound), and every DFS is re-checked for size
+    and downward closure at [size_bound]. A restored session is
+    observably identical to the one that was serialized — including its
+    {!stats} run count when the caller snapshotted it ([runs],
+    default 1, clamped from below to 1).
+    @raise Invalid_argument on an arity mismatch, a DFS over a foreign
+    profile, or an invalid DFS — snapshot corruption, which the caller
+    turns into a cold rebuild. *)
+
 val intern : t -> profiles:Result_profile.t array -> context:Dod.context -> t
 (** Swap in a canonical, physically shared (profiles, context) pair that
     is structurally identical to the session's own — how a session adopts

@@ -26,6 +26,7 @@ let policy_to_string = function
   | Interval d -> Printf.sprintf "interval:%g" d
 
 let max_payload_bytes = 64 * 1024 * 1024
+let default_max_record_bytes = 16 * 1024 * 1024
 let header_bytes = 8
 
 let le32 b off v =
@@ -140,7 +141,7 @@ let truncate_file path keep =
       Unix.ftruncate fd keep;
       Unix.fsync fd)
 
-let read ?(repair = true) path =
+let read ?(repair = true) ?(max_record_bytes = default_max_record_bytes) path =
   match read_file path with
   | None -> { payloads = []; truncated_records = 0; truncated_bytes = 0 }
   | Some data ->
@@ -151,7 +152,7 @@ let read ?(repair = true) path =
       else
         let n = Int32.to_int (String.get_int32_le data pos) in
         let crc = String.get_int32_le data (pos + 4) in
-        if n < 0 || n > max_payload_bytes || pos + header_bytes + n > len then
+        if n < 0 || n > max_record_bytes || pos + header_bytes + n > len then
           (pos, acc)
         else if Crc32.string ~off:(pos + header_bytes) ~len:n data <> crc then
           (pos, acc)
@@ -168,3 +169,49 @@ let read ?(repair = true) path =
       truncated_records = (if torn > 0 then 1 else 0);
       truncated_bytes = torn;
     }
+
+(* ---- Tailing ----------------------------------------------------------- *)
+
+type tail_result = {
+  records : string list;
+  next_offset : int;
+  torn : bool;
+}
+
+(* Offset-addressed streaming read for replication. Unlike {!read} this
+   never slurps the file, never repairs, and allocates at most one record
+   at a time — the length header is validated against [max_record_bytes]
+   {e before} any allocation, so a corrupt prefix cannot trigger a
+   gigabyte [Bytes.create]. A record that extends past EOF is merely
+   {e incomplete} (the writer may be mid-append; retry later from
+   [next_offset]); a bad length or checksum is [torn]. *)
+let read_from ?(max_record_bytes = default_max_record_bytes) ~offset path =
+  if offset < 0 then invalid_arg "Journal.read_from: negative offset";
+  match open_in_bin path with
+  | exception Sys_error _ -> { records = []; next_offset = offset; torn = false }
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        if offset >= len then { records = []; next_offset = offset; torn = false }
+        else begin
+          seek_in ic offset;
+          let hdr = Bytes.create header_bytes in
+          let rec go pos acc =
+            if len - pos < header_bytes then (pos, acc, false)
+            else begin
+              really_input ic hdr 0 header_bytes;
+              let n = Int32.to_int (Bytes.get_int32_le hdr 0) in
+              let crc = Bytes.get_int32_le hdr 4 in
+              if n < 0 || n > max_record_bytes then (pos, acc, true)
+              else if pos + header_bytes + n > len then (pos, acc, false)
+              else
+                let payload = really_input_string ic n in
+                if Crc32.string payload <> crc then (pos, acc, true)
+                else go (pos + header_bytes + n) (payload :: acc)
+            end
+          in
+          let stop, acc, torn = go offset [] in
+          { records = List.rev acc; next_offset = stop; torn }
+        end)

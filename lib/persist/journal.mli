@@ -72,18 +72,50 @@ type read_result = {
   truncated_bytes : int;  (** bytes dropped with the torn tail *)
 }
 
-val read : ?repair:bool -> string -> read_result
+val read : ?repair:bool -> ?max_record_bytes:int -> string -> read_result
 (** Read every intact record. A missing file is an empty journal. With
     [repair] (the default) a torn tail is also truncated off the file on
     disk, making recovery idempotent. Framing is lost at the first bad
     record, so everything after it is part of the tail and
-    [truncated_records] is at most 1 per file. *)
+    [truncated_records] is at most 1 per file. A length header beyond
+    [max_record_bytes] (default {!default_max_record_bytes}) is treated
+    as part of the torn tail — never as an allocation request. *)
+
+type tail_result = {
+  records : string list;  (** good records from [offset], in order *)
+  next_offset : int;  (** byte offset just past the last good record *)
+  torn : bool;
+      (** a complete record failed its checksum or claimed an implausible
+          length — as opposed to a clean or merely-incomplete tail *)
+}
+
+val read_from : ?max_record_bytes:int -> offset:int -> string -> tail_result
+(** Offset-addressed streaming read: parse intact records starting at byte
+    [offset], one allocation per record, stopping at EOF, at an incomplete
+    record (a concurrent writer may be mid-append — poll again from
+    [next_offset]), or at a corrupt one ([torn = true]). The length header
+    is checked against [max_record_bytes] (default
+    {!default_max_record_bytes}) {e before} the payload is allocated.
+    Never repairs the file. A missing file reads as empty. This is the
+    replication tailer: a follower's cursor is exactly [next_offset].
+    @raise Invalid_argument on a negative [offset]. *)
 
 (** {1 Framing} *)
 
 val max_payload_bytes : int
 (** Sanity bound (64 MiB) — a parsed length beyond it marks a torn tail. *)
 
+val default_max_record_bytes : int
+(** Default read-side record-size cap (16 MiB). The write side refuses
+    payloads over {!max_payload_bytes}; the read side is stricter because
+    a corrupt length prefix must never become an allocation attempt. *)
+
 val add_record : Buffer.t -> string -> unit
 (** Append one framed record to a buffer — snapshots reuse the journal's
     record framing. *)
+
+val header_bytes : int
+(** Size of the per-record header (length + CRC). A record of payload [p]
+    occupies [header_bytes + String.length p] bytes on disk — how the
+    replication stream advances a follower's byte cursor without
+    re-reading the file. *)

@@ -1,0 +1,35 @@
+(** Verified auxiliary snapshot files: magic + framed records + CRC trailer.
+
+    The format behind context snapshots (warm-boot, DESIGN.md §14). Unlike
+    the {!Store} snapshot — whose torn tail is {e repaired} because the
+    journal replays over it — an auxiliary snapshot is a pure cache of
+    derivable state, so the failure mode is all-or-nothing: {!read}
+    returns [valid = false] for a file that is missing, truncated, from
+    another format version, or corrupt anywhere, and the caller falls back
+    to the cold rebuild path it would have taken anyway.
+
+    Layout: an 8-byte format magic, then {!Journal.add_record}-framed
+    records, then an 8-byte trailer (record count + CRC-32 over everything
+    before the trailer) and an 8-byte end marker. {!write} goes through
+    [path ^ ".tmp"] + atomic rename, so a crash mid-write never clobbers
+    the previous valid snapshot.
+
+    Failpoints: [persist.ctxsnap.tear] between the body and the trailer
+    writes (a parked victim killed there leaves a trailerless tmp — and a
+    forced [Fail] exercises the caller's keep-serving path),
+    [persist.ctxsnap.rename] just before the rename. *)
+
+val write : ?fsync:bool -> string -> string list -> unit
+(** Write the records to [path] via tmp + fsync + atomic rename (+
+    directory fsync). [fsync:false] skips both fsyncs (benchmarks).
+    @raise Unix.Unix_error on I/O failure. *)
+
+type read_result = {
+  records : string list;  (** write order; [[]] unless [valid] *)
+  valid : bool;
+}
+
+val read : string -> read_result
+(** Validate and read. Never modifies the file; any defect — missing
+    file, bad magic, bad CRC, bad framing, count mismatch — yields
+    [{records = []; valid = false}]. *)

@@ -107,6 +107,12 @@ let compact t payloads =
 let close t = Journal.close t.journal
 let dir t = t.dir
 let policy t = t.policy
+let journal_file t = journal_path t.dir
+
+let journal_offset t =
+  match Unix.stat (journal_path t.dir) with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error _ -> 0
 let journal_appends t = t.appends_before + Journal.appends t.journal
 let journal_bytes t = t.bytes_before + Journal.bytes_written t.journal
 let snapshots_total t = t.snapshots_total

@@ -57,3 +57,14 @@ val policy : t -> Journal.policy
 val journal_appends : t -> int
 val journal_bytes : t -> int
 val snapshots_total : t -> int
+(** Compactions performed through this handle — resets at boot, so
+    (boot id, [snapshots_total], {!journal_offset}) forms the replication
+    cursor: any component mismatch invalidates a follower's offset. *)
+
+val journal_file : t -> string
+(** Path of the live journal file — what a replication tailer
+    {!Journal.read_from}s. *)
+
+val journal_offset : t -> int
+(** Current byte size of the journal file (0 when absent). Valid as a
+    {!Journal.read_from} offset only within one (boot, snapshot epoch). *)

@@ -1,5 +1,6 @@
 module Store = Xsact_persist.Store
 module Journal = Xsact_persist.Journal
+module Crc32 = Xsact_persist.Crc32
 
 type t = {
   mutex : Mutex.t;
@@ -16,6 +17,10 @@ type t = {
   recovery_truncated : int;
   mutable recovered_sessions : int;
   mutable dropped : int;
+  (* process-unique: a follower whose replication cursor carries a stale
+     boot id resyncs rather than trusting byte offsets across restarts *)
+  boot_id : string;
+  mutable replayed : int;
 }
 
 type recovered = {
@@ -54,18 +59,19 @@ let op_payload ~op ~id ?at ?entry () =
 let upsert_ops = [ "create"; "add"; "remove"; "size"; "apply"; "params"; "set" ]
 let delete_ops = [ "delete"; "expire"; "evict" ]
 
-let fold_payload t payload =
+type parsed =
+  | P_upsert of { id : string; at : float; entry : Json.t }
+  | P_delete of string
+  | P_meta of int
+  | P_unknown
+
+let parse_payload payload =
   match Json.of_string payload with
-  | Error _ -> t.dropped <- t.dropped + 1
+  | Error _ -> P_unknown
   | Ok json -> (
     let mem name = Json.member name json in
-    let track_id id =
-      match id_number id with
-      | Some n -> t.max_id <- max t.max_id n
-      | None -> ()
-    in
     match Option.bind (mem "next") Json.to_int with
-    | Some next -> t.max_id <- max t.max_id (next - 1)  (* snapshot meta *)
+    | Some next -> P_meta next (* snapshot meta *)
     | None -> (
       match
         ( Option.bind (mem "id") Json.to_str,
@@ -75,17 +81,29 @@ let fold_payload t payload =
       with
       | Some id, Some at, Some entry, None ->
         (* snapshot entry record *)
-        track_id id;
-        Hashtbl.replace t.mirror id (at, entry)
+        P_upsert { id; at; entry }
       | Some id, at, entry, Some op when List.mem op upsert_ops -> (
-        track_id id;
         match (at, entry) with
-        | Some at, Some entry -> Hashtbl.replace t.mirror id (at, entry)
-        | _ -> t.dropped <- t.dropped + 1)
-      | Some id, _, _, Some op when List.mem op delete_ops ->
-        track_id id;
-        Hashtbl.remove t.mirror id
-      | _ -> t.dropped <- t.dropped + 1))
+        | Some at, Some entry -> P_upsert { id; at; entry }
+        | _ -> P_unknown)
+      | Some id, _, _, Some op when List.mem op delete_ops -> P_delete id
+      | _ -> P_unknown))
+
+let fold_payload t payload =
+  let track_id id =
+    match id_number id with
+    | Some n -> t.max_id <- max t.max_id n
+    | None -> ()
+  in
+  match parse_payload payload with
+  | P_meta next -> t.max_id <- max t.max_id (next - 1)
+  | P_upsert { id; at; entry } ->
+    track_id id;
+    Hashtbl.replace t.mirror id (at, entry)
+  | P_delete id ->
+    track_id id;
+    Hashtbl.remove t.mirror id
+  | P_unknown -> t.dropped <- t.dropped + 1
 
 (* ---- Compaction ---------------------------------------------------------- *)
 
@@ -128,10 +146,15 @@ let recover ~dir ~fsync ~snapshot_every =
       recovery_truncated = rec_.Store.truncated_records;
       recovered_sessions = 0;
       dropped = 0;
+      boot_id =
+        Printf.sprintf "%d-%.6f" (Unix.getpid ()) (Unix.gettimeofday ());
+      replayed = 0;
     }
   in
   List.iter (fold_payload t) rec_.Store.snapshot;
   List.iter (fold_payload t) rec_.Store.journal;
+  t.replayed <-
+    List.length rec_.Store.snapshot + List.length rec_.Store.journal;
   t.recovered_sessions <- Hashtbl.length t.mirror;
   t.recovery_ms <- 1000. *. (Unix.gettimeofday () -. t0);
   (t, { entries = sorted_entries t; next_id = t.max_id + 1 })
@@ -158,6 +181,75 @@ let snapshot_now t =
       compact_locked t;
       Store.sync t.store)
 
+let flush t = locked t (fun () -> Store.sync t.store)
+
+(* ---- Replication --------------------------------------------------------- *)
+
+(* A digest of the replay fold itself — not of journal bytes, which
+   legitimately differ across replicas (compaction timing, op-vs-snapshot
+   framing). Two replicas whose folds agree serve identical recoveries,
+   which is the property failover needs. Callers hold [t.mutex]. *)
+let digest_locked t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (id, at, e) ->
+      Buffer.add_string buf (entry_payload ~id ~at e);
+      Buffer.add_char buf '\n')
+    (sorted_entries t);
+  Int32.to_int (Crc32.string (Buffer.contents buf)) land 0xFFFFFFFF
+
+let digest t = locked t (fun () -> digest_locked t)
+let boot_id t = t.boot_id
+let journal_file t = Store.journal_file t.store
+let epoch t = locked t (fun () -> Store.snapshots_total t.store)
+let journal_offset t = locked t (fun () -> Store.journal_offset t.store)
+let since_snapshot t = locked t (fun () -> t.since_snapshot)
+let replayed_records t = locked t (fun () -> t.replayed)
+let next_id t = locked t (fun () -> t.max_id + 1)
+
+type resync = {
+  r_boot : string;
+  r_epoch : int;
+  r_offset : int;
+  r_records : int;
+  r_digest : int;
+  r_payloads : string list;
+}
+
+let resync t =
+  locked t (fun () ->
+      {
+        r_boot = t.boot_id;
+        r_epoch = Store.snapshots_total t.store;
+        r_offset = Store.journal_offset t.store;
+        r_records = t.since_snapshot;
+        r_digest = digest_locked t;
+        r_payloads =
+          meta_payload ~next:(t.max_id + 1)
+          :: List.map
+               (fun (id, at, e) -> entry_payload ~id ~at e)
+               (sorted_entries t);
+      })
+
+let install_resync t payloads =
+  locked t (fun () ->
+      Hashtbl.reset t.mirror;
+      List.iter (fold_payload t) payloads;
+      t.replayed <- t.replayed + List.length payloads;
+      (* Fold the primary's full state into our own snapshot immediately:
+         the follower's directory is self-sufficient from the first
+         heartbeat on — killing it and recovering locally replays exactly
+         the primary's acked state. *)
+      compact_locked t;
+      Store.sync t.store)
+
+let append_replicated t payload =
+  locked t (fun () ->
+      Store.append t.store payload;
+      fold_payload t payload;
+      t.replayed <- t.replayed + 1;
+      after_append t)
+
 let stats_json t =
   locked t (fun () ->
       Json.Obj
@@ -173,4 +265,6 @@ let stats_json t =
           ("recovery_truncated_records", Json.Int t.recovery_truncated);
           ("recovered_sessions", Json.Int t.recovered_sessions);
           ("recovery_dropped", Json.Int t.dropped);
+          ("journal_offset", Json.Int (Store.journal_offset t.store));
+          ("state_digest", Json.Int (digest_locked t));
         ])

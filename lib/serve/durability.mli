@@ -65,7 +65,85 @@ val snapshot_now : t -> unit
 (** Compact unconditionally and fsync — the drain-then-snapshot barrier
     [Server.stop] runs after the last worker exits. *)
 
+val flush : t -> unit
+(** Fsync the journal regardless of policy. [Server.stop] runs this after
+    the worker drain and {e before} attempting the final snapshot: under
+    [Interval] fsync, acked ops from the last interval would otherwise
+    ride only on the page cache while the (fallible) snapshot runs. *)
+
 val stats_json : t -> Json.t
 (** The [/metrics] durability section: journal_appends, journal_bytes,
     snapshots_total, since_snapshot, recovery_ms,
-    recovery_truncated_records, recovered_sessions, recovery_dropped. *)
+    recovery_truncated_records, recovered_sessions, recovery_dropped,
+    journal_offset, state_digest. *)
+
+(** {1 Replication}
+
+    The primary streams its journal to followers byte-for-byte; both ends
+    use the hooks below. A replication cursor is [(boot, epoch, offset)]:
+    the primary's {!boot_id} (offsets are meaningless across restarts),
+    its compaction {!epoch} ([snapshots_total] — a compaction truncates
+    the journal, invalidating offsets), and a byte offset into its
+    journal file. Any mismatch downgrades to a full {!resync}. *)
+
+(** One parsed journal payload — the shape the replay fold consumes.
+    Exposed so the serve layer can mirror a replicated record into its
+    live session store without re-parsing conventions. *)
+type parsed =
+  | P_upsert of { id : string; at : float; entry : Json.t }
+  | P_delete of string
+  | P_meta of int  (** snapshot meta: first session number safe to mint *)
+  | P_unknown
+
+val parse_payload : string -> parsed
+
+val boot_id : t -> string
+(** Unique per process (pid + boot stamp). *)
+
+val epoch : t -> int
+(** Compactions so far — bumps whenever journal offsets are invalidated. *)
+
+val journal_file : t -> string
+val journal_offset : t -> int
+(** Current journal length in bytes — where a fresh follower starts. *)
+
+val since_snapshot : t -> int
+(** Journal records appended since the last compaction. *)
+
+val replayed_records : t -> int
+(** Payloads folded into state: recovery replay plus replicated applies —
+    the [/ready] progress counter. *)
+
+val next_id : t -> int
+
+val digest : t -> int
+(** CRC-32 (as a non-negative int) over the canonical serialization of
+    the live replay fold. Equal digests ⇒ both replicas recover identical
+    session state; the divergence check compares the follower's against
+    the primary's heartbeat. *)
+
+type resync = {
+  r_boot : string;
+  r_epoch : int;
+  r_offset : int;
+  r_records : int;  (** primary's [since_snapshot] — the lag baseline *)
+  r_digest : int;
+  r_payloads : string list;
+      (** full state as snapshot-shaped payloads (meta first) *)
+}
+
+val resync : t -> resync
+(** Atomic full-state capture: the payloads, the cursor that makes the
+    journal tail from [r_offset] a valid continuation of them, and the
+    digest of the captured state. *)
+
+val install_resync : t -> string list -> unit
+(** Follower: replace the entire fold with the primary's resync payloads,
+    compact them into the local snapshot and fsync — after this the
+    follower's state directory recovers to exactly the primary's acked
+    state, with no dependence on the primary being alive. *)
+
+val append_replicated : t -> string -> unit
+(** Follower: append one replicated journal record verbatim and fold it —
+    the replicated counterpart of {!log_upsert}/{!log_delete}. May
+    compact inline like any append. *)

@@ -1,0 +1,82 @@
+(** Journal shipping: a primary streams its durability journal to a live
+    follower, which applies every record through the same replay path
+    recovery uses — so the follower is a warm, read-serving replica whose
+    state directory is always a valid recovery image.
+
+    {b Wire protocol.} The follower issues
+    [GET /v1/replicate?boot=B&epoch=E&from=O] (cursor params absent on a
+    cold connect) and the primary answers with a chunked
+    [application/x-ndjson] stream, one JSON message per chunk:
+
+    - [{"repl":"resync",...}] — full state handover: snapshot-shaped
+      payloads plus the cursor (primary boot id, compaction epoch,
+      journal byte offset) that makes the subsequent record stream a
+      valid continuation, and the state digest;
+    - [{"repl":"rec","o":O,"p":P}] — one journal record, verbatim; [O]
+      is the follower's byte cursor {e after} applying it;
+    - [{"repl":"hb","epoch":E,"records":N,"digest":D}] — heartbeat every
+      ~0.2 s: liveness, the lag baseline ([N] = primary records since its
+      last compaction) and the divergence probe.
+
+    The stream self-heals: a stale or absent cursor, a compaction on the
+    primary (epoch bump), or a torn read each downgrade to a fresh
+    resync. The follower detects {e divergence} — it believes itself
+    caught up ([records = applied]) yet its {!Durability.digest}
+    disagrees with the heartbeat's — counts it, drops its cursor and
+    reconnects, forcing a healing resync.
+
+    {b Failpoints}: [repl.apply.corrupt] (follower) swallows a record
+    while advancing the cursor — manufactured divergence for tests. *)
+
+val serve_stream :
+  durability:Durability.t ->
+  fd:Unix.file_descr ->
+  ?boot:string ->
+  ?epoch:int ->
+  ?from:int ->
+  stopping:(unit -> bool) ->
+  unit ->
+  unit
+(** Primary side. Takes over [fd] after the request was read and writes
+    the entire chunked response, polling the journal file (~45 ms) and
+    streaming records as they are acked, until the follower disconnects
+    or [stopping ()] — never raises. The caller closes [fd]. *)
+
+type client
+
+val start_client :
+  host:string ->
+  port:int ->
+  durability:Durability.t ->
+  apply:(string -> unit) ->
+  reset:(string list -> unit) ->
+  ?takeover_after:float ->
+  ?on_lost:(unit -> unit) ->
+  unit ->
+  client
+(** Follower side: a background thread that connects (reconnecting with
+    capped exponential backoff, 50 ms → 1 s), and drives [apply] with
+    each replicated journal payload and [reset] with each resync's full
+    payload list — both called from the replication thread; they own
+    journaling the data locally ({!Durability.append_replicated} /
+    {!Durability.install_resync}) and mirroring it into live state.
+    With [takeover_after], a primary silent for that many seconds fires
+    [on_lost] (once, from the replication thread, which then exits) —
+    the server's auto-promotion hook, which must {e not} join this
+    thread. *)
+
+val stop_client : ?join:bool -> client -> unit
+(** Idempotent; unblocks any parked read. [join] (default true) waits for
+    the thread — pass [false] from [on_lost] itself. *)
+
+val lag_records : client -> int
+(** Primary records (since its last compaction) not yet applied here —
+    0 when caught up, as reported by [/ready]. *)
+
+val connected : client -> bool
+
+val applied_records : client -> int
+
+val resyncs : client -> int
+
+val divergences : client -> int

@@ -45,6 +45,13 @@ let cold_of_entry se =
     c_size_bound = Session.size_bound se.s_session;
   }
 
+(* A server is born [Primary] (the normal standalone daemon is just a
+   primary with no followers) or — when created with [replica_of] —
+   [Follower]: read-only, journaling nothing of its own, mirroring the
+   primary's journal stream into live state. Promotion flips the word
+   once; it never flips back. *)
+type role = Primary | Follower
+
 type t = {
   entries : (string * entry) list;
   cache : string Lru.t;  (* full-scope key -> response body; under [lock] *)
@@ -74,6 +81,18 @@ type t = {
   persist : (string * Xsact_persist.Journal.policy * int) option;
   durability : Durability.t option ref;
   ready : bool Atomic.t;
+  (* Warm failover (DESIGN.md §14). [replica_of] names the primary this
+     server follows; [recover] starts the replication client and fills
+     [repl_client] (swapped out under [lock] by promotion — the join
+     happens outside every lock). [streams] counts live /v1/replicate
+     streams on this side. [context_snapshots] gates writing/loading the
+     warm-boot [contexts] file. *)
+  role : role Atomic.t;
+  replica_of : (string * int) option;
+  takeover_after : float option;
+  context_snapshots : bool;
+  repl_client : Replication.client option ref;
+  streams : int Atomic.t;
   mutable routes : Router.route list;
   (* Wired up by [start]: depth of the pending-connection queue and the
      overload predicate driving the degradation ladder. Inert (0 / false)
@@ -159,14 +178,49 @@ let handle_root t _req _params =
 let handle_health _t _req _params =
   json_response ~status:200 (Json.Obj [ ("status", Json.String "ok") ])
 
-(* Readiness: route traffic here only once recovered state is live. *)
+let role_string t =
+  match Atomic.get t.role with Primary -> "primary" | Follower -> "follower"
+
+(* Readiness: route traffic here only once recovered state is live. Not a
+   bare 200/503 — the body reports how far recovery/replication has
+   progressed (records folded, warm-boot snapshot hits and misses,
+   current journal offset; on a follower, replication lag and liveness),
+   so an operator watching a slow boot sees movement, not a coin flip. *)
 let handle_ready t _req _params =
+  let counter = Metrics.counter t.metrics in
+  let progress =
+    [
+      ("role", Json.String (role_string t));
+      ( "records_replayed",
+        Json.Int
+          (match !(t.durability) with
+          | Some d -> Durability.replayed_records d
+          | None -> 0) );
+      ( "journal_offset",
+        Json.Int
+          (match !(t.durability) with
+          | Some d -> Durability.journal_offset d
+          | None -> 0) );
+      ("context_snapshot_loads", Json.Int (counter "context_snapshot_loads"));
+      ( "context_snapshot_misses",
+        Json.Int (counter "context_snapshot_misses") );
+    ]
+    @
+    match !(t.repl_client) with
+    | Some c ->
+      [
+        ("lag_records", Json.Int (Replication.lag_records c));
+        ("connected", Json.Bool (Replication.connected c));
+      ]
+    | None -> []
+  in
   if Atomic.get t.ready then
-    json_response ~status:200 (Json.Obj [ ("status", Json.String "ready") ])
+    json_response ~status:200
+      (Json.Obj (("status", Json.String "ready") :: progress))
   else
     json_response ~status:503
       ~headers:[ ("Retry-After", "1") ]
-      (Json.Obj [ ("status", Json.String "recovering") ])
+      (Json.Obj (("status", Json.String "recovering") :: progress))
 
 let handle_datasets t _req _params =
   json_response ~status:200
@@ -913,7 +967,80 @@ let handle_metrics t _req _params =
              match !(t.durability) with
              | None -> Json.Null
              | Some d -> Durability.stats_json d );
+           ("role", Json.String (role_string t));
+           ( "replication",
+             Json.Obj
+               ([
+                  ("role", Json.String (role_string t));
+                  ("streams", Json.Int (Atomic.get t.streams));
+                  ( "promotions",
+                    Json.Int (Metrics.counter t.metrics "promotions") );
+                  ( "context_snapshot_loads",
+                    Json.Int
+                      (Metrics.counter t.metrics "context_snapshot_loads") );
+                  ( "context_snapshot_misses",
+                    Json.Int
+                      (Metrics.counter t.metrics "context_snapshot_misses") );
+                ]
+               @
+               match !(t.repl_client) with
+               | Some c ->
+                 [
+                   ("connected", Json.Bool (Replication.connected c));
+                   ("lag_records", Json.Int (Replication.lag_records c));
+                   ( "applied_records",
+                     Json.Int (Replication.applied_records c) );
+                   ("resyncs", Json.Int (Replication.resyncs c));
+                   ("divergences", Json.Int (Replication.divergences c));
+                 ]
+               | None -> []) );
          ])
+
+(* ---- Promotion ---------------------------------------------------------- *)
+
+(* Flip a follower to primary: detach the replication client (the swap is
+   O(1) under [lock]; the join — waiting for an in-flight apply to land —
+   happens outside every lock, because the replication thread takes
+   [session_update]), then flip the role word. Mutations are accepted
+   only after the flip, so everything the dying primary acked and shipped
+   is applied before the first new write. [join:false] is the
+   auto-takeover path: the replication thread promoting from its own
+   [on_lost] must not join itself. Returns false when already primary —
+   promotion is idempotent. *)
+let promote t ~join =
+  let client =
+    locked t (fun () ->
+        let c = !(t.repl_client) in
+        t.repl_client := None;
+        c)
+  in
+  match client with
+  | None -> false
+  | Some c ->
+    Replication.stop_client ~join c;
+    (match !(t.durability) with
+    | Some d -> Session_store.ensure_next t.sessions (Durability.next_id d)
+    | None -> ());
+    Atomic.set t.role Primary;
+    Metrics.incr_counter t.metrics "promotions";
+    true
+
+let handle_promote t _req _params =
+  let promoted = promote t ~join:true in
+  json_response ~status:200
+    (Json.Obj
+       [
+         ("role", Json.String (role_string t));
+         ("promoted", Json.Bool promoted);
+       ])
+
+(* The plain-router stand-in for GET /v1/replicate: the real stream takes
+   over the raw socket in [serve_connection] before dispatch ever runs,
+   so reaching this handler means the request came through [handle]
+   directly (unit tests) — where no streaming is possible. *)
+let handle_replicate_plain _t _req _params =
+  error_response ~status:501 ~code:"not_streamable"
+    "replication requires a streaming connection"
 
 (* ---- Construction and dispatch ----------------------------------------- *)
 
@@ -938,6 +1065,8 @@ let routes_of t =
     r "POST" "session/:id/apply" handle_session_apply;
     r "PATCH" "session/:id/params" handle_session_params;
     r "DELETE" "session/:id" handle_session_delete;
+    r "GET" "v1/replicate" handle_replicate_plain;
+    r "POST" "v1/promote" handle_promote;
   ]
 
 (* The session's durable representation: everything needed to rebuild it
@@ -996,13 +1125,83 @@ let release_stored intern st =
   if Atomic.compare_and_set st.owns true false then
     Intern.release intern (stored_ctx_key st)
 
+(* ---- Warm-boot context snapshots ----------------------------------------- *)
+
+let contexts_path dir = Filename.concat dir "contexts"
+
+(* Serialize the warm population at clean shutdown: one record per
+   distinct interned context (k sessions over one corpus write one
+   context), one per warm session. Cold cells are skipped — their
+   contexts do not exist — and so are compare-cache-only intern entries,
+   whose weighting no stored request can reconstruct. Both record lists
+   are sorted, so the file is deterministic for a given warm set. No
+   warm sessions → no file (a stale one would only produce misses). *)
+let write_context_snapshot t =
+  match t.persist with
+  | Some (dir, _, _) when t.context_snapshots && t.incremental ->
+    let path = contexts_path dir in
+    let ctxs = Hashtbl.create 8 in
+    let warm =
+      Session_store.fold t.sessions ~init:[]
+        ~f:(fun id st ~last_used:_ acc ->
+          match st.state with
+          | Warm se ->
+            let key = session_ctx_key se in
+            if not (Hashtbl.mem ctxs key) then
+              Hashtbl.replace ctxs key
+                (Session.profiles se.s_session, Session.context se.s_session);
+            (id, key, se) :: acc
+          | Cold _ -> acc)
+    in
+    if warm = [] then (try Sys.remove path with Sys_error _ -> ())
+    else begin
+      let ctx_records =
+        Hashtbl.fold
+          (fun key (profiles, context) acc ->
+            Warmboot.encode
+              (Warmboot.Ctx
+                 {
+                   Warmboot.x_key = key;
+                   x_profiles = profiles;
+                   x_blob = Dod.serialize_context context;
+                 })
+            :: acc)
+          ctxs []
+        |> List.sort compare
+      in
+      let sess_records =
+        List.map
+          (fun (id, key, se) ->
+            Warmboot.encode
+              (Warmboot.Sess
+                 {
+                   Warmboot.z_id = id;
+                   z_ctx = key;
+                   z_bound = Session.size_bound se.s_session;
+                   z_runs = Session.stats se.s_session;
+                   z_dfss = Array.map Dfs.to_q_array (Session.dfss se.s_session);
+                 }))
+          warm
+        |> List.sort compare
+      in
+      Xsact_persist.Snapshot.write path (ctx_records @ sess_records)
+    end
+  | _ -> ()
+
 let create ?datasets ?(cache_capacity = 128) ?(context_cache_capacity = 32)
     ?(incremental = true) ?max_context_bytes ?domains ?deadline_ms
     ?(max_deadline_ms = 60_000) ?session_ttl_s ?max_sessions ?state_dir
-    ?(fsync = Xsact_persist.Journal.Interval 0.1) ?(snapshot_every = 256) () =
+    ?(fsync = Xsact_persist.Journal.Interval 0.1) ?(snapshot_every = 256)
+    ?replica_of ?takeover_after ?(context_snapshots = true) () =
   (match deadline_ms with
   | Some ms when ms < 1 ->
     invalid_arg "Server.create: deadline_ms must be positive"
+  | _ -> ());
+  if replica_of <> None && state_dir = None then
+    invalid_arg "Server.create: replica_of requires state_dir";
+  (match takeover_after with
+  | Some s when not (s > 0.) ->
+    invalid_arg "Server.create: takeover_after must be positive"
   | _ -> ());
   if max_deadline_ms < 1 then
     invalid_arg "Server.create: max_deadline_ms must be positive";
@@ -1064,6 +1263,13 @@ let create ?datasets ?(cache_capacity = 128) ?(context_cache_capacity = 32)
         Option.map (fun dir -> (dir, fsync, snapshot_every)) state_dir;
       durability;
       ready = Atomic.make (state_dir = None);
+      role =
+        Atomic.make (if replica_of = None then Primary else Follower);
+      replica_of;
+      takeover_after;
+      context_snapshots;
+      repl_client = ref None;
+      streams = Atomic.make 0;
       routes = [];
       queue_depth = (fun () -> 0);
       overloaded = (fun () -> false);
@@ -1102,6 +1308,168 @@ let cold_of_journal entry_json =
         Ok { c_request = creq; c_ranks = ranks; c_size_bound = size_bound }
       | _ -> Error "malformed entry (ranks/size_bound)"))
 
+(* Warm-boot: turn recovered cold cells back into warm sessions from the
+   [contexts] snapshot, paying bounded verification instead of per-session
+   O(n²) rebuilds. Per session: the snapshot record must name the same
+   context key and bound as the journal-recovered recipe (the journal is
+   truth — a session mutated after the snapshot was written simply misses
+   and stays cold); the context arrives via the intern table when another
+   session already loaded it (k sessions over one corpus = one
+   deserialization) or by deserializing the blob — itself fully
+   cross-checked by [Dod.deserialize_context] — and publishing it; the
+   DFS q-vectors and the final assembly are re-validated by
+   [Dfs.of_q_array] and [Session.restore]. Any defect anywhere demotes to
+   a miss, never to wrong state. *)
+let load_context_snapshot t =
+  match t.persist with
+  | Some (dir, _, _) when t.context_snapshots && t.incremental ->
+    let { Xsact_persist.Snapshot.records; valid } =
+      Xsact_persist.Snapshot.read (contexts_path dir)
+    in
+    if valid && records <> [] then begin
+      let blobs = Hashtbl.create 8 in
+      (* one search per distinct (dataset, keywords) across the whole
+         load — restored sessions over the same query share the result
+         list just as they share the interned context *)
+      let searches = Hashtbl.create 8 in
+      let sess = ref [] in
+      List.iter
+        (fun r ->
+          match Warmboot.decode r with
+          | Ok (Warmboot.Ctx c) ->
+            Hashtbl.replace blobs c.Warmboot.x_key
+              (c.Warmboot.x_profiles, c.Warmboot.x_blob)
+          | Ok (Warmboot.Sess s) -> sess := s :: !sess
+          | Error _ ->
+            Metrics.incr_counter t.metrics "context_snapshot_misses")
+        records;
+      let miss () =
+        Metrics.incr_counter t.metrics "context_snapshot_misses"
+      in
+      with_session_update t (fun () ->
+          List.iter
+            (fun (s : Warmboot.sess) ->
+              match Session_store.find t.sessions s.Warmboot.z_id with
+              | Some ({ state = Cold c; _ } as st)
+                when stored_ctx_key st = s.Warmboot.z_ctx
+                     && c.c_size_bound = s.Warmboot.z_bound -> (
+                let key = s.Warmboot.z_ctx in
+                let creq = c.c_request in
+                match find_entry t creq.Api.dataset with
+                | None -> miss () (* dataset gone; stays cold *)
+                | Some entry -> (
+                  let interned =
+                    match Intern.acquire t.intern key with
+                    | Some pair -> Some pair
+                    | None -> (
+                      match Hashtbl.find_opt blobs key with
+                      | None -> None
+                      | Some (profiles, blob) -> (
+                        let weight =
+                          (request_config t creq).Config.weight
+                        in
+                        match
+                          Dod.deserialize_context ~weight profiles blob
+                        with
+                        | Error _ -> None
+                        | Ok context ->
+                          Some (Intern.publish t.intern key ~profiles ~context)
+                        ))
+                  in
+                  match interned with
+                  | None -> miss ()
+                  | Some (profiles, context) -> (
+                    let release () = Intern.release t.intern key in
+                    match
+                      let results =
+                        let skey =
+                          creq.Api.dataset ^ "\x00" ^ creq.Api.keywords
+                        in
+                        match Hashtbl.find_opt searches skey with
+                        | Some r -> r
+                        | None ->
+                          let r =
+                            Pipeline.search entry.pipeline creq.Api.keywords
+                          in
+                          Hashtbl.add searches skey r;
+                          r
+                      in
+                      let dfss =
+                        Array.mapi
+                          (fun i q -> Dfs.of_q_array profiles.(i) q)
+                          s.Warmboot.z_dfss
+                      in
+                      Result.map
+                        (fun session -> (results, session))
+                        (Session.restore ~runs:s.Warmboot.z_runs
+                           ~config:(request_config t creq)
+                           ~size_bound:s.Warmboot.z_bound ~profiles ~context
+                           ~dfss ())
+                    with
+                    | exception Invalid_argument _ ->
+                      release ();
+                      miss ()
+                    | Error _ ->
+                      release ();
+                      miss ()
+                    | Ok (results, session) ->
+                      st.state <-
+                        Warm
+                          {
+                            s_dataset = creq.Api.dataset;
+                            s_request = creq;
+                            s_results = results;
+                            s_ranks = c.c_ranks;
+                            s_session = session;
+                          };
+                      Atomic.set st.owns true;
+                      Metrics.incr_counter t.metrics "context_snapshot_loads")))
+              | Some _ | None -> miss ())
+            (List.rev !sess);
+          enforce_context_budget t ~keep:"")
+    end
+  | _ -> ()
+
+(* ---- Follower state mirroring -------------------------------------------
+   The replication client calls these from its own thread. They journal
+   through [Durability.append_replicated]/[install_resync] — never through
+   the store's event hook, which is why every store touch below is
+   event-free ([drop]/[restore]): a replicated record must land in the
+   follower's journal exactly once, as itself. *)
+
+let repl_drop t id =
+  match Session_store.drop t.sessions id with
+  | Some old -> release_stored t.intern old
+  | None -> ()
+
+let repl_install t d ~prewarm payload =
+  match Durability.parse_payload payload with
+  | Durability.P_upsert { id; at; entry } -> (
+    repl_drop t id;
+    match cold_of_journal entry with
+    | Error _ -> Durability.mark_dropped d
+    | Ok cold ->
+      let st = { state = Cold cold; owns = Atomic.make false } in
+      Session_store.restore t.sessions ~id ~last_used:at st;
+      (* Pre-warm so promotion serves warm sessions instantly; a rebuild
+         failure (dataset missing here) leaves the cell cold, exactly
+         like lazy recovery. *)
+      if prewarm then
+        match warm_session t id st with Ok _ | Error _ -> ())
+  | Durability.P_delete id -> repl_drop t id
+  | Durability.P_meta next -> Session_store.ensure_next t.sessions next
+  | Durability.P_unknown -> Durability.mark_dropped d
+
+let repl_apply t d payload =
+  Durability.append_replicated d payload;
+  with_session_update t (fun () -> repl_install t d ~prewarm:true payload)
+
+let repl_reset t d payloads =
+  Durability.install_resync d payloads;
+  with_session_update t (fun () ->
+      List.iter (repl_drop t) (Session_store.ids t.sessions);
+      List.iter (repl_install t d ~prewarm:true) payloads)
+
 let recover t =
   match (t.persist, !(t.durability)) with
   | None, _ -> Atomic.set t.ready true
@@ -1124,6 +1492,22 @@ let recover t =
       recovered.Durability.entries;
     Session_store.ensure_next t.sessions recovered.Durability.next_id;
     t.durability := Some d;
+    load_context_snapshot t;
+    (* A follower is ready on local recovery — it serves reads
+       immediately and reports its lag/liveness on /ready while the
+       replication client catches up (or waits out a dead primary). *)
+    (match t.replica_of with
+    | Some (host, port) ->
+      let client =
+        Replication.start_client ~host ~port ~durability:d
+          ~apply:(fun p -> repl_apply t d p)
+          ~reset:(fun ps -> repl_reset t d ps)
+          ?takeover_after:t.takeover_after
+          ~on_lost:(fun () -> ignore (promote t ~join:false))
+          ()
+      in
+      t.repl_client := Some client
+    | None -> ());
     Atomic.set t.ready true
 
 let handle t req =
@@ -1144,6 +1528,28 @@ let handle t req =
       ~status:503
       (Api.error_body ~code:"unavailable"
          "unavailable: state recovery in progress")
+  end
+  else if
+    (* Follower write gate: reads (every GET), POST /compare (a pure
+       computation over read state) and the promotion trigger pass;
+       anything that would mutate session state is refused with a hint at
+       the primary — a follower's journal holds only what the primary
+       shipped. *)
+    Atomic.get t.role = Follower
+    && (match (req.Http.meth, req.Http.path) with
+       | "GET", _ -> false
+       | "POST", [ "compare" ] -> false
+       | "POST", [ "v1"; "promote" ] -> false
+       | _ -> true)
+  then begin
+    Metrics.record t.metrics ~route:"follower" ~status:503 ~elapsed_s:0.;
+    let hint =
+      match t.replica_of with
+      | Some (host, port) -> Printf.sprintf "; primary at %s:%d" host port
+      | None -> ""
+    in
+    error_response ~status:503 ~code:"follower"
+      ("read-only follower: mutations go to the primary" ^ hint)
   end
   else
   let started = Unix.gettimeofday () in
@@ -1223,8 +1629,15 @@ let pop r =
    SO_RCVTIMEO (a timed-out channel read raises [Sys_error]/[Unix_error],
    absorbed below like any torn connection). Does not close [fd] — the
    worker does, after unregistering it, so a recycled descriptor number
-   can never evict a live connection from the tracking table. *)
-let serve_connection t fd =
+   can never evict a live connection from the tracking table.
+
+   GET /v1/replicate is intercepted here, before dispatch: it takes over
+   the raw socket for its whole lifetime and streams the journal until
+   the follower disconnects or the server stops — pinning this worker,
+   the documented cost of a follower (one worker of the pool per live
+   follower; the default pool of 4 leaves 3 serving). *)
+let serve_connection r fd =
+  let t = r.server in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let rec loop () =
@@ -1237,6 +1650,34 @@ let serve_connection t fd =
       Metrics.record t.metrics ~route:"refused" ~status ~elapsed_s:0.;
       Http.write_response oc ~keep_alive:false
         (Http.response ~status (Api.error_body ~code:"refused" msg))
+    | Ok req
+      when req.Http.meth = "GET" && req.Http.path = [ "v1"; "replicate" ] -> (
+      match (Atomic.get t.ready, !(t.durability)) with
+      | true, Some d ->
+        Metrics.record t.metrics ~route:"v1/replicate" ~status:200
+          ~elapsed_s:0.;
+        Atomic.incr t.streams;
+        Fun.protect
+          ~finally:(fun () -> Atomic.decr t.streams)
+          (fun () ->
+            let int_param name =
+              Option.bind (query_param req name) int_of_string_opt
+            in
+            Replication.serve_stream ~durability:d ~fd
+              ?boot:(query_param req "boot") ?epoch:(int_param "epoch")
+              ?from:(int_param "from")
+              ~stopping:(fun () -> Atomic.get r.accept_stop)
+              ())
+        (* the stream ends the connection — no keep-alive *)
+      | _ ->
+        Metrics.record t.metrics ~route:"v1/replicate" ~status:503
+          ~elapsed_s:0.;
+        Http.write_response oc ~keep_alive:false
+          (Http.response
+             ~headers:[ ("Retry-After", "1") ]
+             ~status:503
+             (Api.error_body ~code:"unavailable"
+                "replication source not ready")))
     | Ok req ->
       let resp = handle t req in
       let keep_alive = not (Http.wants_close req) in
@@ -1282,7 +1723,7 @@ let worker_loop r () =
                connection-level exceptions, and this catch-all keeps any
                surprise from killing a pool worker — a dead worker would
                silently shrink the pool for the daemon's whole life. *)
-            try serve_connection r.server fd with _ -> ())
+            try serve_connection r fd with _ -> ())
       else close_quietly fd;
       go ()
   in
@@ -1435,9 +1876,24 @@ let stop r =
     r.conns;
   Mutex.unlock r.conns_mutex;
   List.iter Thread.join r.workers;
+  (* A follower also quiesces its replication client before the final
+     flush, so an in-flight apply lands (or is abandoned at a clean
+     record boundary) first. *)
+  (match !(r.server.repl_client) with
+  | Some c -> Replication.stop_client c
+  | None -> ());
   (* Drain-then-snapshot: every worker has exited, so the state is quiet —
      checkpoint it and fsync, leaving a restart with an empty journal to
-     replay and the fastest possible recovery. *)
+     replay and the fastest possible recovery. The journal flush comes
+     {e first} and unconditionally: under [Interval] fsync the last
+     interval's acked records may still ride only on the page cache, and
+     the snapshot below can stall or die (disk full, injected fault) —
+     a clean [stop] must never be the reason an acked record is lost.
+     The snapshots are pure accelerators after that barrier, so their
+     failures are absorbed. *)
   match !(r.server.durability) with
   | None -> ()
-  | Some d -> Durability.snapshot_now d
+  | Some d ->
+    Durability.flush d;
+    (try Durability.snapshot_now d with _ -> ());
+    (try write_context_snapshot r.server with _ -> ())

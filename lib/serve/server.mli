@@ -36,7 +36,19 @@
     journal, and {!recover} replays snapshot + journal on boot — so a
     [kill -9] loses nothing acknowledged and a restart resumes where the
     crash left off. Without [state_dir], behavior and hot path are
-    unchanged. *)
+    unchanged.
+
+    Warm failover (DESIGN.md §14): a server created with [replica_of]
+    is a live {e follower} — it tails the primary's journal over
+    [GET /v1/replicate] (served here when this server is the primary),
+    applies every record through the recovery replay path into warm
+    state, serves reads (and [POST /compare]) while refusing mutations
+    with [503 {"code":"follower"}], and becomes the primary on
+    [POST /v1/promote] or — with [takeover_after] — when the primary
+    stays silent that long. Clean shutdown also writes a {e context
+    snapshot} (serialized pair tables + DFS vectors) that the next boot
+    loads, so restart rewarms sessions by bounded verification instead
+    of per-session rebuilds. *)
 
 type t
 
@@ -46,7 +58,9 @@ val create :
   ?max_context_bytes:int -> ?domains:int ->
   ?deadline_ms:int -> ?max_deadline_ms:int -> ?session_ttl_s:float ->
   ?max_sessions:int -> ?state_dir:string ->
-  ?fsync:Xsact_persist.Journal.policy -> ?snapshot_every:int -> unit -> t
+  ?fsync:Xsact_persist.Journal.policy -> ?snapshot_every:int ->
+  ?replica_of:string * int -> ?takeover_after:float ->
+  ?context_snapshots:bool -> unit -> t
 (** Load and index [datasets] (default: the whole {!Xsact_dataset.Dataset}
     registry). [cache_capacity] sizes the comparison LRU (default 128).
     [domains] sets the domain-pool parallelism used for requests that
@@ -88,8 +102,17 @@ val create :
     - [snapshot_every]: compact the journal into a snapshot after this
       many appends (default 256; [0] disables automatic compaction).
 
-    @raise Invalid_argument on an unknown dataset name or a non-positive
-    knob. *)
+    Replication knobs (DESIGN.md §14):
+    - [replica_of]: follow the primary at [(host, port)] — requires
+      [state_dir] (the follower keeps its own always-recoverable copy).
+    - [takeover_after]: self-promote after the primary has been
+      unreachable this many seconds; omitted, promotion is manual only
+      ([POST /v1/promote]).
+    - [context_snapshots] (default [true]): write the warm-boot context
+      snapshot at {!stop} and load it in {!recover}.
+
+    @raise Invalid_argument on an unknown dataset name, a non-positive
+    knob, or [replica_of] without [state_dir]. *)
 
 val recover : t -> unit
 (** Replay [state_dir]'s snapshot + journal, restore the recovered

@@ -135,6 +135,14 @@ let remove t id =
         true
       | None -> false)
 
+let drop t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table id with
+      | Some e ->
+        Hashtbl.remove t.table id;
+        Some e.value
+      | None -> None)
+
 (* Numeric suffix of "sN" ids, for collision-free id allocation after
    recovery; foreign ids (never minted by [add]) don't constrain it. *)
 let id_number id =

@@ -68,6 +68,13 @@ val set : ?origin:string -> 'a t -> string -> 'a -> unit
 val remove : 'a t -> string -> bool
 (** [true] if the id was present. *)
 
+val drop : 'a t -> string -> 'a option
+(** Replication-only: remove the entry under [id] {e without} firing any
+    event, returning the dropped value (so the caller can release the
+    resources it held). A follower applying a replicated delete must not
+    re-journal it as a local mutation — the replicated record itself is
+    appended to the follower's journal by the replication path. *)
+
 val restore : 'a t -> id:string -> last_used:float -> 'a -> unit
 (** Recovery-only: install an entry under its pre-crash id with its
     pre-crash idle clock, firing no event, and bump the id counter past

@@ -1,0 +1,203 @@
+(* Context-snapshot record codec. Each Snapshot record is a JSON header
+   line, then (for context records) the raw serialized context after the
+   first '\n' — the blob is dense binary and never enters JSON. *)
+
+type ctx = {
+  x_key : string;
+  x_profiles : Result_profile.t array;
+  x_blob : string;
+}
+
+type sess = {
+  z_id : string;
+  z_ctx : string;
+  z_bound : int;
+  z_runs : int;
+  z_dfss : int array array;
+}
+
+type record = Ctx of ctx | Sess of sess
+
+(* ---- Profiles ----------------------------------------------------------- *)
+
+(* A profile round-trips through [Result_profile.make] from its label,
+   entity populations and (feature, count) bag — [make] canonicalizes,
+   and its own output is already canonical, so re-making reproduces the
+   profile structurally. *)
+let json_of_profile (p : Result_profile.t) =
+  let pops =
+    Array.to_list p.Result_profile.entities
+    |> List.map (fun (e : Result_profile.entity_info) ->
+           Json.List
+             [ Json.String e.Result_profile.entity; Json.Int e.population ])
+  in
+  let feats =
+    Array.to_list p.Result_profile.entities
+    |> List.concat_map (fun (e : Result_profile.entity_info) ->
+           Array.to_list e.Result_profile.types
+           |> List.concat_map (fun (ti : Result_profile.type_info) ->
+                  Array.to_list ti.Result_profile.features
+                  |> List.map (fun (fi : Result_profile.feat_info) ->
+                         let f = fi.Result_profile.feature in
+                         Json.List
+                           [
+                             Json.String f.Feature.ftype.Feature.entity;
+                             Json.String f.Feature.ftype.Feature.attribute;
+                             Json.String f.Feature.value;
+                             Json.Int fi.Result_profile.count;
+                           ])))
+  in
+  Json.Obj
+    [
+      ("label", Json.String p.Result_profile.label);
+      ("pop", Json.List pops);
+      ("feats", Json.List feats);
+    ]
+
+let profile_of_json json =
+  let ( let* ) = Result.bind in
+  let str j = Option.to_result ~none:"expected string" (Json.to_str j) in
+  let int j = Option.to_result ~none:"expected int" (Json.to_int j) in
+  let* label =
+    Option.to_result ~none:"profile: missing label"
+      (Option.bind (Json.member "label" json) Json.to_str)
+  in
+  let* pops =
+    Option.to_result ~none:"profile: missing pop"
+      (Option.bind (Json.member "pop" json) Json.to_list)
+  in
+  let* populations =
+    List.fold_left
+      (fun acc j ->
+        let* acc = acc in
+        match Json.to_list j with
+        | Some [ e; n ] ->
+          let* e = str e in
+          let* n = int n in
+          Ok ((e, n) :: acc)
+        | _ -> Error "profile: bad pop pair")
+      (Ok []) pops
+  in
+  let* feats =
+    Option.to_result ~none:"profile: missing feats"
+      (Option.bind (Json.member "feats" json) Json.to_list)
+  in
+  let* features =
+    List.fold_left
+      (fun acc j ->
+        let* acc = acc in
+        match Json.to_list j with
+        | Some [ e; a; v; c ] ->
+          let* e = str e in
+          let* a = str a in
+          let* v = str v in
+          let* c = int c in
+          Ok ((Feature.make ~entity:e ~attribute:a ~value:v, c) :: acc)
+        | _ -> Error "profile: bad feature quad")
+      (Ok []) feats
+  in
+  match
+    Result_profile.make ~label ~populations:(List.rev populations)
+      (List.rev features)
+  with
+  | p -> Ok p
+  | exception Invalid_argument m -> Error ("profile: " ^ m)
+
+(* ---- Records ------------------------------------------------------------ *)
+
+let encode = function
+  | Ctx c ->
+    let header =
+      Json.to_string
+        (Json.Obj
+           [
+             ("k", Json.String "ctx");
+             ("key", Json.String c.x_key);
+             ( "profiles",
+               Json.List
+                 (Array.to_list (Array.map json_of_profile c.x_profiles)) );
+           ])
+    in
+    header ^ "\n" ^ c.x_blob
+  | Sess s ->
+    Json.to_string
+      (Json.Obj
+         [
+           ("k", Json.String "sess");
+           ("id", Json.String s.z_id);
+           ("ctx", Json.String s.z_ctx);
+           ("bound", Json.Int s.z_bound);
+           ("runs", Json.Int s.z_runs);
+           ( "dfss",
+             Json.List
+               (Array.to_list
+                  (Array.map
+                     (fun q ->
+                       Json.List
+                         (Array.to_list (Array.map (fun n -> Json.Int n) q)))
+                     s.z_dfss)) );
+         ])
+
+let decode payload =
+  let ( let* ) = Result.bind in
+  let header, tail =
+    match String.index_opt payload '\n' with
+    | Some i ->
+      ( String.sub payload 0 i,
+        String.sub payload (i + 1) (String.length payload - i - 1) )
+    | None -> (payload, "")
+  in
+  let* json =
+    Result.map_error (fun m -> "record header: " ^ m) (Json.of_string header)
+  in
+  let field name conv err =
+    Option.to_result ~none:err (Option.bind (Json.member name json) conv)
+  in
+  let* kind = field "k" Json.to_str "record: missing kind" in
+  match kind with
+  | "ctx" ->
+    let* key = field "key" Json.to_str "ctx: missing key" in
+    let* profs = field "profiles" Json.to_list "ctx: missing profiles" in
+    let* profiles =
+      List.fold_left
+        (fun acc j ->
+          let* acc = acc in
+          let* p = profile_of_json j in
+          Ok (p :: acc))
+        (Ok []) profs
+    in
+    Ok (Ctx { x_key = key; x_profiles = Array.of_list (List.rev profiles); x_blob = tail })
+  | "sess" ->
+    let* id = field "id" Json.to_str "sess: missing id" in
+    let* ctx = field "ctx" Json.to_str "sess: missing ctx" in
+    let* bound = field "bound" Json.to_int "sess: missing bound" in
+    let* runs = field "runs" Json.to_int "sess: missing runs" in
+    let* dfss = field "dfss" Json.to_list "sess: missing dfss" in
+    let* qs =
+      List.fold_left
+        (fun acc j ->
+          let* acc = acc in
+          let* l = Option.to_result ~none:"sess: bad dfs" (Json.to_list j) in
+          let* q =
+            List.fold_left
+              (fun acc j ->
+                let* acc = acc in
+                let* n =
+                  Option.to_result ~none:"sess: bad q" (Json.to_int j)
+                in
+                Ok (n :: acc))
+              (Ok []) l
+          in
+          Ok (Array.of_list (List.rev q) :: acc))
+        (Ok []) dfss
+    in
+    Ok
+      (Sess
+         {
+           z_id = id;
+           z_ctx = ctx;
+           z_bound = bound;
+           z_runs = runs;
+           z_dfss = Array.of_list (List.rev qs);
+         })
+  | k -> Error ("record: unknown kind " ^ k)

@@ -1,0 +1,41 @@
+(** Context-snapshot record codec — the warm-boot format.
+
+    A context snapshot ([contexts] in the state directory, framed by
+    {!Xsact_persist.Snapshot}) holds two record kinds: one per distinct
+    interned context — its canonical key, the profile bags it was built
+    over, and the {!Dod.serialize_context} blob — and one per session —
+    its id, the key of the context it shares, its size bound and its DFS
+    q-vectors. On boot the server deserializes each context once,
+    re-interns it, and {!Session.restore}s every session over the shared
+    copy: k sessions over one corpus cost one deserialization, zero
+    context builds.
+
+    Records are a JSON header line; a context record carries the binary
+    blob verbatim after the first ['\n'] (binary never enters JSON).
+    Everything a record references is validated downstream — the blob by
+    {!Dod.deserialize_context}, q-vectors by {!Dfs.of_q_array}, the whole
+    assembly by {!Session.restore} — so [decode] only checks shape. *)
+
+type ctx = {
+  x_key : string;  (** canonical context-scope request key *)
+  x_profiles : Result_profile.t array;
+  x_blob : string;  (** {!Dod.serialize_context} output *)
+}
+
+type sess = {
+  z_id : string;
+  z_ctx : string;  (** [x_key] of the context this session shares *)
+  z_bound : int;
+  z_runs : int;  (** {!Session.stats} at snapshot time — restored so a
+                     warm-booted session is indistinguishable from the
+                     live one it resumes *)
+  z_dfss : int array array;  (** per-profile DFS q-vectors *)
+}
+
+type record = Ctx of ctx | Sess of sess
+
+val encode : record -> string
+
+val decode : string -> (record, string) result
+(** Shape errors only — a structurally valid record can still fail
+    downstream validation (and then falls back to a cold rebuild). *)

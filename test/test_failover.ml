@@ -1,0 +1,816 @@
+(* Warm failover tests, bottom-up: the offset-addressed journal tailer and
+   its record-size cap, the verified context-snapshot container and its
+   crash failpoints, the warm-boot record codec — and the acceptance
+   harnesses at the top of the stack: a real primary/follower pair of
+   xsact-serve children driven over HTTP, the primary killed with SIGKILL
+   mid-mutation, the follower promoted and required to serve every acked
+   session byte-identically; plus clean-shutdown stop-drain, warm-boot
+   snapshot loading, cross-restart intern rewarming, self-promotion on
+   loss of the primary, and replay-divergence detection + healing. *)
+
+module Journal = Xsact_persist.Journal
+module Snapshot = Xsact_persist.Snapshot
+module Failpoint = Xsact_util.Failpoint
+module Http = Xsact_server.Http
+module Json = Xsact_server.Json
+module Warmboot = Xsact_server.Warmboot
+
+let check = Alcotest.check
+
+let member_exn name body =
+  match Json.of_string body with
+  | Ok j -> (
+    match Json.member name j with
+    | Some v -> v
+    | None -> Alcotest.failf "no field %S in %s" name body)
+  | Error e -> Alcotest.failf "bad response JSON %s: %s" body e
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xsact_failover_%d_%d" (Unix.getpid ()) !counter)
+    in
+    let _ = Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)) in
+    dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
+
+let file_size path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error _ -> -1
+
+(* ---- Journal tailer: offset-addressed reads ------------------------------- *)
+
+let test_tailer () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "j" in
+  let j = Journal.open_append ~fsync:Journal.Never path in
+  List.iter (Journal.append j) [ "alpha"; "beta" ];
+  Journal.close j;
+  let r = Journal.read_from ~offset:0 path in
+  check Alcotest.(list string) "both records" [ "alpha"; "beta" ] r.Journal.records;
+  check Alcotest.bool "clean tail" false r.Journal.torn;
+  check Alcotest.int "cursor arithmetic"
+    ((2 * Journal.header_bytes) + String.length "alpha" + String.length "beta")
+    r.Journal.next_offset;
+  check Alcotest.int "cursor = file size" (file_size path) r.Journal.next_offset;
+  (* resume from the cursor: only what was appended since *)
+  let j = Journal.open_append ~fsync:Journal.Never path in
+  Journal.append j "gamma";
+  Journal.close j;
+  let r2 = Journal.read_from ~offset:r.Journal.next_offset path in
+  check Alcotest.(list string) "resumed read" [ "gamma" ] r2.Journal.records;
+  (* a mid-append tail (header promises more than is there) is NOT torn:
+     the tailer must poll again from the same cursor, not resync *)
+  let full = read_file path in
+  write_file path (full ^ "\x0a\x00\x00\x00\x00\x00\x00\x00par");
+  let r3 = Journal.read_from ~offset:r2.Journal.next_offset path in
+  check Alcotest.(list string) "incomplete: nothing yet" [] r3.Journal.records;
+  check Alcotest.bool "incomplete: not torn" false r3.Journal.torn;
+  check Alcotest.int "incomplete: cursor parked" r2.Journal.next_offset
+    r3.Journal.next_offset;
+  (* a complete record with a bad CRC IS torn: the primary must resync *)
+  let buf = Buffer.create 32 in
+  Journal.add_record buf "delta";
+  let bad = Bytes.of_string (Buffer.contents buf) in
+  Bytes.set bad 4 (Char.chr (Char.code (Bytes.get bad 4) lxor 1));
+  write_file path (full ^ Bytes.to_string bad);
+  let r4 = Journal.read_from ~offset:r2.Journal.next_offset path in
+  check Alcotest.bool "bad CRC: torn" true r4.Journal.torn;
+  check Alcotest.(list string) "bad CRC: nothing served" [] r4.Journal.records;
+  (* a missing file reads as empty, cursor 0 *)
+  let r5 = Journal.read_from ~offset:0 (Filename.concat dir "nope") in
+  check Alcotest.(list string) "missing = empty" [] r5.Journal.records;
+  check Alcotest.bool "missing: not torn" false r5.Journal.torn
+
+(* The read-side record-size cap: a corrupt length prefix larger than the
+   cap is a torn tail, never an allocation attempt. *)
+let test_record_cap () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "j" in
+  let j = Journal.open_append ~fsync:Journal.Never path in
+  List.iter (Journal.append j) [ "ok1"; "ok2" ];
+  Journal.close j;
+  let good = read_file path in
+  (* forge a header claiming a payload just past the default cap — small
+     enough to be "plausible" to the 64 MiB write-side sanity bound, so
+     only the read-side cap stands between the parser and the allocation *)
+  let header = Bytes.create Journal.header_bytes in
+  Bytes.set_int32_le header 0
+    (Int32.of_int (Journal.default_max_record_bytes + 1));
+  Bytes.set_int32_le header 4 0l;
+  write_file path (good ^ Bytes.to_string header ^ String.make 64 'x');
+  let r = Journal.read_from ~offset:0 path in
+  check Alcotest.(list string) "good prefix survives" [ "ok1"; "ok2" ]
+    r.Journal.records;
+  check Alcotest.bool "forged length = torn" true r.Journal.torn;
+  check Alcotest.int "cursor stops before the forgery" (String.length good)
+    r.Journal.next_offset;
+  (* the cap is configurable: a record the default happily reads is torn
+     under a smaller cap *)
+  let r = Journal.read_from ~max_record_bytes:2 ~offset:0 path in
+  check Alcotest.(list string) "small cap rejects 3-byte payloads" []
+    r.Journal.records;
+  check Alcotest.bool "small cap: torn" true r.Journal.torn;
+  (* the batch reader honors the same cap *)
+  let r = Journal.read ~repair:false path in
+  check Alcotest.(list string) "batch read: good prefix" [ "ok1"; "ok2" ]
+    r.Journal.payloads;
+  check Alcotest.int "batch read: forgery counted" 1 r.Journal.truncated_records
+
+(* ---- Context-snapshot container ------------------------------------------- *)
+
+let test_ctxsnap_roundtrip () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "contexts" in
+  let records = [ "plain"; ""; "bin\x00\xff\nwith newline and nul" ] in
+  Snapshot.write path records;
+  let r = Snapshot.read path in
+  check Alcotest.bool "valid" true r.Snapshot.valid;
+  check Alcotest.(list string) "records round-trip" records r.Snapshot.records;
+  (* missing file: invalid, empty — the caller cold-boots *)
+  let r = Snapshot.read (Filename.concat dir "nope") in
+  check Alcotest.bool "missing = invalid" false r.Snapshot.valid;
+  check Alcotest.(list string) "missing = empty" [] r.Snapshot.records;
+  (* any truncation invalidates the whole file — all-or-nothing *)
+  let full = read_file path in
+  write_file path (String.sub full 0 (String.length full - 1));
+  let r = Snapshot.read path in
+  check Alcotest.bool "truncated = invalid" false r.Snapshot.valid;
+  check Alcotest.(list string) "truncated = nothing" [] r.Snapshot.records;
+  (* one corrupt byte mid-body: CRC catches it *)
+  let bad = Bytes.of_string full in
+  let mid = String.length full / 2 in
+  Bytes.set bad mid (Char.chr (Char.code (Bytes.get bad mid) lxor 0x20));
+  write_file path (Bytes.to_string bad);
+  let r = Snapshot.read path in
+  check Alcotest.bool "corrupt = invalid" false r.Snapshot.valid
+
+let test_ctxsnap_failpoints () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "contexts" in
+  let old = [ "the"; "previous"; "snapshot" ] in
+  Snapshot.write path old;
+  (* a write torn between body and trailer never clobbers the last valid
+     snapshot — tmp + atomic rename *)
+  Failpoint.reset ();
+  Failpoint.enable "persist.ctxsnap.tear" Failpoint.Fail;
+  (match Snapshot.write path [ "new" ] with
+  | () -> Alcotest.fail "tear failpoint did not fire"
+  | exception Failpoint.Injected _ -> ());
+  Failpoint.reset ();
+  let r = Snapshot.read path in
+  check Alcotest.bool "old snapshot survives a torn write" true
+    r.Snapshot.valid;
+  check Alcotest.(list string) "old records intact" old r.Snapshot.records;
+  (* same for a crash just before the rename *)
+  Failpoint.enable "persist.ctxsnap.rename" Failpoint.Fail;
+  (match Snapshot.write path [ "newer" ] with
+  | () -> Alcotest.fail "rename failpoint did not fire"
+  | exception Failpoint.Injected _ -> ());
+  Failpoint.reset ();
+  let r = Snapshot.read path in
+  check Alcotest.bool "old snapshot survives a pre-rename crash" true
+    r.Snapshot.valid;
+  check Alcotest.(list string) "old records still intact" old
+    r.Snapshot.records
+
+(* ---- Warm-boot record codec ----------------------------------------------- *)
+
+let mk_profile label =
+  let f e a v =
+    { Feature.ftype = { Feature.entity = e; attribute = a }; value = v }
+  in
+  Result_profile.make ~label
+    ~populations:[ ("camera", 3); ("lens", 2) ]
+    [
+      (f "camera" "zoom" "10x", 2);
+      (f "camera" "zoom" "4x", 1);
+      (f "camera" "price" "cheap", 3);
+      (f "lens" "mount" "EF", 2);
+    ]
+
+let test_warmboot_codec () =
+  (* a context record: binary blob (newlines, nuls) after the JSON header *)
+  let ctx =
+    Warmboot.Ctx
+      {
+        Warmboot.x_key = "dataset=product-reviews&q=gps";
+        x_profiles = [| mk_profile "Alpha \"quoted\""; mk_profile "Beta\n" |];
+        x_blob = "\x00\x01\x02\nBLOB\xff\xfe\x00tail";
+      }
+  in
+  (match Warmboot.decode (Warmboot.encode ctx) with
+  | Ok (Warmboot.Ctx c) ->
+    check Alcotest.string "key" "dataset=product-reviews&q=gps"
+      c.Warmboot.x_key;
+    check Alcotest.string "blob byte-identical" "\x00\x01\x02\nBLOB\xff\xfe\x00tail"
+      c.Warmboot.x_blob;
+    check Alcotest.int "profile count" 2 (Array.length c.Warmboot.x_profiles);
+    check Alcotest.bool "profiles structurally equal" true
+      (c.Warmboot.x_profiles
+      = [| mk_profile "Alpha \"quoted\""; mk_profile "Beta\n" |]);
+    check Alcotest.string "re-encode is stable" (Warmboot.encode ctx)
+      (Warmboot.encode (Warmboot.Ctx c))
+  | Ok _ -> Alcotest.fail "decoded to the wrong record kind"
+  | Error e -> Alcotest.failf "ctx decode failed: %s" e);
+  (* a session record *)
+  let sess =
+    Warmboot.Sess
+      {
+        Warmboot.z_id = "s7";
+        z_ctx = "dataset=product-reviews&q=gps";
+        z_bound = 6;
+        z_runs = 3;
+        z_dfss = [| [| 2; 1; 0 |]; [| 3 |]; [||] |];
+      }
+  in
+  (match Warmboot.decode (Warmboot.encode sess) with
+  | Ok (Warmboot.Sess s) ->
+    check Alcotest.string "id" "s7" s.Warmboot.z_id;
+    check Alcotest.string "ctx key" "dataset=product-reviews&q=gps"
+      s.Warmboot.z_ctx;
+    check Alcotest.int "bound" 6 s.Warmboot.z_bound;
+    check Alcotest.int "runs" 3 s.Warmboot.z_runs;
+    check Alcotest.bool "q-vectors equal" true
+      (s.Warmboot.z_dfss = [| [| 2; 1; 0 |]; [| 3 |]; [||] |])
+  | Ok _ -> Alcotest.fail "decoded to the wrong record kind"
+  | Error e -> Alcotest.failf "sess decode failed: %s" e);
+  (* garbage is a shape error, not an exception *)
+  List.iter
+    (fun s ->
+      match Warmboot.decode s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decoded garbage %S" s)
+    [ ""; "not json"; "{}"; {|{"k":"wat"}|}; {|{"k":"sess","id":3}|} ]
+
+(* ---- The child harness ---------------------------------------------------- *)
+
+let serve_exe =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "../bin")
+    "xsact_serve.exe"
+
+type child = { pid : int; port : int; out_fd : Unix.file_descr }
+
+(* Start a real xsact-serve child and parse its port off stdout. [env_extra]
+   arms failpoints in the child only (XSACT_FAILPOINTS=...); [port] pins
+   the listen port (0, the default, picks an ephemeral one). *)
+let start_child ?(env_extra = []) ?(port = 0) ~state_dir args =
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let argv =
+    Array.of_list
+      ([ serve_exe; "--port"; string_of_int port; "--dataset";
+         "product-reviews"; "--state-dir"; state_dir ]
+      @ args)
+  in
+  let env = Array.append (Unix.environment ()) (Array.of_list env_extra) in
+  let pid =
+    Unix.create_process_env serve_exe argv env Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let parse_port s =
+    let marker = "http://127.0.0.1:" in
+    let mlen = String.length marker in
+    let rec find i =
+      if i + mlen > String.length s then None
+      else if String.sub s i mlen = marker then Some (i + mlen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length s
+        && match s.[!stop] with '0' .. '9' -> true | _ -> false
+      do
+        incr stop
+      done;
+      if !stop > start then
+        int_of_string_opt (String.sub s start (!stop - start))
+      else None
+  in
+  let buf = Buffer.create 256 in
+  let deadline = Unix.gettimeofday () +. 30. in
+  let got = ref None in
+  let chunk = Bytes.create 4096 in
+  while !got = None && Unix.gettimeofday () < deadline do
+    match Unix.select [ out_r ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ ->
+      let n = Unix.read out_r chunk 0 (Bytes.length chunk) in
+      if n = 0 then (
+        Unix.kill pid Sys.sigkill;
+        Alcotest.failf "child exited before listening: %s"
+          (Buffer.contents buf))
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        got := parse_port (Buffer.contents buf)
+      end
+  done;
+  match !got with
+  | None ->
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    Alcotest.failf "no listening line from child: %s" (Buffer.contents buf)
+  | Some port -> { pid; port; out_fd = out_r }
+
+let wait_ready child =
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec go () =
+    let ready =
+      match Http.request ~host:"127.0.0.1" ~port:child.port "/ready" with
+      | 200, _, _ -> true
+      | _ -> false
+      | exception (Unix.Unix_error _ | Failure _) -> false
+    in
+    if ready then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "child never became ready"
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let kill9 child =
+  Unix.kill child.pid Sys.sigkill;
+  ignore (Unix.waitpid [] child.pid);
+  (try Unix.close child.out_fd with Unix.Unix_error _ -> ())
+
+(* Clean shutdown: SIGTERM and wait for the exit — the stop-drain path
+   (journal flush, final snapshot, context snapshot) runs to completion. *)
+let stop_clean child =
+  Unix.kill child.pid Sys.sigterm;
+  ignore (Unix.waitpid [] child.pid);
+  (try Unix.close child.out_fd with Unix.Unix_error _ -> ())
+
+let http child ?meth ?body target =
+  Http.request ~host:"127.0.0.1" ~port:child.port ?meth ?body target
+
+let wait_for ?(timeout = 10.) what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let create_body = {|{"dataset":"product-reviews","q":"gps","top":3}|}
+
+let create_session child =
+  let status, _, body = http child ~meth:"POST" ~body:create_body "/session" in
+  check Alcotest.int "create acked" 201 status;
+  match member_exn "id" body with
+  | Json.String id -> id
+  | v -> Alcotest.failf "session id: %s" (Json.to_string v)
+
+let resize_session child id size_bound =
+  let status, _, _ =
+    http child ~meth:"POST"
+      ~body:(Printf.sprintf {|{"size_bound":%d}|} size_bound)
+      ("/session/" ^ id ^ "/size")
+  in
+  check Alcotest.int "resize acked" 200 status
+
+let session_body child id =
+  let status, _, body = http child ("/session/" ^ id) in
+  check Alcotest.int (id ^ " served") 200 status;
+  body
+
+let session_status child id =
+  match http child ("/session/" ^ id) with
+  | status, _, _ -> status
+  | exception (Unix.Unix_error _ | Failure _) -> -1
+
+(* A /compare body minus its wall-clock [elapsed_s] field — everything
+   else must be byte-identical across servers and restarts. *)
+let compare_body child =
+  let status, _, body = http child ~meth:"POST" ~body:create_body "/compare" in
+  check Alcotest.int "/compare 200" 200 status;
+  match Json.of_string body with
+  | Ok (Json.Obj fields) ->
+    Json.to_string
+      (Json.Obj (List.filter (fun (k, _) -> k <> "elapsed_s") fields))
+  | Ok _ | Error _ -> Alcotest.failf "bad /compare body: %s" body
+
+let assert_sessions child expected =
+  List.iter
+    (fun (id, size_bound, ranks) ->
+      let body = session_body child id in
+      (match member_exn "size_bound" body with
+      | Json.Int n -> check Alcotest.int (id ^ " size_bound") size_bound n
+      | v -> Alcotest.failf "%s size_bound: %s" id (Json.to_string v));
+      match member_exn "ranks" body with
+      | Json.List vs ->
+        check
+          Alcotest.(list int)
+          (id ^ " ranks") ranks
+          (List.filter_map Json.to_int vs)
+      | v -> Alcotest.failf "%s ranks: %s" id (Json.to_string v))
+    expected
+
+(* Fire one request and deliberately never read the response, so the op is
+   sent but not acknowledged; returns the open socket so it outlives the
+   child being killed while parked on a failpoint mid-mutation. *)
+let send_unacked child body target =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, child.port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock addr;
+  let oc = Unix.out_channel_of_descr sock in
+  Http.send_request oc ~host:"127.0.0.1" ~meth:"POST" ~body target;
+  sock
+
+(* /ready and /metrics field access *)
+
+let ready_field child name =
+  let _, _, body = http child "/ready" in
+  member_exn name body
+
+let ready_str child name =
+  match ready_field child name with
+  | Json.String s -> s
+  | v -> Alcotest.failf "/ready %s: %s" name (Json.to_string v)
+
+let ready_int child name =
+  match ready_field child name with
+  | Json.Int n -> n
+  | v -> Alcotest.failf "/ready %s: %s" name (Json.to_string v)
+
+let ready_bool child name =
+  match ready_field child name with
+  | Json.Bool b -> b
+  | v -> Alcotest.failf "/ready %s: %s" name (Json.to_string v)
+
+let metric_int child name =
+  let _, _, metrics = http child "/metrics" in
+  match member_exn name metrics with
+  | Json.Int n -> n
+  | v -> Alcotest.failf "metrics %s: %s" name (Json.to_string v)
+
+let metric_obj_int child obj name =
+  let _, _, metrics = http child "/metrics" in
+  match member_exn obj metrics with
+  | Json.Obj fields -> (
+    match List.assoc_opt name fields with
+    | Some (Json.Int n) -> n
+    | v ->
+      Alcotest.failf "metrics %s.%s: %s" obj name
+        (match v with Some v -> Json.to_string v | None -> "missing"))
+  | v -> Alcotest.failf "metrics %s: %s" obj (Json.to_string v)
+
+let repl_int child name = metric_obj_int child "replication" name
+let intern_int child name = metric_obj_int child "context_intern" name
+let durability_int child name = metric_obj_int child "durability" name
+
+(* ---- Satellite 3: stop-drain flush ---------------------------------------- *)
+
+(* A clean SIGTERM under a long fsync interval must flush the journal
+   before the final snapshot starts — park that snapshot's rename and
+   SIGKILL the child there: everything acked before the stop recovers
+   byte-identically even though the interval never elapsed and the final
+   checkpoint died half-written. *)
+let test_stop_drain () =
+  let dir = fresh_dir () in
+  let c1 =
+    start_child ~state_dir:dir
+      ~env_extra:[ "XSACT_FAILPOINTS=persist.snapshot.rename=sleep:600" ]
+      [ "--fsync"; "interval:600" ]
+  in
+  wait_ready c1;
+  let s1 = create_session c1 in
+  let s2 = create_session c1 in
+  resize_session c1 s1 6;
+  (* s2 is never mutated, so its cold rebuild after recovery must be
+     byte-identical; s1's resize history is recipe-normalized by recovery
+     (final bound, one run), so it is checked semantically *)
+  let b2 = session_body c1 s2 in
+  Unix.kill c1.pid Sys.sigterm;
+  wait_for "stop-drain to park on the final snapshot" (fun () ->
+      Sys.file_exists (Filename.concat dir "snapshot.tmp"));
+  kill9 c1;
+  let c2 = start_child ~state_dir:dir [] in
+  wait_ready c2;
+  check Alcotest.bool "aborted final checkpoint discarded" false
+    (Sys.file_exists (Filename.concat dir "snapshot.tmp"));
+  check Alcotest.int "no torn records" 0
+    (durability_int c2 "recovery_truncated_records");
+  assert_sessions c2 [ (s1, 6, [ 1; 2; 3 ]); (s2, 8, [ 1; 2; 3 ]) ];
+  check Alcotest.string "s2 byte-identical" b2 (session_body c2 s2);
+  kill9 c2
+
+(* ---- Satellite 4: intern-table rewarm across restart ----------------------- *)
+
+let test_intern_rewarm () =
+  let dir = fresh_dir () in
+  let c1 = start_child ~state_dir:dir [] in
+  wait_ready c1;
+  let ids = List.init 4 (fun _ -> create_session c1) in
+  kill9 c1;
+  (* SIGKILL wrote no context snapshot: the restart restores every session
+     cold, then the k first touches over one corpus share one physical
+     context build through the intern table *)
+  let c2 = start_child ~state_dir:dir [] in
+  wait_ready c2;
+  check Alcotest.int "cold boot: nothing built yet" 0
+    (metric_int c2 "context_builds_full");
+  check Alcotest.int "cold boot: no snapshot to load" 0
+    (repl_int c2 "context_snapshot_loads");
+  check Alcotest.int "cold boot: all sessions cold" 4
+    (metric_int c2 "sessions_cold");
+  List.iter (fun id -> ignore (session_body c2 id)) ids;
+  check Alcotest.int "one physical build for k sessions" 1
+    (metric_int c2 "context_builds_full");
+  check Alcotest.int "the rest acquired from the intern table" 3
+    (metric_int c2 "context_builds_reused");
+  check Alcotest.int "k sessions pin one context" 4 (intern_int c2 "refs");
+  check Alcotest.int "one interned entry" 1 (intern_int c2 "entries");
+  check Alcotest.int "all warm" 4 (metric_int c2 "sessions_warm");
+  kill9 c2
+
+(* ---- Warm boot from a context snapshot ------------------------------------ *)
+
+let test_warm_boot () =
+  let dir = fresh_dir () in
+  let c1 = start_child ~state_dir:dir [] in
+  wait_ready c1;
+  let s1 = create_session c1 in
+  let s2 = create_session c1 in
+  resize_session c1 s2 6;
+  let b1 = session_body c1 s1 in
+  let b2 = session_body c1 s2 in
+  stop_clean c1;
+  check Alcotest.bool "context snapshot written on clean stop" true
+    (Sys.file_exists (Filename.concat dir "contexts"));
+  let c2 = start_child ~state_dir:dir [] in
+  wait_ready c2;
+  check Alcotest.bool "sessions loaded from the snapshot" true
+    (repl_int c2 "context_snapshot_loads" >= 1);
+  check Alcotest.int "no snapshot misses" 0
+    (repl_int c2 "context_snapshot_misses");
+  check Alcotest.int "warm at boot, before any touch" 2
+    (metric_int c2 "sessions_warm");
+  check Alcotest.int "zero physical builds" 0
+    (metric_int c2 "context_builds_full");
+  check Alcotest.string "s1 byte-identical from warm boot" b1
+    (session_body c2 s1);
+  check Alcotest.string "s2 byte-identical from warm boot" b2
+    (session_body c2 s2);
+  stop_clean c2;
+  (* a torn context snapshot falls back to the cold path, keeps serving *)
+  let path = Filename.concat dir "contexts" in
+  let full = read_file path in
+  write_file path (String.sub full 0 (String.length full - 3));
+  let c3 = start_child ~state_dir:dir [] in
+  wait_ready c3;
+  check Alcotest.int "torn snapshot: cold boot" 0
+    (repl_int c3 "context_snapshot_loads");
+  check Alcotest.string "torn snapshot: s1 still byte-identical" b1
+    (session_body c3 s1);
+  stop_clean c3;
+  (* the opt-out flag skips the (rewritten, valid) snapshot entirely *)
+  let c4 = start_child ~state_dir:dir [ "--no-context-snapshots" ] in
+  wait_ready c4;
+  check Alcotest.int "flag: nothing loaded" 0
+    (repl_int c4 "context_snapshot_loads");
+  check Alcotest.int "flag: all cold" 0 (metric_int c4 "sessions_warm");
+  check Alcotest.string "flag: rebuild still byte-identical" b1
+    (session_body c4 s1);
+  assert_sessions c4 [ (s1, 8, [ 1; 2; 3 ]); (s2, 6, [ 1; 2; 3 ]) ];
+  kill9 c4
+
+(* ---- The failover harness ------------------------------------------------- *)
+
+let test_failover () =
+  let dir_p = fresh_dir () in
+  let dir_f = fresh_dir () in
+  let p1 = start_child ~state_dir:dir_p [ "--fsync"; "always" ] in
+  wait_ready p1;
+  let s1 = create_session p1 in
+  let s2 = create_session p1 in
+  resize_session p1 s1 6;
+  (* the follower cold-connects and receives everything as a resync *)
+  let f =
+    start_child ~state_dir:dir_f
+      [ "--replica-of"; Printf.sprintf "127.0.0.1:%d" p1.port ]
+  in
+  wait_ready f;
+  check Alcotest.string "follower role in /ready" "follower"
+    (ready_str f "role");
+  wait_for "follower to catch up" (fun () ->
+      ready_bool f "connected"
+      && ready_int f "lag_records" = 0
+      && session_status f s2 = 200);
+  (* a record created after the connect streams live *)
+  let s3 = create_session p1 in
+  wait_for "live record to replicate" (fun () -> session_status f s3 = 200);
+  (* the follower refuses mutations, pointing at the primary *)
+  let status, _, body = http f ~meth:"POST" ~body:create_body "/session" in
+  check Alcotest.int "mutations 503 on the follower" 503 status;
+  (match member_exn "error" body with
+  | Json.Obj fields ->
+    (match List.assoc_opt "code" fields with
+    | Some (Json.String "follower") -> ()
+    | v ->
+      Alcotest.failf "error code: %s"
+        (match v with Some v -> Json.to_string v | None -> "missing"));
+    (match List.assoc_opt "message" fields with
+    | Some (Json.String m) ->
+      check Alcotest.bool "hint names the primary" true
+        (let sub = "127.0.0.1" in
+         let rec has i =
+           i + String.length sub <= String.length m
+           && (String.sub m i (String.length sub) = sub || has (i + 1))
+         in
+         has 0)
+    | _ -> Alcotest.fail "no error message")
+  | v -> Alcotest.failf "error envelope: %s" (Json.to_string v));
+  (* read-only /compare is served on the follower, byte-identical modulo
+     the wall-clock elapsed_s field *)
+  let cmp_f = compare_body f in
+  let cmp_p = compare_body p1 in
+  check Alcotest.string "follower /compare byte-identical" cmp_p cmp_f;
+  (* restart the primary on its port with a parked torn-append failpoint:
+     the follower resyncs to the new incarnation, then the primary is
+     SIGKILLed mid-mutation — the op was never acked and its record is
+     torn, so it must die with the primary *)
+  let port = p1.port in
+  kill9 p1;
+  let p2 =
+    start_child ~state_dir:dir_p ~port
+      ~env_extra:[ "XSACT_FAILPOINTS=persist.append.tear=sleep:600" ]
+      [ "--fsync"; "always" ]
+  in
+  wait_ready p2;
+  wait_for "follower to resync to the new primary" (fun () ->
+      ready_bool f "connected" && ready_int f "lag_records" = 0);
+  (* the acked truth: every session as the recovered primary serves it
+     (recovery recipe-normalizes mutation history, and the follower's
+     replayed rebuilds go through the same deterministic path) *)
+  let pre = List.map (fun id -> (id, session_body p2 id)) [ s1; s2; s3 ] in
+  let before = file_size (Filename.concat dir_p "journal") in
+  let sock =
+    send_unacked p2 {|{"size_bound":9}|} ("/session/" ^ s2 ^ "/size")
+  in
+  wait_for "torn header to land" (fun () ->
+      file_size (Filename.concat dir_p "journal") >= before + 8);
+  kill9 p2;
+  Unix.close sock;
+  (* the follower sees the primary die yet keeps serving reads *)
+  wait_for "follower to notice the dead primary" (fun () ->
+      not (ready_bool f "connected"));
+  List.iter
+    (fun (id, b) ->
+      check Alcotest.string (id ^ " still served follower-side") b
+        (session_body f id))
+    pre;
+  (* promote: the follower flips to primary and accepts writes *)
+  let status, _, body = http f ~meth:"POST" "/v1/promote" in
+  check Alcotest.int "promote 200" 200 status;
+  (match member_exn "promoted" body with
+  | Json.Bool true -> ()
+  | v -> Alcotest.failf "promoted: %s" (Json.to_string v));
+  check Alcotest.string "role flipped" "primary" (ready_str f "role");
+  check Alcotest.bool "promotion counted" true (repl_int f "promotions" >= 1);
+  (* every acked session serves byte-identically after failover *)
+  List.iter
+    (fun (id, b) ->
+      check Alcotest.string (id ^ " byte-identical after failover") b
+        (session_body f id))
+    pre;
+  check Alcotest.string "/compare byte-identical after failover" cmp_p
+    (compare_body f);
+  (* the torn, unacked resize died with the primary *)
+  (match member_exn "size_bound" (session_body f s2) with
+  | Json.Int 8 -> ()
+  | v -> Alcotest.failf "unacked resize leaked: %s" (Json.to_string v));
+  (* mutations now accepted; the id sequence continues without reuse *)
+  resize_session f s2 9;
+  let s4 = create_session f in
+  check Alcotest.string "id sequence continues" "s4" s4;
+  (* a second promote is an idempotent no-op *)
+  let status, _, body = http f ~meth:"POST" "/v1/promote" in
+  check Alcotest.int "re-promote 200" 200 status;
+  (match member_exn "promoted" body with
+  | Json.Bool false -> ()
+  | v -> Alcotest.failf "re-promote: %s" (Json.to_string v));
+  (* the promoted follower's directory was a valid recovery image all
+     along: kill -9 and recover everything from it *)
+  kill9 f;
+  let f2 = start_child ~state_dir:dir_f [] in
+  wait_ready f2;
+  assert_sessions f2
+    [ (s1, 6, [ 1; 2; 3 ]); (s2, 9, [ 1; 2; 3 ]);
+      (s3, 8, [ 1; 2; 3 ]); (s4, 8, [ 1; 2; 3 ]) ];
+  kill9 f2
+
+(* ---- Auto-takeover on loss of the primary ---------------------------------- *)
+
+let test_auto_takeover () =
+  let dir_p = fresh_dir () in
+  let dir_f = fresh_dir () in
+  let p = start_child ~state_dir:dir_p [] in
+  wait_ready p;
+  let s1 = create_session p in
+  let f =
+    start_child ~state_dir:dir_f
+      [ "--replica-of"; Printf.sprintf "127.0.0.1:%d" p.port;
+        "--takeover-after"; "0.75" ]
+  in
+  wait_ready f;
+  wait_for "follower to catch up" (fun () ->
+      ready_bool f "connected" && session_status f s1 = 200);
+  kill9 p;
+  wait_for ~timeout:20. "self-promotion" (fun () ->
+      ready_str f "role" = "primary");
+  (* promoted: mutations accepted, state intact *)
+  resize_session f s1 7;
+  assert_sessions f [ (s1, 7, [ 1; 2; 3 ]) ];
+  kill9 f
+
+(* ---- Replay divergence: detected, counted, healed --------------------------- *)
+
+let test_divergence () =
+  let dir_p = fresh_dir () in
+  let dir_f = fresh_dir () in
+  let p = start_child ~state_dir:dir_p [] in
+  wait_ready p;
+  let s1 = create_session p in
+  (* the follower swallows its first streamed record (the failpoint fires
+     once), silently diverging from the primary *)
+  let f =
+    start_child ~state_dir:dir_f
+      ~env_extra:[ "XSACT_FAILPOINTS=repl.apply.corrupt=fail:1" ]
+      [ "--replica-of"; Printf.sprintf "127.0.0.1:%d" p.port ]
+  in
+  wait_ready f;
+  wait_for "resync to land" (fun () -> session_status f s1 = 200);
+  let s2 = create_session p in
+  (* the digest in the next heartbeat disagrees while the follower believes
+     itself caught up: divergence is counted and a resync heals it *)
+  wait_for ~timeout:20. "divergence detection" (fun () ->
+      repl_int f "divergences" >= 1);
+  wait_for ~timeout:20. "the healing resync" (fun () ->
+      session_status f s2 = 200);
+  check Alcotest.bool "healed via a second resync" true
+    (repl_int f "resyncs" >= 2);
+  check Alcotest.string "byte-identical after healing" (session_body p s2)
+    (session_body f s2);
+  kill9 p;
+  kill9 f
+
+let () =
+  Alcotest.run "xsact_failover"
+    [
+      ( "tailer",
+        [
+          Alcotest.test_case "offset-addressed reads" `Quick test_tailer;
+          Alcotest.test_case "record-size cap" `Quick test_record_cap;
+        ] );
+      ( "ctxsnap",
+        [
+          Alcotest.test_case "roundtrip and corruption" `Quick
+            test_ctxsnap_roundtrip;
+          Alcotest.test_case "crash failpoints" `Quick test_ctxsnap_failpoints;
+        ] );
+      ( "warmboot",
+        [
+          Alcotest.test_case "record codec" `Quick test_warmboot_codec;
+          Alcotest.test_case "snapshot warm boot" `Quick test_warm_boot;
+          Alcotest.test_case "intern rewarm" `Quick test_intern_rewarm;
+        ] );
+      ( "stopdrain",
+        [ Alcotest.test_case "flush on clean stop" `Quick test_stop_drain ] );
+      ( "failover",
+        [
+          Alcotest.test_case "kill the primary" `Quick test_failover;
+          Alcotest.test_case "auto takeover" `Quick test_auto_takeover;
+          Alcotest.test_case "divergence heals" `Quick test_divergence;
+        ] );
+    ]
