@@ -1076,6 +1076,136 @@ let persist_bench () =
     (List.length ids, loads, recover_ms, touch_mean, touch_max, warm_ms,
      cold_ms)
   in
+  hr ();
+  (* warm resync: a fresh follower takes the primary's full state over
+     /v1/replicate. With context snapshots on, the resync ships the warm
+     records inline (base64-armored) and the follower deserializes its
+     contexts from the stream; off, the same handover eager-warms every
+     session through the rebuild path. Both ends are time from the
+     follower's [recover] until every replicated session is warm —
+     measured by polling /metrics only, so the measurement itself never
+     warms a session. Population mirrors the warm-boot bench: sessions
+     concentrated on a small set of hot corpora. *)
+  let rs_sessions, rs_corpora, rs_loads, rs_warm_ms, rs_cold_ms =
+    let post target body =
+      let path, query = Http.split_target target in
+      { Http.meth = "POST"; target; path; query; headers = []; body }
+    in
+    let get target =
+      let path, query = Http.split_target target in
+      { Http.meth = "GET"; target; path; query; headers = []; body = "" }
+    in
+    let hot =
+      let queries =
+        List.concat_map
+          (fun name ->
+            match Xsact_dataset.Dataset.by_name name with
+            | None -> []
+            | Some d ->
+              List.map (fun (_, q) -> (name, q)) d.Xsact_dataset.Dataset.queries)
+          Xsact_dataset.Dataset.names
+      in
+      List.filteri (fun i _ -> i < 10) queries
+    in
+    let p_dir = tmp_dir "resync_p" in
+    let p =
+      Server.create ~datasets:Xsact_dataset.Dataset.names ~cache_capacity:64
+        ~state_dir:p_dir ()
+    in
+    Server.recover p;
+    let p_running = Server.start ~threads:4 ~port:0 p in
+    let p_port = Server.port p_running in
+    let ids = ref [] and pool = ref [] in
+    while List.length !ids < sessions do
+      (match !pool with [] -> pool := hot | _ -> ());
+      match !pool with
+      | [] -> failwith "resync bench: no hot queries"
+      | (ds, q) :: rest -> (
+        pool := rest;
+        let body =
+          Printf.sprintf {|{"dataset":%S,"q":%S,"top":10,"size_bound":20}|} ds
+            q
+        in
+        let resp = Server.handle p (post "/session" body) in
+        if resp.Http.status <> 201 then
+          failwith "resync bench: session creation failed"
+        else
+          match Xsact_server.Json.of_string resp.Http.resp_body with
+          | Ok j -> (
+            match Xsact_server.Json.member "id" j with
+            | Some (Xsact_server.Json.String id) -> ids := id :: !ids
+            | _ -> failwith "resync bench: no session id")
+          | Error e -> failwith e)
+    done;
+    let ids = List.rev !ids in
+    let metric t name =
+      let resp = Server.handle t (get "/metrics") in
+      match Xsact_server.Json.of_string resp.Http.resp_body with
+      | Ok j -> (
+        match Xsact_server.Json.member name j with
+        | Some (Xsact_server.Json.Int n) -> n
+        | _ -> 0)
+      | Error _ -> 0
+    in
+    let follower_round ~context_snapshots () =
+      let f_dir = tmp_dir "resync_f" in
+      let f =
+        Server.create ~datasets:Xsact_dataset.Dataset.names ~cache_capacity:64
+          ~state_dir:f_dir
+          ~replica_of:("127.0.0.1", p_port)
+          ~context_snapshots ()
+      in
+      (* the listener exists only so [stop] can join the replication
+         client cleanly between rounds *)
+      let f_running = Server.start ~threads:1 ~port:0 f in
+      let t0 = Unix.gettimeofday () in
+      Server.recover f;
+      let deadline = t0 +. 120. in
+      let warmed () = metric f "sessions_warm" >= List.length ids in
+      while (not (warmed ())) && Unix.gettimeofday () < deadline do
+        Thread.delay 0.002
+      done;
+      let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+      if not (warmed ()) then failwith "resync bench: follower never warmed";
+      (* correctness, off the clock: every replicated session serves *)
+      List.iter
+        (fun id ->
+          if (Server.handle f (get ("/session/" ^ id))).Http.status <> 200
+          then failwith "resync bench: replicated session missing")
+        ids;
+      let loads =
+        let resp = Server.handle f (get "/ready") in
+        match Xsact_server.Json.of_string resp.Http.resp_body with
+        | Ok j -> (
+          match Xsact_server.Json.member "context_snapshot_loads" j with
+          | Some (Xsact_server.Json.Int n) -> n
+          | _ -> 0)
+        | Error _ -> 0
+      in
+      Server.stop f_running;
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote f_dir)));
+      (ms, loads)
+    in
+    (* one discarded round warms both ends, then best-of-3 per side *)
+    let _ = follower_round ~context_snapshots:true () in
+    let best round =
+      List.fold_left
+        (fun (bms, _ as acc) _ ->
+          let (ms, _ as r) = round () in
+          if ms < bms then r else acc)
+        (round ()) [ (); () ]
+    in
+    let warm_ms, loads = best (follower_round ~context_snapshots:true) in
+    let cold_ms, _ = best (follower_round ~context_snapshots:false) in
+    Server.stop p_running;
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote p_dir)));
+    Printf.printf
+      "warm resync of %d sessions over %d corpora: %.1f ms (%d contexts \
+       restored from shipped records) vs cold resync %.1f ms -> %.1fx\n"
+      (List.length ids) (List.length hot) warm_ms loads cold_ms
+      (cold_ms /. warm_ms);
+    (List.length ids, List.length hot, loads, warm_ms, cold_ms)
+  in
   let json = Buffer.create 1024 in
   Buffer.add_string json "{\n";
   Buffer.add_string json
@@ -1110,9 +1240,16 @@ let persist_bench () =
        "  \"warm_boot\": {\"sessions\": %d, \"sessions_restored\": %d, \
         \"recover_ms\": %.2f, \"first_touch_mean_ms\": %.3f, \
         \"first_touch_max_ms\": %.3f, \"warm_total_ms\": %.2f, \
-        \"cold_rebuild_ms\": %.2f, \"speedup\": %.1f}\n"
+        \"cold_rebuild_ms\": %.2f, \"speedup\": %.1f},\n"
        wb_sessions wb_loads wb_recover_ms wb_touch_mean wb_touch_max
        wb_warm_ms wb_cold_ms (wb_cold_ms /. wb_recover_ms));
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"resync\": {\"sessions\": %d, \"corpora\": %d, \
+        \"contexts_restored\": %d, \"warm_ms\": %.2f, \"cold_ms\": %.2f, \
+        \"speedup\": %.1f}\n"
+       rs_sessions rs_corpora rs_loads rs_warm_ms rs_cold_ms
+       (rs_cold_ms /. rs_warm_ms));
   Buffer.add_string json "}\n";
   let path = "BENCH_persist.json" in
   let oc = open_out path in

@@ -6,9 +6,25 @@
 open Cmdliner
 module Server = Xsact_server.Server
 
+let parse_hostport ~flag spec =
+  match String.rindex_opt spec ':' with
+  | Some i when i > 0 && i < String.length spec - 1 -> (
+    let host = String.sub spec 0 i in
+    let port_s = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt port_s with
+    | Some p when p > 0 && p < 65536 -> (host, p)
+    | _ ->
+      prerr_endline
+        (Printf.sprintf "xsact-serve: %s: bad port in %s" flag spec);
+      exit 1)
+  | _ ->
+    prerr_endline
+      (Printf.sprintf "xsact-serve: %s: expected HOST:PORT, got %s" flag spec);
+    exit 1
+
 let serve port threads cache domains datasets deadline_ms max_pending
     session_ttl max_sessions state_dir fsync snapshot_every no_incremental
-    context_cache max_context_mb replica_of takeover_after
+    context_cache max_context_mb replica_of peers takeover_after
     no_context_snapshots =
   let datasets = match datasets with [] -> None | names -> Some names in
   let fsync =
@@ -19,23 +35,9 @@ let serve port threads cache domains datasets deadline_ms max_pending
       exit 1
   in
   let replica_of =
-    match replica_of with
-    | None -> None
-    | Some spec -> (
-      match String.rindex_opt spec ':' with
-      | Some i when i > 0 && i < String.length spec - 1 -> (
-        let host = String.sub spec 0 i in
-        let port_s = String.sub spec (i + 1) (String.length spec - i - 1) in
-        match int_of_string_opt port_s with
-        | Some p when p > 0 && p < 65536 -> Some (host, p)
-        | _ ->
-          prerr_endline ("xsact-serve: --replica-of: bad port in " ^ spec);
-          exit 1)
-      | _ ->
-        prerr_endline
-          ("xsact-serve: --replica-of: expected HOST:PORT, got " ^ spec);
-        exit 1)
+    Option.map (parse_hostport ~flag:"--replica-of") replica_of
   in
+  let peers = List.map (parse_hostport ~flag:"--peer") peers in
   let takeover_after =
     match takeover_after with
     | None -> None
@@ -54,7 +56,7 @@ let serve port threads cache domains datasets deadline_ms max_pending
            ~context_cache_capacity:context_cache
            ~incremental:(not no_incremental) ?max_context_bytes ?domains
            ?deadline_ms ?session_ttl_s:session_ttl ?max_sessions ?state_dir
-           ~fsync ~snapshot_every ?replica_of ?takeover_after
+           ~fsync ~snapshot_every ?replica_of ~peers ?takeover_after
            ~context_snapshots:(not no_context_snapshots) ())
     with Invalid_argument msg -> Error msg
   in
@@ -99,6 +101,12 @@ let serve port threads cache domains datasets deadline_ms max_pending
         (match takeover_after with
         | Some s -> Printf.sprintf " (takeover after %.1fs silent)" s
         | None -> ""));
+    (match peers with
+    | [] -> ()
+    | ps ->
+      Printf.printf "  peers: %s\n%!"
+        (String.concat ", "
+           (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) ps)));
     let stop_requested = ref false in
     let request_stop _ = stop_requested := true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -252,14 +260,29 @@ let replica_of_arg =
            --state-dir — the follower keeps its own always-recoverable \
            copy.")
 
+let peers_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "peer" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Another node of this cluster (repeatable). The list drives \
+           coordinated failover: a booting primary probes it and joins a \
+           live higher-epoch primary instead of forking history, a \
+           follower that loses its primary walks it to find (or elect) \
+           the new one, and a freshly promoted primary fences every \
+           entry with POST /v1/demote until acknowledged.")
+
 let takeover_after_arg =
   Arg.(
     value & opt (some float) None
     & info [ "takeover-after" ] ~docv:"SECONDS"
         ~doc:
-          "With --replica-of: self-promote after the primary has been \
-           unreachable for $(docv) seconds (capped-backoff reconnects \
-           keep probing until then). 0 or absent: manual promotion only.")
+          "With --replica-of: run the takeover election after the \
+           primary has been unreachable for $(docv) seconds \
+           (jittered capped-backoff reconnects keep probing until then; \
+           with --peer the highest-epoch, lowest-address live follower \
+           wins and the rest re-point to it). 0 or absent: manual \
+           promotion only.")
 
 let no_context_snapshots_arg =
   Arg.(
@@ -280,6 +303,7 @@ let cmd =
       $ datasets_arg $ deadline_arg $ max_pending_arg $ session_ttl_arg
       $ max_sessions_arg $ state_dir_arg $ fsync_arg $ snapshot_every_arg
       $ no_incremental_arg $ context_cache_arg $ max_context_mb_arg
-      $ replica_of_arg $ takeover_after_arg $ no_context_snapshots_arg)
+      $ replica_of_arg $ peers_arg $ takeover_after_arg
+      $ no_context_snapshots_arg)
 
 let () = exit (Cmd.eval cmd)

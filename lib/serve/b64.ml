@@ -1,0 +1,87 @@
+(* Standard base64 (RFC 4648, with padding). The replication stream is
+   JSON text end to end, but a warm resync ships serialized pair-table
+   blobs — raw bytes — inside it; this is the armor they cross in.
+   Dependency-free like the rest of the tree. *)
+
+let alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let rec go i =
+    if i + 3 <= n then begin
+      let b = (byte i lsl 16) lor (byte (i + 1) lsl 8) lor byte (i + 2) in
+      Buffer.add_char out alphabet.[(b lsr 18) land 63];
+      Buffer.add_char out alphabet.[(b lsr 12) land 63];
+      Buffer.add_char out alphabet.[(b lsr 6) land 63];
+      Buffer.add_char out alphabet.[b land 63];
+      go (i + 3)
+    end
+    else if i + 2 = n then begin
+      let b = (byte i lsl 16) lor (byte (i + 1) lsl 8) in
+      Buffer.add_char out alphabet.[(b lsr 18) land 63];
+      Buffer.add_char out alphabet.[(b lsr 12) land 63];
+      Buffer.add_char out alphabet.[(b lsr 6) land 63];
+      Buffer.add_char out '='
+    end
+    else if i + 1 = n then begin
+      let b = byte i lsl 16 in
+      Buffer.add_char out alphabet.[(b lsr 18) land 63];
+      Buffer.add_char out alphabet.[(b lsr 12) land 63];
+      Buffer.add_string out "=="
+    end
+  in
+  go 0;
+  Buffer.contents out
+
+let value_of =
+  let table = Array.make 256 (-1) in
+  String.iteri (fun i c -> table.(Char.code c) <- i) alphabet;
+  fun c -> table.(Char.code c)
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then None
+  else begin
+    let out = Buffer.create (n / 4 * 3) in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let c0 = value_of s.[!i]
+      and c1 = value_of s.[!i + 1]
+      and q2 = s.[!i + 2]
+      and q3 = s.[!i + 3] in
+      let last = !i + 4 = n in
+      if c0 < 0 || c1 < 0 then ok := false
+      else if q2 = '=' then
+        (* "xx==": one byte; only legal at the very end *)
+        if (not last) || q3 <> '=' then ok := false
+        else Buffer.add_char out (Char.chr ((c0 lsl 2) lor (c1 lsr 4)))
+      else begin
+        let c2 = value_of q2 in
+        if c2 < 0 then ok := false
+        else if q3 = '=' then
+          (* "xxx=": two bytes; only legal at the very end *)
+          if not last then ok := false
+          else begin
+            Buffer.add_char out (Char.chr ((c0 lsl 2) lor (c1 lsr 4)));
+            Buffer.add_char out
+              (Char.chr (((c1 land 15) lsl 4) lor (c2 lsr 2)))
+          end
+        else begin
+          let c3 = value_of q3 in
+          if c3 < 0 then ok := false
+          else begin
+            Buffer.add_char out (Char.chr ((c0 lsl 2) lor (c1 lsr 4)));
+            Buffer.add_char out
+              (Char.chr (((c1 land 15) lsl 4) lor (c2 lsr 2)));
+            Buffer.add_char out (Char.chr (((c2 land 3) lsl 6) lor c3))
+          end
+        end
+      end;
+      i := !i + 4
+    done;
+    if !ok then Some (Buffer.contents out) else None
+  end

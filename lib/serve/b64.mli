@@ -1,0 +1,10 @@
+(** Base64 (RFC 4648, padded) — the armor binary context blobs wear when
+    a warm resync ships them inside the JSON replication stream. *)
+
+val encode : string -> string
+(** Encode arbitrary bytes; output is [A–Za–z0–9+/=] only, safe inside a
+    JSON string without escaping. *)
+
+val decode : string -> string option
+(** Inverse of {!encode}. [None] on any malformed input (bad length, bad
+    character, interior padding) — never raises. *)

@@ -21,6 +21,14 @@ type t = {
      boot id resyncs rather than trusting byte offsets across restarts *)
   boot_id : string;
   mutable replayed : int;
+  (* failover fencing epoch (DESIGN.md §14): a durable, monotone counter
+     minted at every promotion — NOT the compaction generation [gen],
+     which merely invalidates journal byte offsets. [fence_winner] is
+     recorded when a higher epoch fences this node while it was primary:
+     the winner's HOST:PORT, so a restart boots fenced (read-only,
+     following the winner) instead of resurrecting a split brain. *)
+  mutable fence_epoch : int;
+  mutable fence_winner : string option;
 }
 
 type recovered = {
@@ -129,11 +137,59 @@ let after_append t =
   if t.snapshot_every > 0 && t.since_snapshot >= t.snapshot_every then
     compact_locked t
 
+(* ---- Fencing epoch file -------------------------------------------------- *)
+
+(* One JSON line in <state-dir>/epoch, written atomically (tmp + rename +
+   fsync file and directory): {"epoch":E} on a primary, {"epoch":E,
+   "winner":"HOST:PORT"} on a fenced ex-primary. Missing or unparseable
+   reads as epoch 0 — a fresh directory has never been promoted. *)
+
+let epoch_path dir = Filename.concat dir "epoch"
+
+let read_fence dir =
+  match
+    In_channel.with_open_bin (epoch_path dir) In_channel.input_all
+  with
+  | exception Sys_error _ -> (0, None)
+  | s -> (
+    match Json.of_string (String.trim s) with
+    | Error _ -> (0, None)
+    | Ok j ->
+      ( Option.value ~default:0 (Option.bind (Json.member "epoch" j) Json.to_int),
+        Option.bind (Json.member "winner" j) Json.to_str ))
+
+let write_fence dir ~epoch ~winner =
+  let path = epoch_path dir in
+  let tmp = path ^ ".tmp" in
+  let json =
+    Json.Obj
+      (("epoch", Json.Int epoch)
+      ::
+      (match winner with
+      | Some w -> [ ("winner", Json.String w) ]
+      | None -> []))
+  in
+  let oc = open_out_bin tmp in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc)
+   with Unix.Unix_error _ -> ());
+  close_out oc;
+  Sys.rename tmp path;
+  try
+    let dfd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+  with Unix.Unix_error _ -> ()
+
 (* ---- Public -------------------------------------------------------------- *)
 
 let recover ~dir ~fsync ~snapshot_every =
   let t0 = Unix.gettimeofday () in
   let store, rec_ = Store.open_dir ~fsync dir in
+  let fence_epoch, fence_winner = read_fence dir in
   let t =
     {
       mutex = Mutex.create ();
@@ -149,6 +205,8 @@ let recover ~dir ~fsync ~snapshot_every =
       boot_id =
         Printf.sprintf "%d-%.6f" (Unix.getpid ()) (Unix.gettimeofday ());
       replayed = 0;
+      fence_epoch;
+      fence_winner;
     }
   in
   List.iter (fold_payload t) rec_.Store.snapshot;
@@ -201,7 +259,25 @@ let digest_locked t =
 let digest t = locked t (fun () -> digest_locked t)
 let boot_id t = t.boot_id
 let journal_file t = Store.journal_file t.store
-let epoch t = locked t (fun () -> Store.snapshots_total t.store)
+let gen t = locked t (fun () -> Store.snapshots_total t.store)
+
+let fence_epoch t = locked t (fun () -> t.fence_epoch)
+let fence_winner t = locked t (fun () -> t.fence_winner)
+
+(* The epoch never regresses: a lower [epoch] is ignored outright, an
+   equal one can only update the winner. Persisted before the fields
+   change meaning to callers — the write is the fence. *)
+let set_fence t ~epoch ?winner () =
+  locked t (fun () ->
+      if
+        epoch > t.fence_epoch
+        || (epoch = t.fence_epoch && winner <> t.fence_winner)
+      then begin
+        let epoch = max epoch t.fence_epoch in
+        write_fence (Store.dir t.store) ~epoch ~winner;
+        t.fence_epoch <- epoch;
+        t.fence_winner <- winner
+      end)
 let journal_offset t = locked t (fun () -> Store.journal_offset t.store)
 let since_snapshot t = locked t (fun () -> t.since_snapshot)
 let replayed_records t = locked t (fun () -> t.replayed)
@@ -209,7 +285,7 @@ let next_id t = locked t (fun () -> t.max_id + 1)
 
 type resync = {
   r_boot : string;
-  r_epoch : int;
+  r_gen : int;
   r_offset : int;
   r_records : int;
   r_digest : int;
@@ -220,7 +296,7 @@ let resync t =
   locked t (fun () ->
       {
         r_boot = t.boot_id;
-        r_epoch = Store.snapshots_total t.store;
+        r_gen = Store.snapshots_total t.store;
         r_offset = Store.journal_offset t.store;
         r_records = t.since_snapshot;
         r_digest = digest_locked t;
@@ -267,4 +343,9 @@ let stats_json t =
           ("recovery_dropped", Json.Int t.dropped);
           ("journal_offset", Json.Int (Store.journal_offset t.store));
           ("state_digest", Json.Int (digest_locked t));
+          ("fence_epoch", Json.Int t.fence_epoch);
+          ( "fence_winner",
+            match t.fence_winner with
+            | Some w -> Json.String w
+            | None -> Json.Null );
         ])

@@ -75,16 +75,22 @@ val stats_json : t -> Json.t
 (** The [/metrics] durability section: journal_appends, journal_bytes,
     snapshots_total, since_snapshot, recovery_ms,
     recovery_truncated_records, recovered_sessions, recovery_dropped,
-    journal_offset, state_digest. *)
+    journal_offset, state_digest, fence_epoch, fence_winner. *)
 
 (** {1 Replication}
 
     The primary streams its journal to followers byte-for-byte; both ends
-    use the hooks below. A replication cursor is [(boot, epoch, offset)]:
+    use the hooks below. A replication cursor is [(boot, gen, offset)]:
     the primary's {!boot_id} (offsets are meaningless across restarts),
-    its compaction {!epoch} ([snapshots_total] — a compaction truncates
-    the journal, invalidating offsets), and a byte offset into its
-    journal file. Any mismatch downgrades to a full {!resync}. *)
+    its compaction generation {!gen} ([snapshots_total] — a compaction
+    truncates the journal, invalidating offsets), and a byte offset into
+    its journal file. Any mismatch downgrades to a full {!resync}.
+
+    The {e fencing epoch} is a different counter entirely: a durable,
+    monotone promotion count ({!fence_epoch}) that coordinated failover
+    compares across nodes — promotion mints the next epoch durably
+    before the new primary serves a mutation, and any node observing a
+    higher epoch than its own knows it has been superseded. *)
 
 (** One parsed journal payload — the shape the replay fold consumes.
     Exposed so the serve layer can mirror a replicated record into its
@@ -100,8 +106,30 @@ val parse_payload : string -> parsed
 val boot_id : t -> string
 (** Unique per process (pid + boot stamp). *)
 
-val epoch : t -> int
-(** Compactions so far — bumps whenever journal offsets are invalidated. *)
+val gen : t -> int
+(** Compaction generation: compactions so far — bumps whenever journal
+    offsets are invalidated. Purely a stream-resumption validity check;
+    nothing to do with failover ordering (that is {!fence_epoch}). *)
+
+val fence_epoch : t -> int
+(** The durable failover epoch (0 until a promotion ever touches this
+    directory's history). Read from [<state-dir>/epoch] at {!recover},
+    before the server serves anything. *)
+
+val fence_winner : t -> string option
+(** The [HOST:PORT] of the higher-epoch winner that fenced this node
+    while it was primary, if any — a node recovering with a winner on
+    disk must boot as a read-only follower of that winner, {e not} as a
+    primary. [None] on a healthy primary or an ordinary follower. *)
+
+val set_fence : t -> epoch:int -> ?winner:string -> unit -> unit
+(** Durably advance the fencing epoch (atomic write + fsync of the epoch
+    file {e before} the in-memory fields change). The epoch is monotone:
+    a lower [epoch] is ignored; an equal one may still update [winner].
+    Promotion calls this with the minted epoch and no winner (clearing
+    any fence); fencing demotion calls it with the observed epoch and
+    the winner's address; a follower adopting its primary's epoch calls
+    it with no winner. *)
 
 val journal_file : t -> string
 val journal_offset : t -> int
@@ -124,7 +152,7 @@ val digest : t -> int
 
 type resync = {
   r_boot : string;
-  r_epoch : int;
+  r_gen : int;
   r_offset : int;
   r_records : int;  (** primary's [since_snapshot] — the lag baseline *)
   r_digest : int;

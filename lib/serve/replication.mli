@@ -1,29 +1,43 @@
-(** Journal shipping: a primary streams its durability journal to a live
-    follower, which applies every record through the same replay path
-    recovery uses — so the follower is a warm, read-serving replica whose
+(** Journal shipping: a primary streams its durability journal to live
+    followers, which apply every record through the same replay path
+    recovery uses — so a follower is a warm, read-serving replica whose
     state directory is always a valid recovery image.
 
     {b Wire protocol.} The follower issues
-    [GET /v1/replicate?boot=B&epoch=E&from=O] (cursor params absent on a
-    cold connect) and the primary answers with a chunked
-    [application/x-ndjson] stream, one JSON message per chunk:
+    [GET /v1/replicate?boot=B&gen=G&from=O&epoch=E] (cursor params
+    absent on a cold connect; [epoch] — the {e follower's} durable
+    fencing epoch — always present, so a superseded primary learns of
+    its fencing from its own subscribers) and the primary answers with a
+    chunked [application/x-ndjson] stream, one JSON message per chunk:
 
     - [{"repl":"resync",...}] — full state handover: snapshot-shaped
-      payloads plus the cursor (primary boot id, compaction epoch,
-      journal byte offset) that makes the subsequent record stream a
-      valid continuation, and the state digest;
+      payloads plus the cursor (primary boot id, compaction gen, journal
+      byte offset) that makes the subsequent record stream a valid
+      continuation, the state digest, the primary's fencing epoch, and
+      an optional [warm] list of base64-armored context-snapshot records
+      ({!Warmboot} codec) so the follower boots its caches warm;
     - [{"repl":"rec","o":O,"p":P}] — one journal record, verbatim; [O]
       is the follower's byte cursor {e after} applying it;
-    - [{"repl":"hb","epoch":E,"records":N,"digest":D}] — heartbeat every
-      ~0.2 s: liveness, the lag baseline ([N] = primary records since its
-      last compaction) and the divergence probe.
+    - [{"repl":"hb","gen":G,"epoch":E,"records":N,"digest":D}] —
+      heartbeat every ~0.2 s: liveness, the lag baseline ([N] = primary
+      records since its last compaction), the divergence probe, and the
+      fencing epoch.
 
     The stream self-heals: a stale or absent cursor, a compaction on the
-    primary (epoch bump), or a torn read each downgrade to a fresh
-    resync. The follower detects {e divergence} — it believes itself
-    caught up ([records = applied]) yet its {!Durability.digest}
-    disagrees with the heartbeat's — counts it, drops its cursor and
-    reconnects, forcing a healing resync.
+    primary (gen bump), or a torn read each downgrade to a fresh resync.
+    The follower detects {e divergence} — it believes itself caught up
+    ([records = applied]) yet its {!Durability.digest} disagrees with
+    the heartbeat's — counts it, drops its cursor and reconnects,
+    forcing a healing resync.
+
+    {b Failover.} The client is re-pointable: when its primary goes
+    silent past a probe threshold (~0.75 s) or answers with a fencing
+    epoch below this node's own ([on_epoch] returns false), it walks the
+    peer list ([probe]) for the current primary and re-subscribes there
+    without losing its applied tail (same-primary reconnects keep the
+    cursor; a changed primary drops it, forcing a resync). All reconnect
+    and probe delays are jittered (0.5–1.5×) so a fleet of followers
+    losing one primary never stampedes in lockstep.
 
     {b Failpoints}: [repl.apply.corrupt] (follower) swallows a record
     while advancing the cursor — manufactured divergence for tests. *)
@@ -32,35 +46,54 @@ val serve_stream :
   durability:Durability.t ->
   fd:Unix.file_descr ->
   ?boot:string ->
-  ?epoch:int ->
+  ?gen:int ->
   ?from:int ->
+  ?warm:(unit -> string list) ->
   stopping:(unit -> bool) ->
   unit ->
   unit
 (** Primary side. Takes over [fd] after the request was read and writes
     the entire chunked response, polling the journal file (~45 ms) and
     streaming records as they are acked, until the follower disconnects
-    or [stopping ()] — never raises. The caller closes [fd]. *)
+    or [stopping ()] — never raises. [warm] is called at each resync for
+    the base64-armored context-snapshot records to ship (default none).
+    The caller closes [fd]. *)
 
 type client
 
 val start_client :
-  host:string ->
-  port:int ->
+  ?primary:string * int ->
   durability:Durability.t ->
+  my_epoch:(unit -> int) ->
+  on_epoch:(string * int -> int -> bool) ->
+  ?probe:(unit -> (string * int) option) ->
+  ?on_repoint:(string * int -> unit) ->
   apply:(string -> unit) ->
-  reset:(string list -> unit) ->
+  reset:(payloads:string list -> warm:string list -> unit) ->
   ?takeover_after:float ->
   ?on_lost:(unit -> unit) ->
   unit ->
   client
-(** Follower side: a background thread that connects (reconnecting with
-    capped exponential backoff, 50 ms → 1 s), and drives [apply] with
-    each replicated journal payload and [reset] with each resync's full
-    payload list — both called from the replication thread; they own
-    journaling the data locally ({!Durability.append_replicated} /
-    {!Durability.install_resync}) and mirroring it into live state.
-    With [takeover_after], a primary silent for that many seconds fires
+(** Follower side: a background thread that connects to [primary]
+    (discovering one via [probe] when absent or lost), reconnecting with
+    capped jittered exponential backoff (50 ms → 1 s), and drives
+    [apply] with each replicated journal payload and [reset] with each
+    resync's full payload list plus its warm records — both called from
+    the replication thread; they own journaling the data locally
+    ({!Durability.append_replicated} / {!Durability.install_resync}) and
+    mirroring it into live state.
+
+    [my_epoch] supplies this node's durable fencing epoch for the
+    subscribe query. [on_epoch p e] is called with every epoch-bearing
+    message from primary [p]: return [false] to declare that primary
+    stale (the connection is abandoned and discovery runs); returning
+    [true] may also durably adopt [e]. [on_repoint] fires whenever the
+    subscription target changes (including the first discovery).
+
+    Only messages from a valid primary (and a clean end-of-stream)
+    refresh the liveness clock — merely connecting does not, so a
+    live-but-stale primary cannot suppress takeover. With
+    [takeover_after], a primary silent for that many seconds fires
     [on_lost] (once, from the replication thread, which then exits) —
     the server's auto-promotion hook, which must {e not} join this
     thread. *)
@@ -80,3 +113,11 @@ val applied_records : client -> int
 val resyncs : client -> int
 
 val divergences : client -> int
+
+val repoints : client -> int
+(** Times the subscription target changed (first discovery included). *)
+
+val current_primary : client -> (string * int) option
+(** The primary currently subscribed to (or targeted), if any — what the
+    follower's 503 hint and [/ready] report. Read from other threads;
+    single-word read, safely racy. *)

@@ -48,8 +48,10 @@ let cold_of_entry se =
 (* A server is born [Primary] (the normal standalone daemon is just a
    primary with no followers) or — when created with [replica_of] —
    [Follower]: read-only, journaling nothing of its own, mirroring the
-   primary's journal stream into live state. Promotion flips the word
-   once; it never flips back. *)
+   primary's journal stream into live state. The word flips both ways:
+   promotion makes a follower primary, and a primary that observes a
+   higher fencing epoch (a demote probe, a subscriber ahead of it, an
+   operator POST /v1/demote) self-demotes back to follower. *)
 type role = Primary | Follower
 
 type t = {
@@ -93,6 +95,27 @@ type t = {
   context_snapshots : bool;
   repl_client : Replication.client option ref;
   streams : int Atomic.t;
+  (* Coordinated failover (DESIGN.md §14). [peers] is the static cluster
+     membership walked by discovery, election and the post-promotion
+     fencer; [advertise] is this node's own HOST:PORT once [start] binds
+     (what the fencer announces and elections rank by). [current_primary]
+     tracks where mutations should go {e now} — it follows re-pointing,
+     unlike the static [replica_of]. [fenced] marks an ex-primary
+     superseded by a higher epoch: its mutations answer 409 (naming the
+     winner) rather than the ordinary follower 503. [mem_epoch] /
+     [mem_winner] back the fencing epoch for servers without a state dir
+     (with one, {!Durability.fence_epoch} is the durable truth).
+     [ensure_client] (filled by [recover]) starts a discovery-driven
+     replication client on a freshly-demoted node; [closing] tells the
+     fencer and election threads the server is shutting down. *)
+  peers : (string * int) list;
+  mutable advertise : (string * int) option;
+  current_primary : (string * int) option ref;
+  fenced : bool Atomic.t;
+  mem_epoch : int Atomic.t;
+  mem_winner : string option ref;
+  mutable ensure_client : unit -> unit;
+  closing : bool Atomic.t;
   mutable routes : Router.route list;
   (* Wired up by [start]: depth of the pending-connection queue and the
      overload predicate driving the degradation ladder. Inert (0 / false)
@@ -181,6 +204,224 @@ let handle_health _t _req _params =
 let role_string t =
   match Atomic.get t.role with Primary -> "primary" | Follower -> "follower"
 
+(* ---- Fencing epochs and cluster topology --------------------------------
+
+   The fencing epoch is a durable, monotone promotion counter: promotion
+   mints the next epoch before the new primary serves a mutation, and any
+   node observing a higher epoch than its own knows it has been
+   superseded. With a state dir the epoch lives in [Durability] (the
+   [<state-dir>/epoch] file); without one it is process-local. *)
+
+let addr_string (host, port) = Printf.sprintf "%s:%d" host port
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i -> (
+    let host = String.sub s 0 i in
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port when host <> "" && port > 0 && port < 65536 ->
+      Some (host, port)
+    | _ -> None)
+
+let fence_epoch t =
+  match !(t.durability) with
+  | Some d -> Durability.fence_epoch d
+  | None -> Atomic.get t.mem_epoch
+
+let fence_winner t =
+  match !(t.durability) with
+  | Some d -> Durability.fence_winner d
+  | None -> !(t.mem_winner)
+
+let set_fence t ~epoch ?winner () =
+  match !(t.durability) with
+  | Some d -> Durability.set_fence d ~epoch ?winner ()
+  | None ->
+    if epoch > Atomic.get t.mem_epoch then begin
+      Atomic.set t.mem_epoch epoch;
+      t.mem_winner := winner
+    end
+
+(* Who holds (or last held) the pen, as a HOST:PORT hint for error
+   bodies: ourselves when primary, else the fencing winner, else
+   whichever primary we currently follow. *)
+let winner_hint t =
+  if Atomic.get t.role = Primary then Option.map addr_string t.advertise
+  else
+    match fence_winner t with
+    | Some w -> Some w
+    | None -> Option.map addr_string !(t.current_primary)
+
+(* The fencing 409s carry the deciding facts at top level next to the
+   standard error envelope, so a superseded caller can re-point without a
+   second round trip: [epoch] is this node's current fencing epoch,
+   [winner] the address to talk to. *)
+let fencing_error ~status ~code t msg =
+  json_response ~status
+    (Json.Obj
+       [
+         ( "error",
+           Json.Obj
+             [ ("code", Json.String code); ("message", Json.String msg) ] );
+         ("epoch", Json.Int (fence_epoch t));
+         ( "winner",
+           match winner_hint t with
+           | Some w -> Json.String w
+           | None -> Json.Null );
+       ])
+
+(* One short timed probe: GET /v1/epoch with 0.5 s socket timeouts (the
+   plain [Http.request] client has none — a wedged peer would hang
+   discovery). Returns the peer's (role, epoch, primary hint). *)
+let probe_timeout_s = 0.5
+
+let probe_request ~host ~port ?meth ?body path =
+  match Unix.inet_addr_of_string host with
+  | exception Failure _ -> None
+  | addr -> (
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO probe_timeout_s;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO probe_timeout_s;
+          Unix.connect fd (Unix.ADDR_INET (addr, port));
+          let oc = Unix.out_channel_of_descr fd in
+          let ic = Unix.in_channel_of_descr fd in
+          Http.send_request oc ~host:(addr_string (host, port)) ?meth ?body
+            path;
+          Http.read_response ic)
+    with
+    | exception (Unix.Unix_error _ | Sys_error _ | Failure _ | End_of_file)
+      ->
+      None
+    | status, _, resp_body -> Some (status, resp_body))
+
+type peer_state = {
+  p_addr : string * int;
+  p_role : string;  (* "primary" | "follower" *)
+  p_epoch : int;
+  p_primary : (string * int) option;  (* a follower's current target *)
+}
+
+let probe_epoch ~host ~port =
+  match probe_request ~host ~port "/v1/epoch" with
+  | Some (200, body) -> (
+    match Json.of_string body with
+    | Error _ -> None
+    | Ok j ->
+      let str name = Option.bind (Json.member name j) Json.to_str in
+      let int name = Option.bind (Json.member name j) Json.to_int in
+      (match (str "role", int "epoch") with
+      | Some role, Some epoch ->
+        Some
+          {
+            p_addr = (host, port);
+            p_role = role;
+            p_epoch = epoch;
+            p_primary = Option.bind (str "primary") parse_hostport;
+          }
+      | _ -> None))
+  | _ -> None
+
+(* Every address worth probing: the static peer list, the configured
+   primary, wherever we currently point, and any fencing winner on
+   record — minus ourselves. *)
+let candidates t =
+  let extra =
+    List.filter_map Fun.id
+      [
+        t.replica_of;
+        !(t.current_primary);
+        Option.bind (fence_winner t) parse_hostport;
+      ]
+  in
+  let all = t.peers @ extra in
+  let self = t.advertise in
+  List.fold_left
+    (fun acc hp ->
+      if Some hp = self || List.mem hp acc then acc else acc @ [ hp ])
+    [] all
+
+(* Probe every candidate, following one indirection hop through
+   followers' reported primaries (a follower that already re-pointed
+   knows the winner before our static list does). *)
+let probe_cluster t =
+  let direct =
+    List.filter_map (fun (h, p) -> probe_epoch ~host:h ~port:p) (candidates t)
+  in
+  let known = List.map (fun s -> s.p_addr) direct in
+  let hops =
+    List.filter_map
+      (fun s ->
+        match s.p_primary with
+        | Some hp
+          when s.p_role = "follower"
+               && (not (List.mem hp known))
+               && Some hp <> t.advertise ->
+          Some hp
+        | _ -> None)
+      direct
+    |> List.sort_uniq compare
+  in
+  direct @ List.filter_map (fun (h, p) -> probe_epoch ~host:h ~port:p) hops
+
+(* The live primary to follow, if any: highest fencing epoch no lower
+   than ours wins (a lower-epoch "primary" is a stale node the fencer has
+   not reached yet — following it would roll us back). *)
+let discover_primary t =
+  let mine = fence_epoch t in
+  probe_cluster t
+  |> List.filter (fun s -> s.p_role = "primary" && s.p_epoch >= mine)
+  |> List.fold_left
+       (fun best s ->
+         match best with
+         | Some b when b.p_epoch >= s.p_epoch -> best
+         | _ -> Some s)
+       None
+  |> Option.map (fun s -> s.p_addr)
+
+(* Self-demotion: durably adopt the higher epoch (and winner, when we
+   were primary — that is what keeps a revived ex-primary fenced across
+   restarts), flip to read-only follower, and get a replication client
+   hunting for the winner. Safe to call in any role; called from the
+   demote endpoint, the subscriber-epoch check, and the fencer when its
+   own probe is answered with a still-higher epoch. *)
+let demote t ~epoch ?winner () =
+  if Atomic.get t.role = Primary then begin
+    set_fence t ~epoch ?winner ();
+    (match Option.bind winner parse_hostport with
+    | Some hp -> t.current_primary := Some hp
+    | None -> ());
+    Atomic.set t.fenced true;
+    Atomic.set t.role Follower;
+    Metrics.incr_counter t.metrics "demotions";
+    t.ensure_client ()
+  end
+  else begin
+    (* an ordinary follower just adopts the epoch; no winner is persisted
+       (restarting a follower's directory standalone still boots primary,
+       which is the deliberate fork-the-state operator move) *)
+    set_fence t ~epoch ();
+    match Option.bind winner parse_hostport with
+    | Some hp -> t.current_primary := Some hp
+    | None -> ()
+  end
+
+(* Operator step-down (planned handover): stop accepting mutations and
+   wait to follow whoever is promoted next. No epoch change — the
+   subsequent promotion mints the higher epoch that makes the handover
+   stick. *)
+let step_down t =
+  if Atomic.get t.role = Primary then begin
+    Atomic.set t.role Follower;
+    Metrics.incr_counter t.metrics "demotions";
+    t.ensure_client ()
+  end
+
 (* Readiness: route traffic here only once recovered state is live. Not a
    bare 200/503 — the body reports how far recovery/replication has
    progressed (records folded, warm-boot snapshot hits and misses,
@@ -191,6 +432,12 @@ let handle_ready t _req _params =
   let progress =
     [
       ("role", Json.String (role_string t));
+      ("epoch", Json.Int (fence_epoch t));
+      ("fenced", Json.Bool (Atomic.get t.fenced));
+      ( "primary",
+        match !(t.current_primary) with
+        | Some hp -> Json.String (addr_string hp)
+        | None -> Json.Null );
       ( "records_replayed",
         Json.Int
           (match !(t.durability) with
@@ -972,9 +1219,17 @@ let handle_metrics t _req _params =
              Json.Obj
                ([
                   ("role", Json.String (role_string t));
+                  ("epoch", Json.Int (fence_epoch t));
+                  ("fenced", Json.Bool (Atomic.get t.fenced));
+                  ( "primary",
+                    match !(t.current_primary) with
+                    | Some hp -> Json.String (addr_string hp)
+                    | None -> Json.Null );
                   ("streams", Json.Int (Atomic.get t.streams));
                   ( "promotions",
                     Json.Int (Metrics.counter t.metrics "promotions") );
+                  ( "demotions",
+                    Json.Int (Metrics.counter t.metrics "demotions") );
                   ( "context_snapshot_loads",
                     Json.Int
                       (Metrics.counter t.metrics "context_snapshot_loads") );
@@ -992,47 +1247,220 @@ let handle_metrics t _req _params =
                      Json.Int (Replication.applied_records c) );
                    ("resyncs", Json.Int (Replication.resyncs c));
                    ("divergences", Json.Int (Replication.divergences c));
+                   ("repoints", Json.Int (Replication.repoints c));
                  ]
                | None -> []) );
          ])
 
-(* ---- Promotion ---------------------------------------------------------- *)
+(* ---- Promotion, demotion and the fencer ---------------------------------- *)
 
-(* Flip a follower to primary: detach the replication client (the swap is
-   O(1) under [lock]; the join — waiting for an in-flight apply to land —
-   happens outside every lock, because the replication thread takes
-   [session_update]), then flip the role word. Mutations are accepted
-   only after the flip, so everything the dying primary acked and shipped
-   is applied before the first new write. [join:false] is the
-   auto-takeover path: the replication thread promoting from its own
-   [on_lost] must not join itself. Returns false when already primary —
-   promotion is idempotent. *)
+(* After promotion, chase every peer with POST /v1/demote until each has
+   acknowledged the new epoch — with capped jittered backoff, retrying
+   unreachable peers for as long as we remain primary at this epoch.
+   The indefinite retry is the channel that fences a dead ex-primary
+   whenever it comes back, even minutes later. A peer answering with a
+   {e higher} epoch means we lost a race we did not know about: we
+   self-demote on the spot. *)
+let spawn_fencer t ~epoch =
+  let targets = candidates t in
+  if targets <> [] then
+    ignore
+      (Thread.create
+         (fun () ->
+           let prng =
+             Xsact_util.Prng.of_int
+               (Hashtbl.hash (Unix.getpid (), epoch, "fencer"))
+           in
+           let pending = ref targets in
+           let backoff = ref 0.1 in
+           while
+             !pending <> []
+             && Atomic.get t.role = Primary
+             && fence_epoch t = epoch
+             && not (Atomic.get t.closing)
+           do
+             let announce =
+               Json.to_string
+                 (Json.Obj
+                    (("epoch", Json.Int epoch)
+                    ::
+                    (match t.advertise with
+                    | Some hp ->
+                      [ ("primary", Json.String (addr_string hp)) ]
+                    | None -> [])))
+             in
+             pending :=
+               List.filter
+                 (fun (host, port) ->
+                   match
+                     probe_request ~host ~port ~meth:"POST" ~body:announce
+                       "/v1/demote"
+                   with
+                   | Some (200, _) -> false
+                   | Some (409, body) ->
+                     (match Json.of_string body with
+                     | Ok j -> (
+                       let int name =
+                         Option.bind (Json.member name j) Json.to_int
+                       in
+                       let str name =
+                         Option.bind (Json.member name j) Json.to_str
+                       in
+                       match int "epoch" with
+                       | Some e when e > fence_epoch t ->
+                         demote t ~epoch:e ?winner:(str "winner") ()
+                       | _ -> ())
+                     | Error _ -> ());
+                     false
+                   | Some _ -> false  (* answered; not a fencing peer *)
+                   | None -> true (* unreachable: keep chasing *))
+                 !pending;
+             if !pending <> [] then begin
+               Thread.delay (!backoff *. (0.5 +. Xsact_util.Prng.float prng 1.0));
+               backoff := Float.min 2.0 (!backoff *. 2.)
+             end
+           done)
+         ())
+
+(* Flip a follower to primary. Ordering is the fencing contract: the new
+   epoch is minted {e durably} first — before the role word flips, so no
+   mutation is ever served under the old epoch — then the replication
+   client is detached (the swap is O(1) under [lock]; the join — waiting
+   for an in-flight apply to land — happens outside every lock, because
+   the replication thread takes [session_update]), then the role flips
+   and the fencer starts chasing the peers. Mutations are accepted only
+   after the flip, so everything the dying primary acked and shipped is
+   applied before the first new write. [join:false] is the auto-takeover
+   path: the replication thread promoting from its own [on_lost] must
+   not join itself. Returns false when already primary — promotion is
+   idempotent. *)
 let promote t ~join =
-  let client =
-    locked t (fun () ->
-        let c = !(t.repl_client) in
-        t.repl_client := None;
-        c)
-  in
-  match client with
-  | None -> false
-  | Some c ->
-    Replication.stop_client ~join c;
+  if Atomic.get t.role = Primary then false
+  else begin
+    let epoch = fence_epoch t + 1 in
+    set_fence t ~epoch ();
+    (match !(t.durability) with
+    | None -> t.mem_winner := None
+    | Some _ -> ());
+    let client =
+      locked t (fun () ->
+          let c = !(t.repl_client) in
+          t.repl_client := None;
+          c)
+    in
+    (match client with
+    | Some c -> Replication.stop_client ~join c
+    | None -> ());
     (match !(t.durability) with
     | Some d -> Session_store.ensure_next t.sessions (Durability.next_id d)
     | None -> ());
+    Atomic.set t.fenced false;
+    t.current_primary := None;
     Atomic.set t.role Primary;
     Metrics.incr_counter t.metrics "promotions";
+    spawn_fencer t ~epoch;
     true
+  end
 
-let handle_promote t _req _params =
-  let promoted = promote t ~join:true in
+(* POST /v1/promote. An optional body [{"epoch":E}] is a compare-and-set
+   guard for scripted runbooks: the promotion happens only if this node's
+   fencing epoch still equals [E] — otherwise 409 [stale_epoch] naming
+   the current epoch and winner, and the script knows the topology moved
+   under it. *)
+let handle_promote t req _params =
+  let expected =
+    if String.trim req.Http.body = "" then None
+    else
+      match Json.of_string req.Http.body with
+      | Ok j -> Option.bind (Json.member "epoch" j) Json.to_int
+      | Error _ -> None
+  in
+  match expected with
+  | Some e when e <> fence_epoch t ->
+    fencing_error ~status:409 ~code:"stale_epoch" t
+      (Printf.sprintf
+         "promote expected epoch %d but the current epoch is %d" e
+         (fence_epoch t))
+  | _ ->
+    let promoted = promote t ~join:true in
+    json_response ~status:200
+      (Json.Obj
+         [
+           ("role", Json.String (role_string t));
+           ("promoted", Json.Bool promoted);
+           ("epoch", Json.Int (fence_epoch t));
+         ])
+
+(* GET /v1/epoch: the discovery/election probe. [primary] is where this
+   node believes mutations go — itself when primary, its current target
+   when following (the hint that lets discovery take one indirection hop
+   through an already-re-pointed follower). *)
+let handle_epoch t _req _params =
   json_response ~status:200
     (Json.Obj
        [
          ("role", Json.String (role_string t));
-         ("promoted", Json.Bool promoted);
+         ("epoch", Json.Int (fence_epoch t));
+         ("fenced", Json.Bool (Atomic.get t.fenced));
+         ( "primary",
+           match
+             if Atomic.get t.role = Primary then t.advertise
+             else !(t.current_primary)
+           with
+           | Some hp -> Json.String (addr_string hp)
+           | None -> Json.Null );
        ])
+
+(* POST /v1/demote. Two distinct requests share the endpoint:
+
+   - [{"epoch":E,"primary":"H:P"}] — a fencing probe from the epoch-E
+     winner. [E] above our epoch fences us (durably, with the winner
+     recorded); [E] at or below it is a stale prober and gets the 409
+     that tells {e it} to stand down.
+   - empty body — an operator's planned step-down: stop accepting
+     mutations and wait to follow whoever is promoted next. *)
+let handle_demote t req _params =
+  if String.trim req.Http.body = "" then begin
+    step_down t;
+    json_response ~status:200
+      (Json.Obj
+         [
+           ("role", Json.String (role_string t));
+           ("epoch", Json.Int (fence_epoch t));
+         ])
+  end
+  else
+    match Json.of_string req.Http.body with
+    | Error e ->
+      error_response ~status:400 ~code:"bad_request" ("invalid JSON: " ^ e)
+    | Ok j -> (
+      match Option.bind (Json.member "epoch" j) Json.to_int with
+      | None ->
+        error_response ~status:400 ~code:"bad_request"
+          "demote body must carry an integer \"epoch\""
+      | Some e when e > fence_epoch t ->
+        demote t ~epoch:e
+          ?winner:(Option.bind (Json.member "primary" j) Json.to_str)
+          ();
+        json_response ~status:200
+          (Json.Obj
+             [
+               ("role", Json.String (role_string t));
+               ("epoch", Json.Int (fence_epoch t));
+             ])
+      | Some _ when Atomic.get t.role = Follower ->
+        (* already no primary: adopting an old epoch is a no-op ack *)
+        json_response ~status:200
+          (Json.Obj
+             [
+               ("role", Json.String (role_string t));
+               ("epoch", Json.Int (fence_epoch t));
+             ])
+      | Some e ->
+        fencing_error ~status:409 ~code:"stale_epoch" t
+          (Printf.sprintf
+             "demote carries epoch %d but this primary holds epoch %d" e
+             (fence_epoch t)))
 
 (* The plain-router stand-in for GET /v1/replicate: the real stream takes
    over the raw socket in [serve_connection] before dispatch ever runs,
@@ -1067,6 +1495,8 @@ let routes_of t =
     r "DELETE" "session/:id" handle_session_delete;
     r "GET" "v1/replicate" handle_replicate_plain;
     r "POST" "v1/promote" handle_promote;
+    r "GET" "v1/epoch" handle_epoch;
+    r "POST" "v1/demote" handle_demote;
   ]
 
 (* The session's durable representation: everything needed to rebuild it
@@ -1129,70 +1559,87 @@ let release_stored intern st =
 
 let contexts_path dir = Filename.concat dir "contexts"
 
-(* Serialize the warm population at clean shutdown: one record per
-   distinct interned context (k sessions over one corpus write one
-   context), one per warm session. Cold cells are skipped — their
-   contexts do not exist — and so are compare-cache-only intern entries,
-   whose weighting no stored request can reconstruct. Both record lists
-   are sorted, so the file is deterministic for a given warm set. No
-   warm sessions → no file (a stale one would only produce misses). *)
+(* Serialize the warm population: one record per distinct interned
+   context (k sessions over one corpus write one context), one per warm
+   session. Cold cells are skipped — their contexts do not exist — and
+   so are compare-cache-only intern entries, whose weighting no stored
+   request can reconstruct. Both record lists are sorted, so the output
+   is deterministic for a given warm set. Two consumers: the [contexts]
+   file written at clean shutdown, and (base64-armored) the [warm]
+   section of a replication resync. Touches [st.state], so callers hold
+   [session_update] or run after the worker drain. *)
+let warm_records_locked t =
+  let ctxs = Hashtbl.create 8 in
+  let warm =
+    Session_store.fold t.sessions ~init:[]
+      ~f:(fun id st ~last_used:_ acc ->
+        match st.state with
+        | Warm se ->
+          let key = session_ctx_key se in
+          if not (Hashtbl.mem ctxs key) then
+            Hashtbl.replace ctxs key
+              (Session.profiles se.s_session, Session.context se.s_session);
+          (id, key, se) :: acc
+        | Cold _ -> acc)
+  in
+  if warm = [] then []
+  else
+    let ctx_records =
+      Hashtbl.fold
+        (fun key (profiles, context) acc ->
+          Warmboot.encode
+            (Warmboot.Ctx
+               {
+                 Warmboot.x_key = key;
+                 x_profiles = profiles;
+                 x_blob = Dod.serialize_context context;
+               })
+          :: acc)
+        ctxs []
+      |> List.sort compare
+    in
+    let sess_records =
+      List.map
+        (fun (id, key, se) ->
+          Warmboot.encode
+            (Warmboot.Sess
+               {
+                 Warmboot.z_id = id;
+                 z_ctx = key;
+                 z_bound = Session.size_bound se.s_session;
+                 z_runs = Session.stats se.s_session;
+                 z_dfss = Array.map Dfs.to_q_array (Session.dfss se.s_session);
+               }))
+        warm
+      |> List.sort compare
+    in
+    ctx_records @ sess_records
+
+(* Shutdown consumer: no warm sessions → no file (a stale one would only
+   produce misses). Runs after the worker drain, so no lock. *)
 let write_context_snapshot t =
   match t.persist with
   | Some (dir, _, _) when t.context_snapshots && t.incremental ->
     let path = contexts_path dir in
-    let ctxs = Hashtbl.create 8 in
-    let warm =
-      Session_store.fold t.sessions ~init:[]
-        ~f:(fun id st ~last_used:_ acc ->
-          match st.state with
-          | Warm se ->
-            let key = session_ctx_key se in
-            if not (Hashtbl.mem ctxs key) then
-              Hashtbl.replace ctxs key
-                (Session.profiles se.s_session, Session.context se.s_session);
-            (id, key, se) :: acc
-          | Cold _ -> acc)
-    in
-    if warm = [] then (try Sys.remove path with Sys_error _ -> ())
-    else begin
-      let ctx_records =
-        Hashtbl.fold
-          (fun key (profiles, context) acc ->
-            Warmboot.encode
-              (Warmboot.Ctx
-                 {
-                   Warmboot.x_key = key;
-                   x_profiles = profiles;
-                   x_blob = Dod.serialize_context context;
-                 })
-            :: acc)
-          ctxs []
-        |> List.sort compare
-      in
-      let sess_records =
-        List.map
-          (fun (id, key, se) ->
-            Warmboot.encode
-              (Warmboot.Sess
-                 {
-                   Warmboot.z_id = id;
-                   z_ctx = key;
-                   z_bound = Session.size_bound se.s_session;
-                   z_runs = Session.stats se.s_session;
-                   z_dfss = Array.map Dfs.to_q_array (Session.dfss se.s_session);
-                 }))
-          warm
-        |> List.sort compare
-      in
-      Xsact_persist.Snapshot.write path (ctx_records @ sess_records)
-    end
+    (match warm_records_locked t with
+    | [] -> ( try Sys.remove path with Sys_error _ -> ())
+    | records -> Xsact_persist.Snapshot.write path records)
   | _ -> ()
+
+(* Resync consumer: what [serve_stream]'s [warm] callback ships, called
+   from the streaming worker at each resync. *)
+let warm_wire_records t =
+  if t.context_snapshots && t.incremental then
+    with_session_update t (fun () ->
+        List.map B64.encode (warm_records_locked t))
+  else []
 
 let create ?datasets ?(cache_capacity = 128) ?(context_cache_capacity = 32)
     ?(incremental = true) ?max_context_bytes ?domains ?deadline_ms
     ?(max_deadline_ms = 60_000) ?session_ttl_s ?max_sessions ?state_dir
     ?(fsync = Xsact_persist.Journal.Interval 0.1) ?(snapshot_every = 256)
-    ?replica_of ?takeover_after ?(context_snapshots = true) () =
+    ?replica_of ?(peers = []) ?takeover_after ?(context_snapshots = true) ()
+    =
   (match deadline_ms with
   | Some ms when ms < 1 ->
     invalid_arg "Server.create: deadline_ms must be positive"
@@ -1270,6 +1717,14 @@ let create ?datasets ?(cache_capacity = 128) ?(context_cache_capacity = 32)
       context_snapshots;
       repl_client = ref None;
       streams = Atomic.make 0;
+      peers;
+      advertise = None;
+      current_primary = ref replica_of;
+      fenced = Atomic.make false;
+      mem_epoch = Atomic.make 0;
+      mem_winner = ref None;
+      ensure_client = (fun () -> ());
+      closing = Atomic.make false;
       routes = [];
       queue_depth = (fun () -> 0);
       overloaded = (fun () -> false);
@@ -1320,13 +1775,12 @@ let cold_of_journal entry_json =
    DFS q-vectors and the final assembly are re-validated by
    [Dfs.of_q_array] and [Session.restore]. Any defect anywhere demotes to
    a miss, never to wrong state. *)
-let load_context_snapshot t =
-  match t.persist with
-  | Some (dir, _, _) when t.context_snapshots && t.incremental ->
-    let { Xsact_persist.Snapshot.records; valid } =
-      Xsact_persist.Snapshot.read (contexts_path dir)
-    in
-    if valid && records <> [] then begin
+(* Install a batch of warm-boot records over the current (cold) session
+   population. Shared by warm boot from the [contexts] file and by the
+   warm section of a replication resync — the records are identical;
+   only the transport differs. *)
+let install_warm_records t records =
+  if records <> [] then begin
       let blobs = Hashtbl.create 8 in
       (* one search per distinct (dataset, keywords) across the whole
          load — restored sessions over the same query share the result
@@ -1428,6 +1882,14 @@ let load_context_snapshot t =
             (List.rev !sess);
           enforce_context_budget t ~keep:"")
     end
+
+let load_context_snapshot t =
+  match t.persist with
+  | Some (dir, _, _) when t.context_snapshots && t.incremental ->
+    let { Xsact_persist.Snapshot.records; valid } =
+      Xsact_persist.Snapshot.read (contexts_path dir)
+    in
+    if valid then install_warm_records t records
   | _ -> ()
 
 (* ---- Follower state mirroring -------------------------------------------
@@ -1464,11 +1926,155 @@ let repl_apply t d payload =
   Durability.append_replicated d payload;
   with_session_update t (fun () -> repl_install t d ~prewarm:true payload)
 
-let repl_reset t d payloads =
+(* Full-state handover. Sessions land cold first; then any warm records
+   the primary shipped rebuild their contexts by deserialization (the
+   warm resync — k sessions over one corpus decode one context blob,
+   no O(n²) extraction); whatever they did not cover (disabled snapshots,
+   a session mutated mid-capture, a defective record) is eager-warmed
+   through the ordinary rebuild path, preserving the invariant that a
+   follower serves — and, promoted, keeps serving — warm sessions. *)
+let repl_reset t d ~payloads ~warm =
   Durability.install_resync d payloads;
   with_session_update t (fun () ->
       List.iter (repl_drop t) (Session_store.ids t.sessions);
-      List.iter (repl_install t d ~prewarm:true) payloads)
+      List.iter (repl_install t d ~prewarm:false) payloads);
+  (if warm <> [] && t.context_snapshots && t.incremental then
+     let records =
+       List.filter_map
+         (fun w ->
+           match B64.decode w with
+           | Some r -> Some r
+           | None ->
+             Metrics.incr_counter t.metrics "context_snapshot_misses";
+             None)
+         warm
+     in
+     install_warm_records t records);
+  with_session_update t (fun () ->
+      List.iter
+        (fun id ->
+          match Session_store.find t.sessions id with
+          | Some ({ state = Cold _; _ } as st) -> (
+            match warm_session t id st with Ok _ | Error _ -> ())
+          | Some { state = Warm _; _ } | None -> ())
+        (Session_store.ids t.sessions))
+
+(* The follower-side replication client, wired to this server: epoch
+   adoption and staleness through the durable fence, discovery through
+   the peer list, state through the repl_* mirrors, takeover through the
+   election below. *)
+let rec start_repl_client t d ?primary () =
+  Replication.start_client ?primary ~durability:d
+    ~my_epoch:(fun () -> fence_epoch t)
+    ~on_epoch:(fun hp e ->
+      let mine = fence_epoch t in
+      if e < mine then false
+      else begin
+        (* adopt a higher epoch durably; an equal one writes nothing, so
+           a fenced ex-primary's winner record survives while it follows
+           that winner *)
+        if e > mine then set_fence t ~epoch:e ();
+        t.current_primary := Some hp;
+        true
+      end)
+    ~probe:(fun () -> discover_primary t)
+    ~on_repoint:(fun hp -> t.current_primary := Some hp)
+    ~apply:(fun p -> repl_apply t d p)
+    ~reset:(fun ~payloads ~warm -> repl_reset t d ~payloads ~warm)
+    ?takeover_after:t.takeover_after
+    ~on_lost:(fun () -> auto_takeover t)
+    ()
+
+(* A freshly-demoted node needs a client hunting for the winner; a node
+   that already has one keeps it (its discovery re-points it). *)
+and ensure_follower_client t =
+  match !(t.durability) with
+  | Some d when Atomic.get t.role = Follower ->
+    let fresh = ref None in
+    locked t (fun () ->
+        if !(t.repl_client) = None then begin
+          let c = start_repl_client t d ?primary:!(t.current_primary) () in
+          t.repl_client := Some c;
+          fresh := Some c
+        end);
+    ignore !fresh
+  | _ -> ()
+
+(* The takeover election, run on the (exiting) replication thread once
+   the primary has been silent past [takeover_after]. Exactly-one
+   promotion without a consensus log: every contender probes the same
+   cluster and applies the same deterministic rank — highest fencing
+   epoch first, then lowest HOST:PORT string — so at most one node finds
+   itself unbeaten and promotes; the rest defer briefly and then find
+   the winner (now a live higher-epoch primary) and re-point to it. The
+   deferral is bounded: a wedged better-ranked rival that never promotes
+   costs ~15 rounds, after which we promote anyway rather than leave the
+   cluster headless. *)
+and auto_takeover t =
+  let prng =
+    Xsact_util.Prng.of_int (Hashtbl.hash (Unix.getpid (), "takeover"))
+  in
+  let deferrals = ref 0 in
+  let decided = ref false in
+  while
+    (not !decided)
+    && Atomic.get t.role = Follower
+    && not (Atomic.get t.closing)
+  do
+    let states = probe_cluster t in
+    let mine = fence_epoch t in
+    let best_primary =
+      List.fold_left
+        (fun best s ->
+          if s.p_role <> "primary" || s.p_epoch < mine then best
+          else
+            match best with
+            | Some b when b.p_epoch >= s.p_epoch -> best
+            | _ -> Some s)
+        None states
+    in
+    match best_primary with
+    | Some s ->
+      (* someone else already won (or the old primary came back): follow
+         them — swap in a fresh client pointed there; the old one is this
+         very thread, so no join *)
+      t.current_primary := Some s.p_addr;
+      (match !(t.durability) with
+      | Some d ->
+        let fresh = start_repl_client t d ~primary:s.p_addr () in
+        let old =
+          locked t (fun () ->
+              let c = !(t.repl_client) in
+              t.repl_client := Some fresh;
+              c)
+        in
+        (match old with
+        | Some c -> Replication.stop_client ~join:false c
+        | None -> ())
+      | None -> ());
+      decided := true
+    | None ->
+      let my_addr = Option.map addr_string t.advertise in
+      let outranked =
+        match my_addr with
+        | None -> false
+        | Some me ->
+          List.exists
+            (fun s ->
+              s.p_role = "follower"
+              && (s.p_epoch > mine
+                 || (s.p_epoch = mine && addr_string s.p_addr < me)))
+            states
+      in
+      if (not outranked) || !deferrals >= 15 then begin
+        ignore (promote t ~join:false);
+        decided := true
+      end
+      else begin
+        incr deferrals;
+        Thread.delay (0.25 +. Xsact_util.Prng.float prng 0.2)
+      end
+  done
 
 let recover t =
   match (t.persist, !(t.durability)) with
@@ -1493,21 +2099,38 @@ let recover t =
     Session_store.ensure_next t.sessions recovered.Durability.next_id;
     t.durability := Some d;
     load_context_snapshot t;
+    t.ensure_client <- (fun () -> ensure_follower_client t);
+    (* Fenced recovery: a winner on record means this directory was a
+       primary when a higher epoch fenced it — it must come back as that
+       winner's read-only follower (still answering 409 to mutations),
+       never as a primary, no matter what flags it was restarted with. *)
+    (match (t.replica_of, Durability.fence_winner d) with
+    | None, Some w -> (
+      match parse_hostport w with
+      | Some hp ->
+        t.current_primary := Some hp;
+        Atomic.set t.fenced true;
+        Atomic.set t.role Follower
+      | None -> ())
+    | _ -> ());
+    (* Boot-time fencing probe: a would-be primary with a peer list asks
+       who else is alive before serving its first mutation — a live
+       primary at or above our epoch is the cluster's truth, so we join
+       it as a follower instead of forking history. *)
+    (if Atomic.get t.role = Primary && t.peers <> [] then
+       match discover_primary t with
+       | Some hp ->
+         t.current_primary := Some hp;
+         Atomic.set t.role Follower;
+         Metrics.incr_counter t.metrics "demotions"
+       | None -> ());
     (* A follower is ready on local recovery — it serves reads
        immediately and reports its lag/liveness on /ready while the
-       replication client catches up (or waits out a dead primary). *)
-    (match t.replica_of with
-    | Some (host, port) ->
-      let client =
-        Replication.start_client ~host ~port ~durability:d
-          ~apply:(fun p -> repl_apply t d p)
-          ~reset:(fun ps -> repl_reset t d ps)
-          ?takeover_after:t.takeover_after
-          ~on_lost:(fun () -> ignore (promote t ~join:false))
-          ()
-      in
-      t.repl_client := Some client
-    | None -> ());
+       replication client catches up (or elects a replacement for a
+       dead primary). *)
+    (if Atomic.get t.role = Follower then
+       t.repl_client :=
+         Some (start_repl_client t d ?primary:!(t.current_primary) ()));
     Atomic.set t.ready true
 
 let handle t req =
@@ -1531,26 +2154,39 @@ let handle t req =
   end
   else if
     (* Follower write gate: reads (every GET), POST /compare (a pure
-       computation over read state) and the promotion trigger pass;
-       anything that would mutate session state is refused with a hint at
-       the primary — a follower's journal holds only what the primary
-       shipped. *)
+       computation over read state) and the topology verbs (promote,
+       demote) pass; anything that would mutate session state is refused
+       — a follower's journal holds only what the primary shipped. A
+       {e fenced} ex-primary answers 409 naming the winner's epoch and
+       address (a client still pointed here must re-point, not retry);
+       an ordinary follower answers 503 hinting at the primary it
+       currently follows — the hint tracks re-pointing, not the static
+       flag it was started with. *)
     Atomic.get t.role = Follower
     && (match (req.Http.meth, req.Http.path) with
        | "GET", _ -> false
        | "POST", [ "compare" ] -> false
        | "POST", [ "v1"; "promote" ] -> false
+       | "POST", [ "v1"; "demote" ] -> false
        | _ -> true)
-  then begin
-    Metrics.record t.metrics ~route:"follower" ~status:503 ~elapsed_s:0.;
-    let hint =
-      match t.replica_of with
-      | Some (host, port) -> Printf.sprintf "; primary at %s:%d" host port
-      | None -> ""
-    in
-    error_response ~status:503 ~code:"follower"
-      ("read-only follower: mutations go to the primary" ^ hint)
-  end
+  then
+    if Atomic.get t.fenced then begin
+      Metrics.record t.metrics ~route:"fenced" ~status:409 ~elapsed_s:0.;
+      fencing_error ~status:409 ~code:"fenced" t
+        (Printf.sprintf
+           "fenced: a newer primary holds epoch %d; mutations go there"
+           (fence_epoch t))
+    end
+    else begin
+      Metrics.record t.metrics ~route:"follower" ~status:503 ~elapsed_s:0.;
+      let hint =
+        match !(t.current_primary) with
+        | Some hp -> Printf.sprintf "; primary at %s" (addr_string hp)
+        | None -> ""
+      in
+      error_response ~status:503 ~code:"follower"
+        ("read-only follower: mutations go to the primary" ^ hint)
+    end
   else
   let started = Unix.gettimeofday () in
   let route, resp =
@@ -1652,23 +2288,53 @@ let serve_connection r fd =
         (Http.response ~status (Api.error_body ~code:"refused" msg))
     | Ok req
       when req.Http.meth = "GET" && req.Http.path = [ "v1"; "replicate" ] -> (
-      match (Atomic.get t.ready, !(t.durability)) with
-      | true, Some d ->
+      let int_param name =
+        Option.bind (query_param req name) int_of_string_opt
+      in
+      let sub_epoch = Option.value ~default:0 (int_param "epoch") in
+      match (Atomic.get t.ready, !(t.durability), Atomic.get t.role) with
+      | true, Some _, Primary when sub_epoch > fence_epoch t ->
+        (* A subscriber ahead of us proves we were superseded while we
+           were not looking (it adopted its epoch from the real winner):
+           self-demote before streaming a single stale record. *)
+        demote t ~epoch:sub_epoch ();
+        Metrics.record t.metrics ~route:"v1/replicate" ~status:409
+          ~elapsed_s:0.;
+        Http.write_response oc ~keep_alive:false
+          (fencing_error ~status:409 ~code:"fenced" t
+             (Printf.sprintf
+                "fenced: subscriber holds epoch %d above this node's"
+                sub_epoch))
+      | true, Some d, Primary ->
         Metrics.record t.metrics ~route:"v1/replicate" ~status:200
           ~elapsed_s:0.;
         Atomic.incr t.streams;
         Fun.protect
           ~finally:(fun () -> Atomic.decr t.streams)
           (fun () ->
-            let int_param name =
-              Option.bind (query_param req name) int_of_string_opt
-            in
             Replication.serve_stream ~durability:d ~fd
-              ?boot:(query_param req "boot") ?epoch:(int_param "epoch")
+              ?boot:(query_param req "boot") ?gen:(int_param "gen")
               ?from:(int_param "from")
-              ~stopping:(fun () -> Atomic.get r.accept_stop)
+              ~warm:(fun () -> warm_wire_records t)
+              ~stopping:(fun () ->
+                Atomic.get r.accept_stop || Atomic.get t.role <> Primary)
               ())
         (* the stream ends the connection — no keep-alive *)
+      | true, Some _, Follower ->
+        (* only a primary has a journal worth shipping; a follower
+           relaying its own mirror would hide divergence *)
+        Metrics.record t.metrics ~route:"v1/replicate" ~status:503
+          ~elapsed_s:0.;
+        Http.write_response oc ~keep_alive:false
+          (Http.response
+             ~headers:[ ("Retry-After", "1") ]
+             ~status:503
+             (Api.error_body ~code:"not_primary"
+                ("not primary: replication streams come from the primary"
+                ^
+                match !(t.current_primary) with
+                | Some hp -> " at " ^ addr_string hp
+                | None -> "")))
       | _ ->
         Metrics.record t.metrics ~route:"v1/replicate" ~status:503
           ~elapsed_s:0.;
@@ -1845,6 +2511,9 @@ let start ?(threads = 4) ?(idle_timeout = 30.) ?(max_pending = 64) ~port t =
       n);
   let overload_mark = max 1 (max_pending / 2) in
   t.overloaded <- (fun () -> t.queue_depth () >= overload_mark);
+  (* What the fencer announces and elections rank by; the listener binds
+     loopback, so the bound port names this node uniquely per host. *)
+  t.advertise <- Some ("127.0.0.1", bound_port);
   r.workers <- List.init threads (fun _ -> Thread.create (worker_loop r) ());
   r.acceptor <- Some (Thread.create (acceptor_loop r) ());
   r
@@ -1854,7 +2523,10 @@ let port r = r.bound_port
 let stop r =
   (* The flag goes first: the acceptor retries every accept error {e except}
      when accept_stop is set, so the shutdown-induced error below is its
-     exit signal rather than a transient to back off on. *)
+     exit signal rather than a transient to back off on. [closing] lets
+     the fencer and election loops wind down on their own (they are not
+     joined — they only probe peers and sleep). *)
+  Atomic.set r.server.closing true;
   Atomic.set r.accept_stop true;
   (* shutdown (not just close) — close from another thread does not wake a
      blocked accept(2), shutdown makes it return EINVAL *)

@@ -43,12 +43,30 @@
     [GET /v1/replicate] (served here when this server is the primary),
     applies every record through the recovery replay path into warm
     state, serves reads (and [POST /compare]) while refusing mutations
-    with [503 {"code":"follower"}], and becomes the primary on
-    [POST /v1/promote] or — with [takeover_after] — when the primary
-    stays silent that long. Clean shutdown also writes a {e context
-    snapshot} (serialized pair tables + DFS vectors) that the next boot
-    loads, so restart rewarms sessions by bounded verification instead
-    of per-session rebuilds. *)
+    with [503 {"code":"follower"}] (hinting at the primary it currently
+    follows), and becomes the primary on [POST /v1/promote] or — with
+    [takeover_after] — when the primary stays silent that long. Clean
+    shutdown also writes a {e context snapshot} (serialized pair tables
+    + DFS vectors) that the next boot loads, so restart rewarms sessions
+    by bounded verification instead of per-session rebuilds; a
+    replication resync ships the same records inline (base64-armored),
+    so a fresh or diverged follower boots warm too.
+
+    Coordinated fencing (DESIGN.md §14): promotion durably mints the
+    next {e fencing epoch} ([<state-dir>/epoch]) before the first
+    mutation is served, then chases every configured peer with
+    [POST /v1/demote] until each acknowledges it. A primary observing a
+    higher epoch — via that probe, via a subscriber's [epoch] query
+    parameter on [/v1/replicate], or via an explicit demote — atomically
+    self-demotes to a read-only follower of the winner and answers
+    mutations with [409 {"code":"fenced"}] plus top-level [epoch] and
+    [winner] fields; the fencing (winner included) is durable, so a
+    restart cannot resurrect it as a primary. Followers that lose their
+    primary walk the [peers] list ([GET /v1/epoch]) with jittered
+    backoff: if a live higher-or-equal-epoch primary exists they
+    re-point to it without losing their applied tail, and otherwise —
+    after [takeover_after] — they run a deterministic election (highest
+    epoch, then lowest address) so exactly one of them promotes. *)
 
 type t
 
@@ -59,8 +77,8 @@ val create :
   ?deadline_ms:int -> ?max_deadline_ms:int -> ?session_ttl_s:float ->
   ?max_sessions:int -> ?state_dir:string ->
   ?fsync:Xsact_persist.Journal.policy -> ?snapshot_every:int ->
-  ?replica_of:string * int -> ?takeover_after:float ->
-  ?context_snapshots:bool -> unit -> t
+  ?replica_of:string * int -> ?peers:(string * int) list ->
+  ?takeover_after:float -> ?context_snapshots:bool -> unit -> t
 (** Load and index [datasets] (default: the whole {!Xsact_dataset.Dataset}
     registry). [cache_capacity] sizes the comparison LRU (default 128).
     [domains] sets the domain-pool parallelism used for requests that
@@ -105,11 +123,16 @@ val create :
     Replication knobs (DESIGN.md §14):
     - [replica_of]: follow the primary at [(host, port)] — requires
       [state_dir] (the follower keeps its own always-recoverable copy).
-    - [takeover_after]: self-promote after the primary has been
-      unreachable this many seconds; omitted, promotion is manual only
-      ([POST /v1/promote]).
+    - [peers]: the other nodes of the cluster, for discovery, election
+      and post-promotion fencing. A booting would-be primary with a
+      non-empty list probes it first and joins a live higher-or-equal
+      epoch primary as a follower instead of forking history.
+    - [takeover_after]: run the takeover election after the primary has
+      been unreachable this many seconds (the winner self-promotes);
+      omitted, promotion is manual only ([POST /v1/promote]).
     - [context_snapshots] (default [true]): write the warm-boot context
-      snapshot at {!stop} and load it in {!recover}.
+      snapshot at {!stop}, load it in {!recover}, and ship its records
+      inside replication resyncs (warm resync).
 
     @raise Invalid_argument on an unknown dataset name, a non-positive
     knob, or [replica_of] without [state_dir]. *)

@@ -785,6 +785,438 @@ let test_divergence () =
   kill9 p;
   kill9 f
 
+(* ---- Base64 armor ----------------------------------------------------------- *)
+
+let test_b64 () =
+  let module B64 = Xsact_server.B64 in
+  let module Prng = Xsact_util.Prng in
+  (* RFC 4648 vectors *)
+  List.iter
+    (fun (plain, armored) ->
+      check Alcotest.string ("encode " ^ plain) armored (B64.encode plain);
+      match B64.decode armored with
+      | Some d -> check Alcotest.string ("decode " ^ armored) plain d
+      | None -> Alcotest.failf "decode %S failed" armored)
+    [ ("", ""); ("f", "Zg=="); ("fo", "Zm8="); ("foo", "Zm9v");
+      ("foob", "Zm9vYg=="); ("fooba", "Zm9vYmE="); ("foobar", "Zm9vYmFy") ];
+  (* binary round-trips at every length mod 3, including newline/nul/0xff
+     bytes like the context blobs the armor exists for *)
+  let prng = Prng.of_int 0x5eed in
+  for len = 0 to 80 do
+    let s = String.init len (fun _ -> Char.chr (Prng.int_in prng 0 255)) in
+    match B64.decode (B64.encode s) with
+    | Some d ->
+      check Alcotest.string (Printf.sprintf "roundtrip len %d" len) s d
+    | None -> Alcotest.failf "roundtrip len %d failed to decode" len
+  done;
+  (* malformed armor is [None], never an exception *)
+  List.iter
+    (fun s ->
+      match B64.decode s with
+      | None -> ()
+      | Some _ -> Alcotest.failf "decoded malformed %S" s)
+    [ "A"; "AB"; "ABC"; "===="; "A==="; "Zm9v!A=="; "Zg==Zg=="; "Z g==";
+      "\xffZg=" ]
+
+(* ---- Fencing epochs --------------------------------------------------------- *)
+
+let addr_of port = Printf.sprintf "127.0.0.1:%d" port
+
+(* Pick an ephemeral port and release it, so a child can be started on a
+   port its peers were told about beforehand. *)
+let free_port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false)
+
+let assert_error_code what body expected =
+  match member_exn "error" body with
+  | Json.Obj fields -> (
+    match List.assoc_opt "code" fields with
+    | Some (Json.String c) -> check Alcotest.string what expected c
+    | v ->
+      Alcotest.failf "%s: error code %s" what
+        (match v with Some v -> Json.to_string v | None -> "missing"))
+  | v -> Alcotest.failf "%s: error envelope %s" what (Json.to_string v)
+
+let assert_int_field what body name expected =
+  match member_exn name body with
+  | Json.Int n -> check Alcotest.int what expected n
+  | v -> Alcotest.failf "%s: %s = %s" what name (Json.to_string v)
+
+let assert_winner_field what body expected =
+  match member_exn "winner" body with
+  | Json.String w -> check Alcotest.string what expected w
+  | v -> Alcotest.failf "%s: winner = %s" what (Json.to_string v)
+
+(* The fence is durable and absolute: a primary demoted by a higher epoch
+   answers every mutation 409 naming the winner, keeps serving reads, and
+   a restart of its directory boots it fenced again — only a deliberate
+   promote at the current epoch (the operator override) resurrects it. *)
+let test_fencing_durable () =
+  let dir = fresh_dir () in
+  let c1 = start_child ~state_dir:dir [] in
+  wait_ready c1;
+  let s1 = create_session c1 in
+  let b1 = session_body c1 s1 in
+  (* the discovery probe: a fresh primary at epoch 0 *)
+  let status, _, body = http c1 "/v1/epoch" in
+  check Alcotest.int "epoch probe 200" 200 status;
+  assert_int_field "fresh epoch" body "epoch" 0;
+  (match member_exn "role" body with
+  | Json.String "primary" -> ()
+  | v -> Alcotest.failf "probe role: %s" (Json.to_string v));
+  (* a demote at or below our epoch is the stale prober's problem *)
+  let status, _, body =
+    http c1 ~meth:"POST" ~body:{|{"epoch":0,"primary":"127.0.0.1:1"}|}
+      "/v1/demote"
+  in
+  check Alcotest.int "stale demote 409" 409 status;
+  assert_error_code "stale demote code" body "stale_epoch";
+  check Alcotest.string "still primary" "primary" (ready_str c1 "role");
+  (* a malformed demote is a 400, not a fence *)
+  let status, _, _ = http c1 ~meth:"POST" ~body:{|{"epoch":"x"}|} "/v1/demote" in
+  check Alcotest.int "malformed demote 400" 400 status;
+  (* a higher epoch fences: role flips, the winner is recorded *)
+  let status, _, _ =
+    http c1 ~meth:"POST" ~body:{|{"epoch":5,"primary":"127.0.0.1:19"}|}
+      "/v1/demote"
+  in
+  check Alcotest.int "fencing demote 200" 200 status;
+  check Alcotest.string "role flipped" "follower" (ready_str c1 "role");
+  check Alcotest.bool "fenced" true (ready_bool c1 "fenced");
+  check Alcotest.int "epoch adopted" 5 (ready_int c1 "epoch");
+  check Alcotest.bool "demotion counted" true (repl_int c1 "demotions" >= 1);
+  (* mutations answer 409 with the winner's address, not the follower 503 *)
+  let status, _, body = http c1 ~meth:"POST" ~body:create_body "/session" in
+  check Alcotest.int "mutation fenced" 409 status;
+  assert_error_code "fenced code" body "fenced";
+  assert_int_field "fenced body epoch" body "epoch" 5;
+  assert_winner_field "fenced body winner" body "127.0.0.1:19";
+  (* reads keep serving through the fence *)
+  check Alcotest.string "reads survive fencing" b1 (session_body c1 s1);
+  (* the fence survives kill -9: the ex-primary cannot resurrect itself *)
+  kill9 c1;
+  let c2 = start_child ~state_dir:dir [] in
+  wait_ready c2;
+  check Alcotest.string "still follower after restart" "follower"
+    (ready_str c2 "role");
+  check Alcotest.bool "still fenced after restart" true (ready_bool c2 "fenced");
+  check Alcotest.int "epoch survives restart" 5 (ready_int c2 "epoch");
+  check Alcotest.string "winner survives restart" "127.0.0.1:19"
+    (ready_str c2 "primary");
+  let status, _, body = http c2 ~meth:"POST" ~body:create_body "/session" in
+  check Alcotest.int "still 409 after restart" 409 status;
+  assert_winner_field "winner hint after restart" body "127.0.0.1:19";
+  check Alcotest.string "state survives restart" b1 (session_body c2 s1);
+  (* promote refuses a stale expected-epoch (the CAS guard) ... *)
+  let status, _, body = http c2 ~meth:"POST" ~body:{|{"epoch":3}|} "/v1/promote" in
+  check Alcotest.int "stale CAS promote 409" 409 status;
+  assert_error_code "stale CAS code" body "stale_epoch";
+  (* ... and the operator override at the current epoch un-fences *)
+  let status, _, body = http c2 ~meth:"POST" ~body:{|{"epoch":5}|} "/v1/promote" in
+  check Alcotest.int "override promote 200" 200 status;
+  (match member_exn "promoted" body with
+  | Json.Bool true -> ()
+  | v -> Alcotest.failf "override promoted: %s" (Json.to_string v));
+  assert_int_field "promotion minted past the fence" body "epoch" 6;
+  check Alcotest.string "primary again" "primary" (ready_str c2 "role");
+  check Alcotest.bool "fence cleared" false (ready_bool c2 "fenced");
+  resize_session c2 s1 6;
+  (* the subscriber channel: a follower ahead of us on /v1/replicate is
+     proof we were superseded — 409 to it, self-demotion here *)
+  let status, _, body = http c2 "/v1/replicate?epoch=9" in
+  check Alcotest.int "ahead subscriber 409" 409 status;
+  assert_error_code "ahead subscriber code" body "fenced";
+  check Alcotest.string "subscriber fenced us" "follower" (ready_str c2 "role");
+  check Alcotest.int "subscriber's epoch adopted" 9 (ready_int c2 "epoch");
+  kill9 c2
+
+(* ---- Planned handover: demote, promote, converge ---------------------------- *)
+
+let test_planned_handover () =
+  let dir_p = fresh_dir () in
+  let dir_f = fresh_dir () in
+  let fport = free_port () in
+  let p = start_child ~state_dir:dir_p [ "--peer"; addr_of fport ] in
+  wait_ready p;
+  let s1 = create_session p in
+  let f =
+    start_child ~state_dir:dir_f ~port:fport
+      [ "--replica-of"; addr_of p.port; "--peer"; addr_of p.port ]
+  in
+  wait_ready f;
+  wait_for "follower to catch up" (fun () ->
+      ready_bool f "connected"
+      && ready_int f "lag_records" = 0
+      && session_status f s1 = 200);
+  (* runbook step 1: step the primary down (empty-body demote) — no epoch
+     change, no fence, just a refusal to accept new writes *)
+  let status, _, _ = http p ~meth:"POST" "/v1/demote" in
+  check Alcotest.int "step-down 200" 200 status;
+  check Alcotest.string "stepped down" "follower" (ready_str p "role");
+  check Alcotest.bool "planned step-down is not a fence" false
+    (ready_bool p "fenced");
+  check Alcotest.int "step-down mints no epoch" 0 (ready_int p "epoch");
+  let status, _, body = http p ~meth:"POST" ~body:create_body "/session" in
+  check Alcotest.int "handover window refuses writes" 503 status;
+  assert_error_code "handover window code" body "follower";
+  (* runbook step 2: promote the follower — this mints the epoch that
+     makes the handover stick *)
+  let status, _, body = http f ~meth:"POST" "/v1/promote" in
+  check Alcotest.int "promote 200" 200 status;
+  assert_int_field "promotion minted epoch 1" body "epoch" 1;
+  (* the new primary's fencer + the old primary's discovery converge: the
+     ex-primary adopts the epoch and re-points at the winner *)
+  wait_for ~timeout:20. "ex-primary adopts the new epoch" (fun () ->
+      ready_int p "epoch" = 1);
+  wait_for ~timeout:20. "ex-primary re-points at the winner" (fun () ->
+      match ready_field p "primary" with
+      | Json.String a -> a = addr_of fport
+      | _ -> false);
+  wait_for ~timeout:20. "ex-primary subscribes to the winner" (fun () ->
+      ready_bool p "connected");
+  check Alcotest.bool "handover is still not a fence" false
+    (ready_bool p "fenced");
+  (* a mutation on the new primary replicates back to the old one *)
+  resize_session f s1 6;
+  wait_for ~timeout:20. "the mutation replicates back" (fun () ->
+      match http p ("/session/" ^ s1) with
+      | 200, _, body -> (
+        match member_exn "size_bound" body with
+        | Json.Int 6 -> true
+        | _ -> false)
+      | _ -> false
+      | exception (Unix.Unix_error _ | Failure _) -> false);
+  (* satellite: the 503 hint names the *current* primary, not the
+     pre-handover topology *)
+  let status, _, body = http p ~meth:"POST" ~body:create_body "/session" in
+  check Alcotest.int "ex-primary still refuses writes" 503 status;
+  (match member_exn "error" body with
+  | Json.Obj fields -> (
+    match List.assoc_opt "message" fields with
+    | Some (Json.String m) ->
+      let needle = addr_of fport in
+      let rec has i =
+        i + String.length needle <= String.length m
+        && (String.sub m i (String.length needle) = needle || has (i + 1))
+      in
+      check Alcotest.bool "hint names the new primary" true (has 0)
+    | _ -> Alcotest.fail "no error message")
+  | v -> Alcotest.failf "error envelope: %s" (Json.to_string v));
+  kill9 p;
+  kill9 f
+
+(* ---- Satellite: /ready on a disconnected follower --------------------------- *)
+
+let test_ready_disconnected () =
+  let dir_p = fresh_dir () in
+  let dir_f = fresh_dir () in
+  let p = start_child ~state_dir:dir_p [] in
+  wait_ready p;
+  let s1 = create_session p in
+  let f = start_child ~state_dir:dir_f [ "--replica-of"; addr_of p.port ] in
+  wait_ready f;
+  wait_for "follower to catch up" (fun () ->
+      ready_bool f "connected"
+      && ready_int f "lag_records" = 0
+      && session_status f s1 = 200);
+  let b1 = session_body f s1 in
+  let primary_before = ready_str f "primary" in
+  kill9 p;
+  wait_for "the disconnect to be noticed" (fun () ->
+      not (ready_bool f "connected"));
+  (* /ready stays 200 — a disconnected follower still serves reads — and
+     reports the outage honestly: last-known lag, last-known target,
+     unchanged epoch *)
+  let status, _, body = http f "/ready" in
+  check Alcotest.int "/ready stays 200" 200 status;
+  (match member_exn "status" body with
+  | Json.String "ready" -> ()
+  | v -> Alcotest.failf "status: %s" (Json.to_string v));
+  check Alcotest.string "still a follower" "follower" (ready_str f "role");
+  check Alcotest.bool "connected false" false (ready_bool f "connected");
+  check Alcotest.int "last-known lag" 0 (ready_int f "lag_records");
+  check Alcotest.int "epoch unchanged" 0 (ready_int f "epoch");
+  check Alcotest.string "still names the last-known primary" primary_before
+    (ready_str f "primary");
+  check Alcotest.string "reads keep serving" b1 (session_body f s1);
+  let status, _, _ = http f ~meth:"POST" ~body:create_body "/session" in
+  check Alcotest.int "mutations still refused" 503 status;
+  kill9 f
+
+(* ---- Warm resync: the snapshot ships inline --------------------------------- *)
+
+let test_warm_resync () =
+  let dir_p = fresh_dir () in
+  let p = start_child ~state_dir:dir_p [] in
+  wait_ready p;
+  let ids = List.init 3 (fun _ -> create_session p) in
+  List.iter (fun id -> ignore (session_body p id)) ids;
+  check Alcotest.bool "primary sessions warm" true
+    (metric_int p "sessions_warm" >= 3);
+  let bodies = List.map (fun id -> (id, session_body p id)) ids in
+  (* a fresh follower's resync carries the warm records: its contexts are
+     deserialized from the stream, never rebuilt *)
+  let dir_f = fresh_dir () in
+  let f = start_child ~state_dir:dir_f [ "--replica-of"; addr_of p.port ] in
+  wait_ready f;
+  wait_for "warm resync to land" (fun () ->
+      ready_bool f "connected"
+      && List.for_all (fun id -> session_status f id = 200) ids);
+  check Alcotest.bool "warm records installed" true
+    (repl_int f "context_snapshot_loads" >= 3);
+  check Alcotest.int "no defective records" 0
+    (repl_int f "context_snapshot_misses");
+  check Alcotest.int "zero physical builds on the follower" 0
+    (metric_int f "context_builds_full");
+  check Alcotest.bool "sessions warm on arrival" true
+    (metric_int f "sessions_warm" >= 3);
+  List.iter
+    (fun (id, b) ->
+      check Alcotest.string (id ^ " byte-identical from warm resync") b
+        (session_body f id))
+    bodies;
+  (* the opted-out follower resyncs cold and rebuilds — bodies identical *)
+  let dir_f2 = fresh_dir () in
+  let f2 =
+    start_child ~state_dir:dir_f2
+      [ "--replica-of"; addr_of p.port; "--no-context-snapshots" ]
+  in
+  wait_ready f2;
+  wait_for "cold resync to land" (fun () ->
+      ready_bool f2 "connected"
+      && List.for_all (fun id -> session_status f2 id = 200) ids);
+  check Alcotest.int "flag: nothing decoded" 0
+    (repl_int f2 "context_snapshot_loads");
+  check Alcotest.bool "flag: the rebuild path ran" true
+    (metric_int f2 "context_builds_full" >= 1);
+  List.iter
+    (fun (id, b) ->
+      check Alcotest.string (id ^ " byte-identical from cold resync") b
+        (session_body f2 id))
+    bodies;
+  kill9 p;
+  kill9 f;
+  kill9 f2
+
+(* ---- The coordinated-failover harness: 3 nodes, one SIGKILL ----------------- *)
+
+let test_cluster_failover () =
+  let dir_p = fresh_dir () in
+  let dir_1 = fresh_dir () in
+  let dir_2 = fresh_dir () in
+  let pport = free_port () in
+  let port1 = free_port () in
+  let port2 = free_port () in
+  let p =
+    start_child ~state_dir:dir_p ~port:pport
+      [ "--fsync"; "always"; "--peer"; addr_of port1; "--peer"; addr_of port2 ]
+  in
+  wait_ready p;
+  let s1 = create_session p in
+  let s2 = create_session p in
+  resize_session p s1 6;
+  let follower_args other =
+    [ "--replica-of"; addr_of pport; "--takeover-after"; "0.75"; "--peer";
+      addr_of pport; "--peer"; addr_of other ]
+  in
+  let f1 = start_child ~state_dir:dir_1 ~port:port1 (follower_args port2) in
+  let f2 = start_child ~state_dir:dir_2 ~port:port2 (follower_args port1) in
+  wait_ready f1;
+  wait_ready f2;
+  wait_for "both followers caught up" (fun () ->
+      ready_bool f1 "connected"
+      && ready_int f1 "lag_records" = 0
+      && ready_bool f2 "connected"
+      && ready_int f2 "lag_records" = 0
+      && session_status f1 s2 = 200
+      && session_status f2 s2 = 200);
+  let pre = List.map (fun id -> (id, session_body p id)) [ s1; s2 ] in
+  let cmp = compare_body p in
+  (* the cut *)
+  kill9 p;
+  (* the election is deterministic: exactly one follower promotes, the
+     other defers and re-points *)
+  wait_for ~timeout:30. "exactly one promotion" (fun () ->
+      let is_p c = ready_str c "role" = "primary" in
+      is_p f1 <> is_p f2);
+  let winner, survivor =
+    if ready_str f1 "role" = "primary" then (f1, f2) else (f2, f1)
+  in
+  check Alcotest.int "one promotion, winner-side" 1
+    (repl_int winner "promotions");
+  check Alcotest.int "no promotion, survivor-side" 0
+    (repl_int survivor "promotions");
+  check Alcotest.int "the winner minted epoch 1" 1 (ready_int winner "epoch");
+  wait_for ~timeout:20. "survivor re-points at the winner" (fun () ->
+      ready_bool survivor "connected"
+      &&
+      match ready_field survivor "primary" with
+      | Json.String a -> a = addr_of winner.port
+      | _ -> false);
+  check Alcotest.bool "re-point counted" true
+    (repl_int survivor "repoints" >= 1);
+  check Alcotest.int "survivor adopted the epoch" 1
+    (ready_int survivor "epoch");
+  wait_for ~timeout:20. "survivor caught up behind the winner" (fun () ->
+      ready_int survivor "lag_records" = 0);
+  (* no acked mutation lost, bytes identical across the failover *)
+  List.iter
+    (fun (id, b) ->
+      check Alcotest.string (id ^ " byte-identical on the winner") b
+        (session_body winner id);
+      check Alcotest.string (id ^ " byte-identical on the survivor") b
+        (session_body survivor id))
+    pre;
+  check Alcotest.string "/compare byte-identical on the winner" cmp
+    (compare_body winner);
+  check Alcotest.string "/compare byte-identical on the survivor" cmp
+    (compare_body survivor);
+  (* the new primary accepts writes and streams them to the survivor *)
+  let s3 = create_session winner in
+  wait_for ~timeout:20. "new record replicates" (fun () ->
+      session_status survivor s3 = 200);
+  (* revive the dead ex-primary on its old address — worst case, with no
+     peer list, so it boots believing itself primary. The winner's fencer
+     is still chasing this address: the revived node is demoted in
+     absentia, durably, and answers mutations 409 naming the winner. *)
+  let z = start_child ~state_dir:dir_p ~port:pport [ "--fsync"; "always" ] in
+  wait_ready z;
+  wait_for ~timeout:20. "revived ex-primary fenced" (fun () ->
+      ready_str z "role" = "follower" && ready_bool z "fenced");
+  check Alcotest.int "fenced at the winner's epoch" 1 (ready_int z "epoch");
+  let status, _, body = http z ~meth:"POST" ~body:create_body "/session" in
+  check Alcotest.int "revived mutations 409" 409 status;
+  assert_error_code "revived fence code" body "fenced";
+  assert_int_field "revived fence epoch" body "epoch" 1;
+  assert_winner_field "revived fence winner" body (addr_of winner.port);
+  (* the fenced node re-joins the winner and converges to the same bytes *)
+  wait_for ~timeout:20. "fenced node follows the winner" (fun () ->
+      ready_bool z "connected" && session_status z s3 = 200);
+  wait_for ~timeout:20. "fenced node caught up" (fun () ->
+      ready_int z "lag_records" = 0);
+  check Alcotest.string "/compare byte-identical on the fenced node"
+    (compare_body winner) (compare_body z);
+  (* the fence is durable: another restart still cannot resurrect it *)
+  kill9 z;
+  let z2 = start_child ~state_dir:dir_p ~port:pport [] in
+  wait_ready z2;
+  check Alcotest.string "fence survives the restart" "follower"
+    (ready_str z2 "role");
+  check Alcotest.bool "still fenced" true (ready_bool z2 "fenced");
+  check Alcotest.string "winner hint survives the restart"
+    (addr_of winner.port) (ready_str z2 "primary");
+  kill9 z2;
+  kill9 f1;
+  kill9 f2
+
 let () =
   Alcotest.run "xsact_failover"
     [
@@ -812,5 +1244,15 @@ let () =
           Alcotest.test_case "kill the primary" `Quick test_failover;
           Alcotest.test_case "auto takeover" `Quick test_auto_takeover;
           Alcotest.test_case "divergence heals" `Quick test_divergence;
+        ] );
+      ("b64", [ Alcotest.test_case "armor codec" `Quick test_b64 ]);
+      ( "fencing",
+        [
+          Alcotest.test_case "durable fence" `Quick test_fencing_durable;
+          Alcotest.test_case "planned handover" `Quick test_planned_handover;
+          Alcotest.test_case "ready while disconnected" `Quick
+            test_ready_disconnected;
+          Alcotest.test_case "warm resync" `Quick test_warm_resync;
+          Alcotest.test_case "cluster failover" `Quick test_cluster_failover;
         ] );
     ]

@@ -1,0 +1,231 @@
+(* Fuzz smoke for the xmlkit parsers: seeded random bytes, markup-shaped
+   noise, and mutations of valid documents are driven through both
+   [Xml_parse.parse_string] (the DOM) and [Xml_sax.fold] (the event
+   stream). Every input must come back as [Ok] or a located [Error] —
+   never an escaping exception, never a hang. The corpus is
+   deterministic (seeded {!Xsact_util.Prng}), so a failure reproduces
+   bit-for-bit; [XSACT_FUZZ_ITERS] scales the budget (CI runs a bigger
+   one than the default). *)
+
+module Prng = Xsact_util.Prng
+
+let iters =
+  match Sys.getenv_opt "XSACT_FUZZ_ITERS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 300)
+  | None -> 300
+
+(* Per-input latency bound: a parser that is merely slow on 400-byte
+   garbage is a bug worth failing on, long before the harness timeout. *)
+let max_seconds_per_input = 5.0
+
+let check = Alcotest.check
+
+(* ---- Input generators ------------------------------------------------------ *)
+
+(* arbitrary bytes, nuls and high bytes included *)
+let gen_raw prng =
+  let len = Prng.int_in prng 0 400 in
+  String.init len (fun _ -> Char.chr (Prng.int_in prng 0 255))
+
+(* markup-shaped noise: heavy in the bytes the tokenizer branches on *)
+let markup_alphabet = "<>/=\"'&;!?[]-# \n\tabcdexmlCDATA0123456789"
+
+let gen_markupish prng =
+  let len = Prng.int_in prng 0 400 in
+  String.init len (fun _ ->
+      markup_alphabet.[Prng.int_in prng 0 (String.length markup_alphabet - 1)])
+
+(* valid seeds for the mutation generator — each exercises a different
+   construct (attributes, CDATA, comments, PIs, entities, nesting) *)
+let seeds =
+  [|
+    {|<?xml version="1.0"?><catalog><item id="1" price="9.99">GPS &amp; maps</item><item id="2"/></catalog>|};
+    {|<a><b c="d &lt;e&gt;"><![CDATA[raw <bytes> &amp; stuff]]></b><!-- note --><?pi data?></a>|};
+    {|<r>&#65;&#x42; text &quot;quoted&quot; &apos;tick&apos;</r>|};
+    {|<deep><deep><deep><deep><deep>leaf</deep></deep></deep></deep></deep>|};
+    "<s>\n  <t>  spaced  </t>\n  <u/>\n</s>";
+  |]
+
+let mutate prng src =
+  let b = Buffer.create (String.length src + 16) in
+  Buffer.add_string b src;
+  let s = Bytes.of_string (Buffer.contents b) in
+  let n = Bytes.length s in
+  if n = 0 then " "
+  else begin
+    let out = ref (Bytes.to_string s) in
+    let rounds = Prng.int_in prng 1 4 in
+    for _ = 1 to rounds do
+      let cur = !out in
+      let n = String.length cur in
+      if n > 0 then
+        match Prng.int_in prng 0 4 with
+        | 0 ->
+          (* flip one byte *)
+          let i = Prng.int_in prng 0 (n - 1) in
+          let by = Bytes.of_string cur in
+          Bytes.set by i (Char.chr (Prng.int_in prng 0 255));
+          out := Bytes.to_string by
+        | 1 ->
+          (* delete a span *)
+          let i = Prng.int_in prng 0 (n - 1) in
+          let len = min (n - i) (Prng.int_in prng 1 8) in
+          out := String.sub cur 0 i ^ String.sub cur (i + len) (n - i - len)
+        | 2 ->
+          (* insert random bytes *)
+          let i = Prng.int_in prng 0 n in
+          let ins =
+            String.init (Prng.int_in prng 1 6) (fun _ ->
+                Char.chr (Prng.int_in prng 0 255))
+          in
+          out := String.sub cur 0 i ^ ins ^ String.sub cur i (n - i)
+        | 3 ->
+          (* truncate *)
+          out := String.sub cur 0 (Prng.int_in prng 0 (n - 1))
+        | _ ->
+          (* splice a chunk of another seed in *)
+          let other = seeds.(Prng.int_in prng 0 (Array.length seeds - 1)) in
+          let m = String.length other in
+          let oi = Prng.int_in prng 0 (m - 1) in
+          let olen = min (m - oi) (Prng.int_in prng 1 20) in
+          let i = Prng.int_in prng 0 n in
+          out :=
+            String.sub cur 0 i ^ String.sub other oi olen
+            ^ String.sub cur i (n - i)
+    done;
+    !out
+  end
+
+(* ---- The harness ----------------------------------------------------------- *)
+
+(* Run one input through both parsers. The only acceptable outcomes are
+   [Ok] and a located [Error]; and because the DOM is built over the SAX
+   scan, a DOM [Ok] with a SAX [Error] is a layering bug. *)
+let drive input =
+  let started = Unix.gettimeofday () in
+  let dom =
+    match Xml_parse.parse_string input with
+    | Ok _ -> true
+    | Error _ -> false
+    | exception e ->
+      Alcotest.failf "parse_string raised %s on %S" (Printexc.to_string e)
+        input
+  in
+  let sax =
+    match
+      Xml_sax.fold input ~init:0 ~f:(fun n (_ : Xml_sax.event) -> n + 1)
+    with
+    | Ok _ -> true
+    | Error _ -> false
+    | exception e ->
+      Alcotest.failf "Xml_sax.fold raised %s on %S" (Printexc.to_string e)
+        input
+  in
+  if dom && not sax then
+    Alcotest.failf "DOM accepted what SAX rejected: %S" input;
+  let elapsed = Unix.gettimeofday () -. started in
+  if elapsed > max_seconds_per_input then
+    Alcotest.failf "parsing %d bytes took %.1fs (input %S...)"
+      (String.length input) elapsed
+      (String.sub input 0 (min 40 (String.length input)))
+
+let test_fixed_nasties () =
+  List.iter drive
+    [
+      "";
+      "<";
+      ">";
+      "<a";
+      "<a>";
+      "<a></b>";
+      "<a/><b/>";
+      "<a b=></a>";
+      "<a b='1' b='2'/>";
+      "<!DOCTYPE";
+      "<!DOCTYPE foo [ <!ENTITY x \"y\"> ]><a>&x;</a>";
+      "<?";
+      "<?xml?>";
+      "<?xml version=\"1.0\"";
+      "<![CDATA[";
+      "<a><![CDATA[never closed</a>";
+      "]]>";
+      "<a>]]></a>";
+      "&amp;";
+      "<a>&unknown;</a>";
+      "<a>&#xFFFFFFFFFFFFFF;</a>";
+      "<a>&#0;</a>";
+      "<a>&#;</a>";
+      "<!---->";
+      "<a><!-- -- --></a>";
+      "<a\x00b/>";
+      "\xff\xfe<a/>";
+      "<a " ^ String.make 300 'x' ^ "='y'/>";
+      "<a>" ^ String.make 3000 '&' ^ "</a>";
+    ];
+  (* nesting past max_depth is a located error, not a stack overflow *)
+  let deep = Buffer.create 65536 in
+  for _ = 1 to 5000 do
+    Buffer.add_string deep "<d>"
+  done;
+  Buffer.add_string deep "x";
+  for _ = 1 to 5000 do
+    Buffer.add_string deep "</d>"
+  done;
+  (match Xml_parse.parse_string (Buffer.contents deep) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "5000-deep nesting parsed past max_depth"
+  | exception e ->
+    Alcotest.failf "deep nesting raised %s" (Printexc.to_string e));
+  (* ...and a raised max_depth really does admit deeper documents *)
+  match Xml_parse.parse_string ~max_depth:6000 (Buffer.contents deep) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "deep parse at max_depth=6000: %s"
+                 (Xml_parse.error_to_string e)
+  | exception e ->
+    Alcotest.failf "deep parse raised %s" (Printexc.to_string e)
+
+let test_seeds_parse () =
+  (* the mutation seeds themselves must be valid, or the mutator is
+     fuzzing nothing *)
+  Array.iter
+    (fun s ->
+      match Xml_parse.parse_string s with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "seed %S rejected: %s" s (Xml_parse.error_to_string e))
+    seeds
+
+let test_fuzz_raw () =
+  let prng = Prng.of_int 0xda7a in
+  for _ = 1 to iters do
+    drive (gen_raw prng)
+  done
+
+let test_fuzz_markupish () =
+  let prng = Prng.of_int 0x3a91 in
+  for _ = 1 to iters do
+    drive (gen_markupish prng)
+  done
+
+let test_fuzz_mutations () =
+  let prng = Prng.of_int 0xbeef in
+  for _ = 1 to iters do
+    let seed = seeds.(Prng.int_in prng 0 (Array.length seeds - 1)) in
+    drive (mutate prng seed)
+  done;
+  (* sanity: a run of unmutated seeds through the same driver *)
+  Array.iter drive seeds;
+  check Alcotest.bool "budget consumed" true (iters > 0)
+
+let () =
+  Alcotest.run "xsact_xml_fuzz"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "fixed nasties" `Quick test_fixed_nasties;
+          Alcotest.test_case "seeds are valid" `Quick test_seeds_parse;
+          Alcotest.test_case "raw bytes" `Quick test_fuzz_raw;
+          Alcotest.test_case "markup-shaped noise" `Quick test_fuzz_markupish;
+          Alcotest.test_case "seed mutations" `Quick test_fuzz_mutations;
+        ] );
+    ]
